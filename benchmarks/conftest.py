@@ -1,0 +1,26 @@
+"""Benchmark harness configuration.
+
+Each ``test_table*.py`` / ``test_figure4.py`` benchmark regenerates one
+table or figure of the paper on the scaled machine models and prints it
+(with its shape checks) to the terminal, so a ``pytest benchmarks/
+--benchmark-only`` run leaves the full reproduction report in its output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an experiment result outside the captured region."""
+
+    def _print(result):
+        with capsys.disabled():
+            print()
+            print(result.render())
+        failed = [str(c) for c in result.checks if not c.passed]
+        assert not failed, "shape checks failed:\n" + "\n".join(failed)
+        return result
+
+    return _print

@@ -1,0 +1,234 @@
+"""Ablations of the scheduler's design choices (DESIGN.md section 5).
+
+Each ablation reruns the threaded matrix multiply with one knob changed
+and reports the L2 miss impact, quantifying the paper's design
+decisions: symmetric folding (Section 2.3's 50% bin reduction), bin
+traversal order, hash-table size (collision chaining), and thread-group
+capacity (record-management amortisation).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apps.matmul import MatmulConfig
+from repro.apps.matmul import threaded as matmul_threaded
+from repro.machine.presets import r8000
+from repro.sim.engine import Simulator
+from repro.trace.costmodel import ThreadCostModel
+
+CFG = MatmulConfig(n=96)
+
+
+def run_threaded(cfg, **package_overrides):
+    simulator = Simulator(r8000(64))
+    if package_overrides:
+        base = matmul_threaded(cfg)
+
+        def program(ctx):
+            original = ctx.make_thread_package
+
+            def patched(**kwargs):
+                kwargs.update(package_overrides)
+                return original(**kwargs)
+
+            ctx.make_thread_package = patched
+            return base(ctx)
+
+        program.__name__ = "matmul_threaded_ablated"
+        return simulator.run(program)
+    return simulator.run(matmul_threaded(cfg))
+
+
+def gram_program(cfg, fold):
+    """Threaded Gram matrix C = A^T A: thread (i, j) dots columns i and j
+    of the SAME array, so (h_i, h_j) and (h_j, h_i) genuinely both occur
+    — the situation Section 2.3's symmetric folding targets.  (Matmul's
+    hints come from two different matrices, so folding is a no-op there.)
+    """
+    import numpy as np
+
+    def program(ctx):
+        n = cfg.n
+        ha = ctx.allocate_array("A", (n, n))
+        hc = ctx.allocate_array("C", (n, n))
+        rng = np.random.default_rng(cfg.seed)
+        a = rng.standard_normal((n, n))
+        c = np.zeros((n, n))
+        recorder = ctx.recorder
+        package = ctx.make_thread_package(fold_symmetric=fold)
+
+        def dot(i, j):
+            recorder.record_interleaved([ha.column(i), ha.column(j)])
+            recorder.record(hc.element(i, j), writes=1)
+            recorder.count_instructions(int(3.5 * n))
+            c[i, j] = a[:, i] @ a[:, j]
+
+        for i in range(n):
+            for j in range(n):
+                package.th_fork(dot, i, j, ha.column_base(i), ha.column_base(j))
+        package.th_run(0)
+        return {"C": c, "A": a}
+
+    program.__name__ = f"gram_threaded_fold_{fold}"
+    return program
+
+
+class TestFolding:
+    def test_symmetric_folding_halves_bins(self, benchmark):
+        import numpy as np
+
+        simulator = Simulator(r8000(64))
+        plain = simulator.run(gram_program(CFG, fold=False))
+
+        def folded_run():
+            return Simulator(r8000(64)).run(gram_program(CFG, fold=True))
+
+        folded = benchmark.pedantic(folded_run, rounds=1, iterations=1)
+        # Section 2.3: folding "can ... reduce the number of bins by 50%"
+        # (the diagonal bins cannot merge, so slightly above half).
+        assert folded.sched.bins < 0.7 * plain.sched.bins
+        assert folded.sched.bins >= plain.sched.bins // 2
+        # Folded bins hold (i, j) and (j, i) threads together — the same
+        # two blocks of data, so misses stay comparable.
+        assert folded.l2_misses < 1.5 * plain.l2_misses
+        # And the computation is unchanged.
+        np.testing.assert_allclose(
+            folded.payload["C"],
+            folded.payload["A"].T @ folded.payload["A"],
+            rtol=1e-10,
+        )
+
+
+class TestTraversalPolicy:
+    @pytest.mark.parametrize("policy", ["creation", "sorted", "snake", "greedy"])
+    def test_policies_all_preserve_locality(self, benchmark, policy):
+        result = benchmark.pedantic(
+            run_threaded,
+            args=(replace(CFG, policy=policy),),
+            rounds=1,
+            iterations=1,
+        )
+        baseline = run_threaded(CFG)
+        # For matmul's fork order, creation order is already near-optimal
+        # (the paper's choice); alternative tours stay within 25%.
+        assert result.l2_misses < 1.25 * baseline.l2_misses
+
+    def test_greedy_tour_helps_scrambled_fork_order(self, benchmark):
+        """When forks arrive in scrambled order, creation order is a bad
+        tour; the greedy nearest-neighbour tour recovers adjacency."""
+        import numpy as np
+
+        from repro.apps.matmul.programs import _allocate, _trace_transpose
+
+        cfg = CFG
+
+        def scrambled(policy):
+            def program(ctx):
+                (ha, hb, hc), a, b, c = _allocate(ctx, cfg)
+                recorder = ctx.recorder
+                n = cfg.n
+                _trace_transpose(ctx, ha, n)
+                at = a.T.copy()
+                package = ctx.make_thread_package(policy=policy)
+
+                def dot(i, j):
+                    recorder.record_interleaved([ha.column(i), hb.column(j)])
+                    recorder.record(hc.element(i, j), writes=1)
+                    recorder.count_instructions(int(3.5 * n))
+                    c[i, j] = at[:, i] @ b[:, j]
+
+                rng = np.random.default_rng(13)
+                pairs = [(i, j) for i in range(n) for j in range(n)]
+                rng.shuffle(pairs)
+                for i, j in pairs:
+                    package.th_fork(
+                        dot, i, j, ha.column_base(i), hb.column_base(j)
+                    )
+                package.th_run(0)
+                _trace_transpose(ctx, ha, n)
+                return {"C": c}
+
+            program.__name__ = f"matmul_scrambled_{policy}"
+            return program
+
+        simulator = Simulator(r8000(64))
+        creation = simulator.run(scrambled("creation"))
+        greedy = benchmark.pedantic(
+            simulator.run, args=(scrambled("greedy"),), rounds=1, iterations=1
+        )
+        # Bin contents are identical either way; only the tour differs.
+        # Scrambled creation order gives a random tour; greedy recovers
+        # cross-bin block reuse.
+        assert greedy.l2_misses <= creation.l2_misses
+
+
+class TestHashTableSize:
+    def test_tiny_hash_table_still_correct_but_collides(self, benchmark):
+        import numpy as np
+
+        small = benchmark.pedantic(
+            run_threaded,
+            args=(replace(CFG, hash_size=2),),
+            rounds=1,
+            iterations=1,
+        )
+        reference = small.payload["A"] @ small.payload["B"]
+        np.testing.assert_allclose(small.payload["C"], reference, rtol=1e-10)
+        # Distinct blocks masked into 8 slots chain rather than merge:
+        # the bin count is unchanged.
+        assert small.sched.bins == run_threaded(CFG).sched.bins
+
+
+class TestGroupCapacity:
+    @pytest.mark.parametrize("capacity", [16, 256])
+    def test_group_capacity_tradeoff(self, benchmark, capacity):
+        """Smaller groups mean more slab allocations (more cold lines);
+        the run must stay correct and the overhead bounded."""
+        costs = ThreadCostModel(group_capacity=capacity)
+        result = benchmark.pedantic(
+            run_threaded,
+            args=(CFG,),
+            kwargs={"costs": costs},
+            rounds=1,
+            iterations=1,
+        )
+        assert result.dispatches == CFG.n * CFG.n
+
+
+class TestHintDimensionality:
+    def test_one_dimensional_hints_degrade_matmul(self, benchmark):
+        """Scheduling dot products by only the A column ignores B reuse:
+        bins span all of B, so capacity misses rise toward untiled."""
+        from repro.apps.matmul.programs import _allocate, _trace_transpose
+
+        cfg = CFG
+
+        def one_dim_program(ctx):
+            (ha, hb, hc), a, b, c = _allocate(ctx, cfg)
+            recorder = ctx.recorder
+            n = cfg.n
+            _trace_transpose(ctx, ha, n)
+            at = a.T.copy()
+            package = ctx.make_thread_package()
+
+            def dot(i, j):
+                recorder.record_interleaved([ha.column(i), hb.column(j)])
+                recorder.record(hc.element(i, j), writes=1)
+                recorder.count_instructions(int(3.5 * n))
+                c[i, j] = at[:, i] @ b[:, j]
+
+            for i in range(n):
+                for j in range(n):
+                    package.th_fork(dot, i, j, ha.column_base(i))  # 1-D hint
+            package.th_run(0)
+            _trace_transpose(ctx, ha, n)
+            return {"C": c}
+
+        one_dim_program.__name__ = "matmul_threaded_1d_hints"
+        simulator = Simulator(r8000(64))
+        one_dim = benchmark.pedantic(
+            simulator.run, args=(one_dim_program,), rounds=1, iterations=1
+        )
+        two_dim = run_threaded(CFG)
+        assert one_dim.l2_misses > 1.5 * two_dim.l2_misses

@@ -1,0 +1,10 @@
+"""Analysis: the threading-pays crossover (working set vs L2 size)."""
+
+from repro.exp import analysis_crossover
+
+
+def test_analysis_crossover_report(report, benchmark):
+    result = benchmark.pedantic(
+        analysis_crossover.run, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    report(result)

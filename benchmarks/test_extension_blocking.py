@@ -1,0 +1,10 @@
+"""Extension: general-purpose (blocking) threads on SOR (Section 7)."""
+
+from repro.exp import extension_blocking
+
+
+def test_extension_blocking_report(report, benchmark):
+    result = benchmark.pedantic(
+        extension_blocking.run, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,10 @@
+"""Extension: dependence-aware SOR threading (paper Section 6 future work)."""
+
+from repro.exp import extension_deps
+
+
+def test_extension_deps_report(report, benchmark):
+    result = benchmark.pedantic(
+        extension_deps.run, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    report(result)

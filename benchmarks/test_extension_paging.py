@@ -1,0 +1,10 @@
+"""Extension: page placement in front of the physically-indexed L2."""
+
+from repro.exp import extension_paging
+
+
+def test_extension_paging_report(report, benchmark):
+    result = benchmark.pedantic(
+        extension_paging.run, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,10 @@
+"""Extension: the SMP speedup experiment (paper Section 7 future work)."""
+
+from repro.exp import extension_smp
+
+
+def test_extension_smp_report(report, benchmark):
+    result = benchmark.pedantic(
+        extension_smp.run, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    report(result)

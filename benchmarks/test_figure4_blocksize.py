@@ -1,0 +1,10 @@
+"""Figure 4: execution time versus block dimension size (R8000 sweep)."""
+
+from repro.exp import figure4_blocksize
+
+
+def test_figure4_report(report, benchmark):
+    result = benchmark.pedantic(
+        figure4_blocksize.run, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    report(result)

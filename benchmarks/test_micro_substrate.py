@@ -1,0 +1,97 @@
+"""Micro-benchmarks of the substrate: cache simulator and trace layer.
+
+These are true repeated-measurement benchmarks (unlike the table
+regenerations), tracking the throughput of the hot paths: the
+classifying cache's batch loop and the segment-to-line conversion.
+"""
+
+import numpy as np
+
+from repro.cache.classify import ClassifyingCache
+from repro.cache.config import CacheConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.mem.arrays import RefSegment
+from repro.trace.recorder import TraceRecorder, interleave_segments, segment_to_lines
+
+
+def make_hierarchy():
+    l1 = CacheConfig("L1", 2048, 32, 1)
+    l2 = CacheConfig("L2", 32 * 1024, 128, 4)
+    return CacheHierarchy(l1, l1, l2)
+
+
+def test_classify_sequential_stream(benchmark):
+    """Streaming access: mostly compulsory misses, minimal LRU churn."""
+    lines = list(range(50_000))
+
+    def run():
+        cache = ClassifyingCache(CacheConfig("c", 32 * 1024, 128, 4))
+        cache.process(lines)
+        return cache
+
+    cache = benchmark(run)
+    assert cache.stats.misses == 50_000
+
+
+def test_classify_looping_stream(benchmark):
+    """Cyclic reuse larger than the cache: the capacity-miss fast path."""
+    lines = list(range(512)) * 100
+
+    def run():
+        cache = ClassifyingCache(CacheConfig("c", 32 * 1024, 128, 4))
+        cache.process(lines)
+        return cache
+
+    cache = benchmark(run)
+    assert cache.stats.capacity > 0
+
+
+def test_hierarchy_filtered_stream(benchmark):
+    """L1 absorbing a hot working set; L2 sees only the cold stream."""
+    hot = list(range(32)) * 500
+    cold = list(range(1000, 17_000))
+    lines = hot + cold
+
+    def run():
+        hierarchy = make_hierarchy()
+        hierarchy.access_data(lines)
+        return hierarchy
+
+    hierarchy = benchmark(run)
+    assert hierarchy.l2.stats.accesses < len(lines)
+
+
+def test_segment_conversion_contiguous(benchmark):
+    seg = RefSegment(base=0x10000, stride=8, count=4096, element_size=8)
+    lines, counts = benchmark(segment_to_lines, seg, 5)
+    assert sum(counts) == 4096
+
+
+def test_segment_conversion_strided(benchmark):
+    seg = RefSegment(base=0x10000, stride=2008, count=4096, element_size=8)
+    lines, _counts = benchmark(segment_to_lines, seg, 5)
+    assert len(lines) == 4096
+
+
+def test_interleave_six_segments(benchmark):
+    """The PDE relaxation's per-column pattern."""
+    segments = [
+        RefSegment(base=0x10000 + 4096 * k, stride=16, count=128, element_size=8)
+        for k in range(6)
+    ]
+    lines, counts = benchmark(interleave_segments, segments, 5)
+    assert sum(counts) == 6 * 128
+
+
+def test_recorder_end_to_end(benchmark):
+    """A full record() round trip: conversion plus both cache levels."""
+    def run():
+        recorder = TraceRecorder(make_hierarchy())
+        for j in range(64):
+            recorder.record(
+                RefSegment(0x10000 + j * 1024, 8, 128, 8), writes=128
+            )
+        return recorder
+
+    recorder = benchmark(run)
+    assert recorder.hierarchy.snapshot().data_refs == 64 * 128

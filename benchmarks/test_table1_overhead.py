@@ -1,0 +1,65 @@
+"""Table 1: thread-primitive overhead micro-benchmark.
+
+Benchmarks the real per-thread cost of this implementation's ``th_fork``
+and ``th_run`` (the analog of the paper's 1,048,576-null-thread loop)
+and prints the Table 1 comparison.
+"""
+
+from repro.core.package import ThreadPackage
+from repro.exp import table1_overhead
+
+L2 = 2 * 1024 * 1024
+THREADS = 1 << 15
+
+
+def _null(a, b):
+    return None
+
+
+def test_table1_report(report, benchmark):
+    result = benchmark.pedantic(
+        table1_overhead.run, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    report(result)
+
+
+def test_fork_throughput(benchmark):
+    """Pure th_fork cost (the paper's Fork row)."""
+
+    def fork_many():
+        package = ThreadPackage(l2_size=L2)
+        block = package.scheduler.block_size
+        for i in range(THREADS):
+            package.th_fork(_null, i, None, 8 + (i % 32) * block)
+        return package
+
+    package = benchmark(fork_many)
+    assert package.pending_threads == THREADS
+
+
+def test_run_throughput(benchmark):
+    """Pure dispatch cost (the paper's Run row), re-running a kept set."""
+    package = ThreadPackage(l2_size=L2)
+    block = package.scheduler.block_size
+    for i in range(THREADS):
+        package.th_fork(_null, i, None, 8 + (i % 32) * block)
+
+    def run_all():
+        return package.th_run(1)  # keep=1: re-runnable
+
+    stats = benchmark(run_all)
+    assert stats.threads == THREADS
+
+
+def test_fork_run_total(benchmark):
+    """Fork + run combined (the paper's Total row)."""
+
+    def fork_and_run():
+        package = ThreadPackage(l2_size=L2)
+        block = package.scheduler.block_size
+        for i in range(THREADS):
+            package.th_fork(_null, i, None, 8 + (i % 32) * block)
+        return package.th_run(0)
+
+    stats = benchmark(fork_and_run)
+    assert stats.threads == THREADS

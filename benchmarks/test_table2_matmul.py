@@ -1,0 +1,10 @@
+"""Table 2: matrix multiply performance (5 versions x 2 machines)."""
+
+from repro.exp import table2_matmul_perf
+
+
+def test_table2_report(report, benchmark):
+    result = benchmark.pedantic(
+        table2_matmul_perf.run, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,10 @@
+"""Table 3: matmul cache simulation (untiled / tiled / threaded, R8000)."""
+
+from repro.exp import table3_matmul_cache
+
+
+def test_table3_report(report, benchmark):
+    result = benchmark.pedantic(
+        table3_matmul_cache.run, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    report(result)

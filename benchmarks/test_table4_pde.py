@@ -1,0 +1,10 @@
+"""Table 4: PDE performance (3 versions x 2 machines)."""
+
+from repro.exp import table4_pde_perf
+
+
+def test_table4_report(report, benchmark):
+    result = benchmark.pedantic(
+        table4_pde_perf.run, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,10 @@
+"""Table 5: PDE cache simulation (R8000)."""
+
+from repro.exp import table5_pde_cache
+
+
+def test_table5_report(report, benchmark):
+    result = benchmark.pedantic(
+        table5_pde_cache.run, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,10 @@
+"""Table 6: SOR performance (3 versions x 2 machines)."""
+
+from repro.exp import table6_sor_perf
+
+
+def test_table6_report(report, benchmark):
+    result = benchmark.pedantic(
+        table6_sor_perf.run, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,10 @@
+"""Table 7: SOR cache simulation (R8000)."""
+
+from repro.exp import table7_sor_cache
+
+
+def test_table7_report(report, benchmark):
+    result = benchmark.pedantic(
+        table7_sor_cache.run, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,10 @@
+"""Table 8: N-body performance (2 versions x 2 machines, 4 iterations)."""
+
+from repro.exp import table8_nbody_perf
+
+
+def test_table8_report(report, benchmark):
+    result = benchmark.pedantic(
+        table8_nbody_perf.run, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    report(result)

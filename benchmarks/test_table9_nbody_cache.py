@@ -1,0 +1,10 @@
+"""Table 9: N-body cache simulation (one iteration, R8000)."""
+
+from repro.exp import table9_nbody_cache
+
+
+def test_table9_report(report, benchmark):
+    result = benchmark.pedantic(
+        table9_nbody_cache.run, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    report(result)

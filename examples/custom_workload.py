@@ -1,0 +1,117 @@
+"""Threading your own loop: a weighted-segment kernel, step by step.
+
+This walks through what a downstream user does to apply locality
+scheduling to a new program, using the full public API:
+
+1. allocate the data in a simulated address space,
+2. break the loop into run-to-completion threads,
+3. pass the addresses of each thread's main operands as hints
+   (here: the y and x segments a block touches),
+4. pick a block dimension via ``th_init`` semantics (the
+   ``block_size`` argument) suited to the operand size,
+5. compare against the unthreaded order under the cache simulator.
+
+The workload is y_seg += w * x_seg over scattered segment pairs that
+arrive in (deliberately) scrambled order — a stand-in for any program
+whose natural iteration order has poor locality.  x and y are twice the
+L2 cache together, so the scrambled order thrashes while the scheduled
+order keeps each region resident.
+
+Run:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro import Simulator, r8000
+
+BLOCK = 64          # segment length per block (doubles)
+GRID = 64           # 64 x 64 block positions; x and y are 32 KB each
+BLOCKS = 3000       # ~73% of positions occupied
+SEED = 42
+
+
+def build_blocks():
+    rng = np.random.default_rng(SEED)
+    chosen = rng.choice(GRID * GRID, size=BLOCKS, replace=False)
+    return [(int(p) // GRID, int(p) % GRID) for p in chosen]
+
+
+def make_program(positions, use_threads):
+    def program(ctx):
+        n = GRID * BLOCK
+        hx = ctx.allocate_array("x", (n,))
+        hy = ctx.allocate_array("y", (n,))
+        rng = np.random.default_rng(SEED)
+        x = rng.standard_normal(n)
+        y = np.zeros(n)
+        weights = rng.standard_normal(len(positions))
+        recorder = ctx.recorder
+
+        # The weight travels WITH the thread (arg2): run-to-completion
+        # threads carry their scalar operands in the thread record, so
+        # scheduling cannot scatter a side lookup table.
+        def multiply(position, weight):
+            bi, bj = position
+            recorder.record_interleaved(
+                [
+                    hx.vector(bj * BLOCK, BLOCK),
+                    hy.vector(bi * BLOCK, BLOCK),
+                    hy.vector(bi * BLOCK, BLOCK),
+                ],
+                writes=BLOCK,
+            )
+            recorder.count_instructions(8 * BLOCK)
+            y[bi * BLOCK : (bi + 1) * BLOCK] += (
+                weight * x[bj * BLOCK : (bj + 1) * BLOCK]
+            )
+
+        if use_threads:
+            # Operands are 256-byte segments scattered over two 32 KB
+            # vectors: a 4 KB block dimension groups ~16 segments of y
+            # with ~16 of x per bin (8 KB resident per bin).
+            package = ctx.make_thread_package(block_size=4096)
+            for k, (bi, bj) in enumerate(positions):
+                package.th_fork(
+                    multiply,
+                    (bi, bj),
+                    weights[k],
+                    hy.addr(bi * BLOCK),
+                    hx.addr(bj * BLOCK),
+                )
+            package.th_run(0)
+        else:
+            for k, position in enumerate(positions):
+                multiply(position, weights[k])
+        return y
+
+    program.__name__ = "spmv_threaded" if use_threads else "spmv_sequential"
+    return program
+
+
+def main() -> None:
+    positions = build_blocks()
+    machine = r8000(64)
+    simulator = Simulator(machine)
+    print(f"{len(positions)} weighted segment pairs over a {GRID}x{GRID} grid, "
+          f"scrambled arrival order")
+    print(f"x + y = {2 * GRID * BLOCK * 8 // 1024} KB against a "
+          f"{machine.l2.size // 1024} KB L2\n")
+
+    sequential = simulator.run(make_program(positions, use_threads=False))
+    threaded = simulator.run(make_program(positions, use_threads=True))
+
+    for result in (sequential, threaded):
+        print(f"{result.program:18s} modeled {result.modeled_seconds:8.5f}s  "
+              f"L2 misses {result.l2_misses:>7,} "
+              f"(capacity {result.l2_capacity:,})")
+
+    assert np.allclose(sequential.payload, threaded.payload)
+    print(f"\nresults identical; threading cut L2 misses "
+          f"{sequential.l2_misses / threaded.l2_misses:.2f}x by grouping "
+          f"blocks that share x/y regions.")
+    if threaded.sched:
+        print(f"scheduling: {threaded.sched.describe()}")
+
+
+if __name__ == "__main__":
+    main()

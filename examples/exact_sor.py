@@ -1,0 +1,63 @@
+"""Three ways to thread a dependent loop nest (SOR), measured.
+
+The paper's threaded SOR accepts *chaotic relaxation*: threads reorder
+Gauss-Seidel updates, which "works fine because the goal is to reach
+convergence" — but computes a different answer than the sequential
+nest.  The two scheduler extensions in this reproduction remove that
+compromise in different ways:
+
+1. ``threaded``          — the paper's version (fast, approximate);
+2. ``threaded_exact``    — run-to-completion threads with declared
+                           dependences and skew-coordinate hints;
+3. ``threaded_blocking`` — one long-lived generator thread per column,
+                           blocking on neighbour events.
+
+Run:  python examples/exact_sor.py
+"""
+
+import numpy as np
+
+from repro import Simulator, r8000
+from repro.apps.sor import SorConfig, VERSIONS
+from repro.apps.sor.programs import threaded_blocking, threaded_exact
+
+CONFIG = SorConfig(n=251, iterations=30)
+
+
+def main() -> None:
+    simulator = Simulator(r8000(64))
+    untiled = simulator.run(VERSIONS["untiled"](CONFIG))
+    oracle = untiled.payload["A"]
+    print(f"sequential nest:   {untiled.l2_misses:>9,} L2 misses "
+          f"(the baseline and the numeric oracle)\n")
+
+    runs = [
+        ("threaded (paper)", simulator.run(VERSIONS["threaded"](CONFIG))),
+        ("threaded_exact", simulator.run(threaded_exact(CONFIG))),
+        ("threaded_blocking", simulator.run(threaded_blocking(CONFIG))),
+    ]
+    for name, result in runs:
+        error = np.abs(result.payload["A"] - oracle).max()
+        extras = []
+        if "activations" in result.payload:
+            extras.append(f"{result.payload['activations']} bin activations")
+        if "context_switches" in result.payload:
+            extras.append(
+                f"{result.payload['context_switches']:,} context switches"
+            )
+        print(f"{name:18s} {result.l2_misses:>9,} L2 misses   "
+              f"max|err| {error:.2e}   {'; '.join(extras)}")
+
+    print(
+        "\nthreaded_exact matches the sequential answer bit for bit while"
+        "\nkeeping tiled-class locality: declaring the dependences lets the"
+        "\nscheduler run a legal order, and hinting the skewed coordinate"
+        "\n(column + sweep) aligns the bins with the dependence wavefront."
+        "\nThe blocking version is also exact but pays context switches and"
+        "\nloses locality: a thread pinned to its column for all sweeps"
+        "\ncannot follow the wavefront."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Locality scheduling for an irregular program: Barnes-Hut N-body.
+
+This is the paper's motivating case (Section 4.4): positions change every
+step, the tree is rebuilt every iteration, and "since no memory reference
+information [is] available at compile time, automatic tiling is not
+feasible".  The runtime scheduler needs only three numbers per thread —
+the body's x/y/z position scaled onto the scheduling plane — to recover
+the locality a compiler cannot see.
+
+Run:  python examples/nbody_locality.py  [bodies]
+"""
+
+import sys
+
+from repro import Simulator, r8000
+from repro.apps.nbody import NbodyConfig, VERSIONS
+
+
+def main() -> None:
+    bodies = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    machine = r8000(16, 16)  # N-body state is O(N): scale L1 and L2 alike
+    config = NbodyConfig(bodies=bodies, iterations=2)
+    simulator = Simulator(machine)
+
+    print(f"machine: {machine.name} (L2 {machine.l2.size // 1024} KB)")
+    print(f"problem: {bodies:,} bodies, {config.iterations} iterations, "
+          f"theta = {config.theta}\n")
+
+    results = {}
+    for name, factory in VERSIONS.items():
+        results[name] = simulator.run(factory(config))
+        r = results[name]
+        print(f"{name:12s} modeled {r.modeled_seconds:6.3f}s   "
+              f"L2 misses {r.l2_misses:>9,} "
+              f"(capacity {r.l2_capacity:,}, conflict {r.l2_conflict:,})")
+
+    unthreaded, threaded = results["unthreaded"], results["threaded"]
+    print(f"\nL2 capacity misses cut "
+          f"{unthreaded.l2_capacity / threaded.l2_capacity:.1f}x "
+          f"(paper: 2.3x) — bodies near each other in space traverse "
+          f"nearly the same tree cells.")
+    print(f"trajectories identical: "
+          f"{(unthreaded.payload['pos'] == threaded.payload['pos']).all()}")
+    if threaded.sched:
+        print(f"scheduling: {threaded.sched.describe()} "
+              f"(paper: 64,000 threads in 46 bins, much less uniform "
+              f"than the dense kernels)")
+
+
+if __name__ == "__main__":
+    main()

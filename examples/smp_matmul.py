@@ -1,0 +1,44 @@
+"""Beyond the paper: locality scheduling on a multiprocessor.
+
+Section 7 of the paper predicts the extension "in a straightforward
+manner to improve performance on symmetric multiprocessors".  The
+straightforward manner: the bin is already the unit of locality, so make
+it the unit of parallel work — hand whole bins to processors and each
+private L2 sees the same clustered stream the uniprocessor saw.
+
+Run:  python examples/smp_matmul.py
+"""
+
+from repro import Simulator, r8000
+from repro.apps.matmul import MatmulConfig, threaded
+from repro.smp import SmpMachine, SmpSimulator
+
+CONFIG = MatmulConfig(n=128)
+
+
+def main() -> None:
+    base = r8000(64)
+    serial = Simulator(base).run(threaded(CONFIG))
+    print(f"serial threaded matmul: {serial.modeled_seconds:.3f}s, "
+          f"{serial.l2_misses:,} L2 misses\n")
+
+    print(f"{'P':>2s}  {'policy':<12s} {'makespan':>9s} {'speedup':>8s} "
+          f"{'L2 total':>9s} {'imbalance':>9s}")
+    for processors in (2, 4, 8):
+        simulator = SmpSimulator(SmpMachine(base, processors))
+        for policy in ("chunked", "lpt"):
+            result = simulator.run(threaded(CONFIG), assignment=policy)
+            print(f"{processors:>2d}  {policy:<12s} "
+                  f"{result.makespan:9.3f} "
+                  f"{result.speedup_over(serial.modeled_seconds):7.2f}x "
+                  f"{result.total_l2_misses:>9,} "
+                  f"{result.load_imbalance:9.2f}")
+
+    print("\nTotal L2 misses barely move as P grows: distributing whole")
+    print("bins preserves the locality the scheduler created.  Speedup")
+    print("saturates on the serial fork section and the serial transpose")
+    print("(both run on processor 0) — Amdahl, not lost locality.")
+
+
+if __name__ == "__main__":
+    main()

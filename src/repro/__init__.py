@@ -1,0 +1,53 @@
+"""repro — a reproduction of "Thread Scheduling for Cache Locality"
+(Philbin, Edler, Anshus, Douglas, Li; ASPLOS 1996).
+
+The public API re-exports the pieces a downstream user needs:
+
+* the locality thread package (:class:`ThreadPackage`) — the paper's
+  contribution, usable standalone as a pure-Python scheduler;
+* machine models (:func:`r8000`, :func:`r10000`) and the trace-driven
+  cache simulator (:class:`CacheHierarchy`);
+* the simulation engine (:class:`Simulator`) and the four applications
+  (:mod:`repro.apps`);
+* the experiment harness (:func:`run_experiment`) regenerating every
+  table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import ThreadPackage
+
+    package = ThreadPackage(l2_size=2 * 1024 * 1024)
+    package.th_fork(print, "hello", "world", hint1=0x10000)
+    package.th_run(0)
+"""
+
+from repro.cache import CacheConfig, CacheHierarchy
+from repro.core import LocalityScheduler, SchedulingStats, ThreadPackage
+from repro.exp import run_experiment
+from repro.machine import MachineSpec, TimingModel, r8000, r10000
+from repro.mem import AddressSpace, ArrayHandle, Layout
+from repro.sim import SimContext, Simulator, SimResult
+from repro.trace import TraceRecorder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "CacheHierarchy",
+    "LocalityScheduler",
+    "SchedulingStats",
+    "ThreadPackage",
+    "run_experiment",
+    "MachineSpec",
+    "TimingModel",
+    "r8000",
+    "r10000",
+    "AddressSpace",
+    "ArrayHandle",
+    "Layout",
+    "SimContext",
+    "Simulator",
+    "SimResult",
+    "TraceRecorder",
+    "__version__",
+]

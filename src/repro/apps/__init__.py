@@ -1,0 +1,12 @@
+"""The paper's four applications, as traced programs.
+
+Each application package exposes a ``VERSIONS`` registry mapping the
+paper's version names (e.g. ``"interchanged"``, ``"threaded"``) to
+factories ``make(config) -> TracedProgram``.  Every version performs its
+real numeric computation (so versions can be checked against each other)
+while emitting the memory-reference trace of the paper's loop structure.
+"""
+
+from repro.apps import matmul, nbody, pde, sor
+
+__all__ = ["matmul", "pde", "sor", "nbody"]

@@ -1,0 +1,34 @@
+"""Matrix multiplication, C = A x B (Section 4.2).
+
+Five versions, matching the paper's Table 2 rows:
+
+* ``interchanged`` — loop-interchanged untiled nest (j, k, i), B[k,j] in
+  a register.
+* ``transposed`` — A transposed in place before/after so the dot product
+  reads two sequential vectors; C[i,j] in a register.
+* ``tiled_interchanged`` — i/k cache tiling plus 4x4 register blocking
+  (what KAP/SGI compilers produce for the interchanged nest).
+* ``tiled_transposed`` — cache tiling of the transposed algorithm.
+* ``threaded`` — one fine-grained thread per dot product, scheduled by
+  hint addresses (the columns of A-transposed and B).
+"""
+
+from repro.apps.matmul.config import MatmulConfig
+from repro.apps.matmul.programs import (
+    VERSIONS,
+    interchanged,
+    threaded,
+    tiled_interchanged,
+    tiled_transposed,
+    transposed,
+)
+
+__all__ = [
+    "MatmulConfig",
+    "VERSIONS",
+    "interchanged",
+    "transposed",
+    "tiled_interchanged",
+    "tiled_transposed",
+    "threaded",
+]

@@ -1,0 +1,43 @@
+"""Matrix-multiply workload configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class MatmulConfig:
+    """Parameters of one matmul run.
+
+    The paper uses n = 1024 on full-size machines; the default
+    experiment scale uses n = 128 on 1/64 caches, preserving the
+    matrix-to-cache ratio (see DESIGN.md).
+
+    ``block_size``/``hash_size`` configure the threaded version's
+    scheduler (0 = the package defaults: half the L2 for the block
+    dimension).  ``seed`` makes the numeric inputs reproducible.
+    """
+
+    n: int = 128
+    element_size: int = 8
+    block_size: int = 0
+    hash_size: int = 0
+    fold_symmetric: bool = False
+    policy: str = "creation"
+    seed: int = 1996
+
+    def __post_init__(self) -> None:
+        require_positive(self.n, "n")
+        require_positive(self.element_size, "element_size")
+
+    @property
+    def matrix_bytes(self) -> int:
+        return self.n * self.n * self.element_size
+
+    @classmethod
+    def paper(cls) -> "MatmulConfig":
+        """The paper's full-size workload (n = 1024, for unscaled
+        machines; expect hours of simulation)."""
+        return cls(n=1024)

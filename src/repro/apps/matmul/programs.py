@@ -1,0 +1,267 @@
+"""Traced matmul programs.
+
+Instruction costs per inner-loop iteration come from the paper's
+disassembly (Section 4.2): the SGI compiler's unrolled inner loops cost
+
+* untiled interchanged — 10 instructions per 2 multiply-adds (5/madd:
+  2 madds, 4 loads, 2 stores, 1 add, 1 branch);
+* KAP-tiled — 18 instructions per 9 madds (2/madd: 9 madds, 6 loads,
+  2 adds, 1 branch);
+* transposed/threaded — 14 instructions per 4 madds (3.5/madd: 4 madds,
+  8 loads, 1 add, 1 branch).
+
+Reference counts follow from the same mixes: 3 per madd untiled
+(2 loads + 1 store), 0.75 tiled (register 4x4 blocking), 2 transposed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.matmul.config import MatmulConfig
+from repro.mem.arrays import ArrayHandle
+from repro.sim.context import SimContext
+
+#: Instructions per multiply-add, from the paper's inner-loop disassembly.
+INSTR_PER_MADD_UNTILED = 5.0
+INSTR_PER_MADD_TILED = 2.0
+INSTR_PER_MADD_TRANSPOSED = 3.5
+#: Loop-header overhead charged per inner-loop entry.
+LOOP_OVERHEAD = 8
+#: In-place transpose: swap, two loads + two stores + index arithmetic.
+INSTR_PER_SWAP = 6
+
+
+def _allocate(ctx: SimContext, cfg: MatmulConfig):
+    """Allocate A, B, C and build the numeric operands."""
+    handles = [
+        ctx.allocate_array(name, (cfg.n, cfg.n), element_size=cfg.element_size)
+        for name in ("A", "B", "C")
+    ]
+    rng = np.random.default_rng(cfg.seed)
+    a = rng.standard_normal((cfg.n, cfg.n))
+    b = rng.standard_normal((cfg.n, cfg.n))
+    c = np.zeros((cfg.n, cfg.n))
+    return handles, a, b, c
+
+
+def _trace_transpose(ctx: SimContext, array: ArrayHandle, n: int) -> None:
+    """Trace an in-place square transpose (swap lower/upper triangles)."""
+    recorder = ctx.recorder
+    for j in range(1, n):
+        col = array.column(j, start=0, count=j)
+        row = array.row(j, start=0, count=j)
+        # Each swap loads and stores both elements: read pair, write pair.
+        recorder.record_interleaved([col, row, col, row], writes=2 * j)
+        recorder.count_instructions(INSTR_PER_SWAP * j + LOOP_OVERHEAD)
+
+
+def interchanged(cfg: MatmulConfig):
+    """Untiled loop-interchanged nest: for j, for k, for i."""
+
+    def program(ctx: SimContext):
+        (ha, hb, hc), a, b, c = _allocate(ctx, cfg)
+        recorder = ctx.recorder
+        n = cfg.n
+        inner_instr = int(INSTR_PER_MADD_UNTILED * n) + LOOP_OVERHEAD
+        for j in range(n):
+            c_col = hc.column(j)
+            for k in range(n):
+                # B[k,j] is loop-invariant in the inner loop: one load.
+                recorder.record(hb.element(k, j))
+                # Inner loop over i: load A[i,k], load C[i,j], store C[i,j].
+                recorder.record_interleaved(
+                    [ha.column(k), c_col, c_col], writes=n
+                )
+                recorder.count_instructions(inner_instr)
+                c[:, j] += a[:, k] * b[k, j]
+        return {"C": c, "A": a, "B": b}
+
+    program.__name__ = "matmul_interchanged"
+    return program
+
+
+def transposed(cfg: MatmulConfig):
+    """Transpose A in place, then dot products of sequential vectors."""
+
+    def program(ctx: SimContext):
+        (ha, hb, hc), a, b, c = _allocate(ctx, cfg)
+        recorder = ctx.recorder
+        n = cfg.n
+        _trace_transpose(ctx, ha, n)
+        at = a.T.copy()
+        inner_instr = int(INSTR_PER_MADD_TRANSPOSED * n) + LOOP_OVERHEAD
+        for i in range(n):
+            a_col = ha.column(i)
+            for j in range(n):
+                # Dot product reads two sequential vectors; C[i,j] stays in
+                # a register and is stored once when the loop finishes.
+                recorder.record_interleaved([a_col, hb.column(j)])
+                recorder.record(hc.element(i, j), writes=1)
+                recorder.count_instructions(inner_instr)
+                c[i, j] = at[:, i] @ b[:, j]
+        _trace_transpose(ctx, ha, n)
+        return {"C": c, "A": a, "B": b}
+
+    program.__name__ = "matmul_transposed"
+    return program
+
+
+def tiled_interchanged(cfg: MatmulConfig):
+    """Cache tiling with a 3x3 (i, j) register block (KAP's output).
+
+    The paper's disassembly of the KAP-tiled inner loop — 18 instructions,
+    9 multiply-adds, 6 loads, *no stores* — pins down the structure: a
+    3x3 block of C accumulates in registers while the innermost loop runs
+    over k, loading A[i..i+2, k] (one line) and B[k, j..j+2] (three
+    sequential column walks) each step.  An outer i-tile keeps a panel of
+    A rows resident in L2 across the full j sweep.
+    """
+
+    def program(ctx: SimContext):
+        (ha, hb, hc), a, b, c = _allocate(ctx, cfg)
+        recorder = ctx.recorder
+        n = cfg.n
+        # Square i/k tile: the A tile stays L2-resident across the whole
+        # j sweep.  Sized to an eighth of the L2 so it survives imperfect
+        # set spreading (column strides alias sets in a physically-indexed
+        # L2; compilers of the era picked conservative tile sizes or
+        # copied tiles for the same reason).
+        import math
+
+        tile = int(math.sqrt(ctx.machine.l2.size / (8 * cfg.element_size)))
+        tile = max(3, tile - tile % 3)
+        tile = min(tile, n)
+        for kk in range(0, n, tile):
+            k_hi = min(kk + tile, n)
+            k_span = k_hi - kk
+            for ii in range(0, n, tile):
+                i_hi = min(ii + tile, n)
+                for j in range(0, n, 3):
+                    j_width = min(3, n - j)
+                    for i in range(ii, i_hi, 3):
+                        i_width = min(3, i_hi - i)
+                        # Reload the C partial sums unless this is the
+                        # first k tile (they start at zero in registers).
+                        if kk:
+                            for d in range(j_width):
+                                recorder.record(hc.column(j + d, i, i_width))
+                        # Inner k loop over the tile: 3 short A row walks
+                        # (adjacent rows share lines) and 3 sequential B
+                        # column walks; the 3x3 C block is in registers.
+                        a_rows = [ha.row(i + d, kk, k_span) for d in range(i_width)]
+                        b_cols = [
+                            hb.column(j + d, kk, k_span) for d in range(j_width)
+                        ]
+                        recorder.record_interleaved(a_rows + b_cols)
+                        madds = k_span * i_width * j_width
+                        recorder.count_instructions(
+                            int(INSTR_PER_MADD_TILED * madds) + LOOP_OVERHEAD
+                        )
+                        # Store the C block at the k-tile boundary.
+                        for d in range(j_width):
+                            recorder.record(
+                                hc.column(j + d, i, i_width), writes=i_width
+                            )
+                        c[i : i + i_width, j : j + j_width] += (
+                            a[i : i + i_width, kk:k_hi]
+                            @ b[kk:k_hi, j : j + j_width]
+                        )
+        return {"C": c, "A": a, "B": b, "tile": tile}
+
+    program.__name__ = "matmul_tiled_interchanged"
+    return program
+
+
+def tiled_transposed(cfg: MatmulConfig):
+    """Cache tiling of the transposed algorithm (2x2 register block).
+
+    Dot-product form over sequential vectors: the inner k loop loads two
+    columns of A-transposed and two of B (all contiguous walks) and
+    accumulates a 2x2 block of C in registers; a B panel stays
+    L2-resident across the i sweep.  Costs sit between the KAP-tiled and
+    plain transposed versions, matching the paper's Table 2 ordering.
+    """
+
+    def program(ctx: SimContext):
+        (ha, hb, hc), a, b, c = _allocate(ctx, cfg)
+        recorder = ctx.recorder
+        n = cfg.n
+        _trace_transpose(ctx, ha, n)
+        at = a.T.copy()
+        # Panel of B columns sized to half the L2.
+        panel = max(2, ctx.machine.l2.size // (2 * cfg.element_size * n))
+        panel = min(panel - panel % 2 or 2, n)
+        instr_per_madd = INSTR_PER_MADD_TRANSPOSED * 0.7  # 2x2 register reuse
+        for jj in range(0, n, panel):
+            j_hi = min(jj + panel, n)
+            for i in range(0, n, 2):
+                i_width = min(2, n - i)
+                a_cols = [ha.column(i + d) for d in range(i_width)]
+                for j in range(jj, j_hi, 2):
+                    j_width = min(2, j_hi - j)
+                    b_cols = [hb.column(j + d) for d in range(j_width)]
+                    recorder.record_interleaved(a_cols + b_cols)
+                    for di in range(i_width):
+                        for dj in range(j_width):
+                            recorder.record(hc.element(i + di, j + dj), writes=1)
+                            c[i + di, j + dj] = at[:, i + di] @ b[:, j + dj]
+                    madds = n * i_width * j_width
+                    recorder.count_instructions(
+                        int(instr_per_madd * madds) + LOOP_OVERHEAD
+                    )
+        _trace_transpose(ctx, ha, n)
+        return {"C": c, "A": a, "B": b, "panel": panel}
+
+    program.__name__ = "matmul_tiled_transposed"
+    return program
+
+
+def threaded(cfg: MatmulConfig):
+    """One thread per dot product, hinted with the two column addresses.
+
+    This is the paper's Section 2.1/4.2 program: transpose A, then
+    ``th_fork(DotProduct, i, j, A[1,i], B[1,j])`` for every (i, j), then
+    ``th_run(0)``.
+    """
+
+    def program(ctx: SimContext):
+        (ha, hb, hc), a, b, c = _allocate(ctx, cfg)
+        recorder = ctx.recorder
+        n = cfg.n
+        _trace_transpose(ctx, ha, n)
+        at = a.T.copy()
+        package = ctx.make_thread_package(
+            block_size=cfg.block_size,
+            hash_size=cfg.hash_size,
+            fold_symmetric=cfg.fold_symmetric,
+            policy=cfg.policy,
+        )
+        inner_instr = int(INSTR_PER_MADD_TRANSPOSED * n)
+
+        def dot_product(i: int, j: int) -> None:
+            recorder.record_interleaved([ha.column(i), hb.column(j)])
+            recorder.record(hc.element(i, j), writes=1)
+            recorder.count_instructions(inner_instr)
+            c[i, j] = at[:, i] @ b[:, j]
+
+        for i in range(n):
+            for j in range(n):
+                package.th_fork(
+                    dot_product, i, j, ha.column_base(i), hb.column_base(j)
+                )
+        sched = package.th_run(0)
+        _trace_transpose(ctx, ha, n)
+        return {"C": c, "A": a, "B": b, "sched": sched}
+
+    program.__name__ = "matmul_threaded"
+    return program
+
+
+VERSIONS = {
+    "interchanged": interchanged,
+    "transposed": transposed,
+    "tiled_interchanged": tiled_interchanged,
+    "tiled_transposed": tiled_transposed,
+    "threaded": threaded,
+}

@@ -1,0 +1,28 @@
+"""Barnes-Hut N-body simulation (Section 4.4, Tables 8 and 9).
+
+An irregular, dynamic workload: every iteration rebuilds an octree and
+computes each body's acceleration by traversing it (the program spends
+>88% of its time there), then integrates positions.  No compile-time
+reference information exists, so automatic tiling is impossible — the
+paper's motivating case for runtime locality scheduling.
+
+* ``unthreaded`` — bodies processed in (spatially random) array order.
+* ``threaded`` — one thread per body per iteration, hinted with the
+  body's x/y/z position normalised to the scheduling plane: bodies that
+  are near each other in space — and therefore traverse nearly the same
+  tree nodes — run adjacently.
+"""
+
+from repro.apps.nbody.config import NbodyConfig
+from repro.apps.nbody.programs import VERSIONS, threaded, unthreaded
+from repro.apps.nbody.tree import BarnesHutTree, Cell, direct_accelerations
+
+__all__ = [
+    "NbodyConfig",
+    "VERSIONS",
+    "unthreaded",
+    "threaded",
+    "BarnesHutTree",
+    "Cell",
+    "direct_accelerations",
+]

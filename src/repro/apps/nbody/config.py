@@ -1,0 +1,53 @@
+"""N-body workload configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class NbodyConfig:
+    """Parameters of one N-body run.
+
+    The paper computes 64,000 bodies for 4 iterations; the default scale
+    uses 2,000 bodies on 1/16 caches (N-body working sets — body array
+    and tree — are all linear in N, so L1 and L2 scale together; see
+    MachineSpec.scaled).
+
+    ``theta`` is the Barnes-Hut opening angle; ``bins_per_axis`` sets how
+    the unit cube maps onto the scheduling plane (the paper normalised
+    positions "to the dimensions of the scheduling plane"; 4 bins per
+    axis yields the ~46 occupied bins of Section 4.4).
+    """
+
+    bodies: int = 2000
+    iterations: int = 4
+    theta: float = 0.8
+    dt: float = 0.01
+    bins_per_axis: int = 4
+    block_size: int = 0
+    hash_size: int = 0
+    policy: str = "creation"
+    seed: int = 1996
+    distribution: str = "clustered"
+    clusters: int = 8
+
+    def __post_init__(self) -> None:
+        require_positive(self.bodies, "bodies")
+        require_positive(self.iterations, "iterations")
+        require_positive(self.theta, "theta")
+        require_positive(self.dt, "dt")
+        require_positive(self.bins_per_axis, "bins_per_axis")
+        if self.distribution not in ("clustered", "uniform"):
+            raise ValueError(
+                f"distribution must be 'clustered' or 'uniform', "
+                f"got {self.distribution!r}"
+            )
+        require_positive(self.clusters, "clusters")
+
+    @classmethod
+    def paper(cls) -> "NbodyConfig":
+        """The paper's full-size workload (64,000 bodies, 4 iterations)."""
+        return cls(bodies=64_000, iterations=4)

@@ -1,0 +1,252 @@
+"""A Barnes-Hut octree (Barnes & Hut 1986, the paper's reference [6]).
+
+Bodies are inserted one at a time into an adaptive octree; each internal
+cell stores the total mass and centre of mass of its subtree, and a
+force evaluation walks the tree opening any cell that subtends more than
+the opening angle ``theta``.  The tree reports which cells each
+operation touches (``index`` per cell, insertion paths, traversal visit
+lists) so traced programs can convert tree walks into address streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Children per cell (octree).
+OCTANTS = 8
+#: Maximum depth before coincident bodies share a leaf.
+MAX_DEPTH = 32
+#: Softening length avoiding force singularities between close bodies.
+SOFTENING = 1e-3
+
+
+class Cell:
+    """One octree cell: either a leaf (holding body indices) or internal."""
+
+    __slots__ = ("center", "half", "children", "bodies", "count", "com", "mass", "index")
+
+    def __init__(self, center: np.ndarray, half: float, index: int) -> None:
+        self.center = center
+        self.half = half
+        self.children: list[Cell | None] | None = None
+        self.bodies: list[int] = []
+        self.count = 0
+        self.com = np.zeros(3)
+        self.mass = 0.0
+        self.index = index
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    def octant_of(self, pos: np.ndarray) -> int:
+        """Which child octant contains ``pos``."""
+        return (
+            (1 if pos[0] >= self.center[0] else 0)
+            | (2 if pos[1] >= self.center[1] else 0)
+            | (4 if pos[2] >= self.center[2] else 0)
+        )
+
+    def child_center(self, octant: int) -> np.ndarray:
+        offset = self.half / 2.0
+        return self.center + offset * np.array(
+            [
+                1.0 if octant & 1 else -1.0,
+                1.0 if octant & 2 else -1.0,
+                1.0 if octant & 4 else -1.0,
+            ]
+        )
+
+
+class BarnesHutTree:
+    """An octree over a set of bodies, rebuilt every simulation step."""
+
+    def __init__(
+        self, positions: np.ndarray, masses: np.ndarray, theta: float = 0.8
+    ) -> None:
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValueError(f"positions must be (N, 3), got {positions.shape}")
+        if len(masses) != len(positions):
+            raise ValueError("positions and masses must have equal length")
+        if theta <= 0:
+            raise ValueError(f"theta must be positive, got {theta}")
+        self.positions = positions
+        self.masses = masses
+        self.theta = theta
+        self.cells: list[Cell] = []
+        lo = positions.min(axis=0)
+        hi = positions.max(axis=0)
+        center = (lo + hi) / 2.0
+        half = float((hi - lo).max()) / 2.0 * 1.0001 + 1e-12
+        self.root = self._new_cell(center, half)
+        #: Cells touched while inserting each body (for trace generation).
+        self.insert_paths: list[list[int]] = []
+        for i in range(len(positions)):
+            self.insert_paths.append(self._insert(i))
+        self._compute_moments(self.root)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _new_cell(self, center: np.ndarray, half: float) -> Cell:
+        cell = Cell(np.asarray(center, dtype=float), half, len(self.cells))
+        self.cells.append(cell)
+        return cell
+
+    def _insert(self, i: int) -> list[int]:
+        """Insert body ``i``; return the indices of the cells visited."""
+        pos = self.positions[i]
+        cell = self.root
+        path = []
+        depth = 0
+        while True:
+            path.append(cell.index)
+            cell.count += 1
+            if cell.is_leaf:
+                if cell.count == 1 or depth >= MAX_DEPTH:
+                    cell.bodies.append(i)
+                    return path
+                # Split: push the resident bodies down, then retry here.
+                residents = cell.bodies
+                cell.bodies = []
+                cell.children = [None] * OCTANTS
+                for j in residents:
+                    self._sink(cell, j, depth)
+                # fall through to descend with body i
+            octant = cell.octant_of(pos)
+            child = cell.children[octant]
+            if child is None:
+                child = self._new_cell(cell.child_center(octant), cell.half / 2.0)
+                cell.children[octant] = child
+            cell = child
+            depth += 1
+
+    def _sink(self, cell: Cell, j: int, depth: int) -> None:
+        """Move body ``j`` into the correct child of a freshly split cell."""
+        octant = cell.octant_of(self.positions[j])
+        child = cell.children[octant]
+        if child is None:
+            child = self._new_cell(cell.child_center(octant), cell.half / 2.0)
+            cell.children[octant] = child
+        # The child inherits the body; counts below ``cell`` are rebuilt
+        # by the normal descent, so count the body into the child chain.
+        node = child
+        d = depth + 1
+        while True:
+            node.count += 1
+            if node.is_leaf:
+                if node.count == 1 or d >= MAX_DEPTH:
+                    node.bodies.append(j)
+                    return
+                residents = node.bodies
+                node.bodies = []
+                node.children = [None] * OCTANTS
+                for k in residents:
+                    self._sink(node, k, d)
+            octant = node.octant_of(self.positions[j])
+            nxt = node.children[octant]
+            if nxt is None:
+                nxt = self._new_cell(node.child_center(octant), node.half / 2.0)
+                node.children[octant] = nxt
+            node = nxt
+            d += 1
+
+    def _compute_moments(self, cell: Cell) -> None:
+        if cell.is_leaf:
+            if cell.bodies:
+                masses = self.masses[cell.bodies]
+                cell.mass = float(masses.sum())
+                cell.com = (
+                    self.positions[cell.bodies] * masses[:, None]
+                ).sum(axis=0) / cell.mass
+            return
+        com = np.zeros(3)
+        mass = 0.0
+        for child in cell.children:
+            if child is None:
+                continue
+            self._compute_moments(child)
+            mass += child.mass
+            com += child.com * child.mass
+        cell.mass = mass
+        if mass > 0:
+            cell.com = com / mass
+
+    # ------------------------------------------------------------------
+    # Force evaluation
+    # ------------------------------------------------------------------
+    def acceleration(
+        self, i: int, visits: list[int] | None = None
+    ) -> tuple[np.ndarray, int]:
+        """Acceleration on body ``i`` (G = 1) and the interaction count.
+
+        ``visits``, when given, collects the index of every cell touched
+        — the traced programs turn it into the traversal's address
+        stream.
+        """
+        pos = self.positions[i]
+        theta_sq = self.theta * self.theta
+        acc = np.zeros(3)
+        interactions = 0
+        stack = [self.root]
+        while stack:
+            cell = stack.pop()
+            if visits is not None:
+                visits.append(cell.index)
+            if cell.count == 0:
+                continue
+            if cell.is_leaf:
+                for j in cell.bodies:
+                    if j == i:
+                        continue
+                    acc += _pairwise(pos, self.positions[j], self.masses[j])
+                    interactions += 1
+                continue
+            delta = cell.com - pos
+            dist_sq = float(delta @ delta)
+            width = 2.0 * cell.half
+            if width * width < theta_sq * dist_sq:
+                acc += _pairwise(pos, cell.com, cell.mass)
+                interactions += 1
+            else:
+                for child in cell.children:
+                    if child is not None:
+                        stack.append(child)
+        return acc, interactions
+
+    @property
+    def cell_count(self) -> int:
+        return len(self.cells)
+
+    def total_mass(self) -> float:
+        return self.root.mass
+
+    def depth(self) -> int:
+        """Maximum leaf depth (for tests)."""
+
+        def walk(cell: Cell, d: int) -> int:
+            if cell.is_leaf:
+                return d
+            return max(
+                (walk(c, d + 1) for c in cell.children if c is not None),
+                default=d,
+            )
+
+        return walk(self.root, 0)
+
+
+def _pairwise(pos: np.ndarray, other: np.ndarray, mass: float) -> np.ndarray:
+    delta = other - pos
+    dist_sq = float(delta @ delta) + SOFTENING * SOFTENING
+    return mass * delta / (dist_sq * np.sqrt(dist_sq))
+
+
+def direct_accelerations(
+    positions: np.ndarray, masses: np.ndarray
+) -> np.ndarray:
+    """Exact O(N^2) accelerations (softened), the accuracy oracle."""
+    delta = positions[None, :, :] - positions[:, None, :]
+    dist_sq = (delta ** 2).sum(axis=2) + SOFTENING * SOFTENING
+    np.fill_diagonal(dist_sq, np.inf)
+    inv = masses[None, :] / (dist_sq * np.sqrt(dist_sq))
+    return (delta * inv[:, :, None]).sum(axis=1)

@@ -1,0 +1,24 @@
+"""Red-black Gauss-Seidel PDE relaxation (Section 4.3, Tables 4 and 5).
+
+One smoothing step of a multigrid Poisson solver: ``iters`` red-black
+relaxation sweeps over a uniform mesh followed by one residual
+computation.  Three versions:
+
+* ``regular`` — full red pass, full black pass, per iteration; residual
+  afterwards.  Data crosses the cache 2*iters + 1 times.
+* ``cache_conscious`` — Douglas's fused ordering: red on line i3 followed
+  immediately by black on line i3-1, residual folded into the last
+  sweep.  Data crosses the cache iters times.
+* ``threaded`` — the fused (red i3, black i3-1) line pair becomes a
+  thread (ny+1 threads per iteration), scheduled by the line's column
+  addresses.
+
+``regular`` and ``cache_conscious`` are numerically identical (the fused
+ordering respects every red-black dependence); the threaded version can
+be reordered by the scheduler and is validated by convergence instead.
+"""
+
+from repro.apps.pde.config import PdeConfig
+from repro.apps.pde.programs import VERSIONS, cache_conscious, regular, threaded
+
+__all__ = ["PdeConfig", "VERSIONS", "regular", "cache_conscious", "threaded"]

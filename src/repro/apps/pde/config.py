@@ -1,0 +1,43 @@
+"""PDE workload configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class PdeConfig:
+    """Parameters of one PDE run.
+
+    ``n`` is the interior grid edge (the paper's "problem size of 2049";
+    the default scale uses 257).  ``iterations`` defaults to the paper's
+    5 ("motivated by what people routinely use in multigrid solvers").
+    """
+
+    n: int = 257
+    iterations: int = 5
+    element_size: int = 8
+    block_size: int = 0
+    hash_size: int = 0
+    policy: str = "creation"
+    seed: int = 1996
+
+    def __post_init__(self) -> None:
+        require_positive(self.n, "n")
+        require_positive(self.iterations, "iterations")
+
+    @property
+    def padded(self) -> int:
+        """Grid edge including the fixed boundary."""
+        return self.n + 2
+
+    @property
+    def grid_bytes(self) -> int:
+        return self.padded * self.padded * self.element_size
+
+    @classmethod
+    def paper(cls) -> "PdeConfig":
+        """The paper's full-size workload (size 2049, 5 iterations)."""
+        return cls(n=2049, iterations=5)

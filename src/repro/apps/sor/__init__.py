@@ -1,0 +1,40 @@
+"""Successive over-relaxation kernel (Section 4.3, Tables 6 and 7).
+
+The compiler-community SOR nest: ``t`` in-place sweeps of a five-point
+stencil over an n x n array, Fortran column-major.  Three versions:
+
+* ``untiled`` — the paper's literal loop nest, whose inner loop walks a
+  *row* of the column-major array (the bad, stride-n direction).
+* ``hand_tiled`` — time-skewed column tiling (Lam/Rothberg/Wolf): a tile
+  of columns is carried through all t sweeps before moving on, with the
+  skew preserving every Gauss-Seidel dependence, so the result is
+  bit-identical to the untiled version.
+* ``threaded`` — one thread per (sweep, column), all t*(n-1) threads
+  forked up front with the column's address span as hints, then a single
+  ``th_run``: the scheduler groups the same columns across sweeps into a
+  bin, achieving the tiled version's locality as chaotic relaxation
+  ("the algorithm works fine because the goal is to reach convergence").
+"""
+
+from repro.apps.sor.config import SorConfig
+from repro.apps.sor.kernels import sor_column_update, sor_reference
+from repro.apps.sor.programs import (
+    EXTENSION_VERSIONS,
+    VERSIONS,
+    hand_tiled,
+    threaded,
+    threaded_exact,
+    untiled,
+)
+
+__all__ = [
+    "SorConfig",
+    "sor_column_update",
+    "sor_reference",
+    "VERSIONS",
+    "EXTENSION_VERSIONS",
+    "untiled",
+    "hand_tiled",
+    "threaded",
+    "threaded_exact",
+]

@@ -1,0 +1,41 @@
+"""SOR workload configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class SorConfig:
+    """Parameters of one SOR run.
+
+    The paper uses n = 2005, t = 30, tile width s = 18; the default
+    scale uses n = 251 (matrix/L2 ratio preserved) with t = 30.
+    ``tile`` = 0 picks a width whose column tile fits half the L2.
+    """
+
+    n: int = 251
+    iterations: int = 30
+    tile: int = 0
+    element_size: int = 8
+    block_size: int = 0
+    hash_size: int = 0
+    policy: str = "creation"
+    seed: int = 1996
+
+    def __post_init__(self) -> None:
+        require_positive(self.n, "n")
+        require_positive(self.iterations, "iterations")
+        if self.n < 3:
+            raise ValueError("n must be at least 3 (interior points needed)")
+
+    @property
+    def matrix_bytes(self) -> int:
+        return self.n * self.n * self.element_size
+
+    @classmethod
+    def paper(cls) -> "SorConfig":
+        """The paper's full-size workload (n = 2005, t = 30, s = 18)."""
+        return cls(n=2005, iterations=30, tile=18)

@@ -1,0 +1,300 @@
+"""Traced SOR programs.
+
+Instruction costs are calibrated to Table 7's totals: the untiled and
+threaded versions execute ~10 instructions per point update (1,206M /
+120.5M updates) and the hand-tiled version ~16 (its 1,917M I-fetches
+reflect the skewed loop bounds and boundary handling).  References per
+update are 4 in all versions: the compiler keeps the three-point window
+along the walk direction in registers, so each update loads one new
+centre-walk element plus the two cross neighbours and stores the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.sor.config import SorConfig
+from repro.apps.sor.kernels import sor_column_update
+from repro.sim.context import SimContext
+
+INSTR_PER_UPDATE = 10
+INSTR_PER_TILED_UPDATE = 16
+LOOP_OVERHEAD = 8
+
+
+def _allocate(ctx: SimContext, cfg: SorConfig):
+    handle = ctx.allocate_array("A", (cfg.n, cfg.n), element_size=cfg.element_size)
+    rng = np.random.default_rng(cfg.seed)
+    a = rng.standard_normal((cfg.n, cfg.n))
+    return handle, a
+
+
+def untiled(cfg: SorConfig):
+    """The paper's literal nest: outer i2 (rows), inner i3 (columns).
+
+    With column-major storage the inner loop strides by a whole column,
+    so the three-point window slides along a *row*: per update one new
+    row-walk load, the up/down column neighbours, and the store.
+    """
+
+    def program(ctx: SimContext):
+        handle, a = _allocate(ctx, cfg)
+        recorder = ctx.recorder
+        n = cfg.n
+        interior = n - 2
+        for _ in range(cfg.iterations):
+            for i in range(1, n - 1):
+                recorder.record_interleaved(
+                    [
+                        handle.row(i, 2, interior),      # A[i, j+1] (new window elem)
+                        handle.row(i - 1, 1, interior),  # A[i-1, j]
+                        handle.row(i + 1, 1, interior),  # A[i+1, j]
+                        handle.row(i, 1, interior),      # store A[i, j]
+                    ],
+                    writes=interior,
+                )
+                recorder.count_instructions(
+                    INSTR_PER_UPDATE * interior + LOOP_OVERHEAD
+                )
+            # Numerics: column order is dependence-equivalent to the row
+            # order being traced (see kernels.py), and far faster.
+            for j in range(1, n - 1):
+                sor_column_update(a, j)
+        return {"A": a}
+
+    program.__name__ = "sor_untiled"
+    return program
+
+
+def _trace_column_update(recorder, handle, j: int, n: int, instr: int) -> None:
+    """Trace one column update (the good, contiguous walk direction)."""
+    interior = n - 2
+    recorder.record_interleaved(
+        [
+            handle.column(j, 2, interior),      # A[i+1, j] (new window elem)
+            handle.column(j - 1, 1, interior),  # A[i, j-1]
+            handle.column(j + 1, 1, interior),  # A[i, j+1]
+            handle.column(j, 1, interior),      # store A[i, j]
+        ],
+        writes=interior,
+    )
+    recorder.count_instructions(instr * interior + LOOP_OVERHEAD)
+
+
+def default_tile(l2_size: int, n: int, element_size: int) -> int:
+    """Tile width whose three-column working band fits half the L2."""
+    width = l2_size // (2 * 3 * n * element_size)
+    return max(2, min(width, n - 2))
+
+
+def hand_tiled(cfg: SorConfig):
+    """Time-skewed column tiling (the paper's hand-tiled version [29]).
+
+    Tile m executes, for each sweep tau, the columns j with
+    ``m*s <= j + tau < (m+1)*s``: the skew keeps every left/up-new,
+    right/down-old dependence, so the result equals the untiled nest
+    bit for bit while each column tile stays cache-resident through
+    all t sweeps.
+    """
+
+    def program(ctx: SimContext):
+        handle, a = _allocate(ctx, cfg)
+        recorder = ctx.recorder
+        n = cfg.n
+        t = cfg.iterations
+        s = cfg.tile or default_tile(ctx.machine.l2.size, n, cfg.element_size)
+        # Skewed tile index range: j + tau spans [1, n-2+t).
+        first_tile = 1 // s
+        last_tile = (n - 3 + t) // s
+        for m in range(first_tile, last_tile + 1):
+            for tau in range(t):
+                lo = max(1, m * s - tau)
+                hi = min(n - 2, (m + 1) * s - 1 - tau)
+                for j in range(lo, hi + 1):
+                    _trace_column_update(
+                        recorder, handle, j, n, INSTR_PER_TILED_UPDATE
+                    )
+                    sor_column_update(a, j)
+        return {"A": a, "tile": s}
+
+    program.__name__ = "sor_hand_tiled"
+    return program
+
+
+def threaded(cfg: SorConfig):
+    """One thread per (sweep, column); all forked, then one ``th_run``.
+
+    Hints are the paper's: the addresses of the first element of the
+    left neighbour column and the last element of the right neighbour
+    column — the span of data the thread touches.  Binning groups the
+    same columns across *all* sweeps, so each column band is loaded
+    once and relaxed t times while resident (chaotic relaxation).
+    """
+
+    def program(ctx: SimContext):
+        handle, a = _allocate(ctx, cfg)
+        recorder = ctx.recorder
+        n = cfg.n
+        package = ctx.make_thread_package(
+            block_size=cfg.block_size,
+            hash_size=cfg.hash_size,
+            policy=cfg.policy,
+        )
+
+        def compute(j: int, _unused) -> None:
+            _trace_column_update(recorder, handle, j, n, INSTR_PER_UPDATE)
+            sor_column_update(a, j)
+
+        for _ in range(cfg.iterations):
+            for j in range(1, n - 1):
+                package.th_fork(
+                    compute,
+                    j,
+                    0,
+                    handle.addr(0, j - 1),
+                    handle.addr(n - 1, j + 1),
+                )
+        sched = package.th_run(0)
+        return {"A": a, "sched": sched}
+
+    program.__name__ = "sor_threaded"
+    return program
+
+
+def threaded_exact(cfg: SorConfig):
+    """Dependence-aware threading (the Section 6 extension, demonstrated).
+
+    Same threads as :func:`threaded`, but each thread (tau, j) declares
+    its predecessors — (tau, j-1), (tau-1, j), (tau-1, j+1) — and runs
+    under :class:`~repro.core.deps.DependentThreadPackage`, so the
+    schedule is a legal Gauss-Seidel order and the result is
+    bit-identical to the untiled nest (no chaotic relaxation).
+
+    The hint is the *skewed* coordinate: thread (tau, j) is hinted at
+    column j + tau.  With static column hints, the left-neighbour
+    dependence forces neighbouring bins to ping-pong one wavefront at a
+    time; hinting the anti-diagonal — exactly the direction time-skewed
+    tiling iterates — makes every bin drainable in a single activation,
+    with a sliding window of ~one block of columns resident while it
+    drains.  (Hints need not be real addresses; the paper's N-body
+    version already uses synthetic coordinates.)
+    """
+
+    def program(ctx: SimContext):
+        handle, a = _allocate(ctx, cfg)
+        recorder = ctx.recorder
+        n = cfg.n
+        package = ctx.make_dependent_thread_package(
+            block_size=cfg.block_size,
+            hash_size=cfg.hash_size,
+            policy=cfg.policy,
+        )
+
+        def compute(j: int, _unused) -> None:
+            _trace_column_update(recorder, handle, j, n, INSTR_PER_UPDATE)
+            sor_column_update(a, j)
+
+        columns = n - 2
+        column_stride = handle.col_stride
+        thread_ids: list[int] = []
+        for tau in range(cfg.iterations):
+            for j in range(1, n - 1):
+                after = []
+                if j > 1:
+                    after.append(thread_ids[tau * columns + (j - 2)])
+                if tau > 0:
+                    after.append(thread_ids[(tau - 1) * columns + (j - 1)])
+                    if j + 1 <= n - 2:
+                        after.append(thread_ids[(tau - 1) * columns + j])
+                thread_ids.append(
+                    package.th_fork(
+                        compute,
+                        j,
+                        0,
+                        handle.base + (j + tau) * column_stride,
+                        0,
+                        after=after,
+                    )
+                )
+        sched = package.th_run(0)
+        return {"A": a, "sched": sched, "activations": package.last_activations}
+
+    program.__name__ = "sor_threaded_exact"
+    return program
+
+
+def threaded_blocking(cfg: SorConfig):
+    """General-purpose synchronising threads (the Section 7 question).
+
+    One long-lived generator thread per column performs *all* t sweeps,
+    blocking on events until its neighbours reach the right sweep —
+    classic condition synchronisation instead of fork-per-sweep.  The
+    result is bit-exact Gauss-Seidel.  The costs the paper worried about
+    become measurable: every neighbour wait that parks is a context
+    switch, and because a thread is pinned to its column for all sweeps
+    its hint cannot be skewed, so neighbouring bins ping-pong along the
+    wavefront (compare ``threaded_exact``, where run-to-completion
+    threads allow one hint per (sweep, column) unit).
+    """
+
+    def program(ctx: SimContext):
+        from repro.core.blocking import BlockingThreadPackage
+
+        handle, a = _allocate(ctx, cfg)
+        recorder = ctx.recorder
+        n = cfg.n
+        t = cfg.iterations
+        package = BlockingThreadPackage(
+            l2_size=ctx.machine.l2.size,
+            block_size=cfg.block_size,
+            hash_size=cfg.hash_size,
+            policy=cfg.policy,
+            recorder=recorder,
+            address_space=ctx.space,
+        )
+        ctx.packages.append(package)
+        done = [
+            [package.event() for _ in range(n)] for _ in range(t)
+        ]
+
+        def column_thread(j: int, _unused):
+            for tau in range(t):
+                if j > 1:
+                    yield done[tau][j - 1]
+                if tau > 0 and j + 1 <= n - 2:
+                    yield done[tau - 1][j + 1]
+                _trace_column_update(recorder, handle, j, n, INSTR_PER_UPDATE)
+                sor_column_update(a, j)
+                done[tau][j].set()
+
+        for j in range(1, n - 1):
+            package.th_fork(
+                column_thread,
+                j,
+                0,
+                handle.addr(0, j - 1),
+                handle.addr(n - 1, j + 1),
+            )
+        sched = package.th_run(0)
+        return {
+            "A": a,
+            "sched": sched,
+            "context_switches": package.context_switches,
+            "activations": package.last_activations,
+        }
+
+    program.__name__ = "sor_threaded_blocking"
+    return program
+
+
+VERSIONS = {
+    "untiled": untiled,
+    "hand_tiled": hand_tiled,
+    "threaded": threaded,
+}
+
+#: Extension versions, not part of the paper's Table 6/7 rows.
+EXTENSION_VERSIONS = {
+    "threaded_exact": threaded_exact,
+    "threaded_blocking": threaded_blocking,
+}

@@ -1,0 +1,32 @@
+"""Trace-driven cache simulation with miss classification.
+
+This package reimplements, from scratch, the tool the paper used for its
+analysis: a DineroIII-style simulator extended to classify misses as
+compulsory, capacity, or conflict *in a single run* (Section 4: "Our
+modifications to DineroIII allow it to ... classify misses as compulsory,
+capacity, or conflict in a single run").
+
+* :class:`CacheConfig` — geometry of one cache (size, line, associativity).
+* :class:`SetAssociativeCache` — LRU set-associative cache over line numbers.
+* :class:`FullyAssociativeLRU` — equal-capacity shadow cache used to split
+  capacity from conflict misses (Hill & Smith's classification).
+* :class:`ClassifyingCache` — one level with full statistics.
+* :class:`CacheHierarchy` — split L1 I/D plus a unified L2, matching the
+  SGI machines in the paper.
+"""
+
+from repro.cache.config import CacheConfig
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.fully_assoc import FullyAssociativeLRU
+from repro.cache.classify import ClassifyingCache, LevelStats
+from repro.cache.hierarchy import CacheHierarchy, HierarchyStats
+
+__all__ = [
+    "CacheConfig",
+    "SetAssociativeCache",
+    "FullyAssociativeLRU",
+    "ClassifyingCache",
+    "LevelStats",
+    "CacheHierarchy",
+    "HierarchyStats",
+]

@@ -1,0 +1,191 @@
+"""One cache level with hit/miss statistics and single-run miss classification.
+
+Classification follows Hill & Smith (and the paper's modified DineroIII):
+
+* **compulsory** — the line has never been referenced before;
+* **capacity** — the reference would also miss in a fully-associative LRU
+  cache of equal capacity;
+* **conflict** — everything else (the fully-associative cache would have
+  hit, so only the set mapping is to blame).
+
+The three classes always sum to the total miss count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.config import CacheConfig
+from repro.cache.fully_assoc import FullyAssociativeLRU
+from repro.cache.set_assoc import SetAssociativeCache
+
+
+@dataclass
+class LevelStats:
+    """Access statistics for one cache level.
+
+    ``accesses`` counts every reference presented to the level (for L1,
+    one per element reference; for L2, one per L1 miss).  Misses are
+    partitioned into the three classes.
+    """
+
+    accesses: int = 0
+    misses: int = 0
+    compulsory: int = 0
+    capacity: int = 0
+    conflict: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access; 0.0 when nothing was accessed."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def merge(self, other: "LevelStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.accesses += other.accesses
+        self.misses += other.misses
+        self.compulsory += other.compulsory
+        self.capacity += other.capacity
+        self.conflict += other.conflict
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "compulsory": self.compulsory,
+            "capacity": self.capacity,
+            "conflict": self.conflict,
+        }
+
+
+@dataclass
+class ClassifyingCache:
+    """A set-associative cache paired with its classification shadow."""
+
+    config: CacheConfig
+    stats: LevelStats = field(default_factory=LevelStats)
+
+    def __post_init__(self) -> None:
+        self.real = SetAssociativeCache(self.config)
+        self.shadow = FullyAssociativeLRU(self.config.num_lines)
+        self._seen: set[int] = set()
+
+    def access(self, line: int) -> bool:
+        """Reference one line; update statistics; return ``True`` on hit."""
+        self.stats.accesses += 1
+        shadow_hit = self.shadow.access(line)
+        if self.real.access(line):
+            return True
+        self.stats.misses += 1
+        if line not in self._seen:
+            self._seen.add(line)
+            self.stats.compulsory += 1
+        elif not shadow_hit:
+            self.stats.capacity += 1
+        else:
+            self.stats.conflict += 1
+        return False
+
+    def access_run(self, line: int, count: int) -> bool:
+        """Reference ``line`` ``count`` times consecutively.
+
+        Only the first access can miss — the rest are guaranteed hits
+        because nothing intervenes to evict the line — so a run-length
+        compressed trace is processed exactly, not approximately.
+        """
+        hit = self.access(line)
+        if count > 1:
+            self.stats.accesses += count - 1
+        return hit
+
+    def process(self, lines: list[int], counts: list[int] | None = None) -> list[int]:
+        """Process a batch of line references; return the lines that missed.
+
+        ``lines`` must already be run-length compressed (no two consecutive
+        equal entries) if ``counts`` is given; ``counts[i]`` is how many
+        consecutive references entry ``i`` stands for.  The returned miss
+        list preserves order and multiplicity, ready to feed the next level.
+
+        This is the simulator's hot loop; it inlines the logic of
+        :meth:`access` with locals bound outside the loop.
+        """
+        stats = self.stats
+        seen = self._seen
+        shadow_lines = self.shadow._lines
+        shadow_capacity = self.shadow.capacity
+        sets = self.real._sets
+        set_mask = self.real._set_mask
+        associativity = self.config.associativity
+        misses: list[int] = []
+
+        n_accesses = 0
+        n_misses = 0
+        n_compulsory = 0
+        n_capacity = 0
+        n_conflict = 0
+
+        for i, line in enumerate(lines):
+            n_accesses += counts[i] if counts is not None else 1
+            # Shadow (fully-associative LRU of equal capacity).
+            if line in shadow_lines:
+                shadow_hit = True
+                del shadow_lines[line]
+                shadow_lines[line] = None
+            else:
+                shadow_hit = False
+                if len(shadow_lines) >= shadow_capacity:
+                    del shadow_lines[next(iter(shadow_lines))]
+                shadow_lines[line] = None
+            # Real cache.
+            cache_set = sets[line & set_mask]
+            if line in cache_set:
+                cache_set.remove(line)
+                cache_set.append(line)
+                continue
+            if len(cache_set) >= associativity:
+                del cache_set[0]
+            cache_set.append(line)
+            n_misses += 1
+            misses.append(line)
+            if line not in seen:
+                seen.add(line)
+                n_compulsory += 1
+            elif not shadow_hit:
+                n_capacity += 1
+            else:
+                n_conflict += 1
+
+        stats.accesses += n_accesses
+        stats.misses += n_misses
+        stats.compulsory += n_compulsory
+        stats.capacity += n_capacity
+        stats.conflict += n_conflict
+        return misses
+
+    def flush(self) -> None:
+        """Empty both the real cache and the shadow.
+
+        Statistics and the compulsory-miss history are preserved: flushing
+        models losing residency, not forgetting that a line was ever
+        touched.
+        """
+        self.real.flush()
+        self.shadow.flush()
+
+    def reset(self) -> None:
+        """Empty the caches and zero all statistics and history."""
+        self.flush()
+        self._seen.clear()
+        self.stats = LevelStats()
+
+    @property
+    def lines_ever_touched(self) -> int:
+        """Distinct lines referenced since the last :meth:`reset` — always
+        equal to the compulsory miss count (a useful test invariant)."""
+        return len(self._seen)

@@ -1,0 +1,87 @@
+"""Cache geometry configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_power_of_two
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    Sizes are in bytes and must be powers of two (true of every cache in
+    the paper and a requirement of the index/tag arithmetic).
+
+    Attributes
+    ----------
+    name:
+        Human-readable label, e.g. ``"L1D"`` or ``"L2"``.
+    size:
+        Total capacity in bytes.
+    line_size:
+        Bytes per cache line.
+    associativity:
+        Ways per set.  ``1`` is direct-mapped; pass the number of lines for
+        fully associative.
+    """
+
+    name: str
+    size: int
+    line_size: int
+    associativity: int
+
+    def __post_init__(self) -> None:
+        require_power_of_two(self.size, "size")
+        require_power_of_two(self.line_size, "line_size")
+        require_power_of_two(self.associativity, "associativity")
+        if self.line_size > self.size:
+            raise ValueError(
+                f"line_size {self.line_size} exceeds cache size {self.size}"
+            )
+        if self.associativity > self.num_lines:
+            raise ValueError(
+                f"associativity {self.associativity} exceeds line count "
+                f"{self.num_lines}"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of lines in the cache."""
+        return self.size // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (``num_lines / associativity``)."""
+        return self.num_lines // self.associativity
+
+    @property
+    def line_bits(self) -> int:
+        """log2(line_size): shift that converts a byte address to a line number."""
+        return self.line_size.bit_length() - 1
+
+    def line_of(self, address: int) -> int:
+        """Line number containing byte ``address``."""
+        return address >> self.line_bits
+
+    def scaled(self, factor: int) -> CacheConfig:
+        """A cache ``factor`` times smaller with the same line size and ways.
+
+        Used to build proportionally scaled machine models (see DESIGN.md):
+        shrinking cache and working set together preserves every
+        capacity-miss crossover while making simulation tractable.
+        """
+        require_power_of_two(factor, "factor")
+        new_size = self.size // factor
+        if new_size < self.line_size * self.associativity:
+            raise ValueError(
+                f"cannot scale {self.name} by {factor}: would drop below one "
+                f"set ({self.line_size * self.associativity} bytes)"
+            )
+        return CacheConfig(
+            name=self.name,
+            size=new_size,
+            line_size=self.line_size,
+            associativity=self.associativity,
+        )

@@ -1,0 +1,56 @@
+"""Fully-associative LRU cache, used as the classification shadow.
+
+Hill & Smith's single-run miss classification needs, next to the real
+cache, a fully-associative LRU cache of the *same capacity*: a miss that
+would also miss fully-associatively is a capacity miss; one that would
+have hit is a conflict miss.  A plain dict gives O(1) LRU via Python's
+insertion-ordered semantics.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import require_positive
+
+
+class FullyAssociativeLRU:
+    """A fully-associative LRU cache holding at most ``capacity`` lines."""
+
+    def __init__(self, capacity: int) -> None:
+        require_positive(capacity, "capacity")
+        self.capacity = capacity
+        self._lines: dict[int, None] = {}
+
+    def access(self, line: int) -> bool:
+        """Reference ``line``; return ``True`` on hit.  Misses insert the
+        line, evicting the least recently used line when full."""
+        lines = self._lines
+        if line in lines:
+            # Move to MRU position (end of the dict's insertion order).
+            del lines[line]
+            lines[line] = None
+            return True
+        if len(lines) >= self.capacity:
+            del lines[next(iter(lines))]
+        lines[line] = None
+        return False
+
+    def probe(self, line: int) -> bool:
+        """Whether ``line`` is resident, without touching LRU state."""
+        return line in self._lines
+
+    def flush(self) -> None:
+        """Empty the cache."""
+        self._lines.clear()
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    @property
+    def resident_lines(self) -> set[int]:
+        """All currently cached line numbers (for tests)."""
+        return set(self._lines)
+
+    @property
+    def lru_line(self) -> int | None:
+        """The line that would be evicted next, or ``None`` if empty."""
+        return next(iter(self._lines), None)

@@ -1,0 +1,59 @@
+"""Set-associative cache with true-LRU replacement.
+
+Operates on *line numbers* (byte address right-shifted by ``line_bits``);
+callers are expected to do the shift once, in bulk, with numpy.  Each set
+is a small Python list kept in LRU order (least recent first).  With the
+1- to 4-way caches of the paper's machines the per-access list operations
+are O(associativity) with a tiny constant.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import CacheConfig
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache over line numbers."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._set_mask = config.num_sets - 1
+        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+
+    def access(self, line: int) -> bool:
+        """Reference ``line``; return ``True`` on hit.
+
+        On a miss the line is brought in, evicting the set's LRU line if
+        the set is full.
+        """
+        cache_set = self._sets[line & self._set_mask]
+        if line in cache_set:
+            # Refresh recency: move to the MRU end.
+            cache_set.remove(line)
+            cache_set.append(line)
+            return True
+        if len(cache_set) >= self.config.associativity:
+            del cache_set[0]
+        cache_set.append(line)
+        return False
+
+    def probe(self, line: int) -> bool:
+        """Whether ``line`` is resident, without touching LRU state."""
+        return line in self._sets[line & self._set_mask]
+
+    def flush(self) -> None:
+        """Empty the cache (used between experiment phases)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    @property
+    def resident_lines(self) -> set[int]:
+        """All currently cached line numbers (for tests/debugging)."""
+        resident: set[int] = set()
+        for cache_set in self._sets:
+            resident.update(cache_set)
+        return resident
+
+    def lru_order(self, set_index: int) -> list[int]:
+        """Lines of one set, least recently used first (for tests)."""
+        return list(self._sets[set_index])

@@ -1,0 +1,42 @@
+"""The paper's contribution: a locality-scheduling fine-grained thread package.
+
+Section 3 of the paper describes a minimal user-level thread system —
+three calls (``th_init``, ``th_fork``, ``th_run``), run-to-completion
+threads, no handles, no synchronization — whose scheduler places each
+thread into a *bin* keyed by the block of the k-dimensional address plane
+its hint addresses fall into, then runs bins in allocation order.  This
+package is a faithful port of those 525 lines of C:
+
+* :class:`ThreadPackage` — the three-call user interface.
+* :class:`LocalityScheduler` — block geometry and hint-to-bin mapping.
+* :class:`Bin`, :class:`BinTable`, :class:`ThreadGroup` — the four data
+  structures of Figure 3 (thread group, bin, hash table, ready list).
+* :mod:`repro.core.policies` — bin traversal orders (the paper uses
+  bin-allocation order; alternatives are provided for ablation).
+* :class:`SchedulingStats` — bins used, threads per bin, uniformity.
+"""
+
+from repro.core.bins import Bin, BinTable
+from repro.core.hints import HintVector, fold_symmetric
+from repro.core.package import ThreadPackage
+from repro.core.policies import TRAVERSAL_POLICIES, creation_order, snake_order, sorted_order
+from repro.core.scheduler import LocalityScheduler, default_block_size
+from repro.core.stats import SchedulingStats
+from repro.core.thread import ThreadGroup, ThreadSpec
+
+__all__ = [
+    "Bin",
+    "BinTable",
+    "HintVector",
+    "fold_symmetric",
+    "ThreadPackage",
+    "TRAVERSAL_POLICIES",
+    "creation_order",
+    "snake_order",
+    "sorted_order",
+    "LocalityScheduler",
+    "default_block_size",
+    "SchedulingStats",
+    "ThreadGroup",
+    "ThreadSpec",
+]

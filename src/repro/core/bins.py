@@ -1,0 +1,122 @@
+"""Bins and the bin hash table (Figure 3's data structures).
+
+A *bin* collects the thread groups of one scheduling block.  The bin
+structure in the paper carries three links — the hash chain, the chain of
+thread groups, and the ready-list link — plus a search key; here the hash
+chain is a per-slot list, the group chain is ``Bin.groups``, and the
+ready list is the table's ``ready`` list, appended to when a bin is first
+allocated ("The scheduler does not allocate a bin in the hash table until
+it schedules the first thread in it").
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduler import BlockKey, LocalityScheduler, SlotKey
+from repro.core.thread import ThreadGroup, ThreadSpec
+from repro.util.validation import require_positive
+
+
+class Bin:
+    """All thread groups of one scheduling block."""
+
+    def __init__(self, key: BlockKey, header_address: int | None = None) -> None:
+        self.key = key
+        self.header_address = header_address
+        self.groups: list[ThreadGroup] = []
+
+    @property
+    def thread_count(self) -> int:
+        return sum(group.count for group in self.groups)
+
+    @property
+    def current_group(self) -> ThreadGroup | None:
+        """The group accepting new threads, or ``None`` if a new group is
+        needed (no groups yet, or the last one is full)."""
+        if self.groups and not self.groups[-1].full:
+            return self.groups[-1]
+        return None
+
+    def threads(self):
+        """All thread specs in insertion order."""
+        for group in self.groups:
+            yield from group
+
+    def clear(self) -> None:
+        """Drop all thread groups (after a destructive ``th_run``)."""
+        self.groups.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bin(key={self.key}, threads={self.thread_count})"
+
+
+class BinTable:
+    """Hash table of bins plus the ready list.
+
+    Collisions (different blocks hashing to one slot) are resolved by
+    chaining; the full block key disambiguates.  The ready list records
+    bins in first-allocation order — the order ``th_run`` traverses.
+    """
+
+    def __init__(self, scheduler: LocalityScheduler, group_capacity: int) -> None:
+        require_positive(group_capacity, "group_capacity")
+        self.scheduler = scheduler
+        self.group_capacity = group_capacity
+        self._slots: dict[SlotKey, list[Bin]] = {}
+        self.ready: list[Bin] = []
+        self._chain_probes = 0
+
+    def find(self, slot: SlotKey, block: BlockKey) -> Bin | None:
+        """The bin for ``block``, or ``None`` if not yet allocated."""
+        chain = self._slots.get(slot)
+        if chain is None:
+            return None
+        for bin_ in chain:
+            self._chain_probes += 1
+            if bin_.key == block:
+                return bin_
+        return None
+
+    def find_or_allocate(
+        self, slot: SlotKey, block: BlockKey, header_address: int | None = None
+    ) -> Bin:
+        """The bin for ``block``, allocating (and readying) it if absent."""
+        bin_ = self.find(slot, block)
+        if bin_ is None:
+            bin_ = Bin(block, header_address=header_address)
+            self._slots.setdefault(slot, []).append(bin_)
+            self.ready.append(bin_)
+        return bin_
+
+    @property
+    def bin_count(self) -> int:
+        return len(self.ready)
+
+    @property
+    def chain_probes(self) -> int:
+        """Total hash-chain comparisons performed (collision metric)."""
+        return self._chain_probes
+
+    @property
+    def max_chain_length(self) -> int:
+        """Longest collision chain in the table."""
+        if not self._slots:
+            return 0
+        return max(len(chain) for chain in self._slots.values())
+
+    def clear_threads(self) -> None:
+        """Drop all thread groups but keep the bins and ready order."""
+        for bin_ in self.ready:
+            bin_.clear()
+
+    def reset(self) -> None:
+        """Drop everything: bins, chains, ready list."""
+        self._slots.clear()
+        self.ready.clear()
+        self._chain_probes = 0
+
+    def all_threads(self) -> list[ThreadSpec]:
+        """Every scheduled thread in ready-list (bin-allocation) order."""
+        specs: list[ThreadSpec] = []
+        for bin_ in self.ready:
+            specs.extend(bin_.threads())
+        return specs

@@ -1,0 +1,372 @@
+"""Blocking extension: locality scheduling with synchronising threads.
+
+Section 7 of the paper: "it is not clear whether the scheduling
+algorithm can be efficiently implemented with a general-purpose thread
+package that supports synchronization and preemptive scheduling."  This
+module answers the synchronization half.
+
+Threads are Python generators — run-to-completion bodies that may
+``yield`` a waitable (:class:`Event`, :class:`Semaphore`,
+:class:`Channel` receive) and resume once it is ready, giving each
+thread its own suspended "stack" without leaving user level (the same
+trick as the paper's contemporaries' cooperative packages).  The
+scheduler is the bin work-list of the dependency extension, generalised:
+a bin activation advances every resident runnable thread until it parks
+or finishes; signalling a waitable re-queues the woken threads' bins.
+Locality is preserved because parked threads always resume *in their
+bin*: a wake makes the bin runnable, it never migrates the thread.
+
+Cooperative yield replaces preemption (out of scope — preemption points
+would be inserted by a runtime, not expressible in the paper's
+batch-scientific setting anyway); the costs the paper worried about show
+up as the ``context_switches`` counter and the per-switch instruction
+charge, which the ``extension_blocking`` experiment reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+from repro.core.package import ThreadPackage
+from repro.core.stats import SchedulingStats
+from repro.mem.arrays import RefSegment
+
+#: Instruction cost of parking + resuming a blocked thread (saving and
+#: restoring the generator frame; a handful of times the plain dispatch
+#: cost, far below a kernel context switch).
+SWITCH_INSTRUCTIONS = 40
+
+
+class Waitable:
+    """Base for things a thread may ``yield`` on."""
+
+    def __init__(self) -> None:
+        self._waiters: list["_BlockingThread"] = []
+
+    def _ready(self) -> bool:
+        raise NotImplementedError
+
+    def _park(self, thread: "_BlockingThread") -> None:
+        self._waiters.append(thread)
+
+    def _wake_all(self) -> list["_BlockingThread"]:
+        woken, self._waiters = self._waiters, []
+        return woken
+
+    def _wake_one(self) -> list["_BlockingThread"]:
+        if self._waiters:
+            return [self._waiters.pop(0)]
+        return []
+
+
+class Event(Waitable):
+    """A one-shot flag: waiters block until :meth:`set` is called."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._set = False
+        self._package: "BlockingThreadPackage | None" = None
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+    def set(self) -> None:
+        """Set the flag and wake every waiter."""
+        self._set = True
+        if self._package is not None:
+            self._package._wake(self._wake_all())
+
+    def _ready(self) -> bool:
+        return self._set
+
+
+class Semaphore(Waitable):
+    """A counting semaphore: ``yield sem`` acquires, :meth:`release`
+    returns a unit and wakes one waiter."""
+
+    def __init__(self, value: int = 1) -> None:
+        if value < 0:
+            raise ValueError(f"initial value must be non-negative: {value}")
+        super().__init__()
+        self._value = value
+        self._package: "BlockingThreadPackage | None" = None
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def release(self) -> None:
+        self._value += 1
+        if self._package is not None:
+            self._package._wake(self._wake_one())
+
+    def _ready(self) -> bool:
+        return self._value > 0
+
+    def _acquire(self) -> None:
+        self._value -= 1
+
+
+class Channel(Waitable):
+    """An unbounded FIFO: ``yield channel`` receives (the value is the
+    result of the yield); :meth:`send` enqueues and wakes one waiter."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._items: deque[Any] = deque()
+        self._package: "BlockingThreadPackage | None" = None
+
+    def send(self, item: Any) -> None:
+        self._items.append(item)
+        if self._package is not None:
+            self._package._wake(self._wake_one())
+
+    def _ready(self) -> bool:
+        return bool(self._items)
+
+    def _take(self) -> Any:
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+@dataclass
+class _BlockingThread:
+    generator: Generator
+    group: Any
+    index: int
+    bin_id: int
+    blocked_on: Waitable | None = None
+    done: bool = False
+    send_value: Any = None
+
+
+ThreadBody = Callable[[Any, Any], Generator]
+
+
+class BlockingThreadPackage(ThreadPackage):
+    """A :class:`ThreadPackage` whose threads are generators that may
+    ``yield`` waitables.
+
+    ``th_fork`` takes a generator *function* of two arguments (plain
+    functions still work: they simply never block).  ``th_run`` drives
+    the bin work-list until every thread finishes; unset events with
+    parked threads at the end raise :class:`DeadlockError`.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._threads: list[_BlockingThread] = []
+        self._bin_members: dict[int, list[int]] = {}
+        self._bin_order: list[Any] = []
+        self._bin_index_of: dict[int, int] = {}
+        self._queue: deque[int] = deque()
+        self._queued: set[int] = set()
+        #: Total park/resume pairs across all runs.
+        self.context_switches = 0
+        self.last_activations = 0
+
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """A new event wired to this package's scheduler."""
+        event = Event()
+        event._package = self
+        return event
+
+    def semaphore(self, value: int = 1) -> Semaphore:
+        semaphore = Semaphore(value)
+        semaphore._package = self
+        return semaphore
+
+    def channel(self) -> Channel:
+        channel = Channel()
+        channel._package = self
+        return channel
+
+    # ------------------------------------------------------------------
+    def th_fork(  # type: ignore[override]
+        self,
+        func: ThreadBody,
+        arg1: Any = None,
+        arg2: Any = None,
+        hint1: int = 0,
+        hint2: int = 0,
+        hint3: int = 0,
+    ) -> None:
+        bin_, group, index = self._fork_impl(
+            func, arg1, arg2, hint1, hint2, hint3
+        )
+        thread_id = len(self._threads)
+        import inspect
+
+        if inspect.isgeneratorfunction(func):
+            # Instantiating a generator runs none of its body: the
+            # thread starts at its first dispatch, like any other.
+            body = func(arg1, arg2)
+        else:
+            # Defer plain callables to dispatch time too.
+            body = _call_deferred(func, arg1, arg2)
+        self._threads.append(
+            _BlockingThread(
+                generator=body, group=group, index=index, bin_id=id(bin_)
+            )
+        )
+        members = self._bin_members.get(id(bin_))
+        if members is None:
+            members = self._bin_members[id(bin_)] = []
+            self._bin_index_of[id(bin_)] = len(self._bin_order)
+            self._bin_order.append(bin_)
+        members.append(thread_id)
+
+    # ------------------------------------------------------------------
+    def th_run(self, keep: int = 0) -> SchedulingStats:
+        if keep:
+            raise ValueError("keep is not supported with blocking threads")
+        threads = self._threads
+        pending = sum(1 for t in threads if not t.done)
+        counts = [0] * len(self._bin_order)
+        self._queue = deque(range(len(self._bin_order)))
+        self._queued = set(self._queue)
+        activations = 0
+        self._running = True
+        try:
+            while self._queue:
+                bin_index = self._queue.popleft()
+                self._queued.discard(bin_index)
+                bin_ = self._bin_order[bin_index]
+                advanced = self._drain_bin(bin_, bin_index, counts)
+                if advanced:
+                    activations += 1
+            remaining = pending - sum(counts)
+            if remaining:
+                blocked = [
+                    t for t in threads if not t.done and t.blocked_on is not None
+                ]
+                raise DeadlockError(
+                    f"{len(blocked)} threads blocked forever "
+                    f"(first waits on {type(blocked[0].blocked_on).__name__})"
+                )
+        finally:
+            self._running = False
+        self.last_activations = activations
+        self.table.clear_threads()
+        self._threads = []
+        self._bin_members.clear()
+        self._bin_order.clear()
+        self._bin_index_of.clear()
+        stats = SchedulingStats.from_counts([c for c in counts if c])
+        self.run_history.append(stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    def _drain_bin(self, bin_, bin_index: int, counts: list[int]) -> bool:
+        """Advance every runnable thread of one bin; True if any moved."""
+        recorder = self.recorder
+        members = self._bin_members[id(bin_)]
+        advanced = False
+        progress = True
+        while progress:
+            progress = False
+            for thread_id in members:
+                thread = self._threads[thread_id]
+                if thread.done:
+                    continue
+                if thread.blocked_on is not None:
+                    if not thread.blocked_on._ready():
+                        continue
+                    # The waitable became ready while we were parked.
+                    self._resume_bookkeeping(thread)
+                if self._advance(thread):
+                    counts[bin_index] += 1
+                advanced = True
+                progress = True
+        if advanced and recorder is not None and bin_.header_address is not None:
+            recorder.record(RefSegment(bin_.header_address, 8, 1, 8))
+        return advanced
+
+    def _advance(self, thread: _BlockingThread) -> bool:
+        """Step one thread until it parks or finishes; True if finished."""
+        recorder = self.recorder
+        if recorder is not None:
+            costs = self.costs
+            recorder.count_thread_instructions(costs.run_instructions)
+            if thread.group.base_address is not None:
+                recorder.record(
+                    RefSegment(
+                        thread.group.slot_address(
+                            thread.index, costs.slot_size
+                        ),
+                        8,
+                        max(1, costs.slot_size // 8),
+                        8,
+                    )
+                )
+        while True:
+            try:
+                yielded = thread.generator.send(thread.send_value)
+            except StopIteration:
+                thread.done = True
+                thread.blocked_on = None
+                self._total_dispatches += 1
+                return True
+            thread.send_value = None
+            if not isinstance(yielded, Waitable):
+                raise TypeError(
+                    f"threads may only yield waitables, got {yielded!r}"
+                )
+            if yielded._ready():
+                self._consume(thread, yielded)
+                continue
+            # Park.
+            thread.blocked_on = yielded
+            yielded._park(thread)
+            self.context_switches += 1
+            if recorder is not None:
+                recorder.count_thread_instructions(SWITCH_INSTRUCTIONS)
+            return False
+
+    def _resume_bookkeeping(self, thread: _BlockingThread) -> None:
+        waitable = thread.blocked_on
+        thread.blocked_on = None
+        if waitable is not None:
+            if thread in waitable._waiters:
+                waitable._waiters.remove(thread)
+            self._consume(thread, waitable)
+        if self.recorder is not None:
+            self.recorder.count_thread_instructions(SWITCH_INSTRUCTIONS)
+
+    def _consume(self, thread: _BlockingThread, waitable: Waitable) -> None:
+        """Take the waitable's value (if any) for delivery to the thread."""
+        if isinstance(waitable, Channel):
+            thread.send_value = waitable._take()
+        elif isinstance(waitable, Semaphore):
+            waitable._acquire()
+
+    def _wake(self, threads: Iterable[_BlockingThread]) -> None:
+        """Requeue the bins of woken threads (threads never migrate:
+        the wake only makes the bin runnable again; the thread resumes
+        when its bin is next activated, data still warm)."""
+        for thread in threads:
+            bin_index = self._bin_index_of.get(thread.bin_id)
+            if bin_index is not None and bin_index not in self._queued:
+                self._queue.append(bin_index)
+                self._queued.add(bin_index)
+
+
+def _call_deferred(func, arg1, arg2) -> Generator:
+    """A generator body for a plain (non-blocking) thread function:
+    the call happens at first dispatch, preserving fork/run semantics."""
+    result = func(arg1, arg2)
+    if isinstance(result, Generator):
+        # A generator factory hiding behind a wrapper (e.g. partial):
+        # delegate so its yields still reach the scheduler.
+        yield from result
+    return
+
+
+class DeadlockError(RuntimeError):
+    """All remaining threads are parked on waitables nobody will signal."""

@@ -1,0 +1,64 @@
+"""Scheduling hints: the addresses a thread declares it will touch.
+
+``th_fork`` takes up to three hint addresses; unused trailing hints are 0
+(the paper: "For the two-dimensional case, hint3 will be 0").  Hint value
+0 therefore means *absent* — the simulated address space never allocates
+address 0 (see :class:`~repro.mem.allocator.AddressSpace`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MAX_HINTS = 3
+
+
+@dataclass(frozen=True)
+class HintVector:
+    """Up to three hint addresses, normalised.
+
+    ``dims`` is the number of leading non-zero hints; the paper's package
+    is "implemented ... for the three-dimensional case" with lower
+    dimensionality expressed by zero-filling.
+    """
+
+    h1: int
+    h2: int = 0
+    h3: int = 0
+
+    def __post_init__(self) -> None:
+        for value in (self.h1, self.h2, self.h3):
+            if value < 0:
+                raise ValueError(f"hints must be non-negative addresses: {value}")
+        if self.h1 == 0 and (self.h2 or self.h3):
+            raise ValueError("hint1 must be set before hint2/hint3")
+        if self.h2 == 0 and self.h3:
+            raise ValueError("hint2 must be set before hint3")
+
+    @property
+    def dims(self) -> int:
+        """Number of dimensions this thread's hints span (0 for no hints)."""
+        if self.h3:
+            return 3
+        if self.h2:
+            return 2
+        if self.h1:
+            return 1
+        return 0
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.h1, self.h2, self.h3)
+
+
+def fold_symmetric(hints: HintVector) -> HintVector:
+    """Canonicalise hint order so (hi, hj) and (hj, hi) share a bin.
+
+    Section 2.3: "threads with address hints (hi, hj) and (hj, hi) can be
+    placed in the same bin, since they reference the same pieces of data.
+    An implementation can take advantage of this property to reduce the
+    number of bins by 50%."  Sorting the non-zero hints descending keeps
+    zeros (absent hints) trailing.
+    """
+    present = sorted((h for h in hints.as_tuple() if h), reverse=True)
+    present += [0] * (MAX_HINTS - len(present))
+    return HintVector(*present)

@@ -1,0 +1,334 @@
+"""The thread package: ``th_init`` / ``th_fork`` / ``th_run`` (Section 3).
+
+``ThreadPackage`` is the user-facing object.  Untraced, it is a small,
+fast scheduler you can drive from plain Python (that mode backs the
+Table 1 overhead micro-benchmark and the examples).  Given a
+:class:`~repro.trace.recorder.TraceRecorder` and an
+:class:`~repro.mem.allocator.AddressSpace`, it additionally simulates its
+own memory behaviour — thread records streaming through the cache, hash
+probes, bin headers — which is what makes the threaded versions' extra
+compulsory misses in the paper's Table 3 appear in the reproduction too.
+
+The user interface follows the paper exactly:
+
+* ``th_init(block_size, hash_size)`` — set block dimension size and hash
+  table size; 0 selects the configuration-dependent default.
+* ``th_fork(func, arg1, arg2, hint1, hint2, hint3)`` — create and
+  schedule a thread to call ``func(arg1, arg2)``; unused hints are 0.
+* ``th_run(keep)`` — run every scheduled thread, bin by bin; destroy the
+  thread specifications unless ``keep`` is true.
+
+There are no thread handles and no blocking: threads run to completion
+on the caller's stack, in ready-list order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.bins import BinTable
+from repro.core.hints import HintVector
+from repro.core.policies import TraversalPolicy, resolve_policy
+from repro.core.scheduler import (
+    DEFAULT_HASH_SIZE,
+    LocalityScheduler,
+    default_block_size,
+)
+from repro.core.stats import SchedulingStats
+from repro.core.thread import ThreadGroup, ThreadSpec
+from repro.mem.allocator import AddressSpace
+from repro.mem.arrays import RefSegment
+from repro.trace.costmodel import DEFAULT_THREAD_COSTS, ThreadCostModel
+from repro.trace.recorder import TraceRecorder
+
+
+class ThreadPackage:
+    """A locality-scheduling, run-to-completion thread package.
+
+    Parameters
+    ----------
+    l2_size:
+        Second-level cache size in bytes; the source of the default block
+        dimension size (``l2_size / 2``, the value used by every 2-D
+        experiment in the paper).
+    block_size, hash_size:
+        Initial scheduler configuration; 0 selects defaults, as in
+        ``th_init``.
+    fold_symmetric:
+        Place (hi, hj) and (hj, hi) threads in the same bin.
+    policy:
+        Bin traversal order for ``th_run``; the paper's order is
+        ``"creation"``.
+    recorder, address_space, costs:
+        When both ``recorder`` and ``address_space`` are given the
+        package traces its own instructions and memory references.
+    """
+
+    def __init__(
+        self,
+        l2_size: int,
+        block_size: int = 0,
+        hash_size: int = 0,
+        fold_symmetric: bool = False,
+        policy: str | TraversalPolicy = "creation",
+        recorder: TraceRecorder | None = None,
+        address_space: AddressSpace | None = None,
+        costs: ThreadCostModel = DEFAULT_THREAD_COSTS,
+    ) -> None:
+        if (recorder is None) != (address_space is None):
+            raise ValueError(
+                "tracing needs both recorder and address_space (or neither)"
+            )
+        if l2_size <= 0:
+            raise ValueError(f"l2_size must be positive, got {l2_size}")
+        self.l2_size = l2_size
+        self.fold_symmetric = fold_symmetric
+        self.policy = resolve_policy(policy)
+        self.recorder = recorder
+        self.space = address_space
+        self.costs = costs
+        self._running = False
+        self._total_forks = 0
+        self._total_dispatches = 0
+        self._alloc_seq = 0
+        self.run_history: list[SchedulingStats] = []
+        self._hash_base: int | None = None
+        self.scheduler: LocalityScheduler
+        self.table: BinTable
+        self.th_init(block_size, hash_size)
+
+    # ------------------------------------------------------------------
+    # th_init
+    # ------------------------------------------------------------------
+    def th_init(self, block_size: int = 0, hash_size: int = 0) -> None:
+        """Set the block dimension size and hash table size.
+
+        May be called again to change the sizes, but only while no
+        threads are scheduled (re-binning forked threads is not part of
+        the paper's interface).  Passing 0 selects the defaults:
+        ``l2_size / 2`` for the block dimension and 64 hash entries per
+        dimension.
+        """
+        if getattr(self, "table", None) is not None and self.pending_threads:
+            raise RuntimeError("cannot th_init while threads are scheduled")
+        if block_size == 0:
+            block_size = default_block_size(self.l2_size, dims=2)
+        if hash_size == 0:
+            hash_size = DEFAULT_HASH_SIZE
+        self.scheduler = LocalityScheduler(
+            block_size, hash_size, fold=self.fold_symmetric
+        )
+        self.table = BinTable(self.scheduler, self.costs.group_capacity)
+        if self.space is not None and self._hash_base is None:
+            entries = hash_size ** 3
+            # The C package's table is hash_size^3 pointers; cap the
+            # simulated region at 16 MB of address space (virtual only --
+            # just the probed entries ever reach the cache simulator).
+            name = "th_hash_table"
+            if name in self.space:
+                # A second package in the same simulated address space.
+                suffix = 2
+                while f"{name}_{suffix}" in self.space:
+                    suffix += 1
+                name = f"{name}_{suffix}"
+            self._hash_table_name = name
+            region = self.space.allocate(
+                name, min(entries * 8, 16 * 1024 * 1024)
+            )
+            self._hash_base = region.base
+
+    # ------------------------------------------------------------------
+    # th_fork
+    # ------------------------------------------------------------------
+    def th_fork(
+        self,
+        func: Callable[[Any, Any], Any],
+        arg1: Any = None,
+        arg2: Any = None,
+        hint1: int = 0,
+        hint2: int = 0,
+        hint3: int = 0,
+    ) -> None:
+        """Create and schedule a thread to call ``func(arg1, arg2)``.
+
+        ``hint1..hint3`` are the memory addresses used as scheduling
+        hints; trailing zeros reduce the dimensionality (Section 3.1).
+        """
+        self._fork_impl(func, arg1, arg2, hint1, hint2, hint3)
+
+    def _fork_impl(
+        self,
+        func: Callable[[Any, Any], Any],
+        arg1: Any,
+        arg2: Any,
+        hint1: int,
+        hint2: int,
+        hint3: int,
+    ) -> tuple["Bin", ThreadGroup, int]:
+        """The body of ``th_fork``; returns where the record landed so
+        scheduler extensions (dependencies, SMP) can track threads."""
+        if self._running:
+            raise RuntimeError("th_fork from inside a running thread is not supported")
+        hints = HintVector(hint1, hint2, hint3)
+        slot, block = self.scheduler.locate(hints)
+        bin_ = self.table.find(slot, block)
+        if bin_ is None:
+            header_address = self._bin_header_address() if self.space else None
+            bin_ = self.table.find_or_allocate(slot, block, header_address)
+        group = bin_.current_group
+        if group is None:
+            group = self._new_group()
+            bin_.groups.append(group)
+        index = group.append(ThreadSpec(func, arg1, arg2))
+        self._total_forks += 1
+        if self.recorder is not None:
+            self._trace_fork(slot, bin_.header_address, group, index)
+        return bin_, group, index
+
+    # ------------------------------------------------------------------
+    # th_run
+    # ------------------------------------------------------------------
+    def th_run(self, keep: int = 0) -> SchedulingStats:
+        """Run all scheduled threads; return the run's distribution stats.
+
+        Bins are traversed in the configured policy order (the paper's
+        ready-list order by default), every thread in a bin running
+        before the next bin.  Thread specifications are destroyed unless
+        ``keep`` is non-zero, allowing re-execution.
+        """
+        bins = self.policy(self.table.ready)
+        counts = self.execute_bins(bins)
+        if not keep:
+            self.table.clear_threads()
+        stats = SchedulingStats.from_counts(counts)
+        self.run_history.append(stats)
+        return stats
+
+    def execute_bins(self, bins) -> list[int]:
+        """Run every thread of ``bins`` in order; return per-bin counts.
+
+        The building block of ``th_run``, exposed so schedulers that
+        *partition* the ready list (e.g. the SMP extension, which hands
+        whole bins to processors) can reuse the dispatch loop — including
+        its trace accounting — without re-running the whole list.
+        """
+        recorder = self.recorder
+        costs = self.costs
+        counts: list[int] = []
+        self._running = True
+        try:
+            for bin_ in bins:
+                if bin_.thread_count == 0:
+                    continue
+                counts.append(bin_.thread_count)
+                if recorder is not None and bin_.header_address is not None:
+                    recorder.record(
+                        RefSegment(bin_.header_address, 8, 1, 8)
+                    )
+                for group in bin_.groups:
+                    if recorder is not None and group.base_address is not None:
+                        recorder.record(
+                            RefSegment(
+                                group.base_address, 8, max(1, costs.run_extra_refs), 8
+                            )
+                        )
+                    for index, spec in enumerate(group):
+                        self._dispatch(group, index, spec)
+        finally:
+            self._running = False
+        return counts
+
+    def _dispatch(self, group: ThreadGroup, index: int, spec: ThreadSpec) -> None:
+        """Run one thread with its dispatch-cost trace accounting."""
+        recorder = self.recorder
+        if recorder is not None:
+            costs = self.costs
+            recorder.count_thread_instructions(costs.run_instructions)
+            if group.base_address is not None:
+                # Dispatch reads the thread record itself.
+                recorder.record(
+                    RefSegment(
+                        group.slot_address(index, costs.slot_size),
+                        8,
+                        max(1, costs.slot_size // 8),
+                        8,
+                    )
+                )
+        spec.run()
+        self._total_dispatches += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_threads(self) -> int:
+        """Threads scheduled and not yet destroyed by a ``th_run``."""
+        if getattr(self, "table", None) is None:
+            return 0
+        return sum(bin_.thread_count for bin_ in self.table.ready)
+
+    @property
+    def total_forks(self) -> int:
+        return self._total_forks
+
+    @property
+    def total_dispatches(self) -> int:
+        """Threads actually executed (counts re-runs under ``keep``)."""
+        return self._total_dispatches
+
+    @property
+    def bin_count(self) -> int:
+        return self.table.bin_count
+
+    def distribution(self) -> SchedulingStats:
+        """Stats for the currently scheduled threads, without running."""
+        counts = [b.thread_count for b in self.table.ready if b.thread_count]
+        return SchedulingStats.from_counts(counts)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _next_name(self, kind: str) -> str:
+        self._alloc_seq += 1
+        return f"th_{kind}_{self._alloc_seq}"
+
+    def _bin_header_address(self) -> int:
+        region = self.space.allocate(self._next_name("bin"), 64)
+        return region.base
+
+    def _new_group(self) -> ThreadGroup:
+        base = None
+        if self.space is not None:
+            base = self.space.allocate(
+                self._next_name("group"), self.costs.group_bytes
+            ).base
+        return ThreadGroup(self.costs.group_capacity, base_address=base)
+
+    def _trace_fork(
+        self,
+        slot: tuple[int, int, int],
+        header_address: int | None,
+        group: ThreadGroup,
+        index: int,
+    ) -> None:
+        recorder = self.recorder
+        costs = self.costs
+        recorder.count_thread_instructions(costs.fork_instructions)
+        # Hash-table probe: one read of the slot's chain-head pointer.
+        hash_size = self.scheduler.hash_size
+        flat = (slot[0] * hash_size + slot[1]) * hash_size + slot[2]
+        table_size = self.space[self._hash_table_name].size
+        entry_address = self._hash_base + (flat * 8) % table_size
+        recorder.record(RefSegment(entry_address, 8, 1, 8))
+        # Bin header: read the group link, write the updated count.
+        if header_address is not None and costs.fork_extra_refs > 1:
+            recorder.record(
+                RefSegment(header_address, 8, costs.fork_extra_refs - 1, 8),
+                writes=1,
+            )
+        # The thread record itself: func pointer, two args, padding.
+        slot_address = group.slot_address(index, costs.slot_size)
+        elements = max(1, costs.slot_size // 8)
+        recorder.record(
+            RefSegment(slot_address, 8, elements, 8), writes=elements
+        )

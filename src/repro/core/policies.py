@@ -1,0 +1,104 @@
+"""Bin traversal policies.
+
+The paper's scheduler traverses bins in allocation order ("Each time a
+new bin is allocated, it is added to the end of this list.  When th_run
+is called, the ready list is traversed, in order").  For the fork
+patterns of the paper's applications that order is already close to a
+shortest tour of the occupied blocks.  Two alternatives are provided so
+the claim can be ablated:
+
+* ``sorted_order`` — lexicographic by block coordinates;
+* ``snake_order`` — serpentine over the first two coordinates, which
+  minimises the coordinate distance between consecutive 2-D bins.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.bins import Bin
+
+TraversalPolicy = Callable[[list[Bin]], list[Bin]]
+
+
+def creation_order(bins: list[Bin]) -> list[Bin]:
+    """The paper's policy: bins in first-allocation order."""
+    return list(bins)
+
+
+def sorted_order(bins: list[Bin]) -> list[Bin]:
+    """Bins sorted lexicographically by block coordinates."""
+    return sorted(bins, key=lambda bin_: bin_.key)
+
+
+def snake_order(bins: list[Bin]) -> list[Bin]:
+    """Serpentine order: ascending first coordinate, alternating direction
+    of the second (and third) so consecutive bins stay adjacent."""
+
+    def key(bin_: Bin) -> tuple[int, int, int]:
+        c1, c2, c3 = bin_.key
+        if c1 % 2:
+            c2 = -c2
+        if c2 % 2:
+            c3 = -c3
+        return (c1, c2, c3)
+
+    return sorted(bins, key=key)
+
+
+def greedy_tour(bins: list[Bin]) -> list[Bin]:
+    """Nearest-neighbour tour over block coordinates.
+
+    Section 2.2 frames scheduling as "finding a tour of the thread
+    points ... Scheduling involves traversing the bins along some path,
+    preferably the shortest one" — and then settles for allocation
+    order.  This policy actually chases the short tour: starting from
+    the first-allocated bin, repeatedly hop to the unvisited bin at the
+    smallest Manhattan distance in block space (ties broken by
+    allocation order).  Consecutive bins then share block coordinates
+    whenever possible, maximising cross-bin block reuse.  O(B^2) in the
+    bin count — affordable because bins number in the tens.
+    """
+    if not bins:
+        return []
+    remaining = list(range(1, len(bins)))
+    tour = [bins[0]]
+    current = bins[0].key
+    while remaining:
+        best_position = 0
+        best_distance = None
+        for position, index in enumerate(remaining):
+            key = bins[index].key
+            distance = (
+                abs(key[0] - current[0])
+                + abs(key[1] - current[1])
+                + abs(key[2] - current[2])
+            )
+            if best_distance is None or distance < best_distance:
+                best_distance = distance
+                best_position = position
+        index = remaining.pop(best_position)
+        tour.append(bins[index])
+        current = bins[index].key
+    return tour
+
+
+TRAVERSAL_POLICIES: dict[str, TraversalPolicy] = {
+    "creation": creation_order,
+    "sorted": sorted_order,
+    "snake": snake_order,
+    "greedy": greedy_tour,
+}
+
+
+def resolve_policy(policy: str | TraversalPolicy) -> TraversalPolicy:
+    """Look up a policy by name, or pass a callable through."""
+    if callable(policy):
+        return policy
+    try:
+        return TRAVERSAL_POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown traversal policy {policy!r}; "
+            f"choose from {sorted(TRAVERSAL_POLICIES)}"
+        ) from None

@@ -1,0 +1,104 @@
+"""The locality scheduling algorithm: hints -> block -> bin (Section 2.3).
+
+The k hint addresses of a thread are coordinates of a point in a
+k-dimensional plane.  The plane is divided into blocks of
+``block_size`` bytes per dimension; all threads whose points fall in the
+same block share a *bin* and therefore run adjacently.  Choosing the
+block dimensions so that they sum to at most the cache size C guarantees
+the data of one bin's threads fits in cache: the paper's default is
+dimension sizes summing to exactly C (C/k per dimension for k used
+dimensions; C/2 in every 2-D experiment).
+
+Bins live in a hash table ("simply a three-dimensional array of pointers
+to bins"); the default hash function "performs a shift and a mask
+operation on each hint", with collisions resolved by chaining on the
+full block coordinates.
+"""
+
+from __future__ import annotations
+
+from repro.core.hints import HintVector, MAX_HINTS, fold_symmetric
+from repro.util.validation import require_positive, require_power_of_two
+
+#: Default hash-table entries per dimension.
+DEFAULT_HASH_SIZE = 64
+
+BlockKey = tuple[int, int, int]
+SlotKey = tuple[int, int, int]
+
+
+def default_block_size(l2_size: int, dims: int = 2) -> int:
+    """The configuration-dependent default block dimension size.
+
+    The sum of the block's dimension sizes defaults to the second-level
+    cache size, i.e. ``l2_size / dims`` per dimension.
+    """
+    require_positive(l2_size, "l2_size")
+    if not 1 <= dims <= MAX_HINTS:
+        raise ValueError(f"dims must be 1..{MAX_HINTS}, got {dims}")
+    return max(1, l2_size // dims)
+
+
+class LocalityScheduler:
+    """Maps hint vectors to block coordinates and hash slots.
+
+    Parameters
+    ----------
+    block_size:
+        Block dimension size in bytes (one value for all dimensions, as
+        in ``th_init``).  Powers of two use the paper's shift; other
+        sizes fall back to division (same block geometry).
+    hash_size:
+        Hash-table entries per dimension; must be a power of two so the
+        paper's mask applies.
+    fold:
+        Canonicalise symmetric hint orderings into one bin (Section 2.3's
+        50% bin reduction).
+    """
+
+    def __init__(
+        self,
+        block_size: int,
+        hash_size: int = DEFAULT_HASH_SIZE,
+        fold: bool = False,
+    ) -> None:
+        require_positive(block_size, "block_size")
+        require_power_of_two(hash_size, "hash_size")
+        self.block_size = block_size
+        self.hash_size = hash_size
+        self.fold = fold
+        if block_size & (block_size - 1) == 0:
+            self._shift = block_size.bit_length() - 1
+        else:
+            self._shift = None
+        self._mask = hash_size - 1
+
+    def block_of(self, hints: HintVector) -> BlockKey:
+        """Full block coordinates of a thread (the bin search key)."""
+        if self.fold:
+            hints = fold_symmetric(hints)
+        if self._shift is not None:
+            shift = self._shift
+            return (
+                hints.h1 >> shift,
+                hints.h2 >> shift,
+                hints.h3 >> shift,
+            )
+        size = self.block_size
+        return (hints.h1 // size, hints.h2 // size, hints.h3 // size)
+
+    def slot_of(self, block: BlockKey) -> SlotKey:
+        """Hash-table slot of a block (mask per dimension)."""
+        mask = self._mask
+        return (block[0] & mask, block[1] & mask, block[2] & mask)
+
+    def locate(self, hints: HintVector) -> tuple[SlotKey, BlockKey]:
+        """Both the hash slot and the full block key for a hint vector."""
+        block = self.block_of(hints)
+        return self.slot_of(block), block
+
+    def blocks_collide(self, a: HintVector, b: HintVector) -> bool:
+        """Whether two hint vectors land in the same hash slot while being
+        in different blocks — a chaining collision (for tests/ablation)."""
+        block_a, block_b = self.block_of(a), self.block_of(b)
+        return block_a != block_b and self.slot_of(block_a) == self.slot_of(block_b)

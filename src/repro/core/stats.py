@@ -1,0 +1,65 @@
+"""Scheduling statistics: how threads were distributed over bins.
+
+The paper reports, for each threaded run, the thread count, bin count and
+average threads per bin (e.g. matmul: "1,048,576 threads distributed in
+81 bins for an average of 12,945 threads per bin.  The distribution of
+the threads in the bins was quite uniform"), and for N-body notes the
+distribution "was much less uniform".  ``SchedulingStats`` captures
+exactly those quantities plus a coefficient of variation to make the
+uniformity claim checkable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SchedulingStats:
+    """Distribution of one ``th_run``'s threads over its bins."""
+
+    threads: int
+    bins: int
+    threads_per_bin: tuple[int, ...] = field(default=())
+
+    @classmethod
+    def from_counts(cls, counts: list[int]) -> "SchedulingStats":
+        return cls(
+            threads=sum(counts), bins=len(counts), threads_per_bin=tuple(counts)
+        )
+
+    @property
+    def mean_threads_per_bin(self) -> float:
+        if self.bins == 0:
+            return 0.0
+        return self.threads / self.bins
+
+    @property
+    def max_threads_per_bin(self) -> int:
+        return max(self.threads_per_bin, default=0)
+
+    @property
+    def min_threads_per_bin(self) -> int:
+        return min(self.threads_per_bin, default=0)
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """Std-dev of per-bin counts over their mean; 0 = perfectly uniform.
+
+        The paper calls matmul's distribution "quite uniform" and
+        N-body's "much less uniform" — this is the number that lets a
+        test assert that ordering.
+        """
+        mean = self.mean_threads_per_bin
+        if mean == 0 or self.bins < 2:
+            return 0.0
+        variance = sum((c - mean) ** 2 for c in self.threads_per_bin) / self.bins
+        return math.sqrt(variance) / mean
+
+    def describe(self) -> str:
+        """One-line summary in the paper's phrasing."""
+        return (
+            f"{self.threads:,} threads in {self.bins} bins "
+            f"(avg {self.mean_threads_per_bin:,.0f}/bin, cv {self.coefficient_of_variation:.2f})"
+        )

@@ -1,0 +1,77 @@
+"""Thread specifications and thread groups.
+
+A thread is just "a void function pointer and the two arguments ...
+supplied by the user to th_fork" (Section 3.2) — run-to-completion, no
+private stack, no handle.  Thread groups batch thread records inside a
+bin so that record management is amortised; each group is a fixed-size
+slot array plus a count and a link to the next group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class ThreadSpec:
+    """One run-to-completion thread: ``func(arg1, arg2)``."""
+
+    func: Callable[[Any, Any], Any]
+    arg1: Any = None
+    arg2: Any = None
+
+    def run(self) -> Any:
+        """Execute the thread to completion on the caller's stack."""
+        return self.func(self.arg1, self.arg2)
+
+
+class ThreadGroup:
+    """A fixed-capacity array of thread records within a bin.
+
+    ``base_address`` is where the group's slot array lives in the
+    simulated address space when the package is being traced; ``None``
+    when running untraced.
+    """
+
+    def __init__(self, capacity: int, base_address: int | None = None) -> None:
+        require_positive(capacity, "capacity")
+        self.capacity = capacity
+        self.base_address = base_address
+        self._slots: list[ThreadSpec] = []
+
+    @property
+    def count(self) -> int:
+        """Number of thread records currently in the group."""
+        return len(self._slots)
+
+    @property
+    def full(self) -> bool:
+        return len(self._slots) >= self.capacity
+
+    def append(self, spec: ThreadSpec) -> int:
+        """Store a thread record; return its slot index."""
+        if self.full:
+            raise OverflowError(f"thread group full (capacity {self.capacity})")
+        self._slots.append(spec)
+        return len(self._slots) - 1
+
+    def slot_address(self, index: int, slot_size: int) -> int:
+        """Simulated address of slot ``index`` (requires a traced group)."""
+        if self.base_address is None:
+            raise ValueError("group has no simulated address (untraced run)")
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"slot {index} out of range (capacity {self.capacity})")
+        return self.base_address + index * slot_size
+
+    def spec_at(self, index: int) -> ThreadSpec:
+        """The thread record stored in slot ``index``."""
+        return self._slots[index]
+
+    def __iter__(self):
+        return iter(self._slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)

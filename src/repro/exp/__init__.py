@@ -1,0 +1,22 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each experiment module exposes ``run(quick=False) -> ExperimentResult``
+producing the same rows the paper reports, next to the paper's own
+numbers (:mod:`repro.exp.paper_data`), plus programmatic *shape checks*
+— assertions of the paper's qualitative claims (who wins, by roughly
+what factor) that the reproduction is expected to preserve.
+
+``quick=True`` shrinks workloads for test suites; the default sizes are
+the scaled-experiment defaults documented in DESIGN.md.
+"""
+
+from repro.exp.base import ExperimentResult, ShapeCheck
+from repro.exp.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "ShapeCheck",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,88 @@
+"""Analysis: where fine-grained threading starts to pay.
+
+The paper's introduction argues the trade: "Avoiding a secondary cache
+miss on current machines saves 100 or so instructions.  This more than
+offsets the cost of creating, scheduling, and running a lightweight
+thread" — *provided there are capacity misses to avoid*.  The paper
+never plots the boundary; this analysis does.  Sweeping the matrix size
+from well inside the L2 to several times it shows the crossover: below
+it the matrices fit in cache, there is nothing to save, and the
+threaded version pays pure overhead; above it the avoided misses
+dominate and the threaded version wins by a growing margin.
+"""
+
+from __future__ import annotations
+
+from repro.apps.matmul import MatmulConfig, interchanged, threaded
+from repro.exp.base import ExperimentResult, r8000_scaled, ratio
+from repro.sim.engine import Simulator
+from repro.util.tables import TextTable
+
+TITLE = "Analysis: threading pays once the working set outgrows the L2"
+
+
+def sizes(quick: bool = False) -> list[int]:
+    return [32, 64, 96] if quick else [32, 48, 64, 96, 128, 160]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    machine = r8000_scaled(quick)
+    simulator = Simulator(machine)
+    table = TextTable(
+        [
+            "n",
+            "matrix/L2",
+            "untiled(s)",
+            "threaded(s)",
+            "speedup",
+            "L2 saved",
+            "overhead(s)",
+        ],
+        title=TITLE,
+    )
+    speedups = {}
+    for n in sizes(quick):
+        cfg = MatmulConfig(n=n)
+        untiled = simulator.run(interchanged(cfg))
+        thread = simulator.run(threaded(cfg))
+        speedup = ratio(untiled.modeled_seconds, thread.modeled_seconds)
+        speedups[n] = speedup
+        table.add_row(
+            [
+                n,
+                f"{cfg.matrix_bytes / machine.l2.size:.2f}",
+                f"{untiled.modeled_seconds:.4f}",
+                f"{thread.modeled_seconds:.4f}",
+                f"{speedup:.2f}",
+                f"{untiled.l2_misses - thread.l2_misses:,}",
+                f"{thread.time.thread_overhead:.4f}",
+            ]
+        )
+
+    result = ExperimentResult("analysis_crossover", TITLE, table)
+    smallest, largest = min(speedups), max(speedups)
+    result.check(
+        "threading loses below the cache size (pure overhead)",
+        speedups[smallest] < 1.0,
+        f"n={smallest}: {speedups[smallest]:.2f}x "
+        f"(matrix {(smallest * smallest * 8) / machine.l2.size:.2f}x the L2)",
+    )
+    result.check(
+        "threading wins well above the cache size",
+        speedups[largest] > 1.2,
+        f"n={largest}: {speedups[largest]:.2f}x",
+    )
+    result.check(
+        "the advantage grows with working-set pressure",
+        speedups[largest] > speedups[smallest],
+        " -> ".join(f"{speedups[n]:.2f}" for n in sorted(speedups)),
+    )
+    result.notes.append(
+        "The crossover sits near matrix ~ L2: below it every version's "
+        "misses are compulsory-only and the fork/run overhead (Table 1 "
+        "costs) is pure loss; the paper's 'more than offsets' claim is a "
+        "statement about the capacity-pressured regime its workloads "
+        "live in."
+    )
+    result.raw = {"speedups": speedups}
+    return result

@@ -1,0 +1,83 @@
+"""Experiment result containers and common helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.presets import DEFAULT_SCALE, r8000, r10000
+from repro.machine.spec import MachineSpec
+from repro.util.tables import TextTable
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim from the paper, checked against the rerun.
+
+    ``detail`` carries the measured numbers behind the verdict so a
+    report reader can judge the margin, e.g. ``"threaded 0.21s vs
+    untiled 0.29s (paper: 20.3s vs 103.0s)"``.
+    """
+
+    claim: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        text = f"[{mark}] {self.claim}"
+        if self.detail:
+            text += f" — {self.detail}"
+        return text
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment_id: str
+    title: str
+    table: TextTable
+    checks: list[ShapeCheck] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    raw: dict = field(default_factory=dict)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def check(self, claim: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(ShapeCheck(claim, bool(passed), detail))
+
+    def render(self) -> str:
+        parts = [self.table.render()]
+        if self.checks:
+            parts.append("")
+            parts.append("Shape checks:")
+            parts.extend(f"  {check}" for check in self.checks)
+        if self.notes:
+            parts.append("")
+            parts.extend(f"Note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+
+def experiment_machines(quick: bool = False) -> list[MachineSpec]:
+    """The two scaled paper machines used by the 2-D experiments.
+
+    ``quick`` keeps the same machines — shrinking caches further would
+    collapse line/set granularity — and the experiments shrink their
+    problem sizes instead (keeping the working-set-to-cache ratios in
+    the capacity-pressured regime).
+    """
+    del quick
+    return [r8000(DEFAULT_SCALE), r10000(DEFAULT_SCALE)]
+
+
+def r8000_scaled(quick: bool = False) -> MachineSpec:
+    """The scaled R8000 used by the cache-simulation experiments."""
+    del quick
+    return r8000(DEFAULT_SCALE)
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe a/b for check details."""
+    return a / b if b else float("inf")

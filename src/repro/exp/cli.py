@@ -1,0 +1,61 @@
+"""Command-line entry point: ``repro-experiments [ids...] [--quick]``.
+
+Runs the requested experiments (all by default) and prints each table
+with its shape checks, the same layout EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.exp.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of 'Thread Scheduling for "
+            "Cache Locality' (Philbin et al., ASPLOS 1996) on scaled "
+            "machine models."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use reduced workloads (seconds instead of minutes)",
+    )
+    args = parser.parse_args(argv)
+
+    ids = args.experiments or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {', '.join(unknown)}")
+
+    failed = []
+    for experiment_id in ids:
+        started = time.time()
+        result = run_experiment(experiment_id, quick=args.quick)
+        elapsed = time.time() - started
+        print(f"\n{'=' * 72}")
+        print(result.render())
+        print(f"({experiment_id} completed in {elapsed:.1f}s)")
+        if not result.all_passed:
+            failed.append(experiment_id)
+    if failed:
+        print(f"\nShape checks FAILED in: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("\nAll shape checks passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Extension experiment: dependence-aware locality scheduling (Section 6).
+
+The paper supports only independent threads and notes that "methods to
+specify dependencies and ways to implement them efficiently remain to
+be demonstrated"; its threaded SOR therefore resorts to chaotic
+relaxation ("the algorithm works fine because the goal is to reach
+convergence").  This experiment demonstrates the dependency extension:
+each SOR thread declares its three Gauss-Seidel predecessors, the
+scheduler runs a bin-draining work-list, and the hints name the *skewed*
+coordinate (column + sweep), the direction time-skewed tiling iterates.
+
+Result: bit-exact Gauss-Seidel numerics with the cache behaviour of
+hand tiling — every bin drains in a single activation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.sor import SorConfig, VERSIONS
+from repro.apps.sor.programs import threaded_exact
+from repro.exp.base import ExperimentResult, r8000_scaled, ratio
+from repro.machine.presets import r8000
+from repro.sim.engine import Simulator
+from repro.util.tables import TextTable
+
+TITLE = "Extension: dependence-aware threading of SOR"
+
+
+def config(quick: bool = False) -> SorConfig:
+    return SorConfig(n=127 if quick else 251, iterations=10 if quick else 30)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    cfg = config(quick)
+    simulator = Simulator(r8000_scaled(quick))
+    untiled = simulator.run(VERSIONS["untiled"](cfg))
+    hand_tiled = simulator.run(VERSIONS["hand_tiled"](cfg))
+    chaotic = simulator.run(VERSIONS["threaded"](cfg))
+    exact = simulator.run(threaded_exact(cfg))
+
+    oracle = untiled.payload["A"]
+    rows = [
+        ("untiled", untiled, 0.0),
+        ("hand_tiled (skewed)", hand_tiled,
+         float(np.abs(hand_tiled.payload["A"] - oracle).max())),
+        ("threaded (chaotic)", chaotic,
+         float(np.abs(chaotic.payload["A"] - oracle).max())),
+        ("threaded_exact (deps)", exact,
+         float(np.abs(exact.payload["A"] - oracle).max())),
+    ]
+    table = TextTable(
+        ["version", "modeled(s)", "L2 misses", "capacity", "max |err|"],
+        title=TITLE,
+    )
+    for name, result, error in rows:
+        table.add_row(
+            [
+                name,
+                f"{result.modeled_seconds:.3f}",
+                f"{result.l2_misses:,}",
+                f"{result.l2_capacity:,}",
+                f"{error:.2e}",
+            ]
+        )
+
+    experiment = ExperimentResult("extension_deps", TITLE, table)
+    exact_error = rows[3][2]
+    experiment.check(
+        "dependence-aware threading is bit-exact (no chaotic relaxation)",
+        exact_error == 0.0,
+        f"max |err| vs the sequential nest: {exact_error:.1e} "
+        f"(chaotic version: {rows[2][2]:.1e})",
+    )
+    experiment.check(
+        "dependences + skewed hints land in hand-tiled territory "
+        "(within 2.5x either way; they beat it at the default scale)",
+        exact.l2_misses <= 2.5 * hand_tiled.l2_misses,
+        f"{exact.l2_misses:,} vs hand-tiled {hand_tiled.l2_misses:,}",
+    )
+    experiment.check(
+        "most of the untiled version's misses are eliminated",
+        ratio(untiled.l2_misses, exact.l2_misses) > 4,
+        f"{ratio(untiled.l2_misses, exact.l2_misses):.1f}x fewer "
+        f"than untiled",
+    )
+    activations = exact.payload["activations"]
+    bins = exact.sched.bins
+    experiment.check(
+        "every bin drains in a single activation (the tiling ideal)",
+        activations == bins,
+        f"{activations} activations for {bins} bins",
+    )
+    experiment.notes.append(
+        "The chaotic version still wins on raw misses (its bins iterate "
+        "one column band through ALL sweeps with no ordering constraint) "
+        "but computes a different, merely-convergent result; the "
+        "dependence-aware schedule pays a small locality premium for "
+        "exactness."
+    )
+    experiment.raw = {
+        "l2": {name: result.l2_misses for name, result, _ in rows},
+        "errors": {name: error for name, _, error in rows},
+        "activations": activations,
+        "bins": bins,
+    }
+    return experiment

@@ -1,0 +1,128 @@
+"""Extension experiment: locality scheduling on an SMP (paper Section 7).
+
+The paper leaves multiprocessor operation as future work; this
+experiment demonstrates the straightforward extension it predicts.  The
+threaded matrix multiply is rerun on 1-8 processors (each with the
+scaled R8000's private caches), with bins — the locality unit — as the
+unit of parallel work, under four assignment policies.
+
+Reported: makespan, speedup over the uniprocessor schedule, total L2
+misses (locality preserved?), load imbalance, and write-shared L2 lines
+(false sharing — zero when bins align writes to one processor).
+"""
+
+from __future__ import annotations
+
+from repro.apps.matmul import MatmulConfig, threaded
+from repro.exp.base import ExperimentResult
+from repro.machine.presets import r8000
+from repro.sim.engine import Simulator
+from repro.smp.engine import SmpSimulator
+from repro.smp.machine import SmpMachine
+from repro.util.tables import TextTable
+
+TITLE = "Extension: threaded matmul on a symmetric multiprocessor"
+
+PROCESSOR_COUNTS = (1, 2, 4, 8)
+POLICIES = ("chunked", "round_robin", "lpt", "affinity")
+
+
+def config(quick: bool = False) -> MatmulConfig:
+    return MatmulConfig(n=96 if quick else 128)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    cfg = config(quick)
+    base = r8000(64)
+    serial = Simulator(base).run(threaded(cfg))
+
+    table = TextTable(
+        ["P / policy", "makespan(s)", "speedup", "L2 misses", "imbalance", "w-shared"],
+        title=TITLE,
+    )
+    table.add_row(
+        ["serial", f"{serial.modeled_seconds:.3f}", "1.00",
+         f"{serial.l2_misses:,}", "-", "-"]
+    )
+    runs = {}
+    for processors in PROCESSOR_COUNTS:
+        simulator = SmpSimulator(SmpMachine(base, processors))
+        for policy in POLICIES if processors > 1 else ("chunked",):
+            result = simulator.run(threaded(cfg), assignment=policy)
+            runs[(processors, policy)] = result
+            table.add_row(
+                [
+                    f"P={processors} {policy}",
+                    f"{result.makespan:.3f}",
+                    f"{result.speedup_over(serial.modeled_seconds):.2f}",
+                    f"{result.total_l2_misses:,}",
+                    f"{result.load_imbalance:.2f}",
+                    f"{result.write_shared_lines:,}",
+                ]
+            )
+
+    experiment = ExperimentResult("extension_smp", TITLE, table)
+    one_cpu = runs[(1, "chunked")]
+    # P=1 differs from the plain simulator only by the per-bin dispatch
+    # charge; the cache behaviour must be identical.
+    dispatch_slack = sum(c.dispatch_time for c in one_cpu.cpus) + 1e-9
+    experiment.check(
+        "one processor reproduces the uniprocessor schedule",
+        abs(one_cpu.makespan - serial.modeled_seconds) <= dispatch_slack
+        and one_cpu.total_l2_misses == serial.l2_misses,
+        f"{one_cpu.makespan:.4f}s vs {serial.modeled_seconds:.4f}s "
+        f"(dispatch charge {dispatch_slack:.5f}s), "
+        f"{one_cpu.total_l2_misses:,} vs {serial.l2_misses:,} misses",
+    )
+    best4 = min(
+        runs[(4, policy)].makespan for policy in POLICIES
+    )
+    experiment.check(
+        "four processors give a real speedup",
+        serial.modeled_seconds / best4 > 1.8,
+        f"best P=4 speedup {serial.modeled_seconds / best4:.2f}x",
+    )
+    for policy in POLICIES:
+        result = runs[(4, policy)]
+        experiment.check(
+            f"locality survives distribution under {policy} "
+            "(total L2 misses within 30% of serial)",
+            result.total_l2_misses < 1.3 * serial.l2_misses,
+            f"{result.total_l2_misses:,} vs serial {serial.l2_misses:,}",
+        )
+    chunked4 = runs[(4, "chunked")]
+    experiment.check(
+        "bins align writes: almost no false sharing under chunked "
+        "assignment (exactly zero when lines align with blocks)",
+        chunked4.write_shared_lines < 0.1 * max(chunked4.written_lines, 1),
+        f"{chunked4.write_shared_lines} write-shared lines "
+        f"of {chunked4.written_lines:,} written",
+    )
+    experiment.check(
+        "speedup is monotone in processor count (chunked)",
+        runs[(2, 'chunked')].makespan
+        > runs[(4, 'chunked')].makespan
+        > runs[(8, 'chunked')].makespan,
+        " > ".join(
+            f"{runs[(p, 'chunked')].makespan:.3f}s" for p in (2, 4, 8)
+        ),
+    )
+    experiment.notes.append(
+        "Speedup saturates from the serial fork section (Amdahl) and the "
+        "serial transpose traced on processor 0 — both visible in the "
+        "imbalance column; an LPT assignment balances thread counts but "
+        "not the serial sections."
+    )
+    experiment.raw = {
+        "serial_seconds": serial.modeled_seconds,
+        "runs": {
+            f"{p}:{policy}": {
+                "makespan": result.makespan,
+                "l2": result.total_l2_misses,
+                "imbalance": result.load_imbalance,
+                "write_shared": result.write_shared_lines,
+            }
+            for (p, policy), result in runs.items()
+        },
+    }
+    return experiment

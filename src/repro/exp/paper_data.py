@@ -1,0 +1,108 @@
+"""The paper's reported numbers, transcribed from Tables 1-9.
+
+All cache-table counts are in thousands, exactly as printed.  These are
+the reference values the experiment reports print beside the
+reproduction's measurements and that EXPERIMENTS.md compares against.
+"""
+
+# Table 1: thread overhead in microseconds (columns R8000, R10000).
+TABLE1_OVERHEAD_US = {
+    "Fork": (1.38, 0.95),
+    "Run": (0.22, 0.14),
+    "Total": (1.60, 1.09),
+    "L2 Miss": (1.06, 0.85),
+}
+
+# Table 2: matrix multiply, seconds (columns R8000, R10000), n = 1024.
+TABLE2_MATMUL_SECONDS = {
+    "interchanged": (102.98, 36.63),
+    "transposed": (95.06, 32.96),
+    "tiled_interchanged": (16.61, 12.24),
+    "tiled_transposed": (19.73, 18.71),
+    "threaded": (20.32, 16.85),
+}
+
+# Table 3: matmul cache behaviour on the R8000, counts in thousands.
+TABLE3_MATMUL_CACHE = {
+    "I fetches": {"untiled": 5_388_645, "tiled": 2_184_458, "threaded": 3_929_858},
+    "D references": {"untiled": 3_222_274, "tiled": 728_256, "threaded": 2_193_690},
+    "L1 misses": {"untiled": 408_756, "tiled": 215_652, "threaded": 414_741},
+    "L1 rate %": {"untiled": 4.8, "tiled": 7.4, "threaded": 6.8},
+    "L2 misses": {"untiled": 68_225, "tiled": 738, "threaded": 1_872},
+    "L2 rate %": {"untiled": 4.6, "tiled": 0.3, "threaded": 0.4},
+    "L2 compulsory": {"untiled": 199, "tiled": 200, "threaded": 299},
+    "L2 capacity": {"untiled": 68_025, "tiled": 528, "threaded": 1_311},
+    "L2 conflict": {"untiled": 0, "tiled": 10, "threaded": 262},
+}
+
+# Table 4: PDE, seconds (columns R8000, R10000), size 2049, 5 iterations.
+TABLE4_PDE_SECONDS = {
+    "regular": (9.48, 7.80),
+    "cache_conscious": (5.21, 5.21),
+    "threaded": (7.24, 4.98),
+}
+
+# Table 5: PDE cache behaviour on the R8000, counts in thousands.
+TABLE5_PDE_CACHE = {
+    "I fetches": {"regular": 303_686, "cache_conscious": 277_622, "threaded": 283_467},
+    "D references": {"regular": 126_044, "cache_conscious": 122_598, "threaded": 126_385},
+    "L1 misses": {"regular": 80_767, "cache_conscious": 85_040, "threaded": 94_516},
+    "L1 rate %": {"regular": 18.8, "cache_conscious": 21.2, "threaded": 23.1},
+    "L2 misses": {"regular": 6_038, "cache_conscious": 2_888, "threaded": 3_415},
+    "L2 rate %": {"regular": 5.7, "cache_conscious": 2.6, "threaded": 2.9},
+    "L2 compulsory": {"regular": 788, "cache_conscious": 788, "threaded": 789},
+    "L2 capacity": {"regular": 5_251, "cache_conscious": 2_100, "threaded": 2_627},
+    "L2 conflict": {"regular": 0, "cache_conscious": 0, "threaded": 0},
+}
+
+# Table 6: SOR, seconds (columns R8000, R10000), n = 2005, t = 30, s = 18.
+TABLE6_SOR_SECONDS = {
+    "untiled": (30.54, 12.81),
+    "hand_tiled": (26.90, 4.27),
+    "threaded": (23.10, 4.31),
+}
+
+# Table 7: SOR cache behaviour on the R8000, counts in thousands.
+TABLE7_SOR_CACHE = {
+    "I fetches": {"untiled": 1_205_767, "hand_tiled": 1_917_178, "threaded": 1_212_039},
+    "D references": {"untiled": 482_042, "hand_tiled": 703_522, "threaded": 483_973},
+    "L1 misses": {"untiled": 90_451, "hand_tiled": 5_259, "threaded": 90_631},
+    "L1 rate %": {"untiled": 5.4, "hand_tiled": 0.2, "threaded": 5.3},
+    "L2 misses": {"untiled": 7_545, "hand_tiled": 282, "threaded": 263},
+    "L2 rate %": {"untiled": 3.6, "hand_tiled": 0.2, "threaded": 0.1},
+    "L2 compulsory": {"untiled": 251, "hand_tiled": 268, "threaded": 258},
+    "L2 capacity": {"untiled": 7_294, "hand_tiled": 0, "threaded": 6},
+    "L2 conflict": {"untiled": 0, "hand_tiled": 13, "threaded": 0},
+}
+
+# Table 8: N-body, seconds (columns R8000, R10000), 64,000 bodies, 4 iters.
+TABLE8_NBODY_SECONDS = {
+    "unthreaded": (153.81, 53.22),
+    "threaded": (148.60, 46.34),
+}
+
+# Table 9: N-body cache behaviour on the R8000 (1 iteration), thousands.
+TABLE9_NBODY_CACHE = {
+    "I fetches": {"unthreaded": 1_820_656, "threaded": 1_838_089},
+    "D references": {"unthreaded": 865_713, "threaded": 872_130},
+    "L1 misses": {"unthreaded": 54_313, "threaded": 55_035},
+    "L1 rate %": {"unthreaded": 2.0, "threaded": 2.0},
+    "L2 misses": {"unthreaded": 1_674, "threaded": 778},
+    "L2 rate %": {"unthreaded": 0.5, "threaded": 0.2},
+    "L2 compulsory": {"unthreaded": 175, "threaded": 190},
+    "L2 capacity": {"unthreaded": 1_131, "threaded": 495},
+    "L2 conflict": {"unthreaded": 369, "threaded": 93},
+}
+
+# Section 4 scheduling distributions.
+SCHEDULING_DISTRIBUTIONS = {
+    "matmul": {"threads": 1_048_576, "bins": 81, "per_bin": 12_945},
+    "sor": {"threads": 60_120, "bins": 63, "per_bin": 954},
+    "nbody": {"threads": 64_000, "bins": 46, "per_bin": 1_391},
+}
+
+# Figure 4: qualitative content — execution time versus block dimension
+# size on the R8000, sizes 64K..8M against the 2 MB L2: flat while the
+# block dimension stays at or below the cache size, rising sharply above
+# it for L2-sensitive programs (matmul most of all).
+FIGURE4_BLOCK_SIZES_RELATIVE = [1 / 16, 1 / 8, 1 / 4, 1 / 2, 1, 2, 4]

@@ -1,0 +1,73 @@
+"""Registry of all experiments, keyed by the paper's table/figure ids."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exp import (
+    analysis_crossover,
+    extension_blocking,
+    extension_deps,
+    extension_paging,
+    extension_smp,
+    figure4_blocksize,
+    table1_overhead,
+    table2_matmul_perf,
+    table3_matmul_cache,
+    table4_pde_perf,
+    table5_pde_cache,
+    table6_sor_perf,
+    table7_sor_cache,
+    table8_nbody_perf,
+    table9_nbody_cache,
+)
+from repro.exp.base import ExperimentResult
+
+#: The paper's own evaluation artifacts.
+PAPER_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1_overhead.run,
+    "table2": table2_matmul_perf.run,
+    "table3": table3_matmul_cache.run,
+    "table4": table4_pde_perf.run,
+    "table5": table5_pde_cache.run,
+    "table6": table6_sor_perf.run,
+    "table7": table7_sor_cache.run,
+    "table8": table8_nbody_perf.run,
+    "table9": table9_nbody_cache.run,
+    "figure4": figure4_blocksize.run,
+}
+
+#: Demonstrations of the paper's stated future work.
+EXTENSION_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "extension_smp": extension_smp.run,
+    "extension_deps": extension_deps.run,
+    "extension_paging": extension_paging.run,
+    "extension_blocking": extension_blocking.run,
+}
+
+#: Analyses beyond the paper's plots (same substrate, new questions).
+ANALYSIS_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "analysis_crossover": analysis_crossover.run,
+}
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    **PAPER_EXPERIMENTS,
+    **EXTENSION_EXPERIMENTS,
+    **ANALYSIS_EXPERIMENTS,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """The runner for one experiment id (e.g. ``"table3"``)."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; choose from "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
+    """Run one experiment and return its result."""
+    return get_experiment(experiment_id)(quick=quick)

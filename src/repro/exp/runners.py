@@ -1,0 +1,109 @@
+"""Shared machinery for the performance and cache-table experiments."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exp.base import ExperimentResult
+from repro.machine.spec import MachineSpec
+from repro.sim.engine import Simulator
+from repro.sim.result import SimResult
+from repro.util.tables import TextTable
+
+VersionFactory = Callable[[object], Callable]
+
+
+def run_versions(
+    versions: dict[str, VersionFactory],
+    config,
+    machine: MachineSpec,
+) -> dict[str, SimResult]:
+    """Simulate every version of an application on one machine."""
+    simulator = Simulator(machine)
+    return {
+        name: simulator.run(factory(config)) for name, factory in versions.items()
+    }
+
+
+def perf_table(
+    experiment_id: str,
+    title: str,
+    versions: dict[str, VersionFactory],
+    config,
+    machines: list[MachineSpec],
+    paper_seconds: dict[str, tuple[float, float]],
+) -> tuple[ExperimentResult, dict[str, list[SimResult]]]:
+    """Build a Table 2/4/6/8-style performance table.
+
+    Rows are program versions; for each machine the modeled seconds
+    appear beside the paper's measured seconds.
+    """
+    per_machine = [run_versions(versions, config, m) for m in machines]
+    columns = [""]
+    for machine in machines:
+        columns += [f"{machine.name} model(s)", f"{machine.name.split('/')[0]} paper(s)"]
+    table = TextTable(columns, title=title)
+    results: dict[str, list[SimResult]] = {}
+    for name in versions:
+        row: list[object] = [name]
+        results[name] = []
+        for i, machine in enumerate(machines):
+            sim_result = per_machine[i][name]
+            results[name].append(sim_result)
+            row.append(f"{sim_result.modeled_seconds:.3f}")
+            row.append(f"{paper_seconds[name][i]:.2f}")
+        table.add_row(row)
+    return ExperimentResult(experiment_id, title, table), results
+
+
+CACHE_METRICS = [
+    "I fetches",
+    "D references",
+    "L1 misses",
+    "L1 rate %",
+    "L2 misses",
+    "L2 rate %",
+    "L2 compulsory",
+    "L2 capacity",
+    "L2 conflict",
+]
+
+
+def cache_table(
+    experiment_id: str,
+    title: str,
+    versions: dict[str, VersionFactory],
+    config,
+    machine: MachineSpec,
+    paper_cache: dict[str, dict[str, float]],
+    paper_names: dict[str, str] | None = None,
+) -> tuple[ExperimentResult, dict[str, SimResult]]:
+    """Build a Table 3/5/7/9-style cache-behaviour table on one machine.
+
+    Columns hold this reproduction's raw counts next to the paper's
+    counts (which are in thousands and from the full-size workload —
+    comparable in *shape*, not magnitude).  ``paper_names`` maps our
+    version names to the paper's column keys when they differ.
+    """
+    paper_names = paper_names or {}
+    results = run_versions(versions, config, machine)
+    columns = [""]
+    for name in versions:
+        columns += [name, f"{name} paper(K)"]
+    table = TextTable(columns, title=title)
+    for metric in CACHE_METRICS:
+        row: list[object] = [metric]
+        for name in versions:
+            value = results[name].cache_table_column()[metric]
+            if metric.endswith("%"):
+                row.append(f"{value:.1f}")
+            else:
+                row.append(f"{int(value):,}")
+            paper_key = paper_names.get(name, name)
+            paper_value = paper_cache[metric][paper_key]
+            if metric.endswith("%"):
+                row.append(f"{paper_value:.1f}")
+            else:
+                row.append(f"{int(paper_value):,}")
+        table.add_row(row)
+    return ExperimentResult(experiment_id, title, table), results

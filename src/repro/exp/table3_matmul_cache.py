@@ -1,0 +1,84 @@
+"""Table 3: matmul memory references and cache misses (R8000)."""
+
+from __future__ import annotations
+
+from repro.apps.matmul import MatmulConfig, VERSIONS
+from repro.exp.base import ExperimentResult, r8000_scaled, ratio
+from repro.exp.paper_data import TABLE3_MATMUL_CACHE
+from repro.exp.runners import cache_table
+from repro.exp.table2_matmul_perf import config
+
+TITLE = "Table 3: Matrix multiply memory references and cache misses"
+
+#: The paper's Table 3 columns: untiled interchanged, KAP-tiled, threaded.
+COLUMNS = {
+    "interchanged": VERSIONS["interchanged"],
+    "tiled_interchanged": VERSIONS["tiled_interchanged"],
+    "threaded": VERSIONS["threaded"],
+}
+PAPER_NAMES = {
+    "interchanged": "untiled",
+    "tiled_interchanged": "tiled",
+    "threaded": "threaded",
+}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result, results = cache_table(
+        "table3",
+        TITLE,
+        COLUMNS,
+        config(quick),
+        r8000_scaled(quick),
+        TABLE3_MATMUL_CACHE,
+        PAPER_NAMES,
+    )
+    untiled = results["interchanged"]
+    tiled = results["tiled_interchanged"]
+    threaded = results["threaded"]
+    result.check(
+        "capacity misses dominate the untiled version's L2 misses",
+        untiled.l2_capacity > 0.9 * untiled.l2_misses,
+        f"{untiled.l2_capacity:,} capacity of {untiled.l2_misses:,} total "
+        f"(paper: 68,025K of 68,225K)",
+    )
+    result.check(
+        "the untiled version has no L2 conflict misses",
+        untiled.l2_conflict == 0,
+        f"{untiled.l2_conflict:,} (paper: 0)",
+    )
+    result.check(
+        "tiling removes most L2 misses",
+        ratio(untiled.l2_misses, tiled.l2_misses) > 4,
+        f"{ratio(untiled.l2_misses, tiled.l2_misses):.1f}x fewer "
+        f"(paper: {ratio(68_225, 738):.0f}x)",
+    )
+    result.check(
+        "threading removes most L2 misses",
+        ratio(untiled.l2_misses, threaded.l2_misses) > 2,
+        f"{ratio(untiled.l2_misses, threaded.l2_misses):.1f}x fewer "
+        f"(paper: {ratio(68_225, 1_872):.0f}x)",
+    )
+    result.check(
+        "thread records add compulsory misses to the threaded version",
+        threaded.l2_compulsory > untiled.l2_compulsory,
+        f"{threaded.l2_compulsory:,} vs {untiled.l2_compulsory:,} "
+        f"(paper: 299K vs 199K)",
+    )
+    l1_gain = ratio(untiled.l1_misses, threaded.l1_misses)
+    l2_gain = ratio(untiled.l2_misses, threaded.l2_misses)
+    result.check(
+        "threading's benefit is at L2, not L1 (unlike tiling)",
+        l1_gain < max(1.3, l2_gain / 2),
+        f"L1 changed {l1_gain:.2f}x vs L2 {l2_gain:.2f}x "
+        f"(paper: L1 +1.5% while L2 fell 36x)",
+    )
+    result.check(
+        "the tiled version executes the fewest instructions",
+        tiled.inst_fetches < untiled.inst_fetches
+        and tiled.inst_fetches < threaded.inst_fetches,
+        f"tiled {tiled.inst_fetches:,} vs untiled {untiled.inst_fetches:,} "
+        f"vs threaded {threaded.inst_fetches:,}",
+    )
+    result.raw = {name: r.cache_table_column() for name, r in results.items()}
+    return result

@@ -1,0 +1,61 @@
+"""Table 4: PDE performance (3 versions x 2 machines)."""
+
+from __future__ import annotations
+
+from repro.apps.pde import PdeConfig, VERSIONS
+from repro.exp.base import ExperimentResult, experiment_machines, ratio
+from repro.exp.paper_data import TABLE4_PDE_SECONDS
+from repro.exp.runners import perf_table
+
+TITLE = "Table 4: PDE performance in seconds"
+
+
+def config(quick: bool = False) -> PdeConfig:
+    return PdeConfig(n=129 if quick else 257, iterations=3 if quick else 5)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    machines = experiment_machines(quick)
+    result, results = perf_table(
+        "table4", TITLE, VERSIONS, config(quick), machines, TABLE4_PDE_SECONDS
+    )
+    seconds = {
+        name: [r.modeled_seconds for r in runs] for name, runs in results.items()
+    }
+    for i, machine in enumerate(machines):
+        result.check(
+            f"cache-conscious beats the regular method on {machine.name}",
+            seconds["cache_conscious"][i] < seconds["regular"][i],
+            f"{seconds['cache_conscious'][i]:.3f}s vs {seconds['regular'][i]:.3f}s "
+            f"(paper: {TABLE4_PDE_SECONDS['cache_conscious'][i]} vs "
+            f"{TABLE4_PDE_SECONDS['regular'][i]})",
+        )
+        result.check(
+            f"threaded beats the regular method on {machine.name}",
+            seconds["threaded"][i] < seconds["regular"][i],
+            f"{seconds['threaded'][i]:.3f}s vs {seconds['regular'][i]:.3f}s",
+        )
+    # R8000: threaded falls between regular and cache-conscious.
+    result.check(
+        "threaded lands between regular and cache-conscious (R8000)",
+        seconds["cache_conscious"][0]
+        <= seconds["threaded"][0]
+        <= seconds["regular"][0],
+        f"cc {seconds['cache_conscious'][0]:.3f} <= threaded "
+        f"{seconds['threaded'][0]:.3f} <= regular {seconds['regular'][0]:.3f}",
+    )
+    speedup = ratio(seconds["regular"][0], seconds["cache_conscious"][0])
+    result.check(
+        "cache-conscious saves a substantial fraction of the regular time",
+        speedup > 1.15,
+        f"{speedup:.2f}x (paper R8000: {ratio(9.48, 5.21):.2f}x, "
+        "'up to 45% faster')",
+    )
+    sched = results["threaded"][0].sched
+    if sched is not None:
+        result.notes.append(
+            f"Threaded run on {machines[0].name}: {sched.describe()} "
+            "(paper: ny+1 = 2050 threads per iteration)"
+        )
+    result.raw = {"seconds": seconds}
+    return result

@@ -1,0 +1,61 @@
+"""Table 5: PDE cache misses (R8000)."""
+
+from __future__ import annotations
+
+from repro.apps.pde import VERSIONS
+from repro.exp.base import ExperimentResult, r8000_scaled, ratio
+from repro.exp.paper_data import TABLE5_PDE_CACHE
+from repro.exp.runners import cache_table
+from repro.exp.table4_pde_perf import config
+
+TITLE = "Table 5: PDE cache misses"
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result, results = cache_table(
+        "table5",
+        TITLE,
+        VERSIONS,
+        config(quick),
+        r8000_scaled(quick),
+        TABLE5_PDE_CACHE,
+    )
+    regular = results["regular"]
+    conscious = results["cache_conscious"]
+    threaded = results["threaded"]
+    result.check(
+        "capacity misses dominate the regular version's L2 misses",
+        regular.l2_capacity > 0.7 * regular.l2_misses,
+        f"{regular.l2_capacity:,} of {regular.l2_misses:,} "
+        f"(paper: 5,251K of 6,038K)",
+    )
+    cc_saving = 1 - ratio(conscious.l2_capacity, regular.l2_capacity)
+    result.check(
+        "cache-conscious avoids about half the capacity misses",
+        0.35 < cc_saving < 0.75,
+        f"avoids {cc_saving:.0%} (paper: ~60%)",
+    )
+    th_saving = 1 - ratio(threaded.l2_capacity, regular.l2_capacity)
+    result.check(
+        "threaded avoids about half the capacity misses",
+        0.3 < th_saving < 0.7,
+        f"avoids {th_saving:.0%} (paper: ~50%)",
+    )
+    result.check(
+        "no version suffers L2 conflict misses",
+        max(r.l2_conflict for r in results.values())
+        < 0.02 * max(r.l2_misses for r in results.values()),
+        f"conflicts: {[r.l2_conflict for r in results.values()]} (paper: 0/0/0)",
+    )
+    result.check(
+        "all versions make roughly the same data references",
+        ratio(
+            max(r.data_refs for r in results.values()),
+            min(r.data_refs for r in results.values()),
+        )
+        < 1.15,
+        f"{[r.data_refs for r in results.values()]} "
+        "(paper: 126,044K / 122,598K / 126,385K)",
+    )
+    result.raw = {name: r.cache_table_column() for name, r in results.items()}
+    return result

@@ -1,0 +1,64 @@
+"""Table 7: SOR memory references and cache misses (R8000)."""
+
+from __future__ import annotations
+
+from repro.apps.sor import VERSIONS
+from repro.exp.base import ExperimentResult, r8000_scaled, ratio
+from repro.exp.paper_data import TABLE7_SOR_CACHE
+from repro.exp.runners import cache_table
+from repro.exp.table6_sor_perf import config
+
+TITLE = "Table 7: SOR memory references and cache misses"
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result, results = cache_table(
+        "table7",
+        TITLE,
+        VERSIONS,
+        config(quick),
+        r8000_scaled(quick),
+        TABLE7_SOR_CACHE,
+    )
+    untiled = results["untiled"]
+    tiled = results["hand_tiled"]
+    threaded = results["threaded"]
+    result.check(
+        "capacity misses dominate the untiled version's L2 misses",
+        untiled.l2_capacity > 0.85 * untiled.l2_misses,
+        f"{untiled.l2_capacity:,} of {untiled.l2_misses:,} "
+        f"(paper: 7,294K of 7,545K)",
+    )
+    result.check(
+        "threading removes almost all capacity misses",
+        threaded.l2_capacity < 0.2 * untiled.l2_capacity
+        and threaded.l2_capacity < threaded.l2_misses,
+        f"{threaded.l2_capacity:,} vs untiled {untiled.l2_capacity:,} "
+        f"(paper: 6K vs 7,294K)",
+    )
+    result.check(
+        "threaded L2 misses approach the compulsory floor",
+        threaded.l2_misses < 3 * threaded.l2_compulsory,
+        f"{threaded.l2_misses:,} total vs {threaded.l2_compulsory:,} "
+        f"compulsory (paper: 263K vs 258K)",
+    )
+    result.check(
+        "hand-tiling also removes most L2 misses",
+        tiled.l2_misses < 0.3 * untiled.l2_misses,
+        f"{tiled.l2_misses:,} vs {untiled.l2_misses:,} "
+        f"(paper: 282K vs 7,545K)",
+    )
+    result.check(
+        "hand-tiling executes extra instructions for its loop structure",
+        tiled.inst_fetches > 1.2 * untiled.inst_fetches,
+        f"{tiled.inst_fetches:,} vs {untiled.inst_fetches:,} "
+        f"(paper: 1,917,178K vs 1,205,767K)",
+    )
+    result.check(
+        "untiled and threaded reference counts are nearly identical",
+        abs(threaded.data_refs - untiled.data_refs) < 0.1 * untiled.data_refs,
+        f"{threaded.data_refs:,} vs {untiled.data_refs:,} "
+        "(paper: 483,973K vs 482,042K)",
+    )
+    result.raw = {name: r.cache_table_column() for name, r in results.items()}
+    return result

@@ -1,0 +1,61 @@
+"""Table 9: N-body cache behaviour for one iteration (R8000)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.apps.nbody import VERSIONS
+from repro.exp.base import ExperimentResult, ratio
+from repro.exp.paper_data import TABLE9_NBODY_CACHE
+from repro.exp.runners import cache_table
+from repro.exp.table8_nbody_perf import config, machines
+
+TITLE = "Table 9: N-body memory references and cache misses (one iteration)"
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    one_iteration = replace(config(quick), iterations=1)
+    result, results = cache_table(
+        "table9",
+        TITLE,
+        VERSIONS,
+        one_iteration,
+        machines(quick)[0],
+        TABLE9_NBODY_CACHE,
+    )
+    unthreaded = results["unthreaded"]
+    threaded = results["threaded"]
+    l2_gain = ratio(unthreaded.l2_misses, threaded.l2_misses)
+    result.check(
+        "threading cuts L2 misses by roughly the paper's factor",
+        1.4 < l2_gain < 6.0,
+        f"{l2_gain:.2f}x fewer (paper: {ratio(1_674, 778):.2f}x)",
+    )
+    cap_gain = ratio(unthreaded.l2_capacity, threaded.l2_capacity)
+    result.check(
+        "L2 capacity misses drop by about a factor of two or more",
+        cap_gain > 1.8,
+        f"{cap_gain:.2f}x fewer (paper: 2.29x)",
+    )
+    result.check(
+        "threading leaves L1 behaviour essentially unchanged",
+        ratio(threaded.l1_misses, unthreaded.l1_misses) < 1.3,
+        f"{threaded.l1_misses:,} vs {unthreaded.l1_misses:,} "
+        "(paper: 55,035K vs 54,313K)",
+    )
+    result.check(
+        "threading adds a small instruction/reference overhead",
+        threaded.inst_fetches > unthreaded.inst_fetches
+        and threaded.data_refs > unthreaded.data_refs,
+        f"+{threaded.inst_fetches - unthreaded.inst_fetches:,} instructions, "
+        f"+{threaded.data_refs - unthreaded.data_refs:,} references "
+        "(paper: +23.8M combined)",
+    )
+    result.check(
+        "conflict misses drop alongside capacity misses",
+        threaded.l2_conflict <= unthreaded.l2_conflict,
+        f"{threaded.l2_conflict:,} vs {unthreaded.l2_conflict:,} "
+        "(paper: 93K vs 369K)",
+    )
+    result.raw = {name: r.cache_table_column() for name, r in results.items()}
+    return result

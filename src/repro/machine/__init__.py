@@ -1,0 +1,30 @@
+"""Machine models: cache geometry, clocks, penalties, and the timing model.
+
+The paper evaluates on two SGI workstations.  A :class:`MachineSpec`
+captures everything the reproduction needs about one of them: the cache
+hierarchy (simulated exactly), the clock, the miss penalties, and the
+thread-primitive overheads the paper measures in Table 1.  The
+:class:`TimingModel` turns simulated reference/miss counts into modeled
+seconds using the same "crude analysis" the paper applies in Sections
+4.2-4.4.
+"""
+
+from repro.machine.spec import MachineSpec
+from repro.machine.presets import (
+    DEFAULT_SCALE,
+    r8000,
+    r10000,
+    paper_machines,
+)
+from repro.machine.timing import TimeBreakdown, TimingInputs, TimingModel
+
+__all__ = [
+    "MachineSpec",
+    "DEFAULT_SCALE",
+    "r8000",
+    "r10000",
+    "paper_machines",
+    "TimeBreakdown",
+    "TimingInputs",
+    "TimingModel",
+]

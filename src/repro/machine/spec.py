@@ -1,0 +1,114 @@
+"""Machine specification: cache hierarchy plus timing constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cache.config import CacheConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.util.validation import require_positive, require_power_of_two
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Everything the simulator needs to know about one machine.
+
+    Attributes
+    ----------
+    name:
+        e.g. ``"R8000"`` (SGI Power Indigo2).
+    clock_hz:
+        CPU clock frequency.
+    effective_ipc:
+        Instructions retired per cycle assumed by the timing model.  The
+        paper's crude analysis assumes one instruction per cycle on an
+        issue-width-4 machine; we keep this as an explicit calibration
+        constant instead of a buried assumption.
+    l1i, l1d, l2:
+        Cache geometries.
+    l1_miss_penalty_cycles:
+        Cycles lost per L1 miss serviced by L2 (7 on the R8000, from the
+        paper's analysis, citing Hsu's R8000 design paper).
+    l2_miss_penalty_s:
+        Seconds lost per L2 miss serviced by DRAM (1.06 us on the R8000,
+        0.85 us on the R10000 -- the last row of the paper's Table 1).
+    fork_cost_s, run_cost_s:
+        Per-thread overhead of ``th_fork`` and of dispatching a thread in
+        ``th_run`` (the paper's Table 1 measurements, used by the timing
+        model to charge threaded program versions for their threading).
+    """
+
+    name: str
+    clock_hz: float
+    effective_ipc: float
+    l1i: CacheConfig
+    l1d: CacheConfig
+    l2: CacheConfig
+    l1_miss_penalty_cycles: float
+    l2_miss_penalty_s: float
+    fork_cost_s: float
+    run_cost_s: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.clock_hz, "clock_hz")
+        require_positive(self.effective_ipc, "effective_ipc")
+        require_positive(self.l1_miss_penalty_cycles, "l1_miss_penalty_cycles")
+        require_positive(self.l2_miss_penalty_s, "l2_miss_penalty_s")
+        require_positive(self.fork_cost_s, "fork_cost_s")
+        require_positive(self.run_cost_s, "run_cost_s")
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Seconds per clock cycle."""
+        return 1.0 / self.clock_hz
+
+    @property
+    def l2_size(self) -> int:
+        """Second-level cache capacity in bytes — the scheduler's key
+        parameter (block dimension sizes default to fractions of this)."""
+        return self.l2.size
+
+    @property
+    def l2_miss_cost_instructions(self) -> float:
+        """How many instruction-times one L2 miss costs — the paper's
+        motivating '100 or so instructions' figure."""
+        return self.l2_miss_penalty_s * self.clock_hz * self.effective_ipc
+
+    def build_hierarchy(self, l2_page_mapper=None) -> CacheHierarchy:
+        """A fresh, empty cache hierarchy with this machine's geometry.
+
+        ``l2_page_mapper`` optionally places a virtual-to-physical page
+        translation in front of the physically-indexed L2 (see
+        :mod:`repro.mem.paging`).
+        """
+        return CacheHierarchy(
+            self.l1i, self.l1d, self.l2, l2_page_mapper=l2_page_mapper
+        )
+
+    def scaled(self, l2_factor: int, l1_factor: int | None = None) -> MachineSpec:
+        """A machine with the L2 ``l2_factor`` and L1s ``l1_factor`` smaller.
+
+        Timing constants are unchanged: scaling only shrinks capacities
+        (and therefore simulation cost) while preserving the ratio of
+        each cache to the structures it interacts with.  For the paper's
+        2-D workloads the L1 working sets are O(n) (a few matrix
+        columns) while the L2 working sets are O(n^2) (matrices, tiles,
+        scheduling blocks), so when the problem's linear dimension
+        shrinks by s the L1 should shrink by s and the L2 by s^2 —
+        hence the default ``l1_factor = sqrt(l2_factor)``.  Workloads
+        whose entire state is linear in the problem size (N-body) pass
+        ``l1_factor == l2_factor`` explicitly.
+        """
+        require_power_of_two(l2_factor, "l2_factor")
+        if l1_factor is None:
+            l1_factor = 1 << ((l2_factor.bit_length() - 1) // 2)
+        require_power_of_two(l1_factor, "l1_factor")
+        if l2_factor == 1 and l1_factor == 1:
+            return self
+        return replace(
+            self,
+            name=f"{self.name}/{l2_factor}",
+            l1i=self.l1i.scaled(l1_factor),
+            l1d=self.l1d.scaled(l1_factor),
+            l2=self.l2.scaled(l2_factor),
+        )

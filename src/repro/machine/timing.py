@@ -1,0 +1,86 @@
+"""The paper's "crude analysis" as an explicit timing model.
+
+Sections 4.2-4.4 of the paper repeatedly estimate run times by assuming
+each instruction takes one issue slot, each L1 miss stalls 7 cycles, and
+each L2 miss stalls the measured DRAM-access penalty.  The paper shows
+these estimates land within a few seconds of measured wall-clock deltas.
+We adopt exactly that model, plus explicit per-thread fork/run charges
+(the Table 1 overheads) so threaded program versions pay for their
+threading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import MachineSpec
+from repro.util.validation import require_non_negative
+
+
+@dataclass(frozen=True)
+class TimingInputs:
+    """Event counts produced by simulating one program version."""
+
+    instructions: int
+    l1_misses: int
+    l2_misses: int
+    forks: int = 0
+    thread_runs: int = 0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.instructions, "instructions")
+        require_non_negative(self.l1_misses, "l1_misses")
+        require_non_negative(self.l2_misses, "l2_misses")
+        require_non_negative(self.forks, "forks")
+        require_non_negative(self.thread_runs, "thread_runs")
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Modeled execution time, split by cause (all in seconds)."""
+
+    instruction_time: float
+    l1_stall_time: float
+    l2_stall_time: float
+    fork_time: float
+    run_time: float
+
+    @property
+    def thread_overhead(self) -> float:
+        """Total threading overhead (fork + dispatch)."""
+        return self.fork_time + self.run_time
+
+    @property
+    def total(self) -> float:
+        return (
+            self.instruction_time
+            + self.l1_stall_time
+            + self.l2_stall_time
+            + self.fork_time
+            + self.run_time
+        )
+
+
+class TimingModel:
+    """Converts simulated event counts into modeled seconds for a machine."""
+
+    def __init__(self, machine: MachineSpec) -> None:
+        self.machine = machine
+
+    def estimate(self, inputs: TimingInputs) -> TimeBreakdown:
+        """Apply the crude-analysis formula to one set of event counts."""
+        m = self.machine
+        cycle = m.cycle_time_s
+        return TimeBreakdown(
+            instruction_time=inputs.instructions / m.effective_ipc * cycle,
+            l1_stall_time=inputs.l1_misses * m.l1_miss_penalty_cycles * cycle,
+            l2_stall_time=inputs.l2_misses * m.l2_miss_penalty_s,
+            fork_time=inputs.forks * m.fork_cost_s,
+            run_time=inputs.thread_runs * m.run_cost_s,
+        )
+
+    def l2_savings(self, l2_misses_avoided: int) -> float:
+        """Seconds saved by avoiding ``l2_misses_avoided`` L2 misses — the
+        quantity the paper's per-application analyses report."""
+        require_non_negative(l2_misses_avoided, "l2_misses_avoided")
+        return l2_misses_avoided * self.machine.l2_miss_penalty_s

@@ -1,0 +1,20 @@
+"""Memory substrate: a virtual address space, allocator, and array handles.
+
+The paper's scheduler works on *addresses*: the hints passed to ``th_fork``
+are the virtual addresses of the data a thread will touch, and the cache
+simulator consumes address traces.  This package provides the pieces that
+make addresses meaningful in the reproduction:
+
+* :class:`AddressSpace` — a bump allocator handing out non-overlapping,
+  aligned regions of a virtual address space.
+* :class:`Layout` — row-major (C) versus column-major (Fortran) order.
+* :class:`ArrayHandle` — a named 1-D/2-D array bound to a base address,
+  translating indices to addresses and rows/columns/tiles to strided
+  reference segments.
+"""
+
+from repro.mem.allocator import Allocation, AddressSpace
+from repro.mem.arrays import ArrayHandle
+from repro.mem.layout import Layout
+
+__all__ = ["Allocation", "AddressSpace", "ArrayHandle", "Layout"]

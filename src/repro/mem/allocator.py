@@ -1,0 +1,118 @@
+"""A bump allocator over a simulated virtual address space.
+
+Every traced program allocates its arrays from one :class:`AddressSpace` so
+that (a) addresses are unique and non-overlapping, (b) the scheduler's
+address hints and the cache simulator's trace refer to the same coordinate
+system, and (c) page-level placement is deterministic and reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_positive, require_power_of_two
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A named, contiguous region of the simulated address space."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        """Whether ``address`` falls inside this region."""
+        return self.base <= address < self.end
+
+
+class AddressSpace:
+    """Hands out aligned, non-overlapping regions of a virtual address space.
+
+    Parameters
+    ----------
+    base:
+        The first address available for allocation.  Defaults to 0x10000,
+        leaving a low guard region so that address 0 is never valid data
+        (the thread package uses hint value 0 to mean "no hint").
+    alignment:
+        Every allocation's base is rounded up to this power-of-two boundary.
+        Defaults to 128 bytes — the L2 line size of both paper machines —
+        so distinct arrays never share a cache line.
+    stagger:
+        Extra bytes inserted between consecutive allocations.  At the
+        scaled cache sizes used by the experiments, equal-sized arrays
+        allocated back to back would alias the same cache sets exactly —
+        an artifact real programs avoid through allocator headers, page
+        placement, and non-power-of-two array extents.  A small stagger
+        (a few cache lines) restores realistic set spreading; see
+        DESIGN.md.  Defaults to 0 (dense packing).
+    """
+
+    def __init__(
+        self, base: int = 0x10000, alignment: int = 128, stagger: int = 0
+    ) -> None:
+        require_power_of_two(alignment, "alignment")
+        if base < 0:
+            raise ValueError(f"base must be non-negative, got {base!r}")
+        if stagger < 0:
+            raise ValueError(f"stagger must be non-negative, got {stagger!r}")
+        self.alignment = alignment
+        self.stagger = stagger
+        self._next = self._align(base)
+        self._allocations: dict[str, Allocation] = {}
+
+    def _align(self, address: int) -> int:
+        mask = self.alignment - 1
+        return (address + mask) & ~mask
+
+    def allocate(self, name: str, size: int) -> Allocation:
+        """Reserve ``size`` bytes under ``name`` and return the region.
+
+        Names must be unique within the space; reallocating a name is almost
+        always a bug in a traced program, so it raises.
+        """
+        require_positive(size, "size")
+        if name in self._allocations:
+            raise ValueError(f"allocation name {name!r} already in use")
+        base = self._align(self._next)
+        allocation = Allocation(name=name, base=base, size=size)
+        self._next = base + size + self.stagger
+        self._allocations[name] = allocation
+        return allocation
+
+    def __getitem__(self, name: str) -> Allocation:
+        return self._allocations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._allocations
+
+    @property
+    def allocations(self) -> list[Allocation]:
+        """All regions in allocation order."""
+        return list(self._allocations.values())
+
+    @property
+    def bytes_allocated(self) -> int:
+        """Total bytes handed out, excluding alignment padding."""
+        return sum(a.size for a in self._allocations.values())
+
+    @property
+    def high_water_mark(self) -> int:
+        """The next free address (end of the used portion of the space)."""
+        return self._next
+
+    def owner_of(self, address: int) -> Allocation | None:
+        """The allocation containing ``address``, or ``None``.
+
+        Linear scan — meant for debugging and tests, not hot paths.
+        """
+        for allocation in self._allocations.values():
+            if allocation.contains(address):
+                return allocation
+        return None

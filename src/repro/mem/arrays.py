@@ -1,0 +1,233 @@
+"""Array handles: named arrays bound to simulated addresses.
+
+An :class:`ArrayHandle` couples a region of the simulated address space
+with a shape, an element size, and a :class:`~repro.mem.layout.Layout`.
+Traced programs use handles for two things:
+
+* computing the *hint* addresses passed to ``th_fork`` (e.g. the base
+  address of column ``i`` of matrix ``A``), and
+* describing the memory references an inner loop performs, as strided
+  segments that the trace layer records and the cache simulator consumes.
+
+Indices are 0-based (Python convention); the paper's pseudo-code is
+1-based Fortran, so its ``A[1, i]`` corresponds to ``handle.addr(0, i-1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.layout import Layout
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class RefSegment:
+    """A strided run of element references: ``base, base+stride, ...``.
+
+    ``count`` elements of ``element_size`` bytes each, ``stride`` bytes
+    apart.  A contiguous vector is ``stride == element_size``; a row walk
+    of a column-major matrix has ``stride == rows * element_size``.
+    """
+
+    base: int
+    stride: int
+    count: int
+    element_size: int
+
+    def __post_init__(self) -> None:
+        require_positive(self.count, "count")
+        require_positive(self.element_size, "element_size")
+
+    @property
+    def last_address(self) -> int:
+        """Address of the first byte of the final element."""
+        return self.base + self.stride * (self.count - 1)
+
+    @property
+    def bytes_touched(self) -> int:
+        """Total distinct bytes referenced (assuming non-overlapping steps)."""
+        if self.stride == 0:
+            return self.element_size
+        return min(abs(self.stride), self.element_size) * (self.count - 1) + self.element_size
+
+
+class ArrayHandle:
+    """A 1-D or 2-D array living at a fixed simulated address.
+
+    Parameters
+    ----------
+    name:
+        Debug name (usually the allocation name).
+    base:
+        Base byte address of element ``[0]`` / ``[0, 0]``.
+    shape:
+        ``(n,)`` for vectors or ``(rows, cols)`` for matrices.
+    element_size:
+        Bytes per element (8 for the paper's double-precision data).
+    layout:
+        Storage order; only meaningful for 2-D arrays.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base: int,
+        shape: tuple[int, ...],
+        element_size: int = 8,
+        layout: Layout = Layout.COLUMN_MAJOR,
+    ) -> None:
+        require_positive(element_size, "element_size")
+        if len(shape) not in (1, 2):
+            raise ValueError(f"shape must be 1-D or 2-D, got {shape!r}")
+        for dim in shape:
+            require_positive(dim, "shape dimension")
+        self.name = name
+        self.base = base
+        self.shape = tuple(shape)
+        self.element_size = element_size
+        self.layout = layout
+        if len(shape) == 2:
+            self._row_stride, self._col_stride = layout.strides(
+                shape[0], shape[1], element_size
+            )
+        else:
+            self._row_stride, self._col_stride = element_size, 0
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total storage of the array in bytes."""
+        total = self.element_size
+        for dim in self.shape:
+            total *= dim
+        return total
+
+    @property
+    def element_count(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count
+
+    @property
+    def row_stride(self) -> int:
+        """Byte distance between ``[i, j]`` and ``[i+1, j]``."""
+        return self._row_stride
+
+    @property
+    def col_stride(self) -> int:
+        """Byte distance between ``[i, j]`` and ``[i, j+1]``."""
+        return self._col_stride
+
+    # ------------------------------------------------------------------
+    # Address computation
+    # ------------------------------------------------------------------
+    def addr(self, i: int, j: int | None = None) -> int:
+        """Byte address of element ``[i]`` (1-D) or ``[i, j]`` (2-D)."""
+        if self.ndim == 1:
+            if j is not None:
+                raise ValueError(f"{self.name} is 1-D; got two indices")
+            self._check_index(i, 0)
+            return self.base + i * self._row_stride
+        if j is None:
+            raise ValueError(f"{self.name} is 2-D; got one index")
+        self._check_index(i, 0)
+        self._check_index(j, 1)
+        return self.base + i * self._row_stride + j * self._col_stride
+
+    def _check_index(self, index: int, axis: int) -> None:
+        if not 0 <= index < self.shape[axis]:
+            raise IndexError(
+                f"index {index} out of range for axis {axis} of {self.name} "
+                f"(shape {self.shape})"
+            )
+
+    # ------------------------------------------------------------------
+    # Reference-segment builders
+    # ------------------------------------------------------------------
+    def element(self, i: int, j: int | None = None, count: int = 1) -> RefSegment:
+        """A segment referencing one element ``count`` times (stride 0)."""
+        return RefSegment(
+            base=self.addr(i, j), stride=0, count=count, element_size=self.element_size
+        )
+
+    def vector(
+        self, start: int = 0, count: int | None = None, step: int = 1
+    ) -> RefSegment:
+        """A walk of a 1-D array from ``start``, every ``step`` elements."""
+        if self.ndim != 1:
+            raise ValueError(f"{self.name} is 2-D; use row()/column()")
+        if count is None:
+            count = (self.shape[0] - start + step - 1) // step
+        self._check_span(start, count, 0, step)
+        return RefSegment(
+            base=self.addr(start),
+            stride=self._row_stride * step,
+            count=count,
+            element_size=self.element_size,
+        )
+
+    def column(
+        self, j: int, start: int = 0, count: int | None = None, step: int = 1
+    ) -> RefSegment:
+        """A walk down column ``j``: elements ``[start::step, j]``.
+
+        ``step > 1`` models red-black (checkerboard) sweeps.
+        """
+        self._require_2d()
+        if count is None:
+            count = (self.shape[0] - start + step - 1) // step
+        self._check_span(start, count, 0, step)
+        return RefSegment(
+            base=self.addr(start, j),
+            stride=self._row_stride * step,
+            count=count,
+            element_size=self.element_size,
+        )
+
+    def row(
+        self, i: int, start: int = 0, count: int | None = None, step: int = 1
+    ) -> RefSegment:
+        """A walk along row ``i``: elements ``[i, start::step]``."""
+        self._require_2d()
+        if count is None:
+            count = (self.shape[1] - start + step - 1) // step
+        self._check_span(start, count, 1, step)
+        return RefSegment(
+            base=self.addr(i, start),
+            stride=self._col_stride * step,
+            count=count,
+            element_size=self.element_size,
+        )
+
+    def column_base(self, j: int) -> int:
+        """Address of the first element of column ``j`` — the natural 2-D hint
+        for Fortran programs (the paper passes ``A[1, i]`` and ``B[1, j]``)."""
+        return self.addr(0, j)
+
+    def row_base(self, i: int) -> int:
+        """Address of the first element of row ``i``."""
+        return self.addr(i, 0)
+
+    def _require_2d(self) -> None:
+        if self.ndim != 2:
+            raise ValueError(f"{self.name} is 1-D; use vector()")
+
+    def _check_span(self, start: int, count: int, axis: int, step: int = 1) -> None:
+        require_positive(count, "count")
+        require_positive(step, "step")
+        self._check_index(start, axis)
+        self._check_index(start + (count - 1) * step, axis)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ArrayHandle({self.name!r}, base=0x{self.base:x}, shape={self.shape}, "
+            f"element_size={self.element_size}, layout={self.layout.value})"
+        )

@@ -1,0 +1,38 @@
+"""Array storage layouts.
+
+The paper's first three applications are Fortran (column-major); N-body is
+C (row-major).  Section 4 notes "Either layout works with our scheduler" —
+the layout only changes which index is contiguous in memory, which in turn
+changes which traversal is cache-friendly.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Layout(enum.Enum):
+    """Storage order of a 2-D array."""
+
+    ROW_MAJOR = "row-major"
+    COLUMN_MAJOR = "column-major"
+
+    def strides(self, rows: int, cols: int, element_size: int) -> tuple[int, int]:
+        """Byte strides ``(row_stride, col_stride)`` for a ``rows x cols`` array.
+
+        ``row_stride`` is the byte distance between ``A[i, j]`` and
+        ``A[i+1, j]``; ``col_stride`` between ``A[i, j]`` and ``A[i, j+1]``.
+        """
+        if self is Layout.ROW_MAJOR:
+            return cols * element_size, element_size
+        return element_size, rows * element_size
+
+    @property
+    def contiguous_axis(self) -> int:
+        """The axis along which consecutive elements are adjacent in memory.
+
+        Axis 0 is the row index ``i``, axis 1 the column index ``j``.  For
+        column-major storage, walking down a column (varying ``i``) is
+        contiguous, so the contiguous axis is 0.
+        """
+        return 0 if self is Layout.COLUMN_MAJOR else 1

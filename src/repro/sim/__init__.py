@@ -1,0 +1,15 @@
+"""Simulation engine: run a traced program on a machine model.
+
+A *traced program* is a callable taking a :class:`SimContext` — which
+bundles the machine, a fresh cache hierarchy, a trace recorder, and an
+address space — performing its real computation while describing its
+memory behaviour to the recorder.  :class:`Simulator` runs one and
+returns a :class:`SimResult`: reference/miss counts shaped like the
+paper's cache tables and a modeled time from the paper's crude analysis.
+"""
+
+from repro.sim.context import SimContext
+from repro.sim.engine import Simulator
+from repro.sim.result import SimResult
+
+__all__ = ["SimContext", "Simulator", "SimResult"]

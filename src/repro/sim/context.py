@@ -1,0 +1,109 @@
+"""The execution context handed to traced programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.package import ThreadPackage
+from repro.core.policies import TraversalPolicy
+from repro.machine.spec import MachineSpec
+from repro.mem.allocator import AddressSpace
+from repro.mem.arrays import ArrayHandle
+from repro.mem.layout import Layout
+from repro.trace.costmodel import DEFAULT_THREAD_COSTS, ThreadCostModel
+from repro.trace.recorder import TraceRecorder
+
+
+@dataclass
+class SimContext:
+    """Everything a traced program needs to run under simulation.
+
+    Programs allocate their arrays through :meth:`allocate_array`, record
+    references through :attr:`recorder`, and (for threaded versions)
+    obtain an instrumented thread package through
+    :meth:`make_thread_package`.
+    """
+
+    machine: MachineSpec
+    hierarchy: CacheHierarchy
+    recorder: TraceRecorder
+    space: AddressSpace
+    packages: list[ThreadPackage] = field(default_factory=list)
+
+    def allocate_array(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        element_size: int = 8,
+        layout: Layout = Layout.COLUMN_MAJOR,
+    ) -> ArrayHandle:
+        """Allocate a named array in the simulated address space."""
+        size = element_size
+        for dim in shape:
+            size *= dim
+        region = self.space.allocate(name, size)
+        return ArrayHandle(
+            name, region.base, shape, element_size=element_size, layout=layout
+        )
+
+    def make_thread_package(
+        self,
+        block_size: int = 0,
+        hash_size: int = 0,
+        fold_symmetric: bool = False,
+        policy: str | TraversalPolicy = "creation",
+        costs: ThreadCostModel = DEFAULT_THREAD_COSTS,
+    ) -> ThreadPackage:
+        """An instrumented thread package wired to this context's recorder.
+
+        The package's own memory behaviour (thread records, bin headers,
+        hash probes) is simulated alongside the application's.
+        """
+        return self._register(
+            ThreadPackage,
+            block_size=block_size,
+            hash_size=hash_size,
+            fold_symmetric=fold_symmetric,
+            policy=policy,
+            costs=costs,
+        )
+
+    def make_dependent_thread_package(
+        self,
+        block_size: int = 0,
+        hash_size: int = 0,
+        fold_symmetric: bool = False,
+        policy: str | TraversalPolicy = "creation",
+        costs: ThreadCostModel = DEFAULT_THREAD_COSTS,
+    ):
+        """An instrumented :class:`~repro.core.deps.DependentThreadPackage`
+        (the Section 6 dependency extension)."""
+        from repro.core.deps import DependentThreadPackage
+
+        return self._register(
+            DependentThreadPackage,
+            block_size=block_size,
+            hash_size=hash_size,
+            fold_symmetric=fold_symmetric,
+            policy=policy,
+            costs=costs,
+        )
+
+    def _register(self, factory, **kwargs) -> ThreadPackage:
+        package = factory(
+            l2_size=self.machine.l2.size,
+            recorder=self.recorder,
+            address_space=self.space,
+            **kwargs,
+        )
+        self.packages.append(package)
+        return package
+
+    @property
+    def total_forks(self) -> int:
+        return sum(p.total_forks for p in self.packages)
+
+    @property
+    def total_dispatches(self) -> int:
+        return sum(p.total_dispatches for p in self.packages)

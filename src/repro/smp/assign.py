@@ -1,0 +1,86 @@
+"""Bin-to-processor assignment policies.
+
+The unit of assignment is the bin: splitting one would destroy exactly
+the locality the scheduler created.  Policies trade load balance against
+affinity:
+
+* ``round_robin`` — bins dealt in ready-list order; adjacent bins (which
+  often share a block along one dimension) land on different processors.
+* ``chunked`` — contiguous runs of the ready list per processor, keeping
+  block-sharing neighbours together.
+* ``lpt_balance`` — longest-processing-time greedy on thread counts: the
+  classic makespan heuristic, best when bins are uneven (N-body).
+* ``affinity_hash`` — processor = hash of the block coordinates: the
+  same block always lands on the same processor, so re-runs (iterative
+  programs) find their data still cached — cache-affinity scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.bins import Bin
+
+AssignmentPolicy = Callable[[list[Bin], int], list[list[Bin]]]
+
+
+def round_robin(bins: list[Bin], processors: int) -> list[list[Bin]]:
+    """Deal bins to processors in ready-list order."""
+    queues: list[list[Bin]] = [[] for _ in range(processors)]
+    for index, bin_ in enumerate(bins):
+        queues[index % processors].append(bin_)
+    return queues
+
+
+def chunked(bins: list[Bin], processors: int) -> list[list[Bin]]:
+    """Contiguous slices of the ready list, one per processor."""
+    queues: list[list[Bin]] = [[] for _ in range(processors)]
+    if not bins:
+        return queues
+    per_cpu = -(-len(bins) // processors)
+    for cpu in range(processors):
+        queues[cpu] = bins[cpu * per_cpu : (cpu + 1) * per_cpu]
+    return queues
+
+
+def lpt_balance(bins: list[Bin], processors: int) -> list[list[Bin]]:
+    """Longest-processing-time-first greedy by thread count."""
+    queues: list[list[Bin]] = [[] for _ in range(processors)]
+    loads = [0] * processors
+    for bin_ in sorted(bins, key=lambda b: b.thread_count, reverse=True):
+        cpu = loads.index(min(loads))
+        queues[cpu].append(bin_)
+        loads[cpu] += bin_.thread_count
+    return queues
+
+
+def affinity_hash(bins: list[Bin], processors: int) -> list[list[Bin]]:
+    """Processor chosen by hashing the block coordinates (stable across
+    runs: the same block's data stays warm on the same processor)."""
+    queues: list[list[Bin]] = [[] for _ in range(processors)]
+    for bin_ in bins:
+        c1, c2, c3 = bin_.key
+        cpu = (c1 * 0x9E3779B1 + c2 * 0x85EBCA77 + c3 * 0xC2B2AE3D) % processors
+        queues[cpu].append(bin_)
+    return queues
+
+
+ASSIGNMENT_POLICIES: dict[str, AssignmentPolicy] = {
+    "round_robin": round_robin,
+    "chunked": chunked,
+    "lpt": lpt_balance,
+    "affinity": affinity_hash,
+}
+
+
+def resolve_assignment(policy: str | AssignmentPolicy) -> AssignmentPolicy:
+    """Look up a policy by name, or pass a callable through."""
+    if callable(policy):
+        return policy
+    try:
+        return ASSIGNMENT_POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown assignment policy {policy!r}; choose from "
+            f"{sorted(ASSIGNMENT_POLICIES)}"
+        ) from None

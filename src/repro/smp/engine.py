@@ -1,0 +1,248 @@
+"""The SMP simulator: per-processor cache simulation + makespan timing.
+
+Existing traced programs run unchanged: :class:`SmpContext` mirrors the
+uniprocessor :class:`~repro.sim.context.SimContext` interface, and any
+``make_thread_package`` it hands out fans bins across processors.
+
+The timing model (documented in DESIGN.md's SMP section): forking is a
+serial section on processor 0 charged at the Table 1 fork cost; each
+processor then executes its bin queue, its time estimated from its own
+instruction/miss counts by the paper's crude analysis, plus a fixed
+dispatch cost per bin handed to it; the modeled parallel time
+(makespan) is the serial section plus the slowest processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.cache.hierarchy import HierarchyStats
+from repro.core.policies import TraversalPolicy
+from repro.core.stats import SchedulingStats
+from repro.machine.timing import TimeBreakdown, TimingInputs, TimingModel
+from repro.mem.allocator import AddressSpace
+from repro.mem.arrays import ArrayHandle
+from repro.mem.layout import Layout
+from repro.smp.assign import AssignmentPolicy
+from repro.smp.machine import SmpMachine
+from repro.smp.package import SmpThreadPackage
+from repro.smp.recorder import SwitchableRecorder
+from repro.trace.costmodel import DEFAULT_THREAD_COSTS, ThreadCostModel
+from repro.trace.recorder import TraceRecorder
+
+
+@dataclass
+class SmpContext:
+    """Drop-in replacement for ``SimContext`` on an SMP machine."""
+
+    smp: SmpMachine
+    recorder: SwitchableRecorder
+    space: AddressSpace
+    assignment: str | AssignmentPolicy
+    packages: list[SmpThreadPackage] = field(default_factory=list)
+
+    @property
+    def machine(self):
+        """The per-processor machine (programs size blocks from its L2)."""
+        return self.smp.base
+
+    @property
+    def hierarchy(self):
+        """The *current* processor's hierarchy."""
+        return self.recorder.hierarchy
+
+    def allocate_array(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        element_size: int = 8,
+        layout: Layout = Layout.COLUMN_MAJOR,
+    ) -> ArrayHandle:
+        size = element_size
+        for dim in shape:
+            size *= dim
+        region = self.space.allocate(name, size)
+        return ArrayHandle(
+            name, region.base, shape, element_size=element_size, layout=layout
+        )
+
+    def make_thread_package(
+        self,
+        block_size: int = 0,
+        hash_size: int = 0,
+        fold_symmetric: bool = False,
+        policy: str | TraversalPolicy = "creation",
+        costs: ThreadCostModel = DEFAULT_THREAD_COSTS,
+    ) -> SmpThreadPackage:
+        package = SmpThreadPackage(
+            self.smp.base.l2.size,
+            block_size=block_size,
+            hash_size=hash_size,
+            fold_symmetric=fold_symmetric,
+            policy=policy,
+            smp_recorder=self.recorder,
+            assignment=self.assignment,
+            address_space=self.space,
+            costs=costs,
+        )
+        self.packages.append(package)
+        return package
+
+    @property
+    def total_forks(self) -> int:
+        return sum(p.total_forks for p in self.packages)
+
+
+@dataclass(frozen=True)
+class CpuReport:
+    """One processor's share of the run."""
+
+    cpu: int
+    stats: HierarchyStats
+    app_instructions: int
+    dispatches: int
+    bins: int
+    exec_time: TimeBreakdown
+    dispatch_time: float
+
+    @property
+    def busy_seconds(self) -> float:
+        return self.exec_time.total + self.dispatch_time
+
+
+@dataclass(frozen=True)
+class SmpResult:
+    """Everything measured from one SMP run."""
+
+    program: str
+    machine: str
+    processors: int
+    assignment: str
+    cpus: list[CpuReport]
+    forks: int
+    fork_time: float
+    sched: SchedulingStats | None
+    write_shared_lines: int
+    written_lines: int
+    payload: Any = None
+
+    @property
+    def makespan(self) -> float:
+        """Serial fork section plus the slowest processor."""
+        slowest = max((c.busy_seconds for c in self.cpus), default=0.0)
+        return self.fork_time + slowest
+
+    @property
+    def total_l2_misses(self) -> int:
+        return sum(c.stats.l2.misses for c in self.cpus)
+
+    @property
+    def busy_seconds(self) -> list[float]:
+        return [c.busy_seconds for c in self.cpus]
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean busy time across processors (1.0 = perfect)."""
+        busy = self.busy_seconds
+        mean = sum(busy) / len(busy)
+        if mean == 0:
+            return 1.0
+        return max(busy) / mean
+
+    def speedup_over(self, serial_seconds: float) -> float:
+        """Speedup of this run's makespan over a serial time."""
+        if self.makespan == 0:
+            return float("inf")
+        return serial_seconds / self.makespan
+
+    def summary(self) -> str:
+        busy = ", ".join(f"{b:.3f}" for b in self.busy_seconds)
+        return (
+            f"{self.program} on {self.machine} ({self.assignment}): "
+            f"makespan {self.makespan:.3f}s (fork {self.fork_time:.3f}s; "
+            f"busy [{busy}]), {self.total_l2_misses:,} L2 misses, "
+            f"{self.write_shared_lines:,} write-shared lines"
+        )
+
+
+class SmpSimulator:
+    """Runs traced programs on an :class:`SmpMachine`."""
+
+    def __init__(self, machine: SmpMachine) -> None:
+        self.machine = machine
+        self.timing = TimingModel(machine.base)
+
+    def run(
+        self,
+        program: Callable[[SmpContext], Any],
+        assignment: str | AssignmentPolicy = "chunked",
+        name: str | None = None,
+        code_footprint: int = 4096,
+    ) -> SmpResult:
+        hierarchies = self.machine.build_hierarchies()
+        recorders = [TraceRecorder(h) for h in hierarchies]
+        switchable = SwitchableRecorder(
+            recorders, self.machine.base.l2.line_bits
+        )
+        space = AddressSpace(stagger=3 * self.machine.base.l2.line_size)
+        context = SmpContext(
+            smp=self.machine,
+            recorder=switchable,
+            space=space,
+            assignment=assignment,
+        )
+        if code_footprint:
+            for hierarchy in hierarchies:
+                hierarchy.charge_code_footprint(code_footprint)
+        payload = program(context)
+
+        cpus = []
+        for cpu, (hierarchy, recorder) in enumerate(zip(hierarchies, recorders)):
+            stats = hierarchy.snapshot()
+            exec_time = self.timing.estimate(
+                TimingInputs(
+                    instructions=recorder.app_instructions,
+                    l1_misses=stats.l1.misses,
+                    l2_misses=stats.l2.misses,
+                    forks=0,
+                    thread_runs=sum(
+                        p.cpu_dispatches[cpu] for p in context.packages
+                    ),
+                )
+            )
+            bins = sum(p.cpu_bins[cpu] for p in context.packages)
+            cpus.append(
+                CpuReport(
+                    cpu=cpu,
+                    stats=stats,
+                    app_instructions=recorder.app_instructions,
+                    dispatches=sum(
+                        p.cpu_dispatches[cpu] for p in context.packages
+                    ),
+                    bins=bins,
+                    exec_time=exec_time,
+                    dispatch_time=bins * self.machine.dispatch_cost_s,
+                )
+            )
+        forks = context.total_forks
+        sched = None
+        for package in context.packages:
+            if package.run_history:
+                sched = package.run_history[-1]
+        assignment_name = assignment if isinstance(assignment, str) else getattr(
+            assignment, "__name__", "custom"
+        )
+        return SmpResult(
+            program=name or getattr(program, "__name__", "program"),
+            machine=self.machine.name,
+            processors=self.machine.processors,
+            assignment=assignment_name,
+            cpus=cpus,
+            forks=forks,
+            fork_time=forks * self.machine.base.fork_cost_s,
+            sched=sched,
+            write_shared_lines=switchable.write_shared_lines,
+            written_lines=switchable.written_lines,
+            payload=payload,
+        )

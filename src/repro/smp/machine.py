@@ -1,0 +1,38 @@
+"""Multiprocessor machine model: P identical processors, shared memory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.machine.spec import MachineSpec
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class SmpMachine:
+    """P copies of ``base`` with private cache hierarchies.
+
+    The model matches mid-90s SMPs (and the paper's framing): private
+    L1/L2 per processor, a shared DRAM behind them.  ``dispatch_cost_s``
+    is the extra per-bin cost of handing a bin to a remote processor
+    (queue insertion + initial cache warm-up is already captured by the
+    cache simulation itself).
+    """
+
+    base: MachineSpec
+    processors: int
+    dispatch_cost_s: float = 2.0e-6
+
+    def __post_init__(self) -> None:
+        require_positive(self.processors, "processors")
+        if self.dispatch_cost_s < 0:
+            raise ValueError("dispatch_cost_s must be non-negative")
+
+    @property
+    def name(self) -> str:
+        return f"{self.base.name}x{self.processors}"
+
+    def build_hierarchies(self) -> list[CacheHierarchy]:
+        """One private cache hierarchy per processor."""
+        return [self.base.build_hierarchy() for _ in range(self.processors)]

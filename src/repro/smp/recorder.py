@@ -1,0 +1,105 @@
+"""A recorder proxy that routes references to the executing processor.
+
+Traced programs bind ``ctx.recorder`` once, so redirecting their
+references to whichever processor is currently running requires a proxy
+with a mutable target.  The proxy also keeps the false-sharing ledger:
+every L2 line written from a processor is recorded, and lines written
+from more than one processor are reported (on a real SMP those lines
+would ping-pong under an invalidate protocol; the paper's workloads
+mostly avoid this because bins group neighbouring writes).
+"""
+
+from __future__ import annotations
+
+from repro.mem.arrays import RefSegment
+from repro.trace.recorder import TraceRecorder, segment_to_lines
+
+
+class SwitchableRecorder:
+    """Forwards the :class:`TraceRecorder` interface to ``current`` CPU."""
+
+    def __init__(self, recorders: list[TraceRecorder], l2_line_bits: int) -> None:
+        if not recorders:
+            raise ValueError("need at least one recorder")
+        self.recorders = recorders
+        self.current = 0
+        self._l2_line_bits = l2_line_bits
+        #: L2 line -> set of processors that wrote it.
+        self._writers: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    @property
+    def target(self) -> TraceRecorder:
+        return self.recorders[self.current]
+
+    def switch_to(self, cpu: int) -> None:
+        if not 0 <= cpu < len(self.recorders):
+            raise IndexError(f"no processor {cpu}")
+        self.current = cpu
+
+    # ------------------------------------------------------------------
+    # TraceRecorder interface (forwarded)
+    # ------------------------------------------------------------------
+    def record(self, segment: RefSegment, writes: int = 0) -> None:
+        if writes:
+            self._note_writes(segment)
+        self.target.record(segment, writes=writes)
+
+    def record_interleaved(self, segments, writes: int = 0) -> None:
+        if writes:
+            for segment in segments:
+                self._note_writes(segment)
+        self.target.record_interleaved(segments, writes=writes)
+
+    def record_lines(self, lines, counts=None, writes: int = 0) -> None:
+        if writes:
+            shift = self._l2_line_bits - self.target.hierarchy.l1d.config.line_bits
+            for line in lines:
+                self._writers.setdefault(line >> shift, set()).add(self.current)
+        self.target.record_lines(lines, counts, writes=writes)
+
+    def count_instructions(self, count: int) -> None:
+        self.target.count_instructions(count)
+
+    def count_thread_instructions(self, count: int) -> None:
+        self.target.count_thread_instructions(count)
+
+    def line_of(self, address: int) -> int:
+        return self.target.line_of(address)
+
+    @property
+    def hierarchy(self):
+        return self.target.hierarchy
+
+    @property
+    def app_instructions(self) -> int:
+        return sum(r.app_instructions for r in self.recorders)
+
+    @property
+    def thread_instructions(self) -> int:
+        return sum(r.thread_instructions for r in self.recorders)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(r.total_instructions for r in self.recorders)
+
+    # ------------------------------------------------------------------
+    # False-sharing ledger
+    # ------------------------------------------------------------------
+    def _note_writes(self, segment: RefSegment) -> None:
+        lines, _counts = segment_to_lines(segment, self._l2_line_bits)
+        cpu = self.current
+        writers = self._writers
+        for line in lines:
+            writers.setdefault(line, set()).add(cpu)
+
+    @property
+    def write_shared_lines(self) -> int:
+        """L2 lines written from more than one processor."""
+        return sum(1 for cpus in self._writers.values() if len(cpus) > 1)
+
+    @property
+    def written_lines(self) -> int:
+        return len(self._writers)

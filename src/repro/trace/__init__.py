@@ -1,0 +1,21 @@
+"""Address-trace generation — the reproduction's analog of Pixie.
+
+The paper produced address traces by instrumenting compiled binaries with
+Pixie and fed them to a modified DineroIII.  Here the applications are
+*traced programs*: they perform their real computation on numpy arrays
+and, as they go, describe their memory references to a
+:class:`TraceRecorder` as strided segments.  The recorder converts the
+segments to L1-line-granularity run-length-compressed streams and feeds
+them straight into a :class:`~repro.cache.hierarchy.CacheHierarchy`
+(streaming: no trace is ever materialised in full).
+"""
+
+from repro.trace.costmodel import ThreadCostModel, DEFAULT_THREAD_COSTS
+from repro.trace.recorder import TraceRecorder, segment_to_lines
+
+__all__ = [
+    "TraceRecorder",
+    "segment_to_lines",
+    "ThreadCostModel",
+    "DEFAULT_THREAD_COSTS",
+]

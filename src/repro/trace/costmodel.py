@@ -1,0 +1,55 @@
+"""Instruction-cost constants for the thread package itself.
+
+Application instruction costs (instructions per inner-loop iteration)
+live with each application in :mod:`repro.apps`, sourced from the paper's
+reported inner-loop instruction mixes.  This module holds the cost of the
+*thread package's* own work, calibrated against the deltas visible in the
+paper's Table 3: the threaded matrix multiply executes ~163 more
+instructions and ~44 more data references per thread than the equivalent
+loop nest, split between ``th_fork`` (thread-record creation, hashing,
+bin insertion) and ``th_run`` (dispatch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class ThreadCostModel:
+    """Per-thread instruction and data-reference costs of the package.
+
+    ``slot_size`` is the bytes of the per-thread record inside a thread
+    group (function pointer, two arguments, link/count sharing): these
+    records stream through the cache and are the source of the threaded
+    versions' extra compulsory misses in the paper's Table 3.
+    ``fork_extra_refs``/``run_extra_refs`` count the bookkeeping
+    references (hash-table probe, bin-header touch) recorded on top of
+    the thread-record write/read itself.
+    """
+
+    fork_instructions: int = 110
+    fork_extra_refs: int = 3
+    run_instructions: int = 20
+    run_extra_refs: int = 2
+    slot_size: int = 32
+    group_capacity: int = 256
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.fork_instructions, "fork_instructions")
+        require_non_negative(self.fork_extra_refs, "fork_extra_refs")
+        require_non_negative(self.run_instructions, "run_instructions")
+        require_non_negative(self.run_extra_refs, "run_extra_refs")
+        require_positive(self.slot_size, "slot_size")
+        require_positive(self.group_capacity, "group_capacity")
+
+    @property
+    def group_bytes(self) -> int:
+        """Bytes of thread-record storage per thread group."""
+        return self.slot_size * self.group_capacity
+
+
+#: Default thread costs used by every experiment.
+DEFAULT_THREAD_COSTS = ThreadCostModel()

@@ -1,0 +1,19 @@
+"""Shared utilities: validation helpers and text-table rendering."""
+
+from repro.util.tables import TextTable, format_count, format_seconds
+from repro.util.validation import (
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_power_of_two,
+)
+
+__all__ = [
+    "TextTable",
+    "format_count",
+    "format_seconds",
+    "require_in_range",
+    "require_non_negative",
+    "require_positive",
+    "require_power_of_two",
+]

@@ -1,0 +1,79 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment in :mod:`repro.exp` renders its result the way the paper
+prints its tables: a caption, a header row, and right-aligned numeric
+columns.  ``TextTable`` is a tiny formatter that produces that layout
+without pulling in any dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_count(value: int | float) -> str:
+    """Format a reference/miss count with thousands separators."""
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.1f}"
+    return f"{int(value):,}"
+
+
+def format_seconds(value: float) -> str:
+    """Format a modeled time in seconds with two decimals, like the paper."""
+    return f"{value:.2f}"
+
+
+class TextTable:
+    """Accumulate rows and render them as an aligned plain-text table.
+
+    >>> t = TextTable(["Version", "R8000", "R10000"], title="Table 2")
+    >>> t.add_row(["Threaded", 20.32, 16.85])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.columns = list(columns)
+        self._rows: list[list[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append a row; cells are stringified (floats get 2 decimals)."""
+        row = []
+        for cell in cells:
+            if isinstance(cell, float):
+                row.append(f"{cell:,.2f}")
+            elif isinstance(cell, int):
+                row.append(f"{cell:,}")
+            else:
+                row.append(str(cell))
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self._rows.append(row)
+
+    @property
+    def rows(self) -> list[list[str]]:
+        """The formatted rows added so far (copies, safe to mutate)."""
+        return [list(row) for row in self._rows]
+
+    def render(self) -> str:
+        """Render the table as aligned text with a rule under the header."""
+        widths = [len(col) for col in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            # First column left-aligned (row labels), the rest right-aligned.
+            parts = [cells[0].ljust(widths[0])]
+            parts += [c.rjust(w) for c, w in zip(cells[1:], widths[1:])]
+            return "  ".join(parts).rstrip()
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.columns))
+        lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+        lines.extend(fmt(row) for row in self._rows)
+        return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Cross-machine invariants: the same program on both paper machines."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul import MatmulConfig, VERSIONS
+from repro.machine.presets import r8000, r10000
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture(scope="module")
+def both():
+    cfg = MatmulConfig(n=48)
+    return {
+        "r8000": Simulator(r8000(256)).run(VERSIONS["threaded"](cfg)),
+        "r10000": Simulator(r10000(256)).run(VERSIONS["threaded"](cfg)),
+    }
+
+
+class TestMachineIndependentQuantities:
+    def test_numerics_identical_across_machines(self, both):
+        np.testing.assert_array_equal(
+            both["r8000"].payload["C"], both["r10000"].payload["C"]
+        )
+
+    def test_reference_counts_nearly_identical(self, both):
+        # The application's stream is machine-independent; the thread
+        # package's bookkeeping differs slightly (the default block size
+        # tracks the L2, so the bin structures differ).
+        assert (
+            both["r8000"].app_instructions == both["r10000"].app_instructions
+        )
+        difference = abs(both["r8000"].data_refs - both["r10000"].data_refs)
+        assert difference < 0.01 * both["r8000"].data_refs
+
+    def test_fork_counts_identical(self, both):
+        assert both["r8000"].forks == both["r10000"].forks
+
+
+class TestMachineDependentQuantities:
+    def test_default_block_sizes_differ_with_l2(self, both):
+        # R8000 L2 is twice the R10000's, so the default C/2 block is too:
+        # the same program lands in different bin structures.
+        assert both["r8000"].sched.bins != both["r10000"].sched.bins or (
+            both["r8000"].sched.threads == both["r10000"].sched.threads
+        )
+
+    def test_r10000_faster_clock_lower_instruction_time(self, both):
+        assert (
+            both["r10000"].time.instruction_time
+            < both["r8000"].time.instruction_time
+        )
+
+    def test_miss_counts_differ_between_geometries(self, both):
+        # 2-way 16 KB/256 L2 vs 4-way 32 KB/256 L2 cannot behave alike
+        # under capacity pressure.
+        assert both["r8000"].l2_misses != both["r10000"].l2_misses
+
+
+class TestPaperMachineOrdering:
+    def test_r10000_models_faster_overall(self):
+        """Every Table 2/4/6/8 row is faster on the R10000; our model
+        must preserve that (faster clock dominates)."""
+        cfg = MatmulConfig(n=48)
+        for name in ("interchanged", "threaded"):
+            slow = Simulator(r8000(256)).run(VERSIONS[name](cfg))
+            fast = Simulator(r10000(256)).run(VERSIONS[name](cfg))
+            assert fast.modeled_seconds < slow.modeled_seconds, name

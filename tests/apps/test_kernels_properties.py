@@ -1,0 +1,117 @@
+"""Property-based tests for the numeric kernels behind the apps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.apps.sor.kernels import (
+    sor_column_update,
+    sor_column_update_scalar,
+    sor_reference,
+)
+
+
+def grids(min_side=4, max_side=20):
+    side = st.integers(min_side, max_side)
+    return side.flatmap(
+        lambda n: arrays(
+            np.float64,
+            (n, n),
+            elements=st.floats(-10, 10, allow_nan=False, width=64),
+        )
+    )
+
+
+class TestSorColumnUpdate:
+    @settings(max_examples=40, deadline=None)
+    @given(a=grids())
+    def test_property_lfilter_matches_scalar(self, a):
+        n = a.shape[0]
+        for j in range(1, n - 1):
+            fast = a.copy()
+            slow = a.copy()
+            sor_column_update(fast, j)
+            sor_column_update_scalar(slow, j)
+            np.testing.assert_allclose(fast, slow, rtol=1e-10, atol=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=grids())
+    def test_property_boundary_rows_untouched(self, a):
+        out = a.copy()
+        for j in range(1, a.shape[0] - 1):
+            sor_column_update(out, j)
+        np.testing.assert_array_equal(out[0, :], a[0, :])
+        np.testing.assert_array_equal(out[-1, :], a[-1, :])
+        np.testing.assert_array_equal(out[:, 0], a[:, 0])
+        np.testing.assert_array_equal(out[:, -1], a[:, -1])
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=grids(min_side=5, max_side=12), t=st.integers(1, 4))
+    def test_property_column_sweeps_equal_row_order_reference(self, a, t):
+        fast = a.copy()
+        for _ in range(t):
+            for j in range(1, a.shape[0] - 1):
+                sor_column_update(fast, j)
+        np.testing.assert_allclose(
+            fast, sor_reference(a, t), rtol=1e-9, atol=1e-9
+        )
+
+    def test_constant_grid_is_a_fixed_point(self):
+        a = np.ones((10, 10))
+        out = a.copy()
+        for j in range(1, 9):
+            sor_column_update(out, j)
+        np.testing.assert_allclose(out, a, rtol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=grids(min_side=6, max_side=14))
+    def test_property_update_is_linear(self, a):
+        """The sweep is an affine (here linear) operator: S(x+y) = S(x)+S(y)."""
+        b = np.roll(a, 1, axis=0)  # an independent-ish second grid
+
+        def sweep(grid):
+            out = grid.copy()
+            for j in range(1, grid.shape[0] - 1):
+                sor_column_update(out, j)
+            return out
+
+        combined = sweep(a + b)
+        np.testing.assert_allclose(
+            combined, sweep(a) + sweep(b), rtol=1e-8, atol=1e-8
+        )
+
+
+class TestBarnesHutKernels:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(2, 40),
+        seed=st.integers(0, 1000),
+        shift=st.floats(-5, 5, allow_nan=False),
+    )
+    def test_property_acceleration_translation_invariant(self, n, seed, shift):
+        from repro.apps.nbody.tree import BarnesHutTree
+
+        rng = np.random.default_rng(seed)
+        pos = rng.random((n, 3))
+        mass = np.full(n, 1.0 / n)
+        base = BarnesHutTree(pos, mass, theta=0.5)
+        moved = BarnesHutTree(pos + shift, mass, theta=0.5)
+        for i in range(min(n, 5)):
+            a0, _ = base.acceleration(i)
+            a1, _ = moved.acceleration(i)
+            np.testing.assert_allclose(a0, a1, rtol=1e-8, atol=1e-10)
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(3, 30), seed=st.integers(0, 100))
+    def test_property_mass_scaling_scales_acceleration(self, n, seed):
+        from repro.apps.nbody.tree import BarnesHutTree
+
+        rng = np.random.default_rng(seed)
+        pos = rng.random((n, 3))
+        mass = rng.random(n) + 0.1
+        single = BarnesHutTree(pos, mass, theta=0.5)
+        double = BarnesHutTree(pos, 2 * mass, theta=0.5)
+        a1, _ = single.acceleration(0)
+        a2, _ = double.acceleration(0)
+        np.testing.assert_allclose(a2, 2 * a1, rtol=1e-9, atol=1e-12)

@@ -1,0 +1,129 @@
+"""Tests for the matmul traced programs."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul import MatmulConfig, VERSIONS
+from repro.machine.presets import r8000
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture(scope="module")
+def results():
+    """All five versions at a small-but-pressured scale (n=48, L2/256)."""
+    cfg = MatmulConfig(n=48)
+    sim = Simulator(r8000(256))
+    return {name: sim.run(factory(cfg)) for name, factory in VERSIONS.items()}
+
+
+class TestNumericEquivalence:
+    def test_all_versions_compute_the_same_product(self, results):
+        reference = None
+        for name, result in results.items():
+            a, b, c = (result.payload[k] for k in ("A", "B", "C"))
+            if reference is None:
+                reference = a @ b
+            np.testing.assert_allclose(
+                c, reference, rtol=1e-10, err_msg=f"version {name}"
+            )
+
+    def test_inputs_identical_across_versions(self, results):
+        mats = [r.payload["A"] for r in results.values()]
+        for m in mats[1:]:
+            np.testing.assert_array_equal(mats[0], m)
+
+
+class TestReferenceCounts:
+    def test_untiled_three_refs_per_madd(self, results):
+        n = 48
+        refs = results["interchanged"].data_refs
+        assert refs == pytest.approx(3 * n**3, rel=0.05)
+
+    def test_transposed_two_refs_per_madd(self, results):
+        n = 48
+        refs = results["transposed"].data_refs
+        # 2 per madd plus two in-place transposes (~2n^2 each).
+        assert refs == pytest.approx(2 * n**3 + 4 * n**2, rel=0.06)
+
+    def test_tiled_fewest_refs(self, results):
+        assert (
+            results["tiled_interchanged"].data_refs
+            < results["transposed"].data_refs
+            < results["interchanged"].data_refs
+        )
+
+    def test_instruction_ordering_matches_paper(self, results):
+        # Paper Table 3: tiled < threaded < untiled instruction counts.
+        tiled = results["tiled_interchanged"].app_instructions
+        threaded = results["threaded"].app_instructions
+        untiled = results["interchanged"].app_instructions
+        assert tiled < threaded < untiled
+
+    def test_threaded_counts_forks(self, results):
+        assert results["threaded"].forks == 48 * 48
+        assert results["threaded"].dispatches == 48 * 48
+
+
+@pytest.fixture(scope="module")
+def shaped_results():
+    """Three Table 3 versions at a scale where cache geometry is not
+    degenerate (n=96 against the 1/64 R8000: 2.25x the L2)."""
+    cfg = MatmulConfig(n=96)
+    sim = Simulator(r8000(64))
+    return {
+        name: sim.run(VERSIONS[name](cfg))
+        for name in ("interchanged", "tiled_interchanged", "threaded")
+    }
+
+
+class TestCacheShape:
+    def test_untiled_capacity_dominated(self, shaped_results):
+        untiled = shaped_results["interchanged"]
+        assert untiled.l2_capacity > 0.8 * untiled.l2_misses
+
+    def test_threaded_beats_untiled_on_l2(self, shaped_results):
+        assert (
+            shaped_results["threaded"].l2_misses
+            < 0.5 * shaped_results["interchanged"].l2_misses
+        )
+
+    def test_tiled_l2_near_compulsory(self, shaped_results):
+        tiled = shaped_results["tiled_interchanged"]
+        assert tiled.l2_misses < 8 * tiled.l2_compulsory
+
+    def test_threaded_schedules_into_multiple_bins(self, shaped_results):
+        sched = shaped_results["threaded"].sched
+        assert sched.bins > 4
+        assert sched.threads == 96 * 96
+
+
+class TestConfig:
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            MatmulConfig(n=0)
+
+    def test_matrix_bytes(self):
+        assert MatmulConfig(n=16).matrix_bytes == 16 * 16 * 8
+
+    def test_seed_reproducibility(self):
+        cfg = MatmulConfig(n=16, seed=7)
+        sim = Simulator(r8000(256))
+        first = sim.run(VERSIONS["interchanged"](cfg))
+        second = sim.run(VERSIONS["interchanged"](cfg))
+        np.testing.assert_array_equal(
+            first.payload["C"], second.payload["C"]
+        )
+        assert first.l2_misses == second.l2_misses
+
+    def test_custom_block_size_respected(self):
+        cfg = MatmulConfig(n=16, block_size=2048)
+        sim = Simulator(r8000(256))
+        result = sim.run(VERSIONS["threaded"](cfg))
+        assert result.sched.threads == 256
+
+    def test_fold_symmetric_runs(self):
+        cfg = MatmulConfig(n=16, fold_symmetric=True)
+        sim = Simulator(r8000(256))
+        result = sim.run(VERSIONS["threaded"](cfg))
+        ref = result.payload["A"] @ result.payload["B"]
+        np.testing.assert_allclose(result.payload["C"], ref, rtol=1e-10)

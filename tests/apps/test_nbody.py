@@ -1,0 +1,91 @@
+"""Tests for the N-body traced programs."""
+
+import numpy as np
+import pytest
+
+from repro.apps.nbody import NbodyConfig, VERSIONS
+from repro.machine.presets import r8000
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture(scope="module")
+def results():
+    cfg = NbodyConfig(bodies=400, iterations=2)
+    sim = Simulator(r8000(32, 32))
+    return {name: sim.run(factory(cfg)) for name, factory in VERSIONS.items()}
+
+
+class TestNumerics:
+    def test_threaded_identical_to_unthreaded(self, results):
+        """Forces are read from one tree before any position update, so
+        thread execution order cannot change the trajectory."""
+        for key in ("pos", "vel", "acc"):
+            np.testing.assert_array_equal(
+                results["unthreaded"].payload[key],
+                results["threaded"].payload[key],
+            )
+
+    def test_bodies_actually_move(self, results):
+        cfg = NbodyConfig(bodies=400, iterations=2)
+        sim = Simulator(r8000(32, 32))
+        one = sim.run(VERSIONS["unthreaded"](NbodyConfig(bodies=400, iterations=1)))
+        two = results["unthreaded"]
+        assert not np.array_equal(one.payload["pos"], two.payload["pos"])
+
+    def test_deterministic_across_runs(self):
+        sim = Simulator(r8000(32, 32))
+        cfg = NbodyConfig(bodies=100, iterations=1)
+        a = sim.run(VERSIONS["unthreaded"](cfg)).payload["pos"]
+        b = sim.run(VERSIONS["unthreaded"](cfg)).payload["pos"]
+        np.testing.assert_array_equal(a, b)
+
+    def test_uniform_distribution_option(self):
+        sim = Simulator(r8000(32, 32))
+        cfg = NbodyConfig(bodies=100, iterations=1, distribution="uniform")
+        result = sim.run(VERSIONS["threaded"](cfg))
+        assert result.payload["pos"].shape == (100, 3)
+
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(ValueError, match="clustered"):
+            NbodyConfig(distribution="spiral")
+
+
+class TestScheduling:
+    def test_one_thread_per_body_per_iteration(self, results):
+        assert results["threaded"].forks == 400 * 2
+        # The paper reports per-iteration distributions.
+        assert results["threaded"].sched.threads == 400
+
+    def test_clustered_bodies_give_uneven_bins(self, results):
+        sched = results["threaded"].sched
+        assert sched.coefficient_of_variation > 0.3
+
+    def test_bins_bounded_by_plane_partition(self, results):
+        # bins_per_axis=4 gives at most ~5^3 occupied bins (one spill
+        # block per axis at the cube boundary).
+        assert results["threaded"].sched.bins <= 125
+
+
+class TestCacheShape:
+    def test_threaded_reduces_l2_misses(self, results):
+        assert (
+            results["threaded"].l2_misses
+            < 0.8 * results["unthreaded"].l2_misses
+        )
+
+    def test_l1_within_noise(self, results):
+        ratio = results["threaded"].l1_misses / results["unthreaded"].l1_misses
+        assert 0.8 < ratio < 1.3
+
+    def test_instruction_overhead_small(self, results):
+        overhead = (
+            results["threaded"].inst_fetches
+            - results["unthreaded"].inst_fetches
+        )
+        assert 0 < overhead < 0.2 * results["unthreaded"].inst_fetches
+
+    def test_tree_slabs_allocated_per_iteration(self, results):
+        # The program rebuilds its tree every iteration (paper Section
+        # 4.4): two iterations leave two cell slabs in the address space.
+        refs = results["unthreaded"].data_refs
+        assert refs > 0  # sanity: the traversals were traced

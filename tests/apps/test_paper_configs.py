@@ -1,0 +1,35 @@
+"""The full-size (paper) workload presets carry the paper's parameters."""
+
+from repro.apps.matmul import MatmulConfig
+from repro.apps.nbody import NbodyConfig
+from repro.apps.pde import PdeConfig
+from repro.apps.sor import SorConfig
+from repro.machine.presets import r8000
+
+
+class TestPaperConfigs:
+    def test_matmul_paper_scale(self):
+        cfg = MatmulConfig.paper()
+        assert cfg.n == 1024
+        # 8 MB matrices against the full 2 MB L2: the 4x ratio every
+        # scaled experiment preserves.
+        assert cfg.matrix_bytes / r8000().l2.size == 4.0
+
+    def test_pde_paper_scale(self):
+        cfg = PdeConfig.paper()
+        assert cfg.n == 2049
+        assert cfg.iterations == 5
+
+    def test_sor_paper_scale(self):
+        cfg = SorConfig.paper()
+        assert (cfg.n, cfg.iterations, cfg.tile) == (2005, 30, 18)
+
+    def test_nbody_paper_scale(self):
+        cfg = NbodyConfig.paper()
+        assert cfg.bodies == 64_000
+        assert cfg.iterations == 4
+
+    def test_scaled_defaults_preserve_matmul_ratio(self):
+        full = MatmulConfig.paper().matrix_bytes / r8000().l2.size
+        scaled = MatmulConfig().matrix_bytes / r8000(64).l2.size
+        assert full == scaled

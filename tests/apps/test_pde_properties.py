@@ -1,0 +1,92 @@
+"""Property tests for the red-black PDE relaxation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.pde import PdeConfig, VERSIONS
+from repro.machine.presets import r8000
+from repro.sim.engine import Simulator
+
+
+def run(version, n, iterations, seed):
+    cfg = PdeConfig(n=n, iterations=iterations, seed=seed)
+    return Simulator(r8000(64)).run(VERSIONS[version](cfg)).payload
+
+
+class TestRedBlackProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.sampled_from([9, 17, 33]),
+        iterations=st.integers(1, 4),
+        seed=st.integers(0, 50),
+    )
+    def test_property_fused_orderings_bit_exact(self, n, iterations, seed):
+        regular = run("regular", n, iterations, seed)
+        conscious = run("cache_conscious", n, iterations, seed)
+        threaded = run("threaded", n, iterations, seed)
+        np.testing.assert_array_equal(regular["u"], conscious["u"])
+        np.testing.assert_array_equal(regular["u"], threaded["u"])
+        np.testing.assert_array_equal(regular["r"], conscious["r"])
+
+    @settings(max_examples=8, deadline=None)
+    @given(n=st.sampled_from([9, 17]), seed=st.integers(0, 30))
+    def test_property_zero_rhs_keeps_zero_solution(self, n, seed):
+        """With b == 0 and zero boundary, u stays identically zero."""
+        cfg = PdeConfig(n=n, iterations=3, seed=seed)
+        simulator = Simulator(r8000(64))
+        from repro.apps.pde.programs import _Grid
+
+        hierarchy = simulator.machine.build_hierarchy()
+        from repro.sim.context import SimContext
+        from repro.mem.allocator import AddressSpace
+        from repro.trace.recorder import TraceRecorder
+
+        ctx = SimContext(
+            machine=simulator.machine,
+            hierarchy=hierarchy,
+            recorder=TraceRecorder(hierarchy),
+            space=AddressSpace(),
+        )
+        grid = _Grid(ctx, cfg, fused=False)
+        grid.b[:] = 0.0
+        for color in (0, 1):
+            for j in range(1, n + 1):
+                grid.relax_column(j, color)
+        assert np.all(grid.u == 0.0)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 40))
+    def test_property_residual_norm_decreases_with_iterations(self, seed):
+        norms = []
+        for iterations in (1, 3, 9):
+            payload = run("regular", 17, iterations, seed)
+            norms.append(float(np.linalg.norm(payload["r"])))
+        assert norms[0] >= norms[1] >= norms[2]
+
+    def test_solution_linear_in_rhs(self):
+        """Red-black Gauss-Seidel from u=0 is linear in b: doubling b
+        doubles u after any fixed number of sweeps."""
+        cfg = PdeConfig(n=17, iterations=3, seed=5)
+        base = run("regular", 17, 3, 5)
+
+        from repro.apps.pde.programs import _Grid
+        from repro.mem.allocator import AddressSpace
+        from repro.sim.context import SimContext
+        from repro.trace.recorder import TraceRecorder
+
+        simulator = Simulator(r8000(64))
+        hierarchy = simulator.machine.build_hierarchy()
+        ctx = SimContext(
+            machine=simulator.machine,
+            hierarchy=hierarchy,
+            recorder=TraceRecorder(hierarchy),
+            space=AddressSpace(),
+        )
+        grid = _Grid(ctx, cfg, fused=False)
+        grid.b[:] = 2.0 * base["b"]
+        for _ in range(3):
+            for color in (0, 1):
+                for j in range(1, 18):
+                    grid.relax_column(j, color)
+        np.testing.assert_allclose(grid.u, 2.0 * base["u"], rtol=1e-10)

@@ -1,0 +1,122 @@
+"""Tests for the SOR kernels and traced programs."""
+
+import numpy as np
+import pytest
+
+from repro.apps.sor import SorConfig, VERSIONS, sor_reference
+from repro.apps.sor.kernels import sor_column_update, sor_column_update_scalar
+from repro.apps.sor.programs import default_tile
+from repro.machine.presets import r8000
+from repro.sim.engine import Simulator
+
+
+class TestKernels:
+    def test_lfilter_column_matches_scalar_loop(self):
+        rng = np.random.default_rng(5)
+        a1 = rng.standard_normal((40, 8))
+        a2 = a1.copy()
+        sor_column_update(a1, 3)
+        sor_column_update_scalar(a2, 3)
+        np.testing.assert_allclose(a1, a2, rtol=1e-12, atol=1e-12)
+
+    def test_column_order_equals_row_order(self):
+        """The dependence argument: any legal order gives the same
+        values, so column-at-a-time equals the literal row-order nest."""
+        rng = np.random.default_rng(6)
+        a = rng.standard_normal((16, 16))
+        oracle = sor_reference(a, 3)
+        fast = a.copy()
+        for _ in range(3):
+            for j in range(1, 15):
+                sor_column_update(fast, j)
+        np.testing.assert_allclose(fast, oracle, rtol=1e-12, atol=1e-12)
+
+    def test_update_is_a_smoother(self):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((32, 32))
+        smoothed = sor_reference(a, 10)
+        # The five-point average with factor 0.2 contracts the interior.
+        assert np.abs(smoothed[1:-1, 1:-1]).mean() < np.abs(a[1:-1, 1:-1]).mean()
+
+
+@pytest.fixture(scope="module")
+def results():
+    # n=96: the 72 KB matrix is 2.25x the scaled L2, so capacity
+    # pressure exists and the threaded version's reuse is visible.
+    cfg = SorConfig(n=96, iterations=6)
+    sim = Simulator(r8000(64))
+    return {name: sim.run(factory(cfg)) for name, factory in VERSIONS.items()}
+
+
+class TestNumerics:
+    def test_hand_tiled_bit_identical_to_untiled(self, results):
+        """Time skewing preserves every Gauss-Seidel dependence."""
+        np.testing.assert_array_equal(
+            results["untiled"].payload["A"],
+            results["hand_tiled"].payload["A"],
+        )
+
+    def test_threaded_converges_to_the_same_fixed_point(self):
+        """Chaotic relaxation reorders updates but converges to the same
+        discrete-harmonic fixed point as the exact order."""
+        sim = Simulator(r8000(64))
+        cfg = SorConfig(n=24, iterations=400)
+        exact = sim.run(VERSIONS["untiled"](cfg)).payload["A"]
+        chaotic = sim.run(VERSIONS["threaded"](cfg)).payload["A"]
+        np.testing.assert_allclose(chaotic, exact, atol=1e-8)
+
+    def test_threaded_small_scale_is_exact(self):
+        """With few columns every thread lands in one bin, so creation
+        order is preserved and the result is bit-identical."""
+        sim = Simulator(r8000(64))
+        cfg = SorConfig(n=12, iterations=3)
+        exact = sim.run(VERSIONS["untiled"](cfg)).payload["A"]
+        threaded = sim.run(VERSIONS["threaded"](cfg)).payload["A"]
+        np.testing.assert_array_equal(threaded, exact)
+
+
+class TestTraceShape:
+    def test_untiled_refs_four_per_update(self, results):
+        updates = 6 * 94 * 94
+        assert results["untiled"].data_refs == pytest.approx(
+            4 * updates, rel=0.02
+        )
+
+    def test_untiled_row_walks_hurt_l1(self, results):
+        assert (
+            results["untiled"].l1_misses
+            > 2 * results["hand_tiled"].l1_misses
+        )
+
+    def test_threaded_forks_iterations_times_columns(self, results):
+        assert results["threaded"].forks == 6 * 94
+
+    def test_threaded_single_run_groups_iterations(self, results):
+        """All t*(n-1) threads go through ONE th_run: bins mix sweeps."""
+        sched = results["threaded"].sched
+        assert sched.threads == 6 * 94
+
+    def test_threaded_l2_below_untiled(self, results):
+        assert results["threaded"].l2_misses < results["untiled"].l2_misses
+
+    def test_hand_tiled_instruction_overhead(self, results):
+        assert (
+            results["hand_tiled"].app_instructions
+            > 1.2 * results["untiled"].app_instructions
+        )
+
+
+class TestConfig:
+    def test_default_tile_fits_half_l2(self):
+        tile = default_tile(32 * 1024, 251, 8)
+        assert tile * 3 * 251 * 8 <= 32 * 1024 // 2 * 3  # width heuristic bound
+        assert tile >= 2
+
+    def test_tiny_n_rejected(self):
+        with pytest.raises(ValueError):
+            SorConfig(n=2)
+
+    def test_explicit_tile_used(self):
+        sim = Simulator(r8000(64))
+        result = sim.run(VERSIONS["hand_tiled"](SorConfig(n=24, iterations=2, tile=5)))
+        assert result.payload["tile"] == 5

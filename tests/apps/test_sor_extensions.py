@@ -1,0 +1,69 @@
+"""Tests for the SOR extension versions (deps and blocking)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.sor import SorConfig, VERSIONS
+from repro.apps.sor.programs import threaded_blocking, threaded_exact
+from repro.machine.presets import r8000
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture(scope="module")
+def runs():
+    # n=96: the 72 KB matrix pressures the 32 KB scaled L2.
+    cfg = SorConfig(n=96, iterations=8)
+    simulator = Simulator(r8000(64))
+    return {
+        "untiled": simulator.run(VERSIONS["untiled"](cfg)),
+        "exact": simulator.run(threaded_exact(cfg)),
+        "blocking": simulator.run(threaded_blocking(cfg)),
+    }
+
+
+class TestExactness:
+    def test_deps_version_bit_exact(self, runs):
+        np.testing.assert_array_equal(
+            runs["exact"].payload["A"], runs["untiled"].payload["A"]
+        )
+
+    def test_blocking_version_bit_exact(self, runs):
+        np.testing.assert_array_equal(
+            runs["blocking"].payload["A"], runs["untiled"].payload["A"]
+        )
+
+
+class TestSchedulingMetrics:
+    def test_exact_version_single_activation_per_bin(self, runs):
+        payload = runs["exact"].payload
+        assert payload["activations"] == payload["sched"].bins
+
+    def test_exact_version_runs_every_thread(self, runs):
+        assert runs["exact"].payload["sched"].threads == 8 * 94
+
+    def test_blocking_version_one_thread_per_column(self, runs):
+        assert runs["blocking"].payload["sched"].threads == 94
+
+    def test_blocking_pays_context_switches(self, runs):
+        switches = runs["blocking"].payload["context_switches"]
+        # Wavefront waits: at least one park per column boundary crossing.
+        assert switches > 0
+        # And bounded: no more than one park per (sweep, column) wait.
+        assert switches <= 2 * 8 * 94
+
+    def test_deps_version_beats_blocking_on_misses(self, runs):
+        assert runs["exact"].l2_misses < runs["blocking"].l2_misses
+
+
+class TestSkewedHints:
+    def test_skew_bins_span_diagonals(self):
+        """The exact version's bin count reflects the j+tau range, not
+        just the column range."""
+        simulator = Simulator(r8000(64))
+        short = simulator.run(
+            threaded_exact(SorConfig(n=96, iterations=2))
+        ).payload["sched"].bins
+        long = simulator.run(
+            threaded_exact(SorConfig(n=96, iterations=30))
+        ).payload["sched"].bins
+        assert long > short  # more sweeps -> more diagonals -> more bins

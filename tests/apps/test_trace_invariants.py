@@ -1,0 +1,88 @@
+"""Cross-application invariants every traced program must satisfy."""
+
+import pytest
+
+from repro.apps.matmul import MatmulConfig
+from repro.apps.matmul import VERSIONS as MATMUL
+from repro.apps.nbody import NbodyConfig
+from repro.apps.nbody import VERSIONS as NBODY
+from repro.apps.pde import PdeConfig
+from repro.apps.pde import VERSIONS as PDE
+from repro.apps.sor import SorConfig
+from repro.apps.sor import VERSIONS as SOR
+from repro.machine.presets import r8000
+from repro.sim.engine import Simulator
+
+CASES = []
+for _name, _factory in MATMUL.items():
+    CASES.append((f"matmul:{_name}", _factory, MatmulConfig(n=24), 256))
+for _name, _factory in PDE.items():
+    CASES.append((f"pde:{_name}", _factory, PdeConfig(n=25, iterations=2), 256))
+for _name, _factory in SOR.items():
+    CASES.append((f"sor:{_name}", _factory, SorConfig(n=24, iterations=3), 256))
+for _name, _factory in NBODY.items():
+    CASES.append(
+        (f"nbody:{_name}", _factory, NbodyConfig(bodies=120, iterations=1), 64)
+    )
+
+IDS = [case[0] for case in CASES]
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for case_id, factory, config, scale in CASES:
+        simulator = Simulator(r8000(scale, scale if "nbody" in case_id else None))
+        out[case_id] = simulator.run(factory(config))
+    return out
+
+
+@pytest.mark.parametrize("case_id", IDS)
+class TestEveryVersion:
+    def test_produces_references_and_instructions(self, results, case_id):
+        result = results[case_id]
+        assert result.data_refs > 0
+        assert result.app_instructions > 0
+
+    def test_l2_classes_partition(self, results, case_id):
+        result = results[case_id]
+        assert (
+            result.l2_compulsory + result.l2_capacity + result.l2_conflict
+            == result.l2_misses
+        )
+
+    def test_l1_feeds_l2(self, results, case_id):
+        stats = results[case_id].stats
+        # Code-footprint charge adds a few L2-only accesses; data path
+        # accesses cannot exceed L1 misses.
+        assert stats.l2.misses <= stats.l2.accesses
+        assert stats.l2.accesses <= stats.l1.misses + 64
+
+    def test_modeled_time_positive_and_finite(self, results, case_id):
+        seconds = results[case_id].modeled_seconds
+        assert 0 < seconds < 1e6
+
+    def test_miss_rates_are_rates(self, results, case_id):
+        result = results[case_id]
+        assert 0 <= result.l1_miss_rate_pct <= 100
+        assert 0 <= result.l2_miss_rate_pct <= 100
+
+
+@pytest.mark.parametrize(
+    "case_id",
+    [case_id for case_id in IDS if case_id.split(":")[1].startswith("threaded")],
+)
+class TestThreadedVersions:
+    def test_forks_equal_dispatches(self, results, case_id):
+        result = results[case_id]
+        assert result.forks > 0
+        assert result.dispatches == result.forks
+
+    def test_sched_counts_threads_of_last_run(self, results, case_id):
+        result = results[case_id]
+        assert result.sched is not None
+        assert result.sched.threads > 0
+        assert result.sched.threads <= result.forks
+
+    def test_thread_instructions_charged(self, results, case_id):
+        assert results[case_id].thread_instructions > 0

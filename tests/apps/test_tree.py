@@ -1,0 +1,184 @@
+"""Tests for the Barnes-Hut octree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.nbody.tree import (
+    BarnesHutTree,
+    Cell,
+    MAX_DEPTH,
+    direct_accelerations,
+)
+
+
+def random_system(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random((n, 3)), np.full(n, 1.0 / n)
+
+
+class TestConstruction:
+    def test_every_body_in_exactly_one_leaf(self):
+        pos, mass = random_system(200)
+        tree = BarnesHutTree(pos, mass)
+        found = []
+        stack = [tree.root]
+        while stack:
+            cell = stack.pop()
+            if cell.is_leaf:
+                found.extend(cell.bodies)
+            else:
+                stack.extend(c for c in cell.children if c is not None)
+        assert sorted(found) == list(range(200))
+
+    def test_counts_are_subtree_sizes(self):
+        pos, mass = random_system(100)
+        tree = BarnesHutTree(pos, mass)
+
+        def check(cell):
+            if cell.is_leaf:
+                assert cell.count == len(cell.bodies)
+                return cell.count
+            total = sum(check(c) for c in cell.children if c is not None)
+            assert cell.count == total
+            return total
+
+        assert check(tree.root) == 100
+
+    def test_total_mass_conserved(self):
+        pos, mass = random_system(64)
+        tree = BarnesHutTree(pos, mass)
+        assert tree.total_mass() == pytest.approx(mass.sum())
+
+    def test_root_com_is_global_com(self):
+        pos, mass = random_system(64)
+        tree = BarnesHutTree(pos, mass)
+        expected = (pos * mass[:, None]).sum(axis=0) / mass.sum()
+        np.testing.assert_allclose(tree.root.com, expected, rtol=1e-10)
+
+    def test_bodies_inside_their_cells(self):
+        pos, mass = random_system(150, seed=2)
+        tree = BarnesHutTree(pos, mass)
+        stack = [tree.root]
+        while stack:
+            cell = stack.pop()
+            for j in cell.bodies:
+                assert np.all(np.abs(pos[j] - cell.center) <= cell.half * 1.001)
+            if not cell.is_leaf:
+                stack.extend(c for c in cell.children if c is not None)
+
+    def test_coincident_bodies_share_leaf_at_depth_cap(self):
+        pos = np.zeros((3, 3))
+        mass = np.ones(3)
+        tree = BarnesHutTree(pos, mass)
+        assert tree.depth() <= MAX_DEPTH
+        assert tree.root.count == 3
+
+    def test_single_body_tree(self):
+        tree = BarnesHutTree(np.array([[0.5, 0.5, 0.5]]), np.array([1.0]))
+        assert tree.root.is_leaf
+        assert tree.root.bodies == [0]
+
+    def test_insert_paths_recorded(self):
+        pos, mass = random_system(30)
+        tree = BarnesHutTree(pos, mass)
+        assert len(tree.insert_paths) == 30
+        for path in tree.insert_paths:
+            assert path[0] == tree.root.index
+            assert all(0 <= idx < tree.cell_count for idx in path)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError, match=r"\(N, 3\)"):
+            BarnesHutTree(np.zeros((4, 2)), np.ones(4))
+        with pytest.raises(ValueError, match="equal length"):
+            BarnesHutTree(np.zeros((4, 3)), np.ones(3))
+        with pytest.raises(ValueError, match="theta"):
+            BarnesHutTree(np.zeros((4, 3)), np.ones(4), theta=0)
+
+
+class TestOctants:
+    def test_octant_of_corners(self):
+        cell = Cell(np.array([0.5, 0.5, 0.5]), 0.5, 0)
+        assert cell.octant_of(np.array([0.0, 0.0, 0.0])) == 0
+        assert cell.octant_of(np.array([1.0, 0.0, 0.0])) == 1
+        assert cell.octant_of(np.array([0.0, 1.0, 0.0])) == 2
+        assert cell.octant_of(np.array([1.0, 1.0, 1.0])) == 7
+
+    def test_child_center_offsets(self):
+        cell = Cell(np.array([0.0, 0.0, 0.0]), 1.0, 0)
+        np.testing.assert_allclose(cell.child_center(0), [-0.5, -0.5, -0.5])
+        np.testing.assert_allclose(cell.child_center(7), [0.5, 0.5, 0.5])
+        np.testing.assert_allclose(cell.child_center(1), [0.5, -0.5, -0.5])
+
+
+class TestForces:
+    def test_accuracy_against_direct_summation(self):
+        pos, mass = random_system(300, seed=4)
+        tree = BarnesHutTree(pos, mass, theta=0.6)
+        bh = np.array([tree.acceleration(i)[0] for i in range(300)])
+        exact = direct_accelerations(pos, mass)
+        scale = np.linalg.norm(exact, axis=1)
+        errors = np.linalg.norm(bh - exact, axis=1) / (scale + 1e-12)
+        assert np.median(errors) < 0.05
+
+    def test_theta_zero_limit_is_exact(self):
+        """With a tiny theta every cell opens down to leaves: exact sum."""
+        pos, mass = random_system(40, seed=5)
+        tree = BarnesHutTree(pos, mass, theta=1e-9)
+        bh = np.array([tree.acceleration(i)[0] for i in range(40)])
+        exact = direct_accelerations(pos, mass)
+        np.testing.assert_allclose(bh, exact, rtol=1e-9, atol=1e-12)
+
+    def test_smaller_theta_more_interactions(self):
+        pos, mass = random_system(200, seed=6)
+        coarse = BarnesHutTree(pos, mass, theta=1.2)
+        fine = BarnesHutTree(pos, mass, theta=0.3)
+        coarse_n = sum(coarse.acceleration(i)[1] for i in range(200))
+        fine_n = sum(fine.acceleration(i)[1] for i in range(200))
+        assert fine_n > coarse_n
+
+    def test_visits_cover_interactions(self):
+        pos, mass = random_system(100, seed=7)
+        tree = BarnesHutTree(pos, mass)
+        visits = []
+        _acc, interactions = tree.acceleration(0, visits)
+        assert len(visits) >= interactions
+        assert visits[0] == tree.root.index
+
+    def test_no_self_interaction(self):
+        tree = BarnesHutTree(np.array([[0.1, 0.1, 0.1]]), np.array([5.0]))
+        acc, interactions = tree.acceleration(0)
+        assert interactions == 0
+        np.testing.assert_array_equal(acc, np.zeros(3))
+
+    def test_two_body_forces_are_opposite(self):
+        pos = np.array([[0.2, 0.5, 0.5], [0.8, 0.5, 0.5]])
+        mass = np.array([1.0, 1.0])
+        tree = BarnesHutTree(pos, mass)
+        a0, _ = tree.acceleration(0)
+        a1, _ = tree.acceleration(1)
+        np.testing.assert_allclose(a0, -a1, rtol=1e-12)
+        assert a0[0] > 0  # body 0 is pulled toward body 1
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 80), seed=st.integers(0, 100))
+    def test_property_tree_partitions_bodies(self, n, seed):
+        pos, mass = random_system(n, seed)
+        tree = BarnesHutTree(pos, mass)
+        assert tree.root.count == n
+        assert tree.total_mass() == pytest.approx(mass.sum())
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(3, 60), seed=st.integers(0, 50))
+    def test_property_momentum_roughly_conserved(self, n, seed):
+        """Sum of m*a over all bodies vanishes for exact pairwise forces;
+        Barnes-Hut approximation keeps it small relative to the typical
+        force magnitude."""
+        pos, mass = random_system(n, seed)
+        tree = BarnesHutTree(pos, mass, theta=0.4)
+        accs = np.array([tree.acceleration(i)[0] for i in range(n)])
+        net = np.linalg.norm((accs * mass[:, None]).sum(axis=0))
+        typical = np.abs(accs * mass[:, None]).sum()
+        assert net < 0.2 * typical + 1e-9

@@ -1,0 +1,65 @@
+"""Tests for cache geometry configuration."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+
+
+class TestGeometry:
+    def test_r8000_l2_geometry(self):
+        l2 = CacheConfig("L2", size=2 * 1024 * 1024, line_size=128, associativity=4)
+        assert l2.num_lines == 16384
+        assert l2.num_sets == 4096
+        assert l2.line_bits == 7
+
+    def test_direct_mapped_sets_equal_lines(self):
+        c = CacheConfig("c", size=1024, line_size=32, associativity=1)
+        assert c.num_sets == c.num_lines == 32
+
+    def test_fully_associative_one_set(self):
+        c = CacheConfig("c", size=1024, line_size=32, associativity=32)
+        assert c.num_sets == 1
+
+    def test_line_of_shifts_address(self):
+        c = CacheConfig("c", size=1024, line_size=32, associativity=1)
+        assert c.line_of(0) == 0
+        assert c.line_of(31) == 0
+        assert c.line_of(32) == 1
+        assert c.line_of(1024) == 32
+
+
+class TestValidation:
+    def test_non_power_of_two_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("c", size=1000, line_size=32, associativity=1)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("c", size=1024, line_size=33, associativity=1)
+
+    def test_line_larger_than_cache_rejected(self):
+        with pytest.raises(ValueError, match="exceeds cache size"):
+            CacheConfig("c", size=64, line_size=128, associativity=1)
+
+    def test_associativity_beyond_lines_rejected(self):
+        with pytest.raises(ValueError, match="exceeds line count"):
+            CacheConfig("c", size=64, line_size=32, associativity=4)
+
+
+class TestScaling:
+    def test_scaled_preserves_line_and_ways(self):
+        c = CacheConfig("L2", size=2 * 1024 * 1024, line_size=128, associativity=4)
+        small = c.scaled(64)
+        assert small.size == 32 * 1024
+        assert small.line_size == 128
+        assert small.associativity == 4
+
+    def test_scale_below_one_set_rejected(self):
+        c = CacheConfig("c", size=1024, line_size=128, associativity=4)
+        with pytest.raises(ValueError, match="cannot scale"):
+            c.scaled(4)
+
+    def test_scale_factor_must_be_power_of_two(self):
+        c = CacheConfig("c", size=4096, line_size=32, associativity=2)
+        with pytest.raises(ValueError):
+            c.scaled(3)

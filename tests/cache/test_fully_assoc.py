@@ -1,0 +1,78 @@
+"""Tests for the fully-associative LRU shadow cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.fully_assoc import FullyAssociativeLRU
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = FullyAssociativeLRU(4)
+        assert cache.access(10) is False
+        assert cache.access(10) is True
+
+    def test_capacity_enforced(self):
+        cache = FullyAssociativeLRU(3)
+        for line in range(5):
+            cache.access(line)
+        assert len(cache) == 3
+
+    def test_eviction_is_lru(self):
+        cache = FullyAssociativeLRU(2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # refresh
+        cache.access(3)  # evicts 2
+        assert cache.probe(1)
+        assert not cache.probe(2)
+        assert cache.probe(3)
+
+    def test_lru_line_reports_next_victim(self):
+        cache = FullyAssociativeLRU(2)
+        assert cache.lru_line is None
+        cache.access(5)
+        cache.access(6)
+        assert cache.lru_line == 5
+        cache.access(5)
+        assert cache.lru_line == 6
+
+    def test_probe_does_not_refresh(self):
+        cache = FullyAssociativeLRU(2)
+        cache.access(1)
+        cache.access(2)
+        cache.probe(1)  # must NOT refresh 1
+        cache.access(3)  # evicts 1
+        assert not cache.probe(1)
+
+    def test_flush(self):
+        cache = FullyAssociativeLRU(2)
+        cache.access(1)
+        cache.flush()
+        assert len(cache) == 0
+        assert not cache.probe(1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FullyAssociativeLRU(0)
+
+
+class TestAgainstReferenceModel:
+    @given(
+        accesses=st.lists(st.integers(0, 12), min_size=1, max_size=200),
+        capacity=st.integers(1, 8),
+    )
+    def test_property_matches_naive_lru_list(self, accesses, capacity):
+        """The dict-based cache behaves exactly like a list-based LRU."""
+        cache = FullyAssociativeLRU(capacity)
+        reference: list[int] = []  # LRU order, least recent first
+        for line in accesses:
+            expected_hit = line in reference
+            if expected_hit:
+                reference.remove(line)
+            elif len(reference) >= capacity:
+                reference.pop(0)
+            reference.append(line)
+            assert cache.access(line) is expected_hit
+            assert cache.resident_lines == set(reference)
+            assert cache.lru_line == reference[0]

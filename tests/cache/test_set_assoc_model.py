@@ -1,0 +1,62 @@
+"""Set-associative cache vs an independent reference model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.config import CacheConfig
+from repro.cache.set_assoc import SetAssociativeCache
+
+
+class ReferenceCache:
+    """Textbook model: one LRU list per set, nothing shared."""
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        self.sets = [[] for _ in range(num_sets)]
+
+    def access(self, line: int) -> bool:
+        lru = self.sets[line % self.num_sets]
+        if line in lru:
+            lru.remove(line)
+            lru.append(line)
+            return True
+        if len(lru) >= self.ways:
+            lru.pop(0)
+        lru.append(line)
+        return False
+
+
+class TestAgainstReferenceModel:
+    @settings(max_examples=60)
+    @given(
+        accesses=st.lists(st.integers(0, 63), min_size=1, max_size=500),
+        geometry=st.sampled_from(
+            [(128, 16, 1), (128, 16, 2), (128, 16, 4), (256, 32, 2)]
+        ),
+    )
+    def test_property_hit_sequence_matches(self, accesses, geometry):
+        size, line, ways = geometry
+        config = CacheConfig("c", size, line, ways)
+        cache = SetAssociativeCache(config)
+        reference = ReferenceCache(config.num_sets, ways)
+        for line_number in accesses:
+            assert cache.access(line_number) == reference.access(line_number)
+
+    @settings(max_examples=40)
+    @given(accesses=st.lists(st.integers(0, 200), min_size=1, max_size=400))
+    def test_property_residency_never_exceeds_capacity(self, accesses):
+        config = CacheConfig("c", 256, 16, 2)
+        cache = SetAssociativeCache(config)
+        for line_number in accesses:
+            cache.access(line_number)
+            assert len(cache.resident_lines) <= config.num_lines
+            for set_index in range(config.num_sets):
+                assert len(cache.lru_order(set_index)) <= 2
+
+    @settings(max_examples=40)
+    @given(accesses=st.lists(st.integers(0, 100), min_size=1, max_size=300))
+    def test_property_most_recent_access_always_resident(self, accesses):
+        cache = SetAssociativeCache(CacheConfig("c", 128, 16, 2))
+        for line_number in accesses:
+            cache.access(line_number)
+            assert cache.probe(line_number)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.machine.presets import r8000, r10000
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def tiny_cache() -> CacheConfig:
+    """A 4-set, 2-way cache with 16-byte lines (128 bytes total)."""
+    return CacheConfig("tiny", size=128, line_size=16, associativity=2)
+
+
+@pytest.fixture
+def direct_cache() -> CacheConfig:
+    """A direct-mapped cache: 8 lines of 16 bytes."""
+    return CacheConfig("direct", size=128, line_size=16, associativity=1)
+
+
+@pytest.fixture
+def r8000_full():
+    return r8000()
+
+
+@pytest.fixture
+def r8000_small():
+    """The scaled R8000 used by most simulation tests."""
+    return r8000(64)
+
+
+@pytest.fixture
+def r10000_small():
+    return r10000(64)
+
+
+@pytest.fixture
+def simulator(r8000_small) -> Simulator:
+    return Simulator(r8000_small)

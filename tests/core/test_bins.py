@@ -1,0 +1,120 @@
+"""Tests for bins and the bin hash table."""
+
+from repro.core.bins import Bin, BinTable
+from repro.core.scheduler import LocalityScheduler
+from repro.core.thread import ThreadGroup, ThreadSpec
+
+
+def make_table(block_size=1024, hash_size=4, group_capacity=4):
+    return BinTable(LocalityScheduler(block_size, hash_size), group_capacity)
+
+
+class TestBin:
+    def test_thread_count_across_groups(self):
+        bin_ = Bin((0, 0, 0))
+        g1, g2 = ThreadGroup(2), ThreadGroup(2)
+        g1.append(ThreadSpec(print))
+        g1.append(ThreadSpec(print))
+        g2.append(ThreadSpec(print))
+        bin_.groups = [g1, g2]
+        assert bin_.thread_count == 3
+
+    def test_current_group_none_when_empty_or_full(self):
+        bin_ = Bin((0, 0, 0))
+        assert bin_.current_group is None
+        group = ThreadGroup(1)
+        group.append(ThreadSpec(print))
+        bin_.groups.append(group)
+        assert bin_.current_group is None  # last group full
+
+    def test_current_group_returns_open_group(self):
+        bin_ = Bin((0, 0, 0))
+        group = ThreadGroup(2)
+        group.append(ThreadSpec(print))
+        bin_.groups.append(group)
+        assert bin_.current_group is group
+
+    def test_threads_iterates_all_groups_in_order(self):
+        bin_ = Bin((0, 0, 0))
+        specs = [ThreadSpec(print, i) for i in range(5)]
+        g1, g2 = ThreadGroup(3), ThreadGroup(3)
+        for spec in specs[:3]:
+            g1.append(spec)
+        for spec in specs[3:]:
+            g2.append(spec)
+        bin_.groups = [g1, g2]
+        assert list(bin_.threads()) == specs
+
+    def test_clear_drops_groups(self):
+        bin_ = Bin((0, 0, 0))
+        bin_.groups.append(ThreadGroup(2))
+        bin_.clear()
+        assert bin_.thread_count == 0
+
+
+class TestBinTable:
+    def test_find_or_allocate_creates_once(self):
+        table = make_table()
+        slot, block = (0, 0, 0), (0, 0, 0)
+        first = table.find_or_allocate(slot, block)
+        second = table.find_or_allocate(slot, block)
+        assert first is second
+        assert table.bin_count == 1
+
+    def test_ready_list_in_allocation_order(self):
+        table = make_table()
+        keys = [(3, 0, 0), (1, 0, 0), (2, 0, 0)]
+        for key in keys:
+            table.find_or_allocate(table.scheduler.slot_of(key), key)
+        assert [b.key for b in table.ready] == keys
+
+    def test_collision_chains_keep_bins_distinct(self):
+        # hash_size 4: blocks 0 and 4 share slot 0 but stay separate bins.
+        table = make_table(hash_size=4)
+        a = table.find_or_allocate((0, 0, 0), (0, 0, 0))
+        b = table.find_or_allocate((0, 0, 0), (4, 0, 0))
+        assert a is not b
+        assert table.bin_count == 2
+        assert table.max_chain_length == 2
+        assert table.find((0, 0, 0), (4, 0, 0)) is b
+
+    def test_find_missing_returns_none(self):
+        table = make_table()
+        assert table.find((1, 1, 1), (1, 1, 1)) is None
+
+    def test_chain_probes_counted(self):
+        table = make_table(hash_size=4)
+        table.find_or_allocate((0, 0, 0), (0, 0, 0))
+        table.find_or_allocate((0, 0, 0), (4, 0, 0))
+        before = table.chain_probes
+        table.find((0, 0, 0), (4, 0, 0))  # walks past (0,0,0) first
+        assert table.chain_probes == before + 2
+
+    def test_clear_threads_keeps_bins(self):
+        table = make_table()
+        bin_ = table.find_or_allocate((0, 0, 0), (0, 0, 0))
+        group = ThreadGroup(2)
+        group.append(ThreadSpec(print))
+        bin_.groups.append(group)
+        table.clear_threads()
+        assert table.bin_count == 1
+        assert bin_.thread_count == 0
+
+    def test_reset_drops_everything(self):
+        table = make_table()
+        table.find_or_allocate((0, 0, 0), (0, 0, 0))
+        table.reset()
+        assert table.bin_count == 0
+        assert table.ready == []
+
+    def test_all_threads_in_ready_order(self):
+        table = make_table()
+        b1 = table.find_or_allocate((1, 0, 0), (1, 0, 0))
+        b2 = table.find_or_allocate((2, 0, 0), (2, 0, 0))
+        s1, s2 = ThreadSpec(print, 1), ThreadSpec(print, 2)
+        g1, g2 = ThreadGroup(2), ThreadGroup(2)
+        g1.append(s1)
+        g2.append(s2)
+        b1.groups.append(g1)
+        b2.groups.append(g2)
+        assert table.all_threads() == [s1, s2]

@@ -1,0 +1,253 @@
+"""Tests for the blocking (synchronising) thread package."""
+
+import pytest
+
+from repro.core.blocking import (
+    BlockingThreadPackage,
+    Channel,
+    DeadlockError,
+    Event,
+    Semaphore,
+)
+
+L2 = 2 * 1024 * 1024
+
+
+def make(**kwargs):
+    return BlockingThreadPackage(l2_size=L2, **kwargs)
+
+
+class TestPlainThreads:
+    def test_non_generator_bodies_run(self):
+        package = make()
+        runs = []
+        for i in range(10):
+            package.th_fork(lambda a, b: runs.append(a), i, None, hint1=1 + i)
+        stats = package.th_run(0)
+        assert sorted(runs) == list(range(10))
+        assert stats.threads == 10
+        assert package.context_switches == 0
+
+    def test_generator_without_yields_runs(self):
+        package = make()
+        runs = []
+
+        def body(a, b):
+            runs.append(a)
+            return
+            yield
+
+        package.th_fork(body, 1, None, hint1=1)
+        package.th_run(0)
+        assert runs == [1]
+
+
+class TestEvents:
+    def test_wait_on_set_event_never_parks(self):
+        package = make()
+        event = package.event()
+        event.set()
+        order = []
+
+        def body(a, b):
+            yield event
+            order.append("ran")
+
+        package.th_fork(body, hint1=1)
+        package.th_run(0)
+        assert order == ["ran"]
+        assert package.context_switches == 0
+
+    def test_event_orders_threads_across_bins(self):
+        package = make(block_size=1024)
+        event = package.event()
+        order = []
+
+        def waiter(a, b):
+            yield event
+            order.append("waiter")
+
+        def setter(a, b):
+            order.append("setter")
+            event.set()
+            return
+            yield
+
+        package.th_fork(waiter, hint1=1)          # earlier bin
+        package.th_fork(setter, hint1=5 * 1024)   # later bin
+        package.th_run(0)
+        assert order == ["setter", "waiter"]
+        assert package.context_switches == 1
+
+    def test_event_wakes_many(self):
+        package = make(block_size=1024)
+        event = package.event()
+        order = []
+
+        def waiter(a, b):
+            yield event
+            order.append(a)
+
+        for i in range(5):
+            package.th_fork(waiter, i, None, hint1=1 + i * 1024)
+        package.th_fork(lambda a, b: event.set(), hint1=10 * 1024)
+        package.th_run(0)
+        assert sorted(order) == [0, 1, 2, 3, 4]
+
+    def test_unset_event_deadlocks(self):
+        package = make()
+        event = package.event()
+
+        def waiter(a, b):
+            yield event
+
+        package.th_fork(waiter, hint1=1)
+        with pytest.raises(DeadlockError, match="Event"):
+            package.th_run(0)
+
+
+class TestChannels:
+    def test_values_delivered_in_fifo_order(self):
+        package = make(block_size=1024)
+        channel = package.channel()
+        received = []
+
+        def consumer(a, b):
+            for _ in range(3):
+                value = yield channel
+                received.append(value)
+
+        def producer(a, b):
+            for i in range(3):
+                channel.send(i * 10)
+            return
+            yield
+
+        package.th_fork(consumer, hint1=1)
+        package.th_fork(producer, hint1=5 * 1024)
+        package.th_run(0)
+        assert received == [0, 10, 20]
+
+    def test_prefilled_channel_needs_no_producer(self):
+        package = make()
+        channel = package.channel()
+        channel.send("x")
+        got = []
+
+        def consumer(a, b):
+            got.append((yield channel))
+
+        package.th_fork(consumer, hint1=1)
+        package.th_run(0)
+        assert got == ["x"]
+        assert len(channel) == 0
+
+
+class TestSemaphores:
+    def test_semaphore_limits_entry(self):
+        package = make(block_size=1024)
+        semaphore = package.semaphore(1)
+        order = []
+
+        def worker(a, b):
+            yield semaphore
+            order.append(("enter", a))
+            semaphore.release()
+
+        for i in range(3):
+            package.th_fork(worker, i, None, hint1=1 + i * 1024)
+        package.th_run(0)
+        assert sorted(order) == [("enter", 0), ("enter", 1), ("enter", 2)]
+
+    def test_exhausted_semaphore_deadlocks(self):
+        package = make()
+        semaphore = package.semaphore(0)
+
+        def worker(a, b):
+            yield semaphore
+
+        package.th_fork(worker, hint1=1)
+        with pytest.raises(DeadlockError):
+            package.th_run(0)
+
+    def test_negative_initial_value_rejected(self):
+        with pytest.raises(ValueError):
+            Semaphore(-1)
+
+
+class TestSchedulerBehaviour:
+    def test_yielding_non_waitable_raises(self):
+        package = make()
+
+        def bad(a, b):
+            yield 42
+
+        package.th_fork(bad, hint1=1)
+        with pytest.raises(TypeError, match="waitables"):
+            package.th_run(0)
+
+    def test_threads_resume_in_their_bin(self):
+        """A woken thread runs when its own bin reactivates — locality
+        survives blocking."""
+        package = make(block_size=1024)
+        event = package.event()
+        order = []
+
+        def waiter(a, b):
+            order.append(("before", a))
+            yield event
+            order.append(("after", a))
+
+        # Two waiters in bin 0, setter in bin 3.
+        package.th_fork(waiter, 0, None, hint1=1)
+        package.th_fork(waiter, 1, None, hint1=2)
+        package.th_fork(lambda a, b: event.set(), hint1=3 * 1024 + 1)
+        package.th_run(0)
+        # Both resumptions are adjacent: the bin reactivated once.
+        after = [entry for entry in order if entry[0] == "after"]
+        assert order[-2:] == after
+
+    def test_context_switch_accounting(self):
+        package = make(block_size=1024)
+        event = package.event()
+
+        def waiter(a, b):
+            yield event
+
+        package.th_fork(waiter, hint1=1)
+        package.th_fork(lambda a, b: event.set(), hint1=5 * 1024)
+        package.th_run(0)
+        assert package.context_switches == 1
+
+    def test_keep_rejected(self):
+        package = make()
+        package.th_fork(lambda a, b: None, hint1=1)
+        with pytest.raises(ValueError, match="keep"):
+            package.th_run(1)
+
+    def test_pipeline_of_channels(self):
+        """A three-stage pipeline across three bins completes."""
+        package = make(block_size=1024)
+        first, second = package.channel(), package.channel()
+        results = []
+
+        def stage1(a, b):
+            for i in range(4):
+                first.send(i)
+            return
+            yield
+
+        def stage2(a, b):
+            for _ in range(4):
+                value = yield first
+                second.send(value * 2)
+
+        def stage3(a, b):
+            for _ in range(4):
+                results.append((yield second))
+
+        package.th_fork(stage3, hint1=1)
+        package.th_fork(stage2, hint1=2 * 1024)
+        package.th_fork(stage1, hint1=4 * 1024)
+        package.th_run(0)
+        assert results == [0, 2, 4, 6]

@@ -1,0 +1,95 @@
+"""The worked example of Section 2.4 / Figure 2, as a test.
+
+A 4x4 matrix multiply forks 16 dot-product threads t1..t16 in row-major
+(i, j) order.  With a cache holding four vectors and block dimensions of
+half the cache (two vectors per dimension), the threads fall into four
+bins exactly as the paper lists:
+
+    bin1 = {t1(a1,b1), t2(a1,b2), t5(a2,b1), t6(a2,b2)}
+    bin2 = {t3(a1,b3), t4(a1,b4), t7(a2,b3), t8(a2,b4)}
+    bin3 = {t9..}   bin4 = {t11..}
+
+(The paper's bin3/bin4 listing contains a typesetting slip — it shows
+a3/a4 rows split differently than its own figure; we follow Figure 2's
+geometry: bins partition the (a-block, b-block) plane into quadrants.)
+"""
+
+import pytest
+
+from repro.core.package import ThreadPackage
+
+#: Four vectors fit the cache; each vector is 1 KB.
+VECTOR = 1024
+CACHE = 4 * VECTOR
+BLOCK = CACHE // 2  # two vectors per block dimension
+
+A_BASE = 0x10000            # a1..a4 contiguous
+B_BASE = 0x10000 + 4 * VECTOR
+
+
+def vector_a(i: int) -> int:
+    return A_BASE + (i - 1) * VECTOR
+
+
+def vector_b(j: int) -> int:
+    return B_BASE + (j - 1) * VECTOR
+
+
+@pytest.fixture
+def executed_order():
+    package = ThreadPackage(l2_size=CACHE, block_size=BLOCK)
+    order = []
+    thread_id = 0
+    for i in range(1, 5):
+        for j in range(1, 5):
+            thread_id += 1
+            package.th_fork(
+                lambda a, b: order.append(a),
+                thread_id,
+                None,
+                vector_a(i),
+                vector_b(j),
+            )
+    stats = package.th_run(0)
+    return order, stats
+
+
+class TestSection24Example:
+    def test_sixteen_threads_four_bins(self, executed_order):
+        order, stats = executed_order
+        assert stats.threads == 16
+        assert stats.bins == 4
+        assert stats.threads_per_bin == (4, 4, 4, 4)
+
+    def test_bin_contents_match_quadrants(self, executed_order):
+        order, _stats = executed_order
+        # Thread t runs dot product (i, j) with i = (t-1)//4+1, j = (t-1)%4+1.
+        def quadrant(thread_id):
+            i = (thread_id - 1) // 4 + 1
+            j = (thread_id - 1) % 4 + 1
+            return ((i - 1) // 2, (j - 1) // 2)
+
+        groups = [order[k : k + 4] for k in range(0, 16, 4)]
+        for group in groups:
+            assert len({quadrant(t) for t in group}) == 1
+
+    def test_first_bin_is_papers_bin1(self, executed_order):
+        order, _stats = executed_order
+        assert sorted(order[:4]) == [1, 2, 5, 6]
+
+    def test_second_bin_is_papers_bin2(self, executed_order):
+        order, _stats = executed_order
+        assert sorted(order[4:8]) == [3, 4, 7, 8]
+
+    def test_each_bins_data_fits_the_cache(self, executed_order):
+        """The defining property: any bin's threads touch at most two
+        a-vectors plus two b-vectors = the whole cache."""
+        order, _stats = executed_order
+        for k in range(0, 16, 4):
+            touched = set()
+            for thread_id in order[k : k + 4]:
+                i = (thread_id - 1) // 4 + 1
+                j = (thread_id - 1) % 4 + 1
+                touched.add(("a", i))
+                touched.add(("b", j))
+            assert len(touched) <= 4

@@ -1,0 +1,69 @@
+"""Tests for hint vectors and symmetric folding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.hints import HintVector, fold_symmetric
+
+
+class TestHintVector:
+    def test_dims_by_trailing_zeros(self):
+        assert HintVector(0).dims == 0
+        assert HintVector(100).dims == 1
+        assert HintVector(100, 200).dims == 2
+        assert HintVector(100, 200, 300).dims == 3
+
+    def test_as_tuple(self):
+        assert HintVector(1, 2, 3).as_tuple() == (1, 2, 3)
+
+    def test_negative_hint_rejected(self):
+        with pytest.raises(ValueError):
+            HintVector(-1)
+
+    def test_gap_in_hints_rejected(self):
+        # hint3 without hint2 makes no sense in the paper's interface.
+        with pytest.raises(ValueError):
+            HintVector(100, 0, 300)
+        with pytest.raises(ValueError):
+            HintVector(0, 200)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            HintVector(1).h1 = 2
+
+
+class TestFoldSymmetric:
+    def test_swapped_pair_folds_to_same_vector(self):
+        # Section 2.3: (hi, hj) and (hj, hi) reference the same data.
+        a = fold_symmetric(HintVector(100, 200))
+        b = fold_symmetric(HintVector(200, 100))
+        assert a == b
+
+    def test_fold_keeps_zeros_trailing(self):
+        folded = fold_symmetric(HintVector(100, 200))
+        assert folded.h3 == 0
+        assert folded.dims == 2
+
+    def test_three_way_fold(self):
+        permutations = [
+            (1, 2, 3), (1, 3, 2), (2, 1, 3), (2, 3, 1), (3, 1, 2), (3, 2, 1),
+        ]
+        folded = {fold_symmetric(HintVector(*p)) for p in permutations}
+        assert len(folded) == 1
+
+    def test_single_hint_unchanged(self):
+        assert fold_symmetric(HintVector(42)) == HintVector(42)
+
+    @given(
+        h1=st.integers(1, 10**9),
+        h2=st.integers(1, 10**9),
+        h3=st.integers(0, 10**9),
+    )
+    def test_property_fold_idempotent(self, h1, h2, h3):
+        v = HintVector(h1, h2, h3)
+        assert fold_symmetric(fold_symmetric(v)) == fold_symmetric(v)
+
+    @given(h1=st.integers(1, 10**9), h2=st.integers(1, 10**9))
+    def test_property_fold_preserves_multiset(self, h1, h2):
+        folded = fold_symmetric(HintVector(h1, h2))
+        assert sorted(x for x in folded.as_tuple() if x) == sorted([h1, h2])

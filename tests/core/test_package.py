@@ -1,0 +1,236 @@
+"""Tests for the th_init/th_fork/th_run user interface (untraced)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.package import ThreadPackage
+
+L2 = 2 * 1024 * 1024
+
+
+def make(**kwargs):
+    return ThreadPackage(l2_size=L2, **kwargs)
+
+
+class TestInit:
+    def test_default_block_size_is_half_l2(self):
+        # Every 2-D experiment in the paper "sets the block size to be
+        # one half of the second-level cache size".
+        assert make().scheduler.block_size == L2 // 2
+
+    def test_explicit_sizes(self):
+        package = make(block_size=4096, hash_size=16)
+        assert package.scheduler.block_size == 4096
+        assert package.scheduler.hash_size == 16
+
+    def test_th_init_can_be_called_again(self):
+        package = make()
+        package.th_init(8192, 32)
+        assert package.scheduler.block_size == 8192
+        assert package.scheduler.hash_size == 32
+
+    def test_th_init_zero_restores_defaults(self):
+        package = make(block_size=4096)
+        package.th_init(0, 0)
+        assert package.scheduler.block_size == L2 // 2
+
+    def test_th_init_with_pending_threads_rejected(self):
+        package = make()
+        package.th_fork(lambda a, b: None, hint1=100)
+        with pytest.raises(RuntimeError, match="scheduled"):
+            package.th_init(4096)
+
+    def test_invalid_l2_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadPackage(l2_size=0)
+
+    def test_tracing_args_must_come_together(self):
+        from repro.mem.allocator import AddressSpace
+
+        with pytest.raises(ValueError, match="both"):
+            ThreadPackage(l2_size=L2, address_space=AddressSpace())
+
+
+class TestForkAndRun:
+    def test_every_thread_runs_exactly_once(self):
+        package = make()
+        runs = []
+        for i in range(100):
+            package.th_fork(lambda a, b: runs.append(a), i, None, hint1=1 + i)
+        stats = package.th_run(0)
+        assert sorted(runs) == list(range(100))
+        assert stats.threads == 100
+
+    def test_threads_in_same_block_run_adjacently(self):
+        """The core scheduling guarantee: threads whose hints share a
+        block are contiguous in the execution order."""
+        package = make(block_size=1024)
+        order = []
+        blocks = {}
+        for i in range(60):
+            hint = 1 + (i * 7919) % (16 * 1024)  # scattered over 16 blocks
+            blocks[i] = hint // 1024
+            package.th_fork(lambda a, b: order.append(a), i, None, hint1=hint)
+        package.th_run(0)
+        seen = []
+        for thread_id in order:
+            block = blocks[thread_id]
+            if not seen or seen[-1] != block:
+                assert block not in seen, f"block {block} revisited"
+                seen.append(block)
+
+    def test_bins_run_in_creation_order(self):
+        package = make(block_size=1024)
+        order = []
+        # Fork into blocks 5, 1, 3 (first-touch order defines run order).
+        for block in (5, 1, 3, 5, 1):
+            package.th_fork(
+                lambda a, b: order.append(a), block, None, hint1=block * 1024 + 1
+            )
+        package.th_run(0)
+        assert order == [5, 5, 1, 1, 3]
+
+    def test_run_destroys_threads_by_default(self):
+        package = make()
+        package.th_fork(lambda a, b: None, hint1=1)
+        package.th_run(0)
+        assert package.pending_threads == 0
+        assert package.th_run(0).threads == 0
+
+    def test_keep_allows_re_execution(self):
+        package = make()
+        runs = []
+        package.th_fork(lambda a, b: runs.append(a), 7, None, hint1=1)
+        package.th_run(1)
+        package.th_run(0)
+        assert runs == [7, 7]
+        assert package.total_dispatches == 2
+
+    def test_fork_inside_running_thread_rejected(self):
+        package = make()
+
+        def forker(a, b):
+            package.th_fork(lambda x, y: None, hint1=1)
+
+        package.th_fork(forker, hint1=1)
+        with pytest.raises(RuntimeError, match="not supported"):
+            package.th_run(0)
+
+    def test_no_hints_all_threads_share_bin_zero(self):
+        package = make()
+        for i in range(5):
+            package.th_fork(lambda a, b: None)
+        assert package.bin_count == 1
+
+    def test_group_overflow_chains_new_group(self):
+        package = make()
+        capacity = package.costs.group_capacity
+        for i in range(capacity + 1):
+            package.th_fork(lambda a, b: None, hint1=1)
+        bin_ = package.table.ready[0]
+        assert len(bin_.groups) == 2
+        assert bin_.thread_count == capacity + 1
+
+    def test_counters(self):
+        package = make()
+        for i in range(10):
+            package.th_fork(lambda a, b: None, hint1=1 + i * 4096)
+        assert package.total_forks == 10
+        assert package.pending_threads == 10
+        package.th_run(0)
+        assert package.total_dispatches == 10
+
+
+class TestDistribution:
+    def test_distribution_without_running(self):
+        package = make(block_size=1024)
+        for block in (0, 0, 1, 2):
+            package.th_fork(lambda a, b: None, hint1=block * 1024 + 1)
+        stats = package.distribution()
+        assert stats.threads == 4
+        assert stats.bins == 3
+        assert package.pending_threads == 4  # untouched
+
+    def test_even_spread_is_uniform(self):
+        package = make(block_size=1024)
+        for i in range(64):
+            package.th_fork(lambda a, b: None, hint1=(i % 8) * 1024 + 1)
+        stats = package.distribution()
+        assert stats.bins == 8
+        assert stats.coefficient_of_variation == 0.0
+
+    def test_run_history_records_each_run(self):
+        package = make()
+        package.th_fork(lambda a, b: None, hint1=1)
+        package.th_run(1)
+        package.th_run(0)
+        assert len(package.run_history) == 2
+
+
+class TestPolicies:
+    def test_sorted_policy_changes_order(self):
+        order = []
+        package = make(block_size=1024, policy="sorted")
+        for block in (5, 1, 3):
+            package.th_fork(
+                lambda a, b: order.append(a), block, None, hint1=block * 1024 + 1
+            )
+        package.th_run(0)
+        assert order == [1, 3, 5]
+
+    def test_fold_symmetric_halves_bins(self):
+        folded = make(block_size=1024, fold_symmetric=True)
+        plain = make(block_size=1024)
+        for package in (folded, plain):
+            for i in range(8):
+                for j in range(8):
+                    if i != j:
+                        package.th_fork(
+                            lambda a, b: None,
+                            hint1=i * 1024 + 1,
+                            hint2=j * 1024 + 1,
+                        )
+        # Section 2.3: folding reduces the bin count by 50%.
+        assert folded.bin_count == plain.bin_count // 2
+
+
+class TestPropertyBased:
+    @settings(max_examples=50)
+    @given(
+        hints=st.lists(
+            st.tuples(st.integers(1, 1 << 22), st.integers(0, 1 << 22)),
+            min_size=1,
+            max_size=150,
+        )
+    )
+    def test_property_permutation_of_forked_threads(self, hints):
+        """th_run executes exactly the forked threads — a permutation,
+        nothing lost, nothing duplicated."""
+        package = make(block_size=4096)
+        executed = []
+        for index, (h1, h2) in enumerate(hints):
+            package.th_fork(
+                lambda a, b: executed.append(a), index, None, h1, h2
+            )
+        stats = package.th_run(0)
+        assert sorted(executed) == list(range(len(hints)))
+        assert stats.threads == len(hints)
+        assert stats.bins == package.bin_count or stats.bins <= package.bin_count
+
+    @settings(max_examples=50)
+    @given(
+        hints=st.lists(st.integers(1, 1 << 20), min_size=2, max_size=120),
+        block_bits=st.sampled_from([10, 12, 14]),
+    )
+    def test_property_same_block_threads_contiguous(self, hints, block_bits):
+        package = make(block_size=1 << block_bits)
+        order = []
+        for index, hint in enumerate(hints):
+            package.th_fork(lambda a, b: order.append(a), index, None, hint)
+        package.th_run(0)
+        blocks_seen = []
+        for thread_id in order:
+            block = hints[thread_id] >> block_bits
+            if not blocks_seen or blocks_seen[-1] != block:
+                assert block not in blocks_seen
+                blocks_seen.append(block)

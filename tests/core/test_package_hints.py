@@ -1,0 +1,117 @@
+"""Thread-package behaviour across hint dimensionalities and collisions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.package import ThreadPackage
+
+L2 = 2 * 1024 * 1024
+
+
+def make(**kwargs):
+    return ThreadPackage(l2_size=L2, **kwargs)
+
+
+class TestDimensionality:
+    def test_three_dimensional_hints(self):
+        """Section 3: the package implements the 3-D case; blocks are
+        cubes in hint space."""
+        package = make(block_size=1024)
+        order = []
+        corners = [
+            (1, 1, 1),
+            (1, 1, 2000),
+            (1, 2000, 1),
+            (2000, 1, 1),
+            (2000, 2000, 2000),
+        ]
+        for index, (h1, h2, h3) in enumerate(corners):
+            package.th_fork(lambda a, b: order.append(a), index, None, h1, h2, h3)
+        stats = package.th_run(0)
+        assert stats.bins == 5  # every corner is its own block
+
+    def test_one_dimensional_collapses_other_axes(self):
+        package = make(block_size=1024)
+        for i in range(6):
+            package.th_fork(lambda a, b: None, hint1=1 + (i % 2) * 4096)
+        assert package.bin_count == 2
+
+    def test_mixed_dimensionality_coexists(self):
+        """1-D and 2-D threads share the table: absent hints are block 0."""
+        package = make(block_size=1024)
+        package.th_fork(lambda a, b: None, hint1=5000)
+        package.th_fork(lambda a, b: None, hint1=5000, hint2=5000)
+        assert package.bin_count == 2
+
+    def test_paper_sor_hint_pattern(self):
+        """SOR passes two hints in ONE array (start of left neighbour,
+        end of right): the bins form a diagonal of the plane, roughly
+        one per block — the paper's 63-bins-for-32-blocks geometry."""
+        package = make(block_size=16 * 1024)
+        column = 2048
+        base = 0x10000
+        for j in range(1, 250):
+            package.th_fork(
+                lambda a, b: None,
+                j,
+                None,
+                base + (j - 1) * column,
+                base + (j + 1) * column + column - 8,
+            )
+        bins = package.bin_count
+        span_blocks = 250 * column // (16 * 1024)
+        assert span_blocks <= bins <= 2 * span_blocks + 2
+
+
+class TestCollisions:
+    def test_colliding_blocks_stay_separate_bins(self):
+        # hash_size 2 masks block indices mod 2: blocks 0 and 2 share a
+        # slot but must remain distinct bins (chaining, Section 3.2).
+        package = make(block_size=1024, hash_size=2)
+        runs = []
+        package.th_fork(lambda a, b: runs.append("block0"), hint1=1)
+        package.th_fork(lambda a, b: runs.append("block2"), hint1=2 * 1024 + 1)
+        package.th_fork(lambda a, b: runs.append("block0"), hint1=5)
+        package.th_run(0)
+        assert package.bin_count == 2
+        assert runs == ["block0", "block0", "block2"]
+
+    def test_chain_probes_grow_with_collisions(self):
+        tight = make(block_size=1024, hash_size=2)
+        roomy = make(block_size=1024, hash_size=64)
+        for package in (tight, roomy):
+            for i in range(32):
+                package.th_fork(lambda a, b: None, hint1=1 + i * 1024)
+        assert tight.table.max_chain_length > roomy.table.max_chain_length
+
+    @settings(max_examples=30)
+    @given(
+        hints=st.lists(st.integers(1, 1 << 22), min_size=1, max_size=80),
+        hash_size=st.sampled_from([2, 4, 64]),
+    )
+    def test_property_bin_count_independent_of_hash_size(
+        self, hints, hash_size
+    ):
+        """Chaining means the hash size affects speed, never placement:
+        the bin structure is a function of the block geometry alone."""
+        small = make(block_size=4096, hash_size=hash_size)
+        large = make(block_size=4096, hash_size=1024)
+        for hint in hints:
+            small.th_fork(lambda a, b: None, hint1=hint)
+            large.th_fork(lambda a, b: None, hint1=hint)
+        assert small.bin_count == large.bin_count
+        assert [b.key for b in small.table.ready] == [
+            b.key for b in large.table.ready
+        ]
+
+
+class TestHintValidation:
+    def test_negative_hint_rejected(self):
+        package = make()
+        with pytest.raises(ValueError):
+            package.th_fork(lambda a, b: None, hint1=-5)
+
+    def test_hint_gap_rejected(self):
+        package = make()
+        with pytest.raises(ValueError, match="hint2"):
+            package.th_fork(lambda a, b: None, hint1=100, hint3=300)

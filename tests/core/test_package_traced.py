@@ -1,0 +1,118 @@
+"""Tests for the thread package's own simulated memory behaviour."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.package import ThreadPackage
+from repro.mem.allocator import AddressSpace
+from repro.trace.costmodel import ThreadCostModel
+from repro.trace.recorder import TraceRecorder
+
+
+def make_traced(l2_size=32 * 1024, **kwargs):
+    l1 = CacheConfig("L1", 2048, 32, 1)
+    l2 = CacheConfig("L2", l2_size, 128, 4)
+    recorder = TraceRecorder(CacheHierarchy(l1, l1, l2))
+    space = AddressSpace()
+    package = ThreadPackage(
+        l2_size=l2_size, recorder=recorder, address_space=space, **kwargs
+    )
+    return package, recorder, space
+
+
+class TestAllocations:
+    def test_hash_table_region_allocated(self):
+        _package, _recorder, space = make_traced()
+        assert "th_hash_table" in space
+
+    def test_groups_and_bins_allocated_lazily(self):
+        package, _recorder, space = make_traced()
+        names_before = {a.name for a in space.allocations}
+        package.th_fork(lambda a, b: None, hint1=1)
+        names_after = {a.name for a in space.allocations}
+        new = names_after - names_before
+        assert any(name.startswith("th_bin") for name in new)
+        assert any(name.startswith("th_group") for name in new)
+
+    def test_one_group_per_capacity_threads(self):
+        costs = ThreadCostModel(group_capacity=4)
+        package, _recorder, space = make_traced(costs=costs)
+        for _ in range(9):
+            package.th_fork(lambda a, b: None, hint1=1)
+        groups = [a for a in space.allocations if a.name.startswith("th_group")]
+        assert len(groups) == 3  # ceil(9 / 4)
+
+    def test_group_slab_sized_by_cost_model(self):
+        costs = ThreadCostModel(slot_size=16, group_capacity=8)
+        package, _recorder, space = make_traced(costs=costs)
+        package.th_fork(lambda a, b: None, hint1=1)
+        group = next(
+            a for a in space.allocations if a.name.startswith("th_group")
+        )
+        assert group.size == 128
+
+
+class TestAccounting:
+    def test_fork_charges_thread_instructions(self):
+        package, recorder, _space = make_traced()
+        package.th_fork(lambda a, b: None, hint1=1)
+        assert recorder.thread_instructions == package.costs.fork_instructions
+        assert recorder.app_instructions == 0
+
+    def test_run_charges_dispatch_instructions(self):
+        package, recorder, _space = make_traced()
+        package.th_fork(lambda a, b: None, hint1=1)
+        after_fork = recorder.thread_instructions
+        package.th_run(0)
+        assert (
+            recorder.thread_instructions
+            == after_fork + package.costs.run_instructions
+        )
+
+    def test_fork_generates_data_references(self):
+        package, recorder, _space = make_traced()
+        package.th_fork(lambda a, b: None, hint1=1)
+        stats = recorder.hierarchy.snapshot()
+        # Hash probe + bin header + the thread record write.
+        assert stats.data_refs >= 1 + 4
+        assert stats.data_writes >= 1
+
+    def test_thread_records_stream_compulsory_misses(self):
+        """The source of Table 3's extra compulsory misses: each new
+        thread-group slab is cold."""
+        costs = ThreadCostModel(group_capacity=16)
+        package, recorder, _space = make_traced(costs=costs)
+        for i in range(256):
+            package.th_fork(lambda a, b: None, hint1=1 + (i % 8) * 4096)
+        package.th_run(0)
+        stats = recorder.hierarchy.snapshot()
+        # 256 threads x 32-byte records = 8 KB of cold slabs = 64 L2 lines.
+        assert stats.l2.compulsory >= 8192 // 128
+
+    def test_untraced_package_records_nothing(self):
+        package = ThreadPackage(l2_size=32 * 1024)
+        package.th_fork(lambda a, b: None, hint1=1)
+        package.th_run(0)  # would raise if it tried to trace
+
+
+class TestDispatchTrace:
+    def test_run_rereads_thread_records(self):
+        package, recorder, _space = make_traced()
+        for _ in range(10):
+            package.th_fork(lambda a, b: None, hint1=1)
+        refs_after_fork = recorder.hierarchy.snapshot().data_refs
+        package.th_run(0)
+        refs_after_run = recorder.hierarchy.snapshot().data_refs
+        slot_elements = package.costs.slot_size // 8
+        assert refs_after_run - refs_after_fork >= 10 * slot_elements
+
+    def test_app_work_inside_thread_counts_as_app(self):
+        package, recorder, _space = make_traced()
+
+        def body(a, b):
+            recorder.count_instructions(50)
+
+        package.th_fork(body, hint1=1)
+        package.th_run(0)
+        assert recorder.app_instructions == 50

@@ -1,0 +1,122 @@
+"""Tests for bin traversal policies."""
+
+import pytest
+
+from repro.core.bins import Bin
+from repro.core.policies import (
+    TRAVERSAL_POLICIES,
+    creation_order,
+    resolve_policy,
+    snake_order,
+    sorted_order,
+)
+
+
+def bins_with_keys(keys):
+    return [Bin(key) for key in keys]
+
+
+class TestCreationOrder:
+    def test_preserves_input_order(self):
+        bins = bins_with_keys([(3, 0, 0), (1, 0, 0), (2, 0, 0)])
+        assert creation_order(bins) == bins
+
+    def test_returns_new_list(self):
+        bins = bins_with_keys([(1, 0, 0)])
+        result = creation_order(bins)
+        assert result == bins and result is not bins
+
+
+class TestSortedOrder:
+    def test_lexicographic(self):
+        bins = bins_with_keys([(2, 1, 0), (1, 9, 0), (2, 0, 0)])
+        assert [b.key for b in sorted_order(bins)] == [
+            (1, 9, 0),
+            (2, 0, 0),
+            (2, 1, 0),
+        ]
+
+
+class TestSnakeOrder:
+    def test_serpentine_second_coordinate(self):
+        keys = [(0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 0)]
+        ordered = [b.key for b in snake_order(bins_with_keys(keys))]
+        # Row 0 ascending, row 1 descending: adjacent keys stay adjacent.
+        assert ordered == [(0, 0, 0), (0, 1, 0), (1, 1, 0), (1, 0, 0)]
+
+    def test_snake_minimises_total_jump_distance(self):
+        keys = [(i, j, 0) for i in range(4) for j in range(4)]
+
+        def tour_length(bins):
+            total = 0
+            for a, b in zip(bins, bins[1:]):
+                total += abs(a.key[0] - b.key[0]) + abs(a.key[1] - b.key[1])
+            return total
+
+        snake = tour_length(snake_order(bins_with_keys(keys)))
+        plain = tour_length(sorted_order(bins_with_keys(keys)))
+        assert snake < plain
+
+    def test_permutation_preserved(self):
+        keys = [(i % 3, i % 5, i % 2) for i in range(20)]
+        bins = bins_with_keys(keys)
+        assert sorted(b.key for b in snake_order(bins)) == sorted(keys)
+
+
+class TestGreedyTour:
+    def test_empty_and_single(self):
+        from repro.core.policies import greedy_tour
+
+        assert greedy_tour([]) == []
+        single = bins_with_keys([(3, 3, 3)])
+        assert greedy_tour(single) == single
+
+    def test_visits_every_bin_once(self):
+        from repro.core.policies import greedy_tour
+
+        keys = [(i * 7 % 5, i * 3 % 4, 0) for i in range(15)]
+        tour = greedy_tour(bins_with_keys(keys))
+        assert sorted(b.key for b in tour) == sorted(keys)
+
+    def test_starts_at_first_allocated(self):
+        from repro.core.policies import greedy_tour
+
+        bins = bins_with_keys([(9, 9, 0), (0, 0, 0), (1, 0, 0)])
+        assert greedy_tour(bins)[0].key == (9, 9, 0)
+
+    def test_chases_adjacency(self):
+        from repro.core.policies import greedy_tour
+
+        # Scattered creation order; greedy should walk the line 0..4.
+        keys = [(0, 0, 0), (4, 0, 0), (1, 0, 0), (3, 0, 0), (2, 0, 0)]
+        tour = [b.key[0] for b in greedy_tour(bins_with_keys(keys))]
+        assert tour == [0, 1, 2, 3, 4]
+
+    def test_never_longer_than_creation_order(self):
+        from repro.core.policies import creation_order, greedy_tour
+
+        def tour_length(bins):
+            total = 0
+            for a, b in zip(bins, bins[1:]):
+                total += sum(abs(x - y) for x, y in zip(a.key, b.key))
+            return total
+
+        keys = [((i * 13) % 7, (i * 5) % 6, (i * 3) % 2) for i in range(25)]
+        bins = bins_with_keys(keys)
+        assert tour_length(greedy_tour(bins)) <= tour_length(
+            creation_order(bins)
+        )
+
+
+class TestResolve:
+    def test_resolve_by_name(self):
+        for name, fn in TRAVERSAL_POLICIES.items():
+            assert resolve_policy(name) is fn
+
+    def test_resolve_callable_passthrough(self):
+        fn = lambda bins: bins  # noqa: E731
+        assert resolve_policy(fn) is fn
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ValueError, match="snake"):
+            resolve_policy("zigzag")

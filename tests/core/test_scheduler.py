@@ -1,0 +1,142 @@
+"""Tests for the locality scheduler's block geometry and hashing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.hints import HintVector
+from repro.core.scheduler import (
+    DEFAULT_HASH_SIZE,
+    LocalityScheduler,
+    default_block_size,
+)
+
+
+class TestDefaultBlockSize:
+    def test_dimensions_sum_to_cache_size(self):
+        # "The default dimension sizes of the block are set such that
+        # their sum are the same as the second-level cache size."
+        cache = 2 * 1024 * 1024
+        for dims in (1, 2, 3):
+            assert default_block_size(cache, dims) * dims == pytest.approx(
+                cache, rel=0.01
+            )
+
+    def test_two_dims_is_half_cache(self):
+        assert default_block_size(2 * 1024 * 1024, 2) == 1024 * 1024
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            default_block_size(1024, 4)
+        with pytest.raises(ValueError):
+            default_block_size(1024, 0)
+
+    def test_invalid_cache_rejected(self):
+        with pytest.raises(ValueError):
+            default_block_size(0, 2)
+
+
+class TestBlockMapping:
+    def test_same_block_same_key(self):
+        sched = LocalityScheduler(block_size=1024)
+        a = sched.block_of(HintVector(100, 2000))
+        b = sched.block_of(HintVector(900, 1100))
+        assert a == b
+
+    def test_adjacent_blocks_differ(self):
+        sched = LocalityScheduler(block_size=1024)
+        a = sched.block_of(HintVector(1023))
+        b = sched.block_of(HintVector(1024))
+        assert a != b
+
+    def test_power_of_two_uses_shift(self):
+        sched = LocalityScheduler(block_size=1024)
+        assert sched.block_of(HintVector(5000, 3000, 1000)) == (4, 2, 0)
+
+    def test_non_power_of_two_uses_division(self):
+        sched = LocalityScheduler(block_size=1000)
+        assert sched.block_of(HintVector(5000, 3000, 999)) == (5, 3, 0)
+
+    def test_power_and_division_agree(self):
+        fast = LocalityScheduler(block_size=4096)
+        slow = LocalityScheduler(block_size=4096)
+        slow._shift = None  # force the division path
+        for hints in (HintVector(1), HintVector(123456, 789012, 4095)):
+            assert fast.block_of(hints) == slow.block_of(hints)
+
+    def test_folding_merges_swapped_hints(self):
+        folded = LocalityScheduler(block_size=1024, fold=True)
+        plain = LocalityScheduler(block_size=1024, fold=False)
+        a, b = HintVector(100, 5000), HintVector(5000, 100)
+        assert folded.block_of(a) == folded.block_of(b)
+        assert plain.block_of(a) != plain.block_of(b)
+
+    def test_missing_hints_map_to_block_zero(self):
+        sched = LocalityScheduler(block_size=1024)
+        assert sched.block_of(HintVector(5000)) == (4, 0, 0)
+
+
+class TestHashSlots:
+    def test_slot_masks_each_dimension(self):
+        sched = LocalityScheduler(block_size=1024, hash_size=16)
+        block = (17, 33, 5)
+        assert sched.slot_of(block) == (1, 1, 5)
+
+    def test_collision_detection(self):
+        sched = LocalityScheduler(block_size=1024, hash_size=4)
+        a = HintVector(0 * 1024 + 1)
+        b = HintVector(4 * 1024 + 1)  # block 4 masks to slot 0
+        assert sched.blocks_collide(a, b)
+        assert not sched.blocks_collide(a, a)
+
+    def test_hash_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            LocalityScheduler(block_size=1024, hash_size=48)
+
+    def test_default_hash_size(self):
+        assert LocalityScheduler(1024).hash_size == DEFAULT_HASH_SIZE
+
+    def test_zero_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            LocalityScheduler(0)
+
+
+class TestPaperGeometry:
+    def test_matmul_blocks_partition_a_and_b(self):
+        """Paper Section 4.2 geometry at 1/64 scale: two 128 KB matrices
+        against a 16 KB block dimension span 8-9 blocks each, giving the
+        ~81 bins of the paper."""
+        sched = LocalityScheduler(block_size=16 * 1024)
+        a_base, b_base = 0x10000, 0x10000 + 128 * 1024 + 384
+        column = 1024
+        a_blocks = {
+            sched.block_of(HintVector(a_base + i * column))[0] for i in range(128)
+        }
+        b_blocks = {
+            sched.block_of(HintVector(b_base + j * column))[0] for j in range(128)
+        }
+        assert 8 <= len(a_blocks) <= 9
+        assert 8 <= len(b_blocks) <= 9
+
+    @given(
+        h=st.integers(0, 2**30),
+        block_bits=st.integers(6, 22),
+    )
+    def test_property_block_index_is_floor_division(self, h, block_bits):
+        block_size = 1 << block_bits
+        sched = LocalityScheduler(block_size)
+        assert sched.block_of(HintVector(h) if h else HintVector(0))[0] == (
+            h // block_size
+        )
+
+    @given(
+        h1=st.integers(1, 2**24),
+        h2=st.integers(1, 2**24),
+        block_size=st.sampled_from([512, 1024, 4096, 16384]),
+    )
+    def test_property_same_slot_whenever_same_block(self, h1, h2, block_size):
+        sched = LocalityScheduler(block_size)
+        va, vb = HintVector(h1), HintVector(h2)
+        if sched.block_of(va) == sched.block_of(vb):
+            assert sched.slot_of(sched.block_of(va)) == sched.slot_of(
+                sched.block_of(vb)
+            )

@@ -1,0 +1,79 @@
+"""Tests for scheduling statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.stats import SchedulingStats
+
+
+class TestBasics:
+    def test_from_counts(self):
+        stats = SchedulingStats.from_counts([4, 4, 4, 4])
+        assert stats.threads == 16
+        assert stats.bins == 4
+        assert stats.threads_per_bin == (4, 4, 4, 4)
+
+    def test_mean(self):
+        stats = SchedulingStats.from_counts([10, 20, 30])
+        assert stats.mean_threads_per_bin == 20
+
+    def test_min_max(self):
+        stats = SchedulingStats.from_counts([1, 5, 3])
+        assert stats.min_threads_per_bin == 1
+        assert stats.max_threads_per_bin == 5
+
+    def test_empty(self):
+        stats = SchedulingStats.from_counts([])
+        assert stats.threads == 0
+        assert stats.bins == 0
+        assert stats.mean_threads_per_bin == 0.0
+        assert stats.coefficient_of_variation == 0.0
+        assert stats.max_threads_per_bin == 0
+
+
+class TestUniformity:
+    def test_uniform_distribution_cv_zero(self):
+        stats = SchedulingStats.from_counts([7] * 12)
+        assert stats.coefficient_of_variation == 0.0
+
+    def test_skewed_distribution_cv_positive(self):
+        stats = SchedulingStats.from_counts([100, 1, 1, 1])
+        assert stats.coefficient_of_variation > 1.0
+
+    def test_paper_comparison_matmul_vs_nbody(self):
+        """The paper calls matmul 'quite uniform' and N-body 'much less
+        uniform' — the cv must order them."""
+        matmul_like = SchedulingStats.from_counts([12945] * 81)
+        nbody_like = SchedulingStats.from_counts(
+            [5000, 4000, 100, 50, 3000, 200, 80, 2500, 60, 40] * 4
+        )
+        assert (
+            matmul_like.coefficient_of_variation
+            < nbody_like.coefficient_of_variation
+        )
+
+    def test_single_bin_cv_zero(self):
+        assert SchedulingStats.from_counts([42]).coefficient_of_variation == 0.0
+
+    @given(counts=st.lists(st.integers(1, 1000), min_size=2, max_size=50))
+    def test_property_cv_non_negative(self, counts):
+        assert SchedulingStats.from_counts(counts).coefficient_of_variation >= 0
+
+    @given(
+        counts=st.lists(st.integers(1, 100), min_size=2, max_size=30),
+        scale=st.integers(2, 10),
+    )
+    def test_property_cv_scale_invariant(self, counts, scale):
+        base = SchedulingStats.from_counts(counts)
+        scaled = SchedulingStats.from_counts([c * scale for c in counts])
+        assert scaled.coefficient_of_variation == pytest.approx(
+            base.coefficient_of_variation
+        )
+
+
+class TestDescribe:
+    def test_describe_format(self):
+        text = SchedulingStats.from_counts([12945] * 81).describe()
+        assert "1,048,545 threads" in text
+        assert "81 bins" in text
+        assert "cv 0.00" in text

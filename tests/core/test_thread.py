@@ -1,0 +1,63 @@
+"""Tests for thread specs and thread groups."""
+
+import pytest
+
+from repro.core.thread import ThreadGroup, ThreadSpec
+
+
+class TestThreadSpec:
+    def test_run_calls_with_two_args(self):
+        calls = []
+        spec = ThreadSpec(lambda a, b: calls.append((a, b)), 1, "x")
+        spec.run()
+        assert calls == [(1, "x")]
+
+    def test_run_returns_value(self):
+        spec = ThreadSpec(lambda a, b: a + b, 2, 3)
+        assert spec.run() == 5
+
+    def test_default_args_are_none(self):
+        spec = ThreadSpec(lambda a, b: (a, b))
+        assert spec.run() == (None, None)
+
+
+class TestThreadGroup:
+    def test_append_returns_slot_index(self):
+        group = ThreadGroup(capacity=4)
+        assert group.append(ThreadSpec(print)) == 0
+        assert group.append(ThreadSpec(print)) == 1
+        assert group.count == 2
+
+    def test_full_group_rejects(self):
+        group = ThreadGroup(capacity=1)
+        group.append(ThreadSpec(print))
+        assert group.full
+        with pytest.raises(OverflowError):
+            group.append(ThreadSpec(print))
+
+    def test_iteration_in_insertion_order(self):
+        group = ThreadGroup(capacity=3)
+        specs = [ThreadSpec(print, i) for i in range(3)]
+        for spec in specs:
+            group.append(spec)
+        assert list(group) == specs
+        assert len(group) == 3
+
+    def test_slot_addresses_are_spaced_by_slot_size(self):
+        group = ThreadGroup(capacity=4, base_address=0x1000)
+        assert group.slot_address(0, 32) == 0x1000
+        assert group.slot_address(3, 32) == 0x1000 + 96
+
+    def test_slot_address_untraced_raises(self):
+        group = ThreadGroup(capacity=4)
+        with pytest.raises(ValueError, match="untraced"):
+            group.slot_address(0, 32)
+
+    def test_slot_address_out_of_range(self):
+        group = ThreadGroup(capacity=2, base_address=0)
+        with pytest.raises(IndexError):
+            group.slot_address(2, 32)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadGroup(capacity=0)

@@ -1,0 +1,48 @@
+"""Tests for experiment-base helpers and the Table 1 micro-benchmark."""
+
+import math
+
+import pytest
+
+from repro.exp.base import experiment_machines, r8000_scaled, ratio
+from repro.exp.table1_overhead import measure_overhead
+from repro.machine.presets import DEFAULT_SCALE
+
+
+class TestHelpers:
+    def test_experiment_machines_are_the_scaled_pair(self):
+        machines = experiment_machines()
+        assert [m.name for m in machines] == [
+            f"R8000/{DEFAULT_SCALE}",
+            f"R10000/{DEFAULT_SCALE}",
+        ]
+
+    def test_quick_mode_keeps_the_same_machines(self):
+        # Quick mode shrinks problems, never caches (granularity!).
+        default = experiment_machines(False)
+        quick = experiment_machines(True)
+        assert [m.l2.size for m in default] == [m.l2.size for m in quick]
+
+    def test_r8000_scaled_matches_pair(self):
+        assert r8000_scaled().l2.size == experiment_machines()[0].l2.size
+
+    def test_ratio_handles_zero(self):
+        assert ratio(5, 0) == math.inf
+        assert ratio(6, 3) == 2.0
+
+
+class TestMeasureOverhead:
+    def test_returns_positive_microseconds(self):
+        fork_us, run_us = measure_overhead(4096, 2 * 1024 * 1024)
+        assert fork_us > 0
+        assert run_us > 0
+        # Python-level sanity: both well under a millisecond per thread.
+        assert fork_us < 1000
+        assert run_us < 1000
+
+    def test_all_threads_run(self):
+        # measure_overhead runs th_run(0); a second call with the same
+        # count must behave identically (fresh package inside).
+        first = measure_overhead(1024, 2 * 1024 * 1024)
+        second = measure_overhead(1024, 2 * 1024 * 1024)
+        assert first[0] > 0 and second[0] > 0

@@ -1,0 +1,48 @@
+"""Tests for the repro-experiments command line."""
+
+import pytest
+
+from repro.exp.cli import main
+
+
+class TestCli:
+    def test_single_experiment_quick(self, capsys):
+        exit_code = main(["table1", "--quick"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Table 1" in out
+        assert "All shape checks passed." in out
+
+    def test_unknown_id_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+        err = capsys.readouterr().err
+        assert "unknown experiment ids" in err
+
+    def test_multiple_ids(self, capsys):
+        exit_code = main(["table1", "table5", "--quick"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Table 1" in out and "Table 5" in out
+
+
+class TestBaseHelpers:
+    def test_shape_check_str_marks(self):
+        from repro.exp.base import ShapeCheck
+
+        assert "[PASS]" in str(ShapeCheck("claim", True, "detail"))
+        assert "[FAIL]" in str(ShapeCheck("claim", False))
+
+    def test_result_render_includes_notes(self):
+        from repro.exp.base import ExperimentResult
+        from repro.util.tables import TextTable
+
+        table = TextTable(["a"], title="T")
+        table.add_row([1])
+        result = ExperimentResult("x", "T", table)
+        result.notes.append("a caveat")
+        result.check("works", True)
+        rendered = result.render()
+        assert "a caveat" in rendered
+        assert "[PASS] works" in rendered
+        assert result.all_passed

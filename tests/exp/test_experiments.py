@@ -1,0 +1,97 @@
+"""Integration tests: every experiment runs in quick mode and preserves
+the paper's qualitative shapes."""
+
+import pytest
+
+from repro.exp.registry import EXPERIMENTS, run_experiment
+
+
+@pytest.fixture(scope="module")
+def quick_results():
+    """Run every experiment once in quick mode (shared across tests)."""
+    return {
+        experiment_id: run_experiment(experiment_id, quick=True)
+        for experiment_id in EXPERIMENTS
+    }
+
+
+class TestAllExperiments:
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+    def test_shape_checks_pass(self, quick_results, experiment_id):
+        result = quick_results[experiment_id]
+        failed = [str(c) for c in result.checks if not c.passed]
+        assert not failed, "\n".join(failed)
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+    def test_has_checks_and_renders(self, quick_results, experiment_id):
+        result = quick_results[experiment_id]
+        assert result.checks, "every experiment asserts paper claims"
+        rendered = result.render()
+        assert result.title in rendered
+        assert "PASS" in rendered
+
+
+class TestTableContents:
+    def test_table1_reports_measured_overhead(self, quick_results):
+        raw = quick_results["table1"].raw
+        assert raw["fork_us"] > 0
+        assert raw["run_us"] > 0
+
+    def test_table2_five_versions(self, quick_results):
+        seconds = quick_results["table2"].raw["seconds"]
+        assert set(seconds) == {
+            "interchanged",
+            "transposed",
+            "tiled_interchanged",
+            "tiled_transposed",
+            "threaded",
+        }
+        assert all(len(v) == 2 for v in seconds.values())
+
+    def test_table3_columns_match_paper(self, quick_results):
+        raw = quick_results["table3"].raw
+        assert set(raw) == {"interchanged", "tiled_interchanged", "threaded"}
+        for column in raw.values():
+            assert column["L2 misses"] >= column["L2 compulsory"]
+
+    def test_cache_tables_classes_partition(self, quick_results):
+        for experiment_id in ("table3", "table5", "table7", "table9"):
+            for version, column in quick_results[experiment_id].raw.items():
+                total = column["L2 misses"]
+                parts = (
+                    column["L2 compulsory"]
+                    + column["L2 capacity"]
+                    + column["L2 conflict"]
+                )
+                assert parts == total, (experiment_id, version)
+
+    def test_figure4_has_all_series(self, quick_results):
+        series = quick_results["figure4"].raw["series"]
+        assert set(series) == {"matmul", "PDE", "SOR", "N-body"}
+        assert all(len(times) == 7 for times in series.values())
+
+    def test_figure4_times_positive_and_finite(self, quick_results):
+        for times in quick_results["figure4"].raw["series"].values():
+            assert all(0 < t < 1e6 for t in times)
+
+
+class TestRegistry:
+    def test_all_paper_tables_and_extensions_registered(self):
+        from repro.exp.registry import EXTENSION_EXPERIMENTS, PAPER_EXPERIMENTS
+
+        assert set(PAPER_EXPERIMENTS) == {
+            f"table{i}" for i in range(1, 10)
+        } | {"figure4"}
+        from repro.exp.registry import ANALYSIS_EXPERIMENTS
+
+        assert "extension_smp" in EXTENSION_EXPERIMENTS
+        assert "analysis_crossover" in ANALYSIS_EXPERIMENTS
+        assert set(EXPERIMENTS) == (
+            set(PAPER_EXPERIMENTS)
+            | set(EXTENSION_EXPERIMENTS)
+            | set(ANALYSIS_EXPERIMENTS)
+        )
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("table42")

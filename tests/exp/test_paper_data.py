@@ -1,0 +1,88 @@
+"""Consistency checks on the transcribed paper data."""
+
+import pytest
+
+from repro.exp import paper_data as pd
+
+
+class TestInternalConsistency:
+    @pytest.mark.parametrize(
+        "table",
+        [
+            pd.TABLE3_MATMUL_CACHE,
+            pd.TABLE5_PDE_CACHE,
+            pd.TABLE7_SOR_CACHE,
+            pd.TABLE9_NBODY_CACHE,
+        ],
+        ids=["table3", "table5", "table7", "table9"],
+    )
+    def test_l2_classes_sum_to_l2_misses(self, table):
+        """The paper's own tables: compulsory + capacity + conflict adds
+        up to the reported L2 misses (within rounding to thousands)."""
+        for version in table["L2 misses"]:
+            total = table["L2 misses"][version]
+            parts = (
+                table["L2 compulsory"][version]
+                + table["L2 capacity"][version]
+                + table["L2 conflict"][version]
+            )
+            assert parts == pytest.approx(total, abs=3), version
+
+    @pytest.mark.parametrize(
+        "table",
+        [
+            pd.TABLE3_MATMUL_CACHE,
+            pd.TABLE5_PDE_CACHE,
+            pd.TABLE7_SOR_CACHE,
+            pd.TABLE9_NBODY_CACHE,
+        ],
+        ids=["table3", "table5", "table7", "table9"],
+    )
+    def test_l1_rate_consistent_with_counts(self, table):
+        """The printed L1 rate equals misses / (I fetches + D refs)."""
+        for version in table["L1 misses"]:
+            computed = (
+                100.0
+                * table["L1 misses"][version]
+                / (table["I fetches"][version] + table["D references"][version])
+            )
+            assert computed == pytest.approx(
+                table["L1 rate %"][version], abs=0.15
+            ), version
+
+    def test_table1_total_is_fork_plus_run(self):
+        for machine in (0, 1):
+            assert pd.TABLE1_OVERHEAD_US["Total"][machine] == pytest.approx(
+                pd.TABLE1_OVERHEAD_US["Fork"][machine]
+                + pd.TABLE1_OVERHEAD_US["Run"][machine],
+                abs=0.01,
+            )
+
+    def test_performance_tables_have_two_machines(self):
+        for table in (
+            pd.TABLE2_MATMUL_SECONDS,
+            pd.TABLE4_PDE_SECONDS,
+            pd.TABLE6_SOR_SECONDS,
+            pd.TABLE8_NBODY_SECONDS,
+        ):
+            for row in table.values():
+                assert len(row) == 2
+                assert all(v > 0 for v in row)
+
+    def test_headline_claims_in_data(self):
+        """The abstract's factors: threading improves untiled matmul by
+        ~5x on the R8000 and >2x on the R10000."""
+        t2 = pd.TABLE2_MATMUL_SECONDS
+        assert t2["interchanged"][0] / t2["threaded"][0] > 5.0
+        assert t2["interchanged"][1] / t2["threaded"][1] > 2.0
+
+    def test_scheduling_distribution_arithmetic(self):
+        for name, d in pd.SCHEDULING_DISTRIBUTIONS.items():
+            assert d["threads"] // d["bins"] == pytest.approx(
+                d["per_bin"], rel=0.01
+            ), name
+
+    def test_figure4_relative_sizes_span_the_cache(self):
+        sizes = pd.FIGURE4_BLOCK_SIZES_RELATIVE
+        assert min(sizes) < 1 < max(sizes)
+        assert sizes == sorted(sizes)

@@ -1,0 +1,35 @@
+"""MachineSpec.build_hierarchy wiring, including page mappers."""
+
+from repro.machine.presets import r8000
+from repro.mem.paging import IdentityMapper, RandomMapper
+
+
+class TestBuildHierarchy:
+    def test_fresh_hierarchies_are_independent(self):
+        machine = r8000(64)
+        a = machine.build_hierarchy()
+        b = machine.build_hierarchy()
+        a.access_data([0])
+        assert b.snapshot().data_refs == 0
+
+    def test_page_mapper_attached(self):
+        machine = r8000(64)
+        mapper = RandomMapper(512, seed=1)
+        hierarchy = machine.build_hierarchy(mapper)
+        assert hierarchy.l2_page_mapper is mapper
+
+    def test_identity_mapper_equivalent_to_none(self):
+        machine = r8000(64)
+        plain = machine.build_hierarchy()
+        mapped = machine.build_hierarchy(IdentityMapper(512))
+        stream = [(i * 13) % 700 for i in range(4000)]
+        plain.access_data(list(stream))
+        mapped.access_data(list(stream))
+        assert plain.snapshot().l2.as_dict() == mapped.snapshot().l2.as_dict()
+
+    def test_geometry_matches_spec(self):
+        machine = r8000(64)
+        hierarchy = machine.build_hierarchy()
+        assert hierarchy.l1d.config == machine.l1d
+        assert hierarchy.l2.config == machine.l2
+        assert hierarchy.l1i_config == machine.l1i

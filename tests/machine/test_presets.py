@@ -1,0 +1,99 @@
+"""Tests that the presets match the paper's Section 4 hardware tables."""
+
+import pytest
+
+from repro.machine.presets import DEFAULT_SCALE, paper_machines, r8000, r10000
+
+
+class TestR8000:
+    """SGI Power Indigo2: all values from Section 4 of the paper."""
+
+    def test_clock(self):
+        assert r8000().clock_hz == 75e6
+
+    def test_l1_caches(self):
+        m = r8000()
+        assert m.l1i.size == 16 * 1024
+        assert m.l1d.size == 16 * 1024
+        assert m.l1i.line_size == 32
+        assert m.l1d.line_size == 32
+
+    def test_l2_cache(self):
+        m = r8000()
+        assert m.l2.size == 2 * 1024 * 1024
+        assert m.l2.associativity == 4
+        assert m.l2.line_size == 128
+
+    def test_table1_constants(self):
+        m = r8000()
+        assert m.fork_cost_s == pytest.approx(1.38e-6)
+        assert m.run_cost_s == pytest.approx(0.22e-6)
+        assert m.l2_miss_penalty_s == pytest.approx(1.06e-6)
+
+    def test_l1_penalty_seven_cycles(self):
+        assert r8000().l1_miss_penalty_cycles == 7
+
+    def test_l2_miss_costs_about_100_instructions(self):
+        # The motivating claim of the paper's introduction.
+        cost = r8000().l2_miss_cost_instructions
+        assert 75 <= cost <= 250
+
+
+class TestR10000:
+    """SGI Indigo2 IMPACT: all values from Section 4 of the paper."""
+
+    def test_clock(self):
+        assert r10000().clock_hz == 195e6
+
+    def test_l1_caches(self):
+        m = r10000()
+        assert m.l1i.size == 32 * 1024
+        assert m.l1i.line_size == 64
+        assert m.l1i.associativity == 2
+        assert m.l1d.size == 32 * 1024
+        assert m.l1d.line_size == 32
+        assert m.l1d.associativity == 2
+
+    def test_l2_cache(self):
+        m = r10000()
+        assert m.l2.size == 1024 * 1024
+        assert m.l2.associativity == 2
+        assert m.l2.line_size == 128
+
+    def test_table1_constants(self):
+        m = r10000()
+        assert m.fork_cost_s == pytest.approx(0.95e-6)
+        assert m.run_cost_s == pytest.approx(0.14e-6)
+        assert m.l2_miss_penalty_s == pytest.approx(0.85e-6)
+
+
+class TestScaledPresets:
+    def test_default_scale_is_64(self):
+        assert DEFAULT_SCALE == 64
+
+    def test_scaled_r8000_geometry(self):
+        m = r8000(64)
+        assert m.l2.size == 32 * 1024
+        assert m.l1d.size == 2 * 1024
+        assert m.name == "R8000/64"
+
+    def test_explicit_l1_scale(self):
+        m = r8000(16, 16)
+        assert m.l1d.size == 1024
+        assert m.l2.size == 128 * 1024
+
+    def test_paper_machines_order(self):
+        machines = paper_machines()
+        assert [m.name for m in machines] == ["R8000", "R10000"]
+
+    def test_paper_machines_scaled(self):
+        machines = paper_machines(64)
+        assert machines[0].l2.size == 32 * 1024
+        assert machines[1].l2.size == 16 * 1024
+
+    def test_thread_overhead_comparable_to_l2_miss(self):
+        # Table 1's punchline: fork+run costs about the same as one or
+        # two L2 misses, on both machines.
+        for m in paper_machines():
+            total = m.fork_cost_s + m.run_cost_s
+            assert 1.0 <= total / m.l2_miss_penalty_s <= 2.0

@@ -1,0 +1,111 @@
+"""Tests for machine specifications and scaling."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.machine.presets import r8000
+from repro.machine.spec import MachineSpec
+
+
+def spec(**overrides):
+    base = dict(
+        name="test",
+        clock_hz=100e6,
+        effective_ipc=2.0,
+        l1i=CacheConfig("L1I", 16 * 1024, 32, 1),
+        l1d=CacheConfig("L1D", 16 * 1024, 32, 1),
+        l2=CacheConfig("L2", 2 * 1024 * 1024, 128, 4),
+        l1_miss_penalty_cycles=7,
+        l2_miss_penalty_s=1.0e-6,
+        fork_cost_s=1.0e-6,
+        run_cost_s=0.2e-6,
+    )
+    base.update(overrides)
+    return MachineSpec(**base)
+
+
+class TestBasics:
+    def test_cycle_time(self):
+        assert spec().cycle_time_s == pytest.approx(1e-8)
+
+    def test_l2_size_shortcut(self):
+        assert spec().l2_size == 2 * 1024 * 1024
+
+    def test_l2_miss_cost_in_instructions(self):
+        # 1 us at 100 MHz and 2 IPC = 200 instruction slots: the paper's
+        # "more than 100 instructions" motivating figure.
+        assert spec().l2_miss_cost_instructions == pytest.approx(200)
+
+    def test_build_hierarchy_geometry(self):
+        h = spec().build_hierarchy()
+        assert h.l1d.config.size == 16 * 1024
+        assert h.l2.config.size == 2 * 1024 * 1024
+
+    def test_invalid_clock_rejected(self):
+        with pytest.raises(ValueError):
+            spec(clock_hz=0)
+
+    def test_invalid_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            spec(l2_miss_penalty_s=-1)
+
+
+class TestScaling:
+    def test_scale_one_returns_self(self):
+        machine = spec()
+        assert machine.scaled(1, 1) is machine
+
+    def test_l2_scales_by_l2_factor(self):
+        scaled = spec().scaled(64)
+        assert scaled.l2.size == 2 * 1024 * 1024 // 64
+
+    def test_l1_defaults_to_sqrt_of_l2_factor(self):
+        scaled = spec().scaled(64)
+        assert scaled.l1d.size == 16 * 1024 // 8
+        assert scaled.l1i.size == 16 * 1024 // 8
+
+    def test_explicit_l1_factor(self):
+        scaled = spec().scaled(16, 16)
+        assert scaled.l1d.size == 1024
+        assert scaled.l2.size == 2 * 1024 * 1024 // 16
+
+    def test_scaled_name_is_suffixed(self):
+        assert spec().scaled(64).name == "test/64"
+
+    def test_timing_constants_unchanged(self):
+        scaled = spec().scaled(64)
+        assert scaled.clock_hz == 100e6
+        assert scaled.l2_miss_penalty_s == 1.0e-6
+        assert scaled.fork_cost_s == 1.0e-6
+
+    def test_line_sizes_preserved(self):
+        scaled = spec().scaled(64)
+        assert scaled.l2.line_size == 128
+        assert scaled.l1d.line_size == 32
+
+    def test_non_power_of_two_factor_rejected(self):
+        with pytest.raises(ValueError):
+            spec().scaled(3)
+
+    def test_working_set_ratio_preserved(self):
+        # The defining property: an n=1024 matrix against the full L2
+        # equals an n=128 matrix against the /64 L2.
+        full = spec()
+        small = full.scaled(64)
+        full_ratio = (1024 * 1024 * 8) / full.l2.size
+        small_ratio = (128 * 128 * 8) / small.l2.size
+        assert full_ratio == small_ratio
+
+    def test_l1_column_ratio_preserved(self):
+        # L1 interacts with O(n) columns: 8 KB column vs 16 KB L1 at full
+        # scale equals 1 KB column vs 2 KB L1 at linear scale 8.
+        full = spec()
+        small = full.scaled(64)  # l1 factor 8
+        assert (1024 * 8) / full.l1d.size == (128 * 8) / small.l1d.size
+
+
+class TestFrozen:
+    def test_spec_is_immutable(self):
+        machine = r8000()
+        with pytest.raises(AttributeError):
+            machine.clock_hz = 1

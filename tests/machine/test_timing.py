@@ -1,0 +1,82 @@
+"""Tests for the crude-analysis timing model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.presets import r8000
+from repro.machine.timing import TimeBreakdown, TimingInputs, TimingModel
+
+
+@pytest.fixture
+def model():
+    return TimingModel(r8000())
+
+
+class TestInputs:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            TimingInputs(instructions=-1, l1_misses=0, l2_misses=0)
+        with pytest.raises(ValueError):
+            TimingInputs(instructions=0, l1_misses=0, l2_misses=-5)
+
+
+class TestBreakdown:
+    def test_components_sum_to_total(self):
+        b = TimeBreakdown(1.0, 2.0, 3.0, 0.5, 0.25)
+        assert b.total == pytest.approx(6.75)
+        assert b.thread_overhead == pytest.approx(0.75)
+
+
+class TestEstimates:
+    def test_instruction_time_uses_ipc(self, model):
+        b = model.estimate(TimingInputs(150_000_000, 0, 0))
+        # 150M instructions at 2 IPC on 75 MHz = 1 second.
+        assert b.instruction_time == pytest.approx(1.0)
+
+    def test_l1_stall_time(self, model):
+        b = model.estimate(TimingInputs(0, 75_000_000, 0))
+        # 75M misses x 7 cycles at 75 MHz = 7 seconds.
+        assert b.l1_stall_time == pytest.approx(7.0)
+
+    def test_l2_stall_time_is_paper_penalty(self, model):
+        b = model.estimate(TimingInputs(0, 0, 1_000_000))
+        assert b.l2_stall_time == pytest.approx(1.06)
+
+    def test_thread_overhead_matches_table1(self, model):
+        b = model.estimate(
+            TimingInputs(0, 0, 0, forks=1_048_576, thread_runs=1_048_576)
+        )
+        # Table 1's total: 1.60 us per thread over 2^20 threads.
+        assert b.thread_overhead == pytest.approx(1_048_576 * 1.60e-6)
+
+    def test_paper_sor_crude_analysis(self, model):
+        """Section 4.3's own arithmetic: 7.3M fewer L2 misses save about
+        7.7 seconds at 1.06 us each."""
+        assert model.l2_savings(7_300_000) == pytest.approx(7.738)
+
+    def test_l2_savings_rejects_negative(self, model):
+        with pytest.raises(ValueError):
+            model.l2_savings(-1)
+
+    @given(
+        instructions=st.integers(0, 10**10),
+        l1=st.integers(0, 10**9),
+        l2=st.integers(0, 10**8),
+        forks=st.integers(0, 10**7),
+    )
+    def test_property_monotone_in_every_input(self, instructions, l1, l2, forks):
+        model = TimingModel(r8000())
+        base = model.estimate(TimingInputs(instructions, l1, l2, forks, forks))
+        more = model.estimate(
+            TimingInputs(instructions + 1, l1 + 1, l2 + 1, forks + 1, forks + 1)
+        )
+        assert more.total > base.total
+
+    @given(l2=st.integers(1, 10**8))
+    def test_property_l2_misses_dominate_equal_l1_misses(self, l2):
+        """An L2 miss costs strictly more than an L1 miss on both paper
+        machines (1.06 us vs 7 cycles ~ 0.09 us)."""
+        model = TimingModel(r8000())
+        only_l2 = model.estimate(TimingInputs(0, 0, l2))
+        only_l1 = model.estimate(TimingInputs(0, l2, 0))
+        assert only_l2.total > only_l1.total

@@ -1,0 +1,123 @@
+"""Tests for the address-space bump allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.allocator import AddressSpace, Allocation
+
+
+class TestAllocation:
+    def test_end_and_contains(self):
+        region = Allocation("a", base=100, size=10)
+        assert region.end == 110
+        assert region.contains(100)
+        assert region.contains(109)
+        assert not region.contains(110)
+        assert not region.contains(99)
+
+
+class TestAddressSpace:
+    def test_first_allocation_at_aligned_base(self):
+        space = AddressSpace(base=0x10000, alignment=128)
+        region = space.allocate("a", 64)
+        assert region.base == 0x10000
+        assert region.base % 128 == 0
+
+    def test_allocations_are_aligned(self):
+        space = AddressSpace(alignment=128)
+        space.allocate("a", 100)  # not a multiple of 128
+        b = space.allocate("b", 8)
+        assert b.base % 128 == 0
+
+    def test_allocations_do_not_overlap(self):
+        space = AddressSpace()
+        a = space.allocate("a", 1000)
+        b = space.allocate("b", 1000)
+        assert b.base >= a.end
+
+    def test_address_zero_never_allocated(self):
+        # Hint value 0 means "no hint" in the thread package.
+        space = AddressSpace()
+        region = space.allocate("a", 8)
+        assert region.base > 0
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.allocate("a", 8)
+        with pytest.raises(ValueError, match="already in use"):
+            space.allocate("a", 8)
+
+    def test_lookup_by_name(self):
+        space = AddressSpace()
+        region = space.allocate("matrix", 64)
+        assert space["matrix"] is region
+        assert "matrix" in space
+        assert "other" not in space
+
+    def test_zero_size_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError, match="positive"):
+            space.allocate("a", 0)
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            AddressSpace(base=-1)
+
+    def test_non_power_of_two_alignment_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            AddressSpace(alignment=100)
+
+    def test_negative_stagger_rejected(self):
+        with pytest.raises(ValueError, match="stagger"):
+            AddressSpace(stagger=-1)
+
+    def test_stagger_inserts_gap(self):
+        dense = AddressSpace(stagger=0)
+        spread = AddressSpace(stagger=384)
+        dense.allocate("a", 128)
+        spread.allocate("a", 128)
+        gap_dense = dense.allocate("b", 128).base
+        gap_spread = spread.allocate("b", 128).base
+        assert gap_spread - gap_dense == 384
+
+    def test_bytes_allocated_excludes_padding(self):
+        space = AddressSpace(alignment=128, stagger=384)
+        space.allocate("a", 100)
+        space.allocate("b", 50)
+        assert space.bytes_allocated == 150
+
+    def test_owner_of_finds_containing_region(self):
+        space = AddressSpace()
+        a = space.allocate("a", 256)
+        b = space.allocate("b", 256)
+        assert space.owner_of(a.base + 10).name == "a"
+        assert space.owner_of(b.base).name == "b"
+        assert space.owner_of(b.end + 10_000) is None
+
+    def test_allocations_listed_in_order(self):
+        space = AddressSpace()
+        for name in ("x", "y", "z"):
+            space.allocate(name, 8)
+        assert [a.name for a in space.allocations] == ["x", "y", "z"]
+
+    def test_high_water_mark_advances(self):
+        space = AddressSpace()
+        before = space.high_water_mark
+        space.allocate("a", 1000)
+        assert space.high_water_mark >= before + 1000
+
+    @given(sizes=st.lists(st.integers(1, 10_000), min_size=1, max_size=30))
+    def test_property_no_two_regions_overlap(self, sizes):
+        space = AddressSpace(stagger=64)
+        regions = [space.allocate(f"r{i}", s) for i, s in enumerate(sizes)]
+        for first, second in zip(regions, regions[1:]):
+            assert first.end <= second.base
+
+    @given(
+        sizes=st.lists(st.integers(1, 4096), min_size=1, max_size=20),
+        alignment=st.sampled_from([16, 64, 128, 4096]),
+    )
+    def test_property_all_bases_aligned(self, sizes, alignment):
+        space = AddressSpace(alignment=alignment)
+        for i, size in enumerate(sizes):
+            assert space.allocate(f"r{i}", size).base % alignment == 0

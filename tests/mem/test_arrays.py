@@ -1,0 +1,160 @@
+"""Tests for array handles and reference segments."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.arrays import ArrayHandle, RefSegment
+from repro.mem.layout import Layout
+
+
+def make_matrix(rows=8, cols=8, layout=Layout.COLUMN_MAJOR, base=0x1000):
+    return ArrayHandle("A", base, (rows, cols), element_size=8, layout=layout)
+
+
+class TestRefSegment:
+    def test_last_address(self):
+        seg = RefSegment(base=100, stride=8, count=5, element_size=8)
+        assert seg.last_address == 100 + 32
+
+    def test_stride_zero_touches_one_element(self):
+        seg = RefSegment(base=100, stride=0, count=10, element_size=8)
+        assert seg.bytes_touched == 8
+        assert seg.last_address == 100
+
+    def test_contiguous_bytes_touched(self):
+        seg = RefSegment(base=0, stride=8, count=4, element_size=8)
+        assert seg.bytes_touched == 32
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            RefSegment(base=0, stride=8, count=0, element_size=8)
+
+
+class TestAddressing:
+    def test_column_major_element_address(self):
+        a = make_matrix()
+        # A[i, j] at base + i*8 + j*rows*8
+        assert a.addr(0, 0) == 0x1000
+        assert a.addr(1, 0) == 0x1000 + 8
+        assert a.addr(0, 1) == 0x1000 + 64
+
+    def test_row_major_element_address(self):
+        a = make_matrix(layout=Layout.ROW_MAJOR)
+        assert a.addr(1, 0) == 0x1000 + 64
+        assert a.addr(0, 1) == 0x1000 + 8
+
+    def test_paper_indexing_correspondence(self):
+        # The paper's Fortran A[1, i] is our addr(0, i-1).
+        a = make_matrix()
+        assert a.column_base(2) == a.addr(0, 2)
+
+    def test_out_of_range_raises(self):
+        a = make_matrix(4, 4)
+        with pytest.raises(IndexError):
+            a.addr(4, 0)
+        with pytest.raises(IndexError):
+            a.addr(0, -1)
+
+    def test_1d_array_rejects_two_indices(self):
+        v = ArrayHandle("v", 0, (8,))
+        with pytest.raises(ValueError, match="1-D"):
+            v.addr(0, 1)
+
+    def test_2d_array_requires_two_indices(self):
+        a = make_matrix()
+        with pytest.raises(ValueError, match="2-D"):
+            a.addr(0)
+
+    def test_size_and_count(self):
+        a = make_matrix(4, 6)
+        assert a.size_bytes == 4 * 6 * 8
+        assert a.element_count == 24
+
+    def test_3d_shape_rejected(self):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            ArrayHandle("x", 0, (2, 2, 2))
+
+
+class TestSegments:
+    def test_column_walk_contiguous_in_column_major(self):
+        a = make_matrix()
+        seg = a.column(3)
+        assert seg.base == a.addr(0, 3)
+        assert seg.stride == 8
+        assert seg.count == 8
+
+    def test_row_walk_strided_in_column_major(self):
+        a = make_matrix(rows=8)
+        seg = a.row(2)
+        assert seg.base == a.addr(2, 0)
+        assert seg.stride == 8 * 8  # one column of 8 doubles
+
+    def test_row_walk_contiguous_in_row_major(self):
+        a = make_matrix(layout=Layout.ROW_MAJOR)
+        assert a.row(2).stride == 8
+
+    def test_partial_column(self):
+        a = make_matrix()
+        seg = a.column(1, start=2, count=3)
+        assert seg.base == a.addr(2, 1)
+        assert seg.count == 3
+
+    def test_stepped_column_for_red_black(self):
+        a = make_matrix()
+        seg = a.column(0, start=1, count=3, step=2)
+        assert seg.base == a.addr(1, 0)
+        assert seg.stride == 16
+        assert seg.last_address == a.addr(5, 0)
+
+    def test_step_default_count_covers_remaining(self):
+        a = make_matrix(rows=7)
+        seg = a.column(0, start=1, step=2)
+        assert seg.count == 3  # rows 1, 3, 5
+
+    def test_span_overflow_raises(self):
+        a = make_matrix(4, 4)
+        with pytest.raises(IndexError):
+            a.column(0, start=2, count=3)
+        with pytest.raises(IndexError):
+            a.column(0, start=0, count=3, step=2)  # rows 0, 2, 4 -> out
+
+    def test_vector_on_2d_rejected(self):
+        a = make_matrix()
+        with pytest.raises(ValueError):
+            a.vector()
+
+    def test_row_column_on_1d_rejected(self):
+        v = ArrayHandle("v", 0, (8,))
+        with pytest.raises(ValueError):
+            v.column(0)
+        with pytest.raises(ValueError):
+            v.row(0)
+
+    def test_element_repeated_reference(self):
+        a = make_matrix()
+        seg = a.element(1, 1, count=5)
+        assert seg.stride == 0
+        assert seg.count == 5
+
+    @given(
+        rows=st.integers(2, 32),
+        cols=st.integers(2, 32),
+        j=st.data(),
+    )
+    def test_property_column_walk_matches_elementwise_addresses(
+        self, rows, cols, j
+    ):
+        a = make_matrix(rows, cols)
+        col = j.draw(st.integers(0, cols - 1))
+        seg = a.column(col)
+        addresses = [seg.base + k * seg.stride for k in range(seg.count)]
+        assert addresses == [a.addr(i, col) for i in range(rows)]
+
+    @given(rows=st.integers(2, 32), cols=st.integers(2, 32))
+    def test_property_row_and_column_agree_on_intersection(self, rows, cols):
+        a = make_matrix(rows, cols)
+        row_seg = a.row(rows // 2)
+        col_seg = a.column(cols // 2)
+        row_addr = row_seg.base + (cols // 2) * row_seg.stride
+        col_addr = col_seg.base + (rows // 2) * col_seg.stride
+        assert row_addr == col_addr == a.addr(rows // 2, cols // 2)

@@ -1,0 +1,33 @@
+"""Tests for storage layouts."""
+
+from repro.mem.layout import Layout
+
+
+class TestStrides:
+    def test_column_major_row_stride_is_element(self):
+        row_stride, col_stride = Layout.COLUMN_MAJOR.strides(10, 20, 8)
+        assert row_stride == 8
+        assert col_stride == 10 * 8
+
+    def test_row_major_col_stride_is_element(self):
+        row_stride, col_stride = Layout.ROW_MAJOR.strides(10, 20, 8)
+        assert row_stride == 20 * 8
+        assert col_stride == 8
+
+    def test_square_matrix_strides_transpose(self):
+        cm = Layout.COLUMN_MAJOR.strides(16, 16, 8)
+        rm = Layout.ROW_MAJOR.strides(16, 16, 8)
+        assert cm == tuple(reversed(rm))
+
+    def test_element_size_scales_strides(self):
+        small = Layout.COLUMN_MAJOR.strides(4, 4, 4)
+        large = Layout.COLUMN_MAJOR.strides(4, 4, 8)
+        assert large == (small[0] * 2, small[1] * 2)
+
+
+class TestContiguousAxis:
+    def test_column_major_contiguous_down_columns(self):
+        assert Layout.COLUMN_MAJOR.contiguous_axis == 0
+
+    def test_row_major_contiguous_along_rows(self):
+        assert Layout.ROW_MAJOR.contiguous_axis == 1

@@ -1,0 +1,151 @@
+"""Tests for the simulation engine and context."""
+
+import pytest
+
+from repro.machine.presets import r8000
+from repro.mem.arrays import RefSegment
+from repro.mem.layout import Layout
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(r8000(64))
+
+
+class TestContext:
+    def test_allocate_array_layout_and_size(self, sim):
+        def program(ctx):
+            a = ctx.allocate_array("A", (4, 8), layout=Layout.ROW_MAJOR)
+            assert a.shape == (4, 8)
+            assert a.row_stride == 64
+            assert ctx.space["A"].size == 4 * 8 * 8
+            return a.base
+
+        result = sim.run(program)
+        assert result.payload > 0
+
+    def test_thread_package_registered(self, sim):
+        def program(ctx):
+            ctx.make_thread_package()
+            ctx.make_thread_package(block_size=4096)
+            return len(ctx.packages)
+
+        assert sim.run(program).payload == 2
+
+    def test_package_uses_machine_l2(self, sim):
+        def program(ctx):
+            package = ctx.make_thread_package()
+            return package.scheduler.block_size
+
+        assert sim.run(program).payload == sim.machine.l2.size // 2
+
+
+class TestEngine:
+    def test_runs_are_independent(self, sim):
+        def program(ctx):
+            ctx.recorder.record(RefSegment(0x20000, 8, 64, 8))
+            return ctx.hierarchy.snapshot().l1.misses
+
+        first = sim.run(program)
+        second = sim.run(program)
+        assert first.l1_misses == second.l1_misses
+
+    def test_result_carries_counts_and_time(self, sim):
+        def program(ctx):
+            ctx.recorder.count_instructions(1_000_000)
+            ctx.recorder.record(RefSegment(0x20000, 8, 1024, 8))
+            return "done"
+
+        result = sim.run(program, name="probe")
+        assert result.program == "probe"
+        assert result.machine == sim.machine.name
+        assert result.app_instructions == 1_000_000
+        assert result.data_refs == 1024
+        assert result.modeled_seconds > 0
+        assert result.payload == "done"
+
+    def test_default_name_from_function(self, sim):
+        def my_program(ctx):
+            return None
+
+        assert sim.run(my_program).program == "my_program"
+
+    def test_code_footprint_charged_once(self, sim):
+        def program(ctx):
+            return None
+
+        result = sim.run(program, code_footprint=4096)
+        assert result.stats.l2.compulsory == 4096 // 128
+        bare = sim.run(program, code_footprint=0)
+        assert bare.stats.l2.compulsory == 0
+
+    def test_forks_and_dispatches_flow_to_timing(self, sim):
+        def program(ctx):
+            package = ctx.make_thread_package()
+            for i in range(10):
+                package.th_fork(lambda a, b: None, hint1=1 + i)
+            package.th_run(0)
+            return None
+
+        result = sim.run(program)
+        assert result.forks == 10
+        assert result.dispatches == 10
+        expected = 10 * (sim.machine.fork_cost_s + sim.machine.run_cost_s)
+        assert result.time.thread_overhead == pytest.approx(expected)
+
+    def test_sched_reports_last_run(self, sim):
+        def program(ctx):
+            package = ctx.make_thread_package(block_size=1024)
+            for i in range(4):
+                package.th_fork(lambda a, b: None, hint1=1 + i * 1024)
+            package.th_run(0)
+            package.th_fork(lambda a, b: None, hint1=1)
+            package.th_run(0)
+            return None
+
+        result = sim.run(program)
+        assert result.sched.threads == 1
+
+    def test_thread_instructions_excluded_from_modeled_time(self, sim):
+        """Threading is charged through the Table 1 costs, not through
+        its instruction count (DESIGN.md)."""
+
+        def program(ctx):
+            package = ctx.make_thread_package()
+            package.th_fork(lambda a, b: None, hint1=1)
+            package.th_run(0)
+            return None
+
+        result = sim.run(program)
+        assert result.thread_instructions > 0
+        assert result.app_instructions == 0
+        assert result.time.instruction_time == 0.0
+
+
+class TestResultViews:
+    def test_cache_table_column_keys(self, sim):
+        def program(ctx):
+            ctx.recorder.record(RefSegment(0x20000, 8, 64, 8))
+            return None
+
+        column = sim.run(program).cache_table_column()
+        assert set(column) == {
+            "I fetches",
+            "D references",
+            "L1 misses",
+            "L1 rate %",
+            "L2 misses",
+            "L2 rate %",
+            "L2 compulsory",
+            "L2 capacity",
+            "L2 conflict",
+        }
+
+    def test_summary_mentions_program_and_machine(self, sim):
+        def program(ctx):
+            return None
+
+        text = sim.run(program, name="x").summary()
+        assert "x on" in text
+        assert sim.machine.name in text

@@ -1,0 +1,100 @@
+"""End-to-end simulator invariants over randomly generated programs."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.presets import r8000
+from repro.mem.arrays import RefSegment
+from repro.sim.engine import Simulator
+
+SEGMENTS = st.lists(
+    st.tuples(
+        st.integers(0, 4000),      # base element offset
+        st.integers(-32, 64),      # stride in elements
+        st.integers(1, 200),       # count
+        st.booleans(),             # write?
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def make_program(spec):
+    def program(ctx):
+        region = ctx.space.allocate("data", 64 * 1024)
+        for base, stride, count, is_write in spec:
+            segment = RefSegment(
+                region.base + 8 * base, 8 * stride, count, 8
+            )
+            ctx.recorder.record(
+                segment, writes=count if is_write else 0
+            )
+        ctx.recorder.count_instructions(10 * len(spec))
+        return None
+
+    return program
+
+
+class TestEndToEndInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(spec=SEGMENTS)
+    def test_property_simulation_is_deterministic(self, spec):
+        simulator = Simulator(r8000(256))
+        first = simulator.run(make_program(spec))
+        second = simulator.run(make_program(spec))
+        assert first.cache_table_column() == second.cache_table_column()
+        assert first.modeled_seconds == second.modeled_seconds
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec=SEGMENTS)
+    def test_property_reference_accounting(self, spec):
+        simulator = Simulator(r8000(256))
+        result = simulator.run(make_program(spec))
+        expected_refs = sum(count for _, _, count, _ in spec)
+        expected_writes = sum(
+            count for _, _, count, is_write in spec if is_write
+        )
+        assert result.data_refs == expected_refs
+        assert result.stats.data_writes == expected_writes
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec=SEGMENTS)
+    def test_property_miss_chain_inequalities(self, spec):
+        """Misses can only shrink down the hierarchy: L2 accesses equal
+        L1 misses (code charge aside), and every level's misses partition
+        into the three classes."""
+        simulator = Simulator(r8000(256))
+        result = simulator.run(make_program(spec), code_footprint=0)
+        stats = result.stats
+        assert stats.l2.accesses == stats.l1.misses
+        assert stats.l2.misses <= stats.l1.misses <= stats.data_refs
+        for level in (stats.l1, stats.l2):
+            assert (
+                level.compulsory + level.capacity + level.conflict
+                == level.misses
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=SEGMENTS)
+    def test_property_compulsory_counts_distinct_lines(self, spec):
+        simulator = Simulator(r8000(256))
+        result = simulator.run(make_program(spec), code_footprint=0)
+        machine = simulator.machine
+        lines = set()
+        base = 0x10000  # first allocation in a fresh space (aligned base)
+        for seg_base, stride, count, _ in spec:
+            for k in range(count):
+                address = base + 8 * seg_base + 8 * stride * k
+                lines.add(address >> machine.l1d.line_bits)
+        assert result.stats.l1.compulsory == len(lines)
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec=SEGMENTS, extra=SEGMENTS)
+    def test_property_more_work_never_reduces_counters(self, spec, extra):
+        simulator = Simulator(r8000(256))
+        small = simulator.run(make_program(spec))
+        large = simulator.run(make_program(spec + extra))
+        assert large.data_refs > small.data_refs
+        assert large.app_instructions >= small.app_instructions
+        # Misses may go either way (reuse!), but accesses are monotone.
+        assert large.stats.l1.accesses >= small.stats.l1.accesses

@@ -1,0 +1,80 @@
+"""Tests for SimResult views and formatting."""
+
+import pytest
+
+from repro.cache.classify import LevelStats
+from repro.cache.hierarchy import HierarchyStats
+from repro.core.stats import SchedulingStats
+from repro.machine.timing import TimeBreakdown
+from repro.sim.result import SimResult
+
+
+def make_result(**overrides):
+    l1 = LevelStats(accesses=1000, misses=100, compulsory=20, capacity=70, conflict=10)
+    l2 = LevelStats(accesses=100, misses=40, compulsory=10, capacity=25, conflict=5)
+    stats = HierarchyStats(
+        inst_fetches=9000, data_reads=800, data_writes=200, l1=l1, l2=l2
+    )
+    fields = dict(
+        program="prog",
+        machine="R8000/64",
+        stats=stats,
+        app_instructions=9000,
+        thread_instructions=0,
+        forks=0,
+        dispatches=0,
+        sched=None,
+        time=TimeBreakdown(1.0, 0.5, 0.25, 0.0, 0.0),
+        payload=None,
+    )
+    fields.update(overrides)
+    return SimResult(**fields)
+
+
+class TestViews:
+    def test_modeled_seconds_is_time_total(self):
+        assert make_result().modeled_seconds == pytest.approx(1.75)
+
+    def test_data_refs(self):
+        assert make_result().data_refs == 1000
+
+    def test_l1_rate_uses_total_references(self):
+        # 100 misses over 9000 + 1000 references = 1%.
+        assert make_result().l1_miss_rate_pct == pytest.approx(1.0)
+
+    def test_l2_rate_is_local(self):
+        assert make_result().l2_miss_rate_pct == pytest.approx(40.0)
+
+    def test_classification_fields(self):
+        result = make_result()
+        assert result.l2_compulsory == 10
+        assert result.l2_capacity == 25
+        assert result.l2_conflict == 5
+
+    def test_cache_table_column_rounding(self):
+        column = make_result().cache_table_column()
+        assert column["L1 rate %"] == 1.0
+        assert column["L2 misses"] == 40
+
+
+class TestSummary:
+    def test_summary_without_sched(self):
+        text = make_result().summary()
+        assert "prog on R8000/64" in text
+        assert "1.75s" in text
+
+    def test_summary_with_sched(self):
+        sched = SchedulingStats.from_counts([8, 8])
+        text = make_result(sched=sched).summary()
+        assert "16 threads in 2 bins" in text
+
+    def test_empty_sched_not_described(self):
+        sched = SchedulingStats.from_counts([])
+        text = make_result(sched=sched).summary()
+        assert "bins" not in text
+
+
+class TestFrozen:
+    def test_result_is_immutable(self):
+        with pytest.raises(AttributeError):
+            make_result().program = "other"

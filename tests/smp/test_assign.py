@@ -1,0 +1,140 @@
+"""Tests for bin-to-processor assignment policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bins import Bin
+from repro.core.thread import ThreadGroup, ThreadSpec
+from repro.smp.assign import (
+    ASSIGNMENT_POLICIES,
+    affinity_hash,
+    chunked,
+    lpt_balance,
+    resolve_assignment,
+    round_robin,
+)
+
+
+def make_bins(thread_counts):
+    bins = []
+    for index, count in enumerate(thread_counts):
+        bin_ = Bin((index, 0, 0))
+        group = ThreadGroup(max(count, 1))
+        for _ in range(count):
+            group.append(ThreadSpec(print))
+        bin_.groups.append(group)
+        bins.append(bin_)
+    return bins
+
+
+def flatten(queues):
+    return [bin_ for queue in queues for bin_ in queue]
+
+
+class TestPartitioning:
+    @pytest.mark.parametrize("policy", list(ASSIGNMENT_POLICIES.values()))
+    @pytest.mark.parametrize("processors", [1, 2, 3, 8])
+    def test_every_bin_assigned_exactly_once(self, policy, processors):
+        bins = make_bins([3, 1, 4, 1, 5, 9, 2, 6])
+        queues = policy(bins, processors)
+        assert len(queues) == processors
+        assigned = flatten(queues)
+        assert sorted(b.key for b in assigned) == sorted(b.key for b in bins)
+
+    @pytest.mark.parametrize("policy", list(ASSIGNMENT_POLICIES.values()))
+    def test_empty_bin_list(self, policy):
+        queues = policy([], 4)
+        assert queues == [[], [], [], []]
+
+    def test_round_robin_deals_in_order(self):
+        bins = make_bins([1] * 6)
+        queues = round_robin(bins, 2)
+        assert [b.key[0] for b in queues[0]] == [0, 2, 4]
+        assert [b.key[0] for b in queues[1]] == [1, 3, 5]
+
+    def test_chunked_keeps_neighbours_together(self):
+        bins = make_bins([1] * 8)
+        queues = chunked(bins, 2)
+        assert [b.key[0] for b in queues[0]] == [0, 1, 2, 3]
+        assert [b.key[0] for b in queues[1]] == [4, 5, 6, 7]
+
+    def test_lpt_balances_uneven_bins(self):
+        bins = make_bins([100, 1, 1, 1, 1, 96])
+        queues = lpt_balance(bins, 2)
+        loads = [sum(b.thread_count for b in q) for q in queues]
+        assert max(loads) - min(loads) <= 4
+
+    def test_lpt_beats_round_robin_on_skew(self):
+        counts = [512, 2, 2, 2, 400, 2, 2, 2]
+        bins = make_bins(counts)
+
+        def makespan(queues):
+            return max(sum(b.thread_count for b in q) for q in queues)
+
+        assert makespan(lpt_balance(bins, 4)) <= makespan(
+            round_robin(bins, 4)
+        )
+
+    def test_affinity_is_deterministic_per_block(self):
+        bins = make_bins([1] * 10)
+        first = affinity_hash(bins, 4)
+        second = affinity_hash(list(reversed(bins)), 4)
+        # The same block key lands on the same CPU regardless of order.
+        placement_first = {
+            b.key: cpu for cpu, queue in enumerate(first) for b in queue
+        }
+        placement_second = {
+            b.key: cpu for cpu, queue in enumerate(second) for b in queue
+        }
+        assert placement_first == placement_second
+
+
+class TestResolve:
+    def test_by_name(self):
+        assert resolve_assignment("lpt") is lpt_balance
+
+    def test_callable_passthrough(self):
+        assert resolve_assignment(round_robin) is round_robin
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="round_robin"):
+            resolve_assignment("random")
+
+
+class TestProperties:
+    @given(
+        counts=st.lists(st.integers(0, 50), min_size=1, max_size=40),
+        processors=st.integers(1, 8),
+        policy=st.sampled_from(sorted(ASSIGNMENT_POLICIES)),
+    )
+    def test_property_partition_is_complete_and_disjoint(
+        self, counts, processors, policy
+    ):
+        bins = make_bins(counts)
+        queues = ASSIGNMENT_POLICIES[policy](bins, processors)
+        assigned = flatten(queues)
+        assert len(assigned) == len(bins)
+        assert {id(b) for b in assigned} == {id(b) for b in bins}
+
+    @given(
+        counts=st.lists(st.integers(1, 60), min_size=2, max_size=8),
+        processors=st.integers(2, 3),
+    )
+    def test_property_lpt_within_grahams_bound_of_opt(self, counts, processors):
+        """Graham's bound: LPT makespan <= (4/3 - 1/3m) * OPT, with OPT
+        computed by brute force on these small instances."""
+        from itertools import product
+
+        bins = make_bins(counts)
+        queues = lpt_balance(bins, processors)
+        lpt_makespan = max(sum(b.thread_count for b in q) for q in queues)
+
+        opt = None
+        for assignment in product(range(processors), repeat=len(counts)):
+            loads = [0] * processors
+            for count, cpu in zip(counts, assignment):
+                loads[cpu] += count
+            makespan = max(loads)
+            if opt is None or makespan < opt:
+                opt = makespan
+        assert lpt_makespan <= (4 / 3 - 1 / (3 * processors)) * opt + 1e-9

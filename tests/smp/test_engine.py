@@ -1,0 +1,159 @@
+"""Tests for the SMP simulator, package, and recorder."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul import MatmulConfig, threaded
+from repro.machine.presets import r8000
+from repro.mem.arrays import RefSegment
+from repro.sim.engine import Simulator
+from repro.smp.engine import SmpSimulator
+from repro.smp.machine import SmpMachine
+from repro.smp.recorder import SwitchableRecorder
+from repro.trace.recorder import TraceRecorder
+
+CFG = MatmulConfig(n=48)
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return Simulator(r8000(256)).run(threaded(CFG))
+
+
+def smp_run(processors, assignment="chunked", cfg=CFG, scale=256):
+    machine = SmpMachine(r8000(scale), processors)
+    return SmpSimulator(machine).run(threaded(cfg), assignment=assignment)
+
+
+class TestMachine:
+    def test_name_and_hierarchies(self):
+        machine = SmpMachine(r8000(64), 4)
+        assert machine.name == "R8000/64x4"
+        hierarchies = machine.build_hierarchies()
+        assert len(hierarchies) == 4
+        assert hierarchies[0] is not hierarchies[1]
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            SmpMachine(r8000(64), 0)
+
+    def test_negative_dispatch_cost(self):
+        with pytest.raises(ValueError):
+            SmpMachine(r8000(64), 2, dispatch_cost_s=-1)
+
+
+class TestSwitchableRecorder:
+    def make(self, cpus=2):
+        machine = r8000(256)
+        recorders = [
+            TraceRecorder(machine.build_hierarchy()) for _ in range(cpus)
+        ]
+        return SwitchableRecorder(recorders, machine.l2.line_bits), recorders
+
+    def test_routing_follows_current(self):
+        proxy, recorders = self.make()
+        proxy.record(RefSegment(0x10000, 8, 4, 8))
+        proxy.switch_to(1)
+        proxy.record(RefSegment(0x10000, 8, 4, 8))
+        assert recorders[0].hierarchy.snapshot().data_refs == 4
+        assert recorders[1].hierarchy.snapshot().data_refs == 4
+
+    def test_instruction_totals_aggregate(self):
+        proxy, _ = self.make()
+        proxy.count_instructions(10)
+        proxy.switch_to(1)
+        proxy.count_instructions(20)
+        proxy.count_thread_instructions(5)
+        assert proxy.app_instructions == 30
+        assert proxy.thread_instructions == 5
+
+    def test_invalid_cpu_rejected(self):
+        proxy, _ = self.make()
+        with pytest.raises(IndexError):
+            proxy.switch_to(5)
+
+    def test_write_sharing_detected(self):
+        proxy, _ = self.make()
+        segment = RefSegment(0x10000, 8, 16, 8)  # one L2 line
+        proxy.record(segment, writes=16)
+        assert proxy.write_shared_lines == 0
+        proxy.switch_to(1)
+        proxy.record(segment, writes=16)
+        assert proxy.write_shared_lines == 1
+
+    def test_reads_do_not_count_as_sharing(self):
+        proxy, _ = self.make()
+        segment = RefSegment(0x10000, 8, 16, 8)
+        proxy.record(segment)
+        proxy.switch_to(1)
+        proxy.record(segment)
+        assert proxy.written_lines == 0
+
+    def test_empty_recorder_list_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchableRecorder([], 7)
+
+
+class TestSmpEquivalence:
+    def test_one_cpu_matches_serial_misses(self, serial):
+        one = smp_run(1)
+        assert one.total_l2_misses == serial.l2_misses
+        assert one.cpus[0].stats.l1.misses == serial.l1_misses
+
+    def test_results_numerically_identical_across_p(self, serial):
+        reference = serial.payload["A"] @ serial.payload["B"]
+        for processors in (2, 4):
+            result = smp_run(processors)
+            np.testing.assert_allclose(
+                result.payload["C"], reference, rtol=1e-10
+            )
+
+    def test_every_thread_dispatched_once(self, serial):
+        result = smp_run(4)
+        assert sum(c.dispatches for c in result.cpus) == CFG.n * CFG.n
+
+    def test_bins_partitioned_across_cpus(self):
+        result = smp_run(4)
+        total_bins = sum(c.bins for c in result.cpus)
+        assert total_bins == result.sched.bins
+
+
+class TestSmpTiming:
+    def test_makespan_below_serial_for_multiple_cpus(self, serial):
+        assert smp_run(4).makespan < serial.modeled_seconds
+
+    def test_makespan_includes_fork_section(self):
+        result = smp_run(2)
+        assert result.fork_time > 0
+        assert result.makespan > result.fork_time
+
+    def test_speedup_over(self):
+        result = smp_run(2)
+        assert result.speedup_over(2 * result.makespan) == pytest.approx(2.0)
+
+    def test_load_imbalance_at_least_one(self):
+        for processors in (1, 2, 4):
+            assert smp_run(processors).load_imbalance >= 1.0 - 1e-9
+
+    def test_summary_mentions_policy(self):
+        result = smp_run(2, assignment="lpt")
+        assert "lpt" in result.summary()
+        assert result.assignment == "lpt"
+
+
+class TestAssignmentEffects:
+    def test_policies_leave_total_misses_close(self, serial):
+        for policy in ("chunked", "round_robin", "lpt", "affinity"):
+            result = smp_run(4, assignment=policy)
+            assert result.total_l2_misses < 1.4 * serial.l2_misses, policy
+
+    def test_custom_assignment_callable(self):
+        def everything_on_last(bins, processors):
+            queues = [[] for _ in range(processors)]
+            queues[-1] = list(bins)
+            return queues
+
+        result = smp_run(2, assignment=everything_on_last)
+        assert result.cpus[0].dispatches == 0
+        assert result.cpus[1].dispatches == CFG.n * CFG.n
+        assert result.assignment == "everything_on_last"

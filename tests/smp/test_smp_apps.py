@@ -1,0 +1,56 @@
+"""SMP runs of the other applications (beyond matmul)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.nbody import NbodyConfig
+from repro.apps.nbody import threaded as nbody_threaded
+from repro.apps.sor import SorConfig
+from repro.apps.sor import threaded as sor_threaded
+from repro.machine.presets import r8000
+from repro.sim.engine import Simulator
+from repro.smp.engine import SmpSimulator
+from repro.smp.machine import SmpMachine
+
+
+class TestSorOnSmp:
+    def test_chaotic_sor_distributes_and_converges(self):
+        cfg = SorConfig(n=48, iterations=40)
+        serial = Simulator(r8000(256)).run(sor_threaded(cfg))
+        parallel = SmpSimulator(SmpMachine(r8000(256), 4)).run(
+            sor_threaded(cfg), assignment="chunked"
+        )
+        # Chaotic relaxation: different schedules, same fixed point.
+        np.testing.assert_allclose(
+            parallel.payload["A"], serial.payload["A"], atol=1e-6
+        )
+        assert sum(c.dispatches for c in parallel.cpus) == 40 * 46
+
+    def test_sor_bins_balance_roughly(self):
+        cfg = SorConfig(n=48, iterations=6)
+        result = SmpSimulator(SmpMachine(r8000(256), 2)).run(
+            sor_threaded(cfg), assignment="lpt"
+        )
+        dispatches = [c.dispatches for c in result.cpus]
+        assert min(dispatches) > 0
+        assert max(dispatches) < 0.8 * sum(dispatches)
+
+
+class TestNbodyOnSmp:
+    def test_trajectories_machine_count_invariant(self):
+        cfg = NbodyConfig(bodies=200, iterations=1)
+        serial = Simulator(r8000(64, 64)).run(nbody_threaded(cfg))
+        parallel = SmpSimulator(SmpMachine(r8000(64, 64), 4)).run(
+            nbody_threaded(cfg), assignment="round_robin"
+        )
+        np.testing.assert_array_equal(
+            serial.payload["pos"], parallel.payload["pos"]
+        )
+
+    def test_spatial_bins_spread_over_processors(self):
+        cfg = NbodyConfig(bodies=300, iterations=1)
+        result = SmpSimulator(SmpMachine(r8000(64, 64), 4)).run(
+            nbody_threaded(cfg), assignment="affinity"
+        )
+        busy_cpus = sum(1 for c in result.cpus if c.dispatches)
+        assert busy_cpus >= 3

@@ -1,0 +1,56 @@
+"""Examples stay runnable: compile all, execute the fast ones."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+class TestCompile:
+    @pytest.mark.parametrize(
+        "script", sorted(p.name for p in EXAMPLES.glob("*.py"))
+    )
+    def test_example_compiles(self, script):
+        py_compile.compile(str(EXAMPLES / script), doraise=True)
+
+    def test_expected_examples_present(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "matmul_locality.py",
+            "nbody_locality.py",
+            "blocksize_sweep.py",
+            "custom_workload.py",
+            "smp_matmul.py",
+            "exact_sor.py",
+        } <= names
+
+
+class TestRun:
+    def run_example(self, name, *args, timeout=240):
+        return subprocess.run(
+            [sys.executable, str(EXAMPLES / name), *args],
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+        )
+
+    def test_quickstart_reproduces_figure2(self):
+        result = self.run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "16 threads in 4 bins" in result.stdout
+        assert "bin 1" in result.stdout
+
+    def test_matmul_locality_small(self):
+        result = self.run_example("matmul_locality.py", "64")
+        assert result.returncode == 0, result.stderr
+        assert "threaded speedup over untiled" in result.stdout
+
+    def test_nbody_locality_small(self):
+        result = self.run_example("nbody_locality.py", "300")
+        assert result.returncode == 0, result.stderr
+        assert "trajectories identical: True" in result.stdout

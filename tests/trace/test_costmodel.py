@@ -1,0 +1,38 @@
+"""Tests for the thread-package cost model."""
+
+import pytest
+
+from repro.trace.costmodel import DEFAULT_THREAD_COSTS, ThreadCostModel
+
+
+class TestThreadCostModel:
+    def test_defaults_are_positive(self):
+        costs = DEFAULT_THREAD_COSTS
+        assert costs.fork_instructions > 0
+        assert costs.run_instructions > 0
+        assert costs.slot_size > 0
+        assert costs.group_capacity > 0
+
+    def test_group_bytes(self):
+        costs = ThreadCostModel(slot_size=32, group_capacity=256)
+        assert costs.group_bytes == 8192
+
+    def test_calibration_matches_table3_deltas(self):
+        """The paper's threaded matmul executes ~163 extra instructions
+        per thread versus its plain loop nest; fork+run should land in
+        that neighbourhood."""
+        costs = DEFAULT_THREAD_COSTS
+        per_thread = costs.fork_instructions + costs.run_instructions
+        assert 100 <= per_thread <= 200
+
+    def test_invalid_slot_size_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadCostModel(slot_size=0)
+
+    def test_negative_instruction_cost_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadCostModel(fork_instructions=-1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_THREAD_COSTS.slot_size = 64

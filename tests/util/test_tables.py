@@ -1,0 +1,67 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import TextTable, format_count, format_seconds
+
+
+class TestFormatters:
+    def test_format_count_int(self):
+        assert format_count(1234567) == "1,234,567"
+
+    def test_format_count_integral_float(self):
+        assert format_count(1000.0) == "1,000"
+
+    def test_format_count_fractional(self):
+        assert format_count(12.34) == "12.3"
+
+    def test_format_seconds(self):
+        assert format_seconds(20.318) == "20.32"
+
+
+class TestTextTable:
+    def test_render_has_title_header_rule_rows(self):
+        table = TextTable(["Version", "R8000"], title="Table X")
+        table.add_row(["Threaded", 20.32])
+        lines = table.render().splitlines()
+        assert lines[0] == "Table X"
+        assert "Version" in lines[1] and "R8000" in lines[1]
+        assert set(lines[2]) == {"-"}
+        assert "Threaded" in lines[3] and "20.32" in lines[3]
+
+    def test_no_title_skips_title_line(self):
+        table = TextTable(["a"])
+        table.add_row([1])
+        assert table.render().splitlines()[0].strip() == "a"
+
+    def test_numeric_columns_right_aligned(self):
+        table = TextTable(["name", "value"])
+        table.add_row(["x", 5])
+        table.add_row(["longer", 12345])
+        lines = table.render().splitlines()
+        # Both value cells end at the same column.
+        assert lines[-1].endswith("12,345")
+        assert lines[-2].rstrip().endswith("5")
+        assert len(lines[-2].rstrip()) == len(lines[-1])
+
+    def test_row_width_mismatch_raises(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError, match="2 columns"):
+            table.add_row([1])
+
+    def test_rows_property_returns_copies(self):
+        table = TextTable(["a"])
+        table.add_row([1])
+        rows = table.rows
+        rows[0][0] = "mutated"
+        assert table.rows[0][0] == "1"
+
+    def test_int_formatting_adds_separators(self):
+        table = TextTable(["a"])
+        table.add_row([1048576])
+        assert "1,048,576" in table.render()
+
+    def test_float_formatting_two_decimals(self):
+        table = TextTable(["a"])
+        table.add_row([3.14159])
+        assert "3.14" in table.render()

@@ -1,0 +1,63 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_power_of_two,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive_int(self):
+        require_positive(1, "x")
+
+    def test_accepts_positive_float(self):
+        require_positive(0.001, "x")
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            require_positive(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="got -3"):
+            require_positive(-3, "x")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        require_non_negative(0, "x")
+
+    def test_accepts_positive(self):
+        require_non_negative(5, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            require_non_negative(-1, "x")
+
+
+class TestRequirePowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 8, 1024, 1 << 30])
+    def test_accepts_powers(self, value):
+        require_power_of_two(value, "x")
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 1000, 7])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ValueError, match="power of two"):
+            require_power_of_two(value, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValueError):
+            require_power_of_two(4.0, "x")
+
+
+class TestRequireInRange:
+    def test_accepts_bounds(self):
+        require_in_range(1, "x", 1, 3)
+        require_in_range(3, "x", 1, 3)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match=r"in \[1, 3\]"):
+            require_in_range(4, "x", 1, 3)
