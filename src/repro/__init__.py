@@ -26,6 +26,13 @@ from repro.core import LocalityScheduler, SchedulingStats, ThreadPackage
 from repro.exp import run_experiment
 from repro.machine import MachineSpec, TimingModel, r8000, r10000
 from repro.mem import AddressSpace, ArrayHandle, Layout
+from repro.resilience import (
+    CheckpointError,
+    ConfigError,
+    ExperimentError,
+    ReproError,
+    SimulationError,
+)
 from repro.sim import SimContext, Simulator, SimResult
 from repro.trace import TraceRecorder
 
@@ -49,5 +56,10 @@ __all__ = [
     "Simulator",
     "SimResult",
     "TraceRecorder",
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "ExperimentError",
+    "CheckpointError",
     "__version__",
 ]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.resilience.errors import ConfigError
 from repro.util.validation import require_power_of_two
 
 
@@ -37,13 +38,15 @@ class CacheConfig:
         require_power_of_two(self.line_size, "line_size")
         require_power_of_two(self.associativity, "associativity")
         if self.line_size > self.size:
-            raise ValueError(
-                f"line_size {self.line_size} exceeds cache size {self.size}"
+            raise ConfigError(
+                f"line_size {self.line_size} exceeds cache size {self.size}",
+                field="line_size",
             )
         if self.associativity > self.num_lines:
-            raise ValueError(
+            raise ConfigError(
                 f"associativity {self.associativity} exceeds line count "
-                f"{self.num_lines}"
+                f"{self.num_lines}",
+                field="associativity",
             )
 
     @property
@@ -75,9 +78,10 @@ class CacheConfig:
         require_power_of_two(factor, "factor")
         new_size = self.size // factor
         if new_size < self.line_size * self.associativity:
-            raise ValueError(
+            raise ConfigError(
                 f"cannot scale {self.name} by {factor}: would drop below one "
-                f"set ({self.line_size * self.associativity} bytes)"
+                f"set ({self.line_size * self.associativity} bytes)",
+                field="factor",
             )
         return CacheConfig(
             name=self.name,

@@ -1,19 +1,26 @@
-"""Command-line entry point: ``repro-experiments [ids...] [--quick]``.
+"""Command-line entry point: ``repro-experiments [ids...] [options]``.
 
-Runs the requested experiments (all by default) and prints each table
-with its shape checks, the same layout EXPERIMENTS.md records.
+Runs the requested experiments (all by default) as a durable campaign:
+each completed experiment is checkpointed to ``runs/<run-id>/`` so an
+interrupted batch can be finished with ``--resume <run-id>``, a failing
+experiment is recorded and skipped over instead of aborting the batch,
+and a summary table reports what passed, failed, or errored.  See the
+README section "Running long campaigns".
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
-from repro.exp.registry import EXPERIMENTS, run_experiment
+from repro.exp.registry import EXPERIMENTS, describe_experiment
+from repro.resilience.campaign import CampaignConfig, run_campaign
+from repro.resilience.errors import CheckpointError, ConfigError
+from repro.resilience.faults import FAULTS
+from repro.resilience.retry import RetryPolicy
 
 
-def main(argv: list[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -26,36 +33,133 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         metavar="ID",
-        help=f"experiment ids to run (default: all of {', '.join(EXPERIMENTS)})",
+        help="experiment ids to run (default: all; see --list)",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
         help="use reduced workloads (seconds instead of minutes)",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the experiment ids with one-line descriptions and exit",
+    )
+    durability = parser.add_argument_group("durability")
+    durability.add_argument(
+        "--runs-dir",
+        default="runs",
+        metavar="DIR",
+        help="directory holding run manifests (default: %(default)s)",
+    )
+    durability.add_argument(
+        "--run-id",
+        default=None,
+        metavar="RUN",
+        help="name this run (default: timestamp-pid)",
+    )
+    durability.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN",
+        help="finish an earlier run, replaying its completed experiments",
+    )
+    durability.add_argument(
+        "--no-save",
+        action="store_true",
+        help="do not write run artifacts (disables --resume for this run)",
+    )
+    tolerance = parser.add_argument_group("failure tolerance")
+    tolerance.add_argument(
+        "--timeout",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="per-experiment watchdog timeout in seconds (0 = none)",
+    )
+    tolerance.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retries per experiment for transient failures (default: %(default)s)",
+    )
+    tolerance.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        metavar="S",
+        help="base retry backoff in seconds, doubling per attempt",
+    )
+    tolerance.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop at the first failed experiment instead of degrading",
+    )
+    tolerance.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="SITE[:MODE[:TIMES]]",
+        help=(
+            "arm a deterministic fault for testing, e.g. sim.run:fail:2 "
+            "or exp.before:interrupt (repeatable)"
+        ),
+    )
+    return parser
+
+
+def _list_experiments() -> str:
+    width = max(len(experiment_id) for experiment_id in EXPERIMENTS)
+    return "\n".join(
+        f"{experiment_id.ljust(width)}  {describe_experiment(experiment_id)}"
+        for experiment_id in EXPERIMENTS
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
-    ids = args.experiments or list(EXPERIMENTS)
+    if args.list:
+        print(_list_experiments())
+        return 0
+
+    ids = args.experiments or (list(EXPERIMENTS) if not args.resume else [])
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
-        parser.error(f"unknown experiment ids: {', '.join(unknown)}")
+        # argparse convention: usage + message on stderr, exit code 2.
+        parser.error(
+            f"unknown experiment ids: {', '.join(unknown)} "
+            f"(valid ids: {', '.join(EXPERIMENTS)})"
+        )
 
-    failed = []
-    for experiment_id in ids:
-        started = time.time()
-        result = run_experiment(experiment_id, quick=args.quick)
-        elapsed = time.time() - started
-        print(f"\n{'=' * 72}")
-        print(result.render())
-        print(f"({experiment_id} completed in {elapsed:.1f}s)")
-        if not result.all_passed:
-            failed.append(experiment_id)
-    if failed:
-        print(f"\nShape checks FAILED in: {', '.join(failed)}", file=sys.stderr)
-        return 1
-    print("\nAll shape checks passed.")
-    return 0
+    try:
+        for spec in args.inject_fault:
+            FAULTS.arm_from_spec(spec)
+    except ConfigError as exc:
+        parser.error(str(exc))
+
+    config = CampaignConfig(
+        ids=ids,
+        quick=args.quick,
+        timeout_s=args.timeout,
+        retry=RetryPolicy(retries=max(args.retries, 0), backoff_s=args.backoff),
+        runs_dir=args.runs_dir,
+        run_id=args.run_id,
+        resume=args.resume,
+        fail_fast=args.fail_fast,
+        save=not args.no_save,
+    )
+    try:
+        return run_campaign(config)
+    except CheckpointError as exc:
+        print(f"repro-experiments: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)  # e.g. `repro-experiments --list | head`

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import sys
 from typing import Callable
+
+from repro.resilience.errors import ConfigError
 
 from repro.exp import (
     analysis_crossover,
@@ -62,10 +65,20 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
     try:
         return EXPERIMENTS[experiment_id]
     except KeyError:
-        raise ValueError(
+        raise ConfigError(
             f"unknown experiment {experiment_id!r}; choose from "
-            f"{sorted(EXPERIMENTS)}"
+            f"{sorted(EXPERIMENTS)}",
+            field="experiment_id",
         ) from None
+
+
+def describe_experiment(experiment_id: str) -> str:
+    """One-line description of an experiment (its module docstring's
+    first line), used by ``repro-experiments --list``."""
+    runner = get_experiment(experiment_id)
+    doc = sys.modules[runner.__module__].__doc__ or ""
+    first = doc.strip().splitlines()[0].rstrip(".") if doc.strip() else ""
+    return first or f"experiment {experiment_id}"
 
 
 def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:

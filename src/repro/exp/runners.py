@@ -6,6 +6,7 @@ from typing import Callable
 
 from repro.exp.base import ExperimentResult
 from repro.machine.spec import MachineSpec
+from repro.resilience.faults import fault_point
 from repro.sim.engine import Simulator
 from repro.sim.result import SimResult
 from repro.util.tables import TextTable
@@ -20,9 +21,11 @@ def run_versions(
 ) -> dict[str, SimResult]:
     """Simulate every version of an application on one machine."""
     simulator = Simulator(machine)
-    return {
-        name: simulator.run(factory(config)) for name, factory in versions.items()
-    }
+    results: dict[str, SimResult] = {}
+    for name, factory in versions.items():
+        fault_point("exp.version", program=name, machine=machine.name)
+        results[name] = simulator.run(factory(config))
+    return results
 
 
 def perf_table(

@@ -1,0 +1,273 @@
+"""The durable campaign driver behind ``repro-experiments``.
+
+Runs a list of experiments with the full resilience stack composed
+around each one:
+
+* an ``exp.before`` fault point (so tests and ``--inject-fault`` can
+  target a specific experiment);
+* a watchdog timeout around the attempt;
+* bounded retry-with-backoff for transient failures;
+* graceful degradation — a failing experiment is recorded in the run
+  manifest with its classified error and the batch continues;
+* atomic checkpointing after every experiment, so SIGINT (or a crash)
+  at any instant leaves a resumable ``runs/<run-id>/manifest.json``.
+
+``--resume <run-id>`` replays the stored rendering of every completed
+experiment byte-for-byte (the simulator is deterministic, so stored and
+recomputed tables are identical) and runs only what is missing.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TextIO
+
+from repro.exp.registry import run_experiment
+from repro.resilience.checkpoint import ExperimentRecord, RunManifest, RunStore
+from repro.resilience.errors import (
+    CheckpointError,
+    as_experiment_error,
+    classify_error,
+)
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import RetryPolicy, call_with_retry, watchdog
+from repro.util.tables import TextTable
+
+EXIT_OK = 0
+EXIT_FAILED = 1
+EXIT_INTERRUPTED = 130  # 128 + SIGINT, the shell convention
+
+RULE = "=" * 72
+
+
+@dataclass
+class CampaignConfig:
+    """Everything the CLI hands the driver for one invocation."""
+
+    ids: list[str]
+    quick: bool = False
+    timeout_s: float = 0.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    runs_dir: str = "runs"
+    run_id: str | None = None
+    resume: str | None = None
+    fail_fast: bool = False
+    save: bool = True
+
+
+@contextmanager
+def _sigint_raises() -> Iterator[None]:
+    """Ensure SIGINT raises ``KeyboardInterrupt`` even if a caller
+    replaced the default handler; no-op off the main thread."""
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = signal.signal(signal.SIGINT, signal.default_int_handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGINT, previous)
+
+
+def _prepare_manifest(
+    config: CampaignConfig, store: RunStore, out: TextIO
+) -> RunManifest:
+    """Create a fresh manifest, or reload and replay a resumed one."""
+    if config.resume:
+        manifest = store.load(config.resume)
+        if manifest.quick != config.quick:
+            raise CheckpointError(
+                f"run {manifest.run_id!r} was recorded with "
+                f"quick={manifest.quick}; resume with the same flag so "
+                "results stay comparable",
+                path=str(store.manifest_path(manifest.run_id)),
+            )
+        if config.ids and list(config.ids) != manifest.ids:
+            raise CheckpointError(
+                f"run {manifest.run_id!r} planned {', '.join(manifest.ids)}; "
+                "resume without ids (or the same ids) to finish that plan",
+                path=str(store.manifest_path(manifest.run_id)),
+            )
+        manifest.interrupted = False
+        done = [i for i in manifest.ids if (r := manifest.records.get(i)) and r.is_final]
+        print(
+            f"Resuming run {manifest.run_id}: {len(done)} of "
+            f"{len(manifest.ids)} experiments already recorded.",
+            file=out,
+        )
+        for experiment_id in done:
+            record = manifest.records[experiment_id]
+            print(f"\n{RULE}", file=out)
+            print(record.rendered, file=out)
+            print(f"({experiment_id} replayed from checkpoint)", file=out)
+        return manifest
+    if config.save:
+        manifest = store.new_run(config.ids, config.quick, config.run_id)
+        print(
+            f"Run {manifest.run_id} -> {store.run_dir(manifest.run_id)}",
+            file=out,
+        )
+        return manifest
+    return RunManifest(
+        run_id=config.run_id or "ephemeral", ids=list(config.ids), quick=config.quick
+    )
+
+
+def _run_one(
+    config: CampaignConfig,
+    experiment_id: str,
+    runner: Callable,
+    out: TextIO,
+) -> ExperimentRecord:
+    """One experiment through fault point, watchdog, and retry."""
+    started = time.perf_counter()
+    attempts = 1
+
+    def _on_retry(attempt: int, exc: BaseException) -> None:
+        nonlocal attempts
+        attempts = attempt + 1
+        print(
+            f"  retrying {experiment_id} (attempt {attempt + 1}) after "
+            f"{classify_error(exc)} error: {exc}",
+            file=out,
+        )
+
+    def _attempt():
+        fault_point("exp.before", experiment_id=experiment_id)
+        return runner(experiment_id, quick=config.quick)
+
+    try:
+        with watchdog(config.timeout_s, experiment_id=experiment_id):
+            result, attempts = call_with_retry(
+                _attempt, config.retry, on_retry=_on_retry
+            )
+        return ExperimentRecord.from_result(
+            result, time.perf_counter() - started, attempts
+        )
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException as exc:
+        structured = as_experiment_error(exc, experiment_id)
+        return ExperimentRecord.from_error(
+            experiment_id, structured, time.perf_counter() - started, attempts
+        )
+
+
+def _summary_table(manifest: RunManifest) -> TextTable:
+    table = TextTable(
+        ["Experiment", "Status", "Checks", "Time(s)", "Attempts", "Error"],
+        title="Campaign summary",
+    )
+    for experiment_id in manifest.ids:
+        record = manifest.records.get(experiment_id)
+        if record is None:
+            table.add_row([experiment_id, "pending", "-", "-", "-", ""])
+            continue
+        passed = sum(1 for c in record.checks if c.get("passed"))
+        checks = f"{passed}/{len(record.checks)}" if record.checks else "-"
+        error = ""
+        if record.error is not None:
+            error = f"[{record.error['category']}] {record.error['message']}"
+            if len(error) > 60:
+                error = error[:57] + "..."
+        table.add_row(
+            [
+                experiment_id,
+                record.status,
+                checks,
+                f"{record.elapsed_s:.1f}",
+                record.attempts,
+                error,
+            ]
+        )
+    return table
+
+
+def run_campaign(
+    config: CampaignConfig,
+    out: TextIO | None = None,
+    err: TextIO | None = None,
+    runner: Callable = run_experiment,
+) -> int:
+    """Run (or resume) a campaign; returns the process exit code."""
+    # Resolve the streams at call time so output capture (pytest capsys,
+    # redirected stdout) sees the campaign's reporting.
+    out = sys.stdout if out is None else out
+    err = sys.stderr if err is None else err
+    store = RunStore(config.runs_dir)
+    manifest = _prepare_manifest(config, store, out)
+    persist = config.save or config.resume is not None
+
+    interrupted = False
+    with _sigint_raises():
+        for experiment_id in manifest.remaining():
+            try:
+                record = _run_one(config, experiment_id, runner, out)
+            except KeyboardInterrupt:
+                interrupted = True
+                manifest.interrupted = True
+                if persist:
+                    store.save(manifest)
+                break
+            if persist:
+                store.record(manifest, record)
+            else:
+                manifest.records[experiment_id] = record
+            print(f"\n{RULE}", file=out)
+            if record.status == "error":
+                error = record.error or {}
+                print(
+                    f"{experiment_id} ERROR [{error.get('category')}] "
+                    f"after {record.attempts} attempt(s): "
+                    f"{error.get('message')}",
+                    file=out,
+                )
+                print("(continuing with remaining experiments)", file=out)
+            else:
+                print(record.rendered, file=out)
+                print(
+                    f"({experiment_id} completed in {record.elapsed_s:.1f}s)",
+                    file=out,
+                )
+            if config.fail_fast and record.status != "passed":
+                break
+
+    print(f"\n{RULE}", file=out)
+    print(_summary_table(manifest).render(), file=out)
+    counts = manifest.counts()
+    line = ", ".join(f"{v} {k}" for k, v in counts.items() if v)
+    if interrupted:
+        print(
+            f"\nInterrupted — {line}. Manifest flushed; resume with:\n"
+            f"  repro-experiments --runs-dir {config.runs_dir} "
+            f"--resume {manifest.run_id}"
+            + (" --quick" if config.quick else ""),
+            file=err,
+        )
+        return EXIT_INTERRUPTED
+    if counts["failed"] or counts["error"] or counts["pending"]:
+        by_status = {
+            status: [
+                i
+                for i in manifest.ids
+                if (r := manifest.records.get(i)) and r.status == status
+            ]
+            for status in ("failed", "error")
+        }
+        if by_status["failed"]:
+            print(
+                f"\nShape checks FAILED in: {', '.join(by_status['failed'])}",
+                file=err,
+            )
+        if by_status["error"]:
+            print(f"Errors in: {', '.join(by_status['error'])}", file=err)
+        if counts["pending"]:
+            print(f"Not run: {counts['pending']} experiment(s).", file=err)
+        return EXIT_FAILED
+    print("\nAll shape checks passed.", file=out)
+    return EXIT_OK

@@ -1,0 +1,276 @@
+"""Crash-safe run artifacts: per-run manifests and per-experiment results.
+
+A campaign writes everything it learns under ``runs/<run-id>/``::
+
+    runs/20260806-141503-1234/
+        manifest.json      # plan, status and outcome of every experiment
+        table1.json        # one file per completed experiment: rendered
+        table2.json        #   table, shape checks, error (if any), timing
+
+Every write is temp-file-then-``os.replace`` into place, so a crash (or
+an armed ``checkpoint.write`` fault) at any instant leaves the previous
+manifest intact — there is never a half-written JSON file at the final
+path.  Because the simulator is deterministic, ``--resume <run-id>``
+can skip completed experiments and replay their stored rendering
+byte-for-byte while re-running only what is missing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.resilience.errors import CheckpointError, ReproError, classify_error
+from repro.resilience.faults import fault_point
+
+if TYPE_CHECKING:  # keep this module import-light: no experiment stack
+    from repro.exp.base import ExperimentResult
+
+MANIFEST_VERSION = 1
+
+#: Statuses that mean "this experiment ran to a verdict" — resume skips
+#: them.  ``error`` is *not* final: a resumed campaign retries it.
+FINAL_STATUSES = ("passed", "failed")
+
+
+@dataclass
+class ExperimentRecord:
+    """Outcome of one experiment within one run."""
+
+    experiment_id: str
+    status: str  # "passed" | "failed" | "error"
+    rendered: str = ""
+    checks: list[dict[str, Any]] = field(default_factory=list)
+    error: dict[str, Any] | None = None
+    elapsed_s: float = 0.0
+    attempts: int = 1
+
+    @classmethod
+    def from_result(
+        cls, result: ExperimentResult, elapsed_s: float, attempts: int = 1
+    ) -> ExperimentRecord:
+        return cls(
+            experiment_id=result.experiment_id,
+            status="passed" if result.all_passed else "failed",
+            rendered=result.render(),
+            checks=[
+                {"claim": c.claim, "passed": c.passed, "detail": c.detail}
+                for c in result.checks
+            ],
+            elapsed_s=elapsed_s,
+            attempts=attempts,
+        )
+
+    @classmethod
+    def from_error(
+        cls,
+        experiment_id: str,
+        exc: BaseException,
+        elapsed_s: float,
+        attempts: int = 1,
+    ) -> ExperimentRecord:
+        error = {
+            "type": type(exc).__name__,
+            "category": classify_error(exc),
+            "message": str(exc),
+        }
+        if isinstance(exc, ReproError):
+            error["context"] = exc.context()
+        return cls(
+            experiment_id=experiment_id,
+            status="error",
+            error=error,
+            elapsed_s=elapsed_s,
+            attempts=attempts,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "experiment_id": self.experiment_id,
+            "status": self.status,
+            "rendered": self.rendered,
+            "checks": self.checks,
+            "error": self.error,
+            "elapsed_s": self.elapsed_s,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> ExperimentRecord:
+        return cls(
+            experiment_id=payload["experiment_id"],
+            status=payload["status"],
+            rendered=payload.get("rendered", ""),
+            checks=payload.get("checks", []),
+            error=payload.get("error"),
+            elapsed_s=payload.get("elapsed_s", 0.0),
+            attempts=payload.get("attempts", 1),
+        )
+
+    @property
+    def is_final(self) -> bool:
+        return self.status in FINAL_STATUSES
+
+
+@dataclass
+class RunManifest:
+    """Plan and progress of one campaign."""
+
+    run_id: str
+    ids: list[str]
+    quick: bool = False
+    interrupted: bool = False
+    created_at: str = ""
+    records: dict[str, ExperimentRecord] = field(default_factory=dict)
+
+    def remaining(self) -> list[str]:
+        """Planned experiments not yet run to a verdict, in plan order."""
+        return [
+            experiment_id
+            for experiment_id in self.ids
+            if not (
+                (record := self.records.get(experiment_id)) and record.is_final
+            )
+        ]
+
+    def counts(self) -> dict[str, int]:
+        counts = {"passed": 0, "failed": 0, "error": 0, "pending": 0}
+        for experiment_id in self.ids:
+            record = self.records.get(experiment_id)
+            counts["pending" if record is None else record.status] += 1
+        return counts
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": MANIFEST_VERSION,
+            "run_id": self.run_id,
+            "ids": self.ids,
+            "quick": self.quick,
+            "interrupted": self.interrupted,
+            "created_at": self.created_at,
+            "records": {
+                experiment_id: record.to_dict()
+                for experiment_id, record in self.records.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> RunManifest:
+        return cls(
+            run_id=payload["run_id"],
+            ids=list(payload["ids"]),
+            quick=payload.get("quick", False),
+            interrupted=payload.get("interrupted", False),
+            created_at=payload.get("created_at", ""),
+            records={
+                experiment_id: ExperimentRecord.from_dict(record)
+                for experiment_id, record in payload.get("records", {}).items()
+            },
+        )
+
+
+def atomic_write_json(path: Path, payload: dict[str, Any]) -> None:
+    """Write JSON via temp-file-then-rename so readers never see a torn file."""
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        # A fault here simulates a crash after writing but before
+        # publishing: the final path must still hold the previous version.
+        fault_point("checkpoint.write", path=str(path))
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot write {path.name}: {exc}", path=str(path)
+        ) from exc
+    finally:
+        if tmp.exists():
+            tmp.unlink(missing_ok=True)
+
+
+class RunStore:
+    """Creates, persists, and reloads run directories under ``root``."""
+
+    def __init__(self, root: str | Path = "runs") -> None:
+        self.root = Path(root)
+
+    def run_dir(self, run_id: str) -> Path:
+        return self.root / run_id
+
+    def manifest_path(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / "manifest.json"
+
+    def result_path(self, run_id: str, experiment_id: str) -> Path:
+        return self.run_dir(run_id) / f"{experiment_id}.json"
+
+    @staticmethod
+    def generate_run_id() -> str:
+        """Timestamp + pid: sortable, unique per process launch."""
+        return time.strftime("%Y%m%d-%H%M%S") + f"-{os.getpid()}"
+
+    def new_run(
+        self, ids: list[str], quick: bool = False, run_id: str | None = None
+    ) -> RunManifest:
+        run_id = run_id or self.generate_run_id()
+        run_dir = self.run_dir(run_id)
+        if self.manifest_path(run_id).exists():
+            raise CheckpointError(
+                f"run {run_id!r} already exists under {self.root}; "
+                "use --resume or pick another --run-id",
+                path=str(run_dir),
+            )
+        run_dir.mkdir(parents=True, exist_ok=True)
+        manifest = RunManifest(
+            run_id=run_id,
+            ids=list(ids),
+            quick=quick,
+            created_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
+        )
+        self.save(manifest)
+        return manifest
+
+    def load(self, run_id: str) -> RunManifest:
+        path = self.manifest_path(run_id)
+        if not path.exists():
+            known = sorted(
+                p.parent.name for p in self.root.glob("*/manifest.json")
+            )
+            hint = f"; known runs: {', '.join(known)}" if known else ""
+            raise CheckpointError(
+                f"no manifest for run {run_id!r} under {self.root}{hint}",
+                path=str(path),
+            )
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"corrupt manifest for run {run_id!r}: {exc}", path=str(path)
+            ) from exc
+        version = payload.get("version")
+        if version != MANIFEST_VERSION:
+            raise CheckpointError(
+                f"manifest version {version!r} unsupported "
+                f"(expected {MANIFEST_VERSION})",
+                path=str(path),
+            )
+        return RunManifest.from_dict(payload)
+
+    def save(self, manifest: RunManifest) -> None:
+        """Flush the manifest atomically (called after every experiment)."""
+        atomic_write_json(self.manifest_path(manifest.run_id), manifest.to_dict())
+
+    def record(self, manifest: RunManifest, record: ExperimentRecord) -> None:
+        """Attach one experiment's outcome and persist both artifacts."""
+        manifest.records[record.experiment_id] = record
+        atomic_write_json(
+            self.result_path(manifest.run_id, record.experiment_id),
+            record.to_dict(),
+        )
+        self.save(manifest)

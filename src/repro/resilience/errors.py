@@ -1,0 +1,156 @@
+"""Structured exception hierarchy for the whole reproduction.
+
+Every failure the experiment stack can hit maps onto one of these types,
+each carrying the context a campaign report needs (which experiment,
+which machine model, which program version) instead of leaving it buried
+in a traceback.  The hierarchy:
+
+``ReproError``
+    ├── ``ConfigError``       (also a ``ValueError``) — bad user input
+    ├── ``SimulationError``   — a traced program blew up under the simulator
+    │       └── ``FaultInjected`` — deterministic injected failure (transient)
+    ├── ``ExperimentError``   — an experiment failed outside the simulator
+    │       └── ``ExperimentTimeout`` — the watchdog fired
+    └── ``CheckpointError``   — a run manifest could not be read or written
+
+``ConfigError`` deliberately subclasses ``ValueError`` so the many
+call sites (and tests) written against ``ValueError`` keep working while
+gaining the structured ``field`` attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Context keys rendered after the message, in this order.
+_CONTEXT_KEYS = ("experiment_id", "machine", "program", "site", "field")
+
+
+class ReproError(Exception):
+    """Base class for all structured errors in the reproduction.
+
+    Keyword arguments name the context the failure happened in; they are
+    stored as attributes and appended to ``str(exc)`` so a log line is
+    self-describing.  ``transient`` marks failures worth retrying (the
+    retry layer checks it via :func:`repro.resilience.retry.is_transient`).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        experiment_id: str | None = None,
+        machine: str | None = None,
+        program: str | None = None,
+        site: str | None = None,
+        field: str | None = None,
+        transient: bool = False,
+        **extra: Any,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.experiment_id = experiment_id
+        self.machine = machine
+        self.program = program
+        self.site = site
+        self.field = field
+        self.transient = transient
+        self.extra = extra
+
+    def context(self) -> dict[str, Any]:
+        """The non-empty context fields, for manifests and reports."""
+        context = {
+            key: value
+            for key in _CONTEXT_KEYS
+            if (value := getattr(self, key)) is not None
+        }
+        context.update(self.extra)
+        return context
+
+    def __str__(self) -> str:
+        context = self.context()
+        if not context:
+            return self.message
+        rendered = ", ".join(f"{k}={v}" for k, v in context.items())
+        return f"{self.message} [{rendered}]"
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid configuration value (machine spec, cache geometry, CLI id).
+
+    ``field`` names the offending parameter.  Subclasses ``ValueError``
+    for compatibility with pre-existing ``except ValueError`` call sites.
+    """
+
+
+class SimulationError(ReproError):
+    """A traced program raised inside :meth:`Simulator.run`."""
+
+
+class FaultInjected(SimulationError):
+    """A deterministic failure armed by the fault-injection harness.
+
+    Transient by default, so the retry layer exercises its real path
+    when the tests arm a fail-once fault.
+    """
+
+    def __init__(self, message: str, **context: Any) -> None:
+        context.setdefault("transient", True)
+        super().__init__(message, **context)
+
+
+class ExperimentError(ReproError):
+    """An experiment failed outside the simulator proper."""
+
+
+class ExperimentTimeout(ExperimentError):
+    """The per-experiment watchdog fired (or a timeout fault was armed)."""
+
+    def __init__(self, message: str, *, timeout_s: float | None = None, **context: Any) -> None:
+        super().__init__(message, **context)
+        self.timeout_s = timeout_s
+
+
+class CheckpointError(ReproError):
+    """A run manifest or result file could not be read or written."""
+
+    def __init__(self, message: str, *, path: str | None = None, **context: Any) -> None:
+        super().__init__(message, **context)
+        self.path = path
+
+
+def classify_error(exc: BaseException) -> str:
+    """A stable category label for manifests and summary tables."""
+    if isinstance(exc, ExperimentTimeout):
+        return "timeout"
+    if isinstance(exc, ConfigError):
+        return "config"
+    if isinstance(exc, FaultInjected):
+        return "fault"
+    if isinstance(exc, SimulationError):
+        return "simulation"
+    if isinstance(exc, ExperimentError):
+        return "experiment"
+    if isinstance(exc, CheckpointError):
+        return "checkpoint"
+    if isinstance(exc, KeyboardInterrupt):
+        return "interrupted"
+    return "unexpected"
+
+
+def as_experiment_error(exc: BaseException, experiment_id: str) -> ReproError:
+    """Coerce an arbitrary exception into the structured hierarchy.
+
+    Structured errors pass through (gaining the experiment id if they
+    lack one); anything else is wrapped in :class:`ExperimentError` with
+    the original as ``__cause__``.
+    """
+    if isinstance(exc, ReproError):
+        if exc.experiment_id is None:
+            exc.experiment_id = experiment_id
+        return exc
+    wrapped = ExperimentError(
+        f"{type(exc).__name__}: {exc}", experiment_id=experiment_id
+    )
+    wrapped.__cause__ = exc
+    return wrapped

@@ -1,0 +1,158 @@
+"""Deterministic fault injection at named sites.
+
+The experiment stack calls :func:`fault_point` at a handful of named
+sites (``sim.run``, ``exp.before``, ``checkpoint.write``, ...).  In
+normal operation those calls are no-ops costing one dict lookup.  A test
+— or ``repro-experiments --inject-fault`` — arms a fault at a site and
+the next ``times`` visits raise, deterministically, with no randomness
+or clocks involved.  That is what lets the test suite *prove* the retry,
+graceful-degradation, checkpoint, and resume paths work.
+
+Modes
+-----
+``fail``
+    Raise :class:`FaultInjected` (transient, so bounded retry kicks in).
+``fail-hard``
+    Raise :class:`FaultInjected` marked non-transient (never retried).
+``timeout``
+    Raise :class:`ExperimentTimeout`, simulating the watchdog firing.
+``interrupt``
+    Raise ``KeyboardInterrupt``, simulating Ctrl-C at that exact site.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.resilience.errors import ConfigError, ExperimentTimeout, FaultInjected
+
+#: Sites the stack instruments; kept here so tests and ``--inject-fault``
+#: can validate a spec before arming it.
+KNOWN_SITES = (
+    "sim.run",            # Simulator.run, before the program executes
+    "exp.before",         # campaign driver, before an experiment starts
+    "exp.version",        # runners.run_versions, before each program version
+    "checkpoint.write",   # checkpoint layer, after temp write / before rename
+)
+
+MODES = ("fail", "fail-hard", "timeout", "interrupt")
+
+
+@dataclass
+class ArmedFault:
+    """One armed failure: fire at ``site`` for the next ``times`` visits."""
+
+    site: str
+    mode: str = "fail"
+    times: int = 1
+    message: str = ""
+    triggered: int = field(default=0, init=False)
+
+    def fire(self, **context: Any) -> None:
+        message = self.message or f"injected {self.mode} at {self.site}"
+        if self.mode == "interrupt":
+            raise KeyboardInterrupt(message)
+        if self.mode == "timeout":
+            raise ExperimentTimeout(message, site=self.site, **context)
+        transient = self.mode == "fail"
+        raise FaultInjected(
+            message, site=self.site, transient=transient, **context
+        )
+
+
+class FaultInjector:
+    """Registry of armed faults, consulted by every :func:`fault_point`."""
+
+    def __init__(self) -> None:
+        self._armed: dict[str, ArmedFault] = {}
+
+    def arm(
+        self,
+        site: str,
+        mode: str = "fail",
+        times: int = 1,
+        message: str = "",
+    ) -> ArmedFault:
+        """Arm ``site`` to raise on its next ``times`` visits."""
+        if mode not in MODES:
+            raise ConfigError(
+                f"unknown fault mode {mode!r}; choose from {', '.join(MODES)}",
+                field="mode",
+            )
+        if times < 1:
+            raise ConfigError(
+                f"fault times must be >= 1, got {times}", field="times"
+            )
+        fault = ArmedFault(site=site, mode=mode, times=times, message=message)
+        self._armed[site] = fault
+        return fault
+
+    def arm_from_spec(self, spec: str) -> ArmedFault:
+        """Arm from a CLI spec ``site[:mode[:times]]``.
+
+        e.g. ``sim.run:fail:2`` fails the next two simulations,
+        ``exp.before:interrupt`` simulates Ctrl-C before the next
+        experiment.
+        """
+        parts = spec.split(":")
+        if not parts[0]:
+            raise ConfigError(f"empty fault site in {spec!r}", field="site")
+        site = parts[0]
+        mode = parts[1] if len(parts) > 1 and parts[1] else "fail"
+        try:
+            times = int(parts[2]) if len(parts) > 2 else 1
+        except ValueError:
+            raise ConfigError(
+                f"fault times must be an integer in {spec!r}", field="times"
+            ) from None
+        if site not in KNOWN_SITES:
+            raise ConfigError(
+                f"unknown fault site {site!r}; choose from "
+                f"{', '.join(KNOWN_SITES)}",
+                field="site",
+            )
+        return self.arm(site, mode=mode, times=times)
+
+    def disarm(self, site: str) -> None:
+        self._armed.pop(site, None)
+
+    def reset(self) -> None:
+        """Disarm everything (tests call this between cases)."""
+        self._armed.clear()
+
+    def armed(self, site: str) -> ArmedFault | None:
+        return self._armed.get(site)
+
+    def fire(self, site: str, **context: Any) -> None:
+        """Raise if a fault is armed at ``site``; otherwise no-op."""
+        fault = self._armed.get(site)
+        if fault is None or fault.times <= 0:
+            return
+        fault.times -= 1
+        fault.triggered += 1
+        if fault.times <= 0:
+            self._armed.pop(site, None)
+        fault.fire(**context)
+
+    @contextmanager
+    def injected(
+        self, site: str, mode: str = "fail", times: int = 1
+    ) -> Iterator[ArmedFault]:
+        """Arm a fault for the duration of a ``with`` block."""
+        fault = self.arm(site, mode=mode, times=times)
+        try:
+            yield fault
+        finally:
+            if self._armed.get(site) is fault:
+                self._armed.pop(site)
+
+
+#: The process-wide injector the instrumented sites consult.
+FAULTS = FaultInjector()
+
+
+def fault_point(site: str, **context: Any) -> None:
+    """Hook called by instrumented code; raises only when armed."""
+    FAULTS.fire(site, **context)

@@ -1,0 +1,123 @@
+"""Bounded retry-with-backoff and a watchdog timeout.
+
+Both pieces are deliberately dependency-injectable (``sleep=``) and
+signal-free where possible so the test suite can exercise them
+deterministically: the retry tests pass a recording fake sleep, and the
+timeout tests use either a tiny real timer or the ``timeout`` fault
+mode, which raises the same :class:`ExperimentTimeout` without waiting.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.resilience.errors import ConfigError, ExperimentTimeout
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry transient failures, and how patiently.
+
+    Delay before retry ``k`` (1-based) is
+    ``min(backoff_s * factor**(k-1), max_backoff_s)`` — deterministic,
+    no jitter, because the simulator itself is deterministic and jitter
+    would only blur test assertions.
+    """
+
+    retries: int = 0
+    backoff_s: float = 0.05
+    factor: float = 2.0
+    max_backoff_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ConfigError(
+                f"retries must be non-negative, got {self.retries}",
+                field="retries",
+            )
+        if self.backoff_s < 0:
+            raise ConfigError(
+                f"backoff_s must be non-negative, got {self.backoff_s}",
+                field="backoff_s",
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based)."""
+        return min(self.backoff_s * self.factor ** (attempt - 1), self.max_backoff_s)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether the retry layer should consider retrying this failure."""
+    return bool(getattr(exc, "transient", False))
+
+
+def call_with_retry(
+    fn: Callable[[], Any],
+    policy: RetryPolicy,
+    *,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> tuple[Any, int]:
+    """Call ``fn``, retrying transient failures per ``policy``.
+
+    Returns ``(result, attempts)`` where ``attempts`` counts calls made
+    (1 for a first-try success).  Non-transient exceptions, and the
+    final transient one once the budget is spent, propagate unchanged.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn(), attempt
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            retries_left = policy.retries - (attempt - 1)
+            if retries_left <= 0 or not is_transient(exc):
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.delay(attempt))
+
+
+@contextmanager
+def watchdog(
+    seconds: float, *, experiment_id: str | None = None
+) -> Iterator[None]:
+    """Raise :class:`ExperimentTimeout` if the block runs too long.
+
+    Implemented with ``SIGALRM``/``setitimer``, which only works on the
+    main thread of a Unix process; anywhere else (worker threads,
+    platforms without ``SIGALRM``) the watchdog degrades to a no-op
+    rather than breaking the run — the ``timeout`` fault mode covers
+    testing on those paths.  ``seconds <= 0`` disables it explicitly.
+    """
+    if seconds <= 0:
+        yield
+        return
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _fire(signum, frame):
+        raise ExperimentTimeout(
+            f"experiment exceeded watchdog timeout of {seconds:g}s",
+            timeout_s=seconds,
+            experiment_id=experiment_id,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -7,6 +7,8 @@ from typing import Any, Callable
 from repro.machine.spec import MachineSpec
 from repro.machine.timing import TimingInputs, TimingModel
 from repro.mem.allocator import AddressSpace
+from repro.resilience.errors import ReproError, SimulationError
+from repro.resilience.faults import fault_point
 from repro.sim.context import SimContext
 from repro.sim.result import SimResult
 from repro.trace.recorder import TraceRecorder
@@ -41,6 +43,8 @@ class Simulator:
         ``l2_page_mapper`` optionally models a physically-indexed L2
         behind a virtual-to-physical page table (repro.mem.paging).
         """
+        program_name = name or getattr(program, "__name__", "program")
+        fault_point("sim.run", machine=self.machine.name, program=program_name)
         hierarchy = self.machine.build_hierarchy(l2_page_mapper)
         recorder = TraceRecorder(hierarchy)
         # Stagger allocations by a few L2 lines so equal-sized arrays do
@@ -55,7 +59,18 @@ class Simulator:
         )
         if code_footprint:
             hierarchy.charge_code_footprint(code_footprint)
-        payload = program(context)
+        try:
+            payload = program(context)
+        except ReproError:
+            raise  # already structured (e.g. an armed fault at an inner site)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            raise SimulationError(
+                f"{type(exc).__name__}: {exc}",
+                machine=self.machine.name,
+                program=program_name,
+            ) from exc
         stats = hierarchy.snapshot()
         time = self.timing.estimate(
             TimingInputs(
@@ -72,7 +87,6 @@ class Simulator:
         for package in context.packages:
             if package.run_history:
                 sched = package.run_history[-1]
-        program_name = name or getattr(program, "__name__", "program")
         return SimResult(
             program=program_name,
             machine=self.machine.name,

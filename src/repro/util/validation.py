@@ -4,32 +4,44 @@ The simulator's configuration surface is full of sizes that must be
 positive powers of two (cache and line sizes) or counts that must be
 non-negative.  Centralising the checks keeps error messages uniform and
 the call sites short.
+
+All helpers raise :class:`repro.resilience.errors.ConfigError` naming
+the offending field.  ``ConfigError`` subclasses ``ValueError``, so
+call sites (and tests) written against ``ValueError`` keep working.
 """
 
 from __future__ import annotations
 
+from repro.resilience.errors import ConfigError
+
 
 def require_positive(value: int | float, name: str) -> None:
-    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    """Raise ``ConfigError`` unless ``value`` is strictly positive."""
     if value <= 0:
-        raise ValueError(f"{name} must be positive, got {value!r}")
+        raise ConfigError(f"{name} must be positive, got {value!r}", field=name)
 
 
 def require_non_negative(value: int | float, name: str) -> None:
-    """Raise ``ValueError`` unless ``value`` is zero or positive."""
+    """Raise ``ConfigError`` unless ``value`` is zero or positive."""
     if value < 0:
-        raise ValueError(f"{name} must be non-negative, got {value!r}")
+        raise ConfigError(
+            f"{name} must be non-negative, got {value!r}", field=name
+        )
 
 
 def require_power_of_two(value: int, name: str) -> None:
-    """Raise ``ValueError`` unless ``value`` is a positive power of two."""
+    """Raise ``ConfigError`` unless ``value`` is a positive power of two."""
     if not isinstance(value, int) or value <= 0 or value & (value - 1):
-        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+        raise ConfigError(
+            f"{name} must be a positive power of two, got {value!r}", field=name
+        )
 
 
 def require_in_range(
     value: int | float, name: str, low: int | float, high: int | float
 ) -> None:
-    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    """Raise ``ConfigError`` unless ``low <= value <= high``."""
     if not low <= value <= high:
-        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+        raise ConfigError(
+            f"{name} must be in [{low}, {high}], got {value!r}", field=name
+        )

@@ -3,27 +3,119 @@
 import pytest
 
 from repro.exp.cli import main
+from repro.exp.registry import EXPERIMENTS
+from repro.resilience.faults import FAULTS
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
 
 
 class TestCli:
-    def test_single_experiment_quick(self, capsys):
-        exit_code = main(["table1", "--quick"])
+    def test_single_experiment_quick(self, capsys, tmp_path):
+        exit_code = main(
+            ["table1", "--quick", "--runs-dir", str(tmp_path)]
+        )
         out = capsys.readouterr().out
         assert exit_code == 0
         assert "Table 1" in out
         assert "All shape checks passed." in out
 
-    def test_unknown_id_errors(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["table99"])
-        err = capsys.readouterr().err
-        assert "unknown experiment ids" in err
-
-    def test_multiple_ids(self, capsys):
-        exit_code = main(["table1", "table5", "--quick"])
+    def test_multiple_ids(self, capsys, tmp_path):
+        exit_code = main(
+            ["table1", "table5", "--quick", "--runs-dir", str(tmp_path)]
+        )
         out = capsys.readouterr().out
         assert exit_code == 0
         assert "Table 1" in out and "Table 5" in out
+
+
+class TestExitCodes:
+    def test_unknown_id_exits_2_and_names_valid_ids(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["table99"])
+        assert info.value.code == 2  # argparse convention
+        err = capsys.readouterr().err
+        assert "unknown experiment ids: table99" in err
+        assert "table1" in err and "figure4" in err  # valid ids listed
+
+    def test_all_pass_exits_0(self, capsys, tmp_path):
+        assert main(["table1", "--quick", "--runs-dir", str(tmp_path)]) == 0
+
+    def test_failed_experiment_exits_1_and_batch_continues(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "table1",
+                "table5",
+                "--quick",
+                "--runs-dir",
+                str(tmp_path),
+                "--retries",
+                "0",
+                "--inject-fault",
+                "exp.before:fail-hard:1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "Errors in: table1" in captured.err
+        assert "Table 5" in captured.out  # later experiment still ran
+
+    def test_bad_fault_spec_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["table1", "--inject-fault", "nowhere:fail"])
+        assert info.value.code == 2
+
+    def test_unknown_resume_run_exits_2(self, capsys, tmp_path):
+        exit_code = main(["--resume", "ghost", "--runs-dir", str(tmp_path)])
+        assert exit_code == 2
+        assert "no manifest" in capsys.readouterr().err
+
+
+class TestListFlag:
+    def test_lists_every_id_with_description(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in out
+        assert "Table 1" in out  # one-line descriptions present
+
+    def test_list_runs_nothing(self, capsys, tmp_path):
+        main(["--list", "--runs-dir", str(tmp_path)])
+        assert not list(tmp_path.iterdir())
+
+
+class TestDurabilityFlags:
+    def test_no_save_writes_nothing(self, capsys, tmp_path):
+        runs_dir = tmp_path / "runs"
+        exit_code = main(
+            ["table1", "--quick", "--runs-dir", str(runs_dir), "--no-save"]
+        )
+        assert exit_code == 0
+        assert not runs_dir.exists()
+
+    def test_run_id_and_resume_roundtrip(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "table1",
+                "--quick",
+                "--runs-dir",
+                str(tmp_path),
+                "--run-id",
+                "myrun",
+            ]
+        )
+        assert exit_code == 0
+        # Resume of a finished run replays from checkpoint and exits 0.
+        exit_code = main(
+            ["--quick", "--runs-dir", str(tmp_path), "--resume", "myrun"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "replayed from checkpoint" in out
 
 
 class TestBaseHelpers:
@@ -46,3 +138,17 @@ class TestBaseHelpers:
         assert "a caveat" in rendered
         assert "[PASS] works" in rendered
         assert result.all_passed
+
+    def test_registry_unknown_id_raises_config_error(self):
+        from repro.exp.registry import get_experiment
+        from repro.resilience.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="unknown experiment"):
+            get_experiment("table99")
+
+    def test_describe_experiment_one_liner(self):
+        from repro.exp.registry import describe_experiment
+
+        description = describe_experiment("table1")
+        assert "\n" not in description
+        assert description

@@ -1,0 +1,12 @@
+"""Shared fixtures: every test starts and ends with no armed faults."""
+
+import pytest
+
+from repro.resilience.faults import FAULTS
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    FAULTS.reset()
+    yield
+    FAULTS.reset()

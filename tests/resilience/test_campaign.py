@@ -1,0 +1,303 @@
+"""Tests for the durable campaign driver: degradation, retry, timeout,
+interruption, and resume — all driven deterministically by injected
+faults, plus one real-experiment end-to-end resume check."""
+
+import io
+import time
+
+import pytest
+
+from repro.exp.base import ExperimentResult
+from repro.resilience.campaign import (
+    EXIT_FAILED,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    CampaignConfig,
+    run_campaign,
+)
+from repro.resilience.checkpoint import RunStore
+from repro.resilience.errors import CheckpointError
+from repro.resilience.faults import FAULTS
+from repro.util.tables import TextTable
+
+
+def make_result(experiment_id, passed=True):
+    table = TextTable(["metric", "value"], title=f"Table for {experiment_id}")
+    table.add_row(["misses", 12345])
+    result = ExperimentResult(experiment_id, f"Table for {experiment_id}", table)
+    result.check("shape holds", passed, "measured detail")
+    return result
+
+
+def fake_runner(experiment_id, quick=False):
+    return make_result(experiment_id)
+
+
+def run(config, runner=fake_runner):
+    out, err = io.StringIO(), io.StringIO()
+    code = run_campaign(config, out=out, err=err, runner=runner)
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestHappyPath:
+    def test_all_pass(self, tmp_path):
+        config = CampaignConfig(
+            ids=["a", "b"], runs_dir=str(tmp_path), run_id="r1"
+        )
+        code, out, err = run(config)
+        assert code == EXIT_OK
+        assert "All shape checks passed." in out
+        assert "Campaign summary" in out
+        manifest = RunStore(tmp_path).load("r1")
+        assert [manifest.records[i].status for i in manifest.ids] == [
+            "passed",
+            "passed",
+        ]
+
+    def test_no_save_leaves_disk_untouched(self, tmp_path):
+        config = CampaignConfig(
+            ids=["a"], runs_dir=str(tmp_path / "runs"), save=False
+        )
+        code, out, _ = run(config)
+        assert code == EXIT_OK
+        assert not (tmp_path / "runs").exists()
+
+
+class TestGracefulDegradation:
+    def test_failing_experiment_does_not_abort_batch(self, tmp_path):
+        def runner(experiment_id, quick=False):
+            if experiment_id == "bad":
+                raise RuntimeError("numerical blow-up")
+            return make_result(experiment_id)
+
+        config = CampaignConfig(
+            ids=["good1", "bad", "good2"], runs_dir=str(tmp_path), run_id="r1"
+        )
+        code, out, err = run(config, runner)
+        assert code == EXIT_FAILED
+        assert "continuing with remaining experiments" in out
+        assert "Errors in: bad" in err
+        manifest = RunStore(tmp_path).load("r1")
+        assert manifest.records["good1"].status == "passed"
+        assert manifest.records["good2"].status == "passed"
+        assert manifest.records["bad"].status == "error"
+        assert manifest.records["bad"].error["category"] == "experiment"
+        assert "RuntimeError" in manifest.records["bad"].error["message"]
+
+    def test_failed_shape_checks_reported(self, tmp_path):
+        def runner(experiment_id, quick=False):
+            return make_result(experiment_id, passed=(experiment_id != "shaky"))
+
+        config = CampaignConfig(
+            ids=["ok", "shaky"], runs_dir=str(tmp_path), run_id="r1"
+        )
+        code, out, err = run(config, runner)
+        assert code == EXIT_FAILED
+        assert "Shape checks FAILED in: shaky" in err
+
+    def test_fail_fast_stops_batch(self, tmp_path):
+        def runner(experiment_id, quick=False):
+            if experiment_id == "bad":
+                raise RuntimeError("boom")
+            return make_result(experiment_id)
+
+        config = CampaignConfig(
+            ids=["bad", "never-run"],
+            runs_dir=str(tmp_path),
+            run_id="r1",
+            fail_fast=True,
+        )
+        code, _, err = run(config, runner)
+        assert code == EXIT_FAILED
+        assert "Not run: 1 experiment(s)." in err
+        assert "never-run" not in RunStore(tmp_path).load("r1").records
+
+
+class TestRetryAndTimeout:
+    def test_transient_fault_retried_to_success(self, tmp_path):
+        from repro.resilience.retry import RetryPolicy
+
+        FAULTS.arm("exp.before", mode="fail", times=1)
+        config = CampaignConfig(
+            ids=["a"],
+            runs_dir=str(tmp_path),
+            run_id="r1",
+            retry=RetryPolicy(retries=2, backoff_s=0.0),
+        )
+        code, out, _ = run(config)
+        assert code == EXIT_OK
+        assert "retrying a (attempt 2)" in out
+        assert RunStore(tmp_path).load("r1").records["a"].attempts == 2
+
+    def test_retry_budget_exhausted_records_error(self, tmp_path):
+        from repro.resilience.retry import RetryPolicy
+
+        FAULTS.arm("exp.before", mode="fail", times=10)
+        config = CampaignConfig(
+            ids=["a"],
+            runs_dir=str(tmp_path),
+            run_id="r1",
+            retry=RetryPolicy(retries=1, backoff_s=0.0),
+        )
+        code, _, _ = run(config)
+        assert code == EXIT_FAILED
+        record = RunStore(tmp_path).load("r1").records["a"]
+        assert record.status == "error"
+        assert record.error["category"] == "fault"
+        assert record.attempts == 2
+
+    def test_timeout_fault_not_retried(self, tmp_path):
+        from repro.resilience.retry import RetryPolicy
+
+        FAULTS.arm("exp.before", mode="timeout", times=1)
+        config = CampaignConfig(
+            ids=["a"],
+            runs_dir=str(tmp_path),
+            run_id="r1",
+            retry=RetryPolicy(retries=3, backoff_s=0.0),
+        )
+        code, _, _ = run(config)
+        assert code == EXIT_FAILED
+        record = RunStore(tmp_path).load("r1").records["a"]
+        assert record.error["category"] == "timeout"
+        assert record.attempts == 1
+
+    def test_real_watchdog_fires_on_slow_experiment(self, tmp_path):
+        def slow_runner(experiment_id, quick=False):
+            time.sleep(2.0)
+            return make_result(experiment_id)
+
+        config = CampaignConfig(
+            ids=["slow"], runs_dir=str(tmp_path), run_id="r1", timeout_s=0.05
+        )
+        code, _, _ = run(config, slow_runner)
+        assert code == EXIT_FAILED
+        record = RunStore(tmp_path).load("r1").records["slow"]
+        assert record.error["category"] == "timeout"
+
+
+class TestInterruptAndResume:
+    def test_interrupt_mid_batch_flushes_resumable_manifest(self, tmp_path):
+        def runner(experiment_id, quick=False):
+            # Arm Ctrl-C to land just before the *next* experiment.
+            if experiment_id == "first":
+                FAULTS.arm("exp.before", mode="interrupt", times=1)
+            return make_result(experiment_id)
+
+        config = CampaignConfig(
+            ids=["first", "second", "third"], runs_dir=str(tmp_path), run_id="r1"
+        )
+        code, _, err = run(config, runner)
+        assert code == EXIT_INTERRUPTED
+        assert "--resume r1" in err
+        manifest = RunStore(tmp_path).load("r1")
+        assert manifest.interrupted
+        assert manifest.records["first"].status == "passed"
+        assert manifest.remaining() == ["second", "third"]
+
+        resumed = CampaignConfig(
+            ids=[], runs_dir=str(tmp_path), resume="r1"
+        )
+        code, out, _ = run(resumed)
+        assert code == EXIT_OK
+        assert "Resuming run r1: 1 of 3" in out
+        assert "(first replayed from checkpoint)" in out
+        finished = RunStore(tmp_path).load("r1")
+        assert not finished.interrupted
+        assert finished.remaining() == []
+
+    def test_resumed_tables_byte_identical_to_uninterrupted(self, tmp_path):
+        reference = CampaignConfig(
+            ids=["x", "y"], runs_dir=str(tmp_path), run_id="ref"
+        )
+        run(reference)
+
+        def interrupting_runner(experiment_id, quick=False):
+            if experiment_id == "x":
+                FAULTS.arm("exp.before", mode="interrupt", times=1)
+            return make_result(experiment_id)
+
+        interrupted = CampaignConfig(
+            ids=["x", "y"], runs_dir=str(tmp_path), run_id="int"
+        )
+        assert run(interrupted, interrupting_runner)[0] == EXIT_INTERRUPTED
+        assert run(
+            CampaignConfig(ids=[], runs_dir=str(tmp_path), resume="int")
+        )[0] == EXIT_OK
+
+        store = RunStore(tmp_path)
+        ref, res = store.load("ref"), store.load("int")
+        for experiment_id in ("x", "y"):
+            assert (
+                res.records[experiment_id].rendered
+                == ref.records[experiment_id].rendered
+            )
+
+    def test_error_records_rerun_on_resume(self, tmp_path):
+        FAULTS.arm("exp.before", mode="fail-hard", times=1)
+        config = CampaignConfig(ids=["a", "b"], runs_dir=str(tmp_path), run_id="r1")
+        code, _, _ = run(config)
+        assert code == EXIT_FAILED
+        assert RunStore(tmp_path).load("r1").records["a"].status == "error"
+
+        code, _, _ = run(CampaignConfig(ids=[], runs_dir=str(tmp_path), resume="r1"))
+        assert code == EXIT_OK
+        assert RunStore(tmp_path).load("r1").records["a"].status == "passed"
+
+    def test_resume_rejects_quick_mismatch(self, tmp_path):
+        run(CampaignConfig(ids=["a"], quick=True, runs_dir=str(tmp_path), run_id="r1"))
+        with pytest.raises(CheckpointError, match="quick"):
+            run(CampaignConfig(ids=[], quick=False, runs_dir=str(tmp_path), resume="r1"))
+
+    def test_resume_rejects_different_plan(self, tmp_path):
+        run(CampaignConfig(ids=["a"], runs_dir=str(tmp_path), run_id="r1"))
+        with pytest.raises(CheckpointError, match="planned"):
+            run(CampaignConfig(ids=["z"], runs_dir=str(tmp_path), resume="r1"))
+
+
+class TestRealExperimentsResume:
+    """The acceptance path with actual experiments: interrupt mid-batch,
+    resume, and compare tables byte-for-byte with an uninterrupted run.
+    Uses the two fastest deterministic experiments (table1's measured
+    wall-clock column is excluded from the comparison)."""
+
+    def test_interrupt_then_resume_matches_uninterrupted(self, tmp_path):
+        from repro.exp.registry import run_experiment
+
+        ids = ["table1", "table5"]
+        run(
+            CampaignConfig(
+                ids=ids, quick=True, runs_dir=str(tmp_path), run_id="ref"
+            ),
+            runner=run_experiment,
+        )
+
+        def interrupting_runner(experiment_id, quick=False):
+            result = run_experiment(experiment_id, quick=quick)
+            if experiment_id == "table1":
+                FAULTS.arm("exp.before", mode="interrupt", times=1)
+            return result
+
+        code, _, _ = run(
+            CampaignConfig(
+                ids=ids, quick=True, runs_dir=str(tmp_path), run_id="int"
+            ),
+            runner=interrupting_runner,
+        )
+        assert code == EXIT_INTERRUPTED
+        store = RunStore(tmp_path)
+        assert store.load("int").remaining() == ["table5"]
+
+        code, out, _ = run(
+            CampaignConfig(
+                ids=[], quick=True, runs_dir=str(tmp_path), resume="int"
+            ),
+            runner=run_experiment,
+        )
+        assert code == EXIT_OK
+        # table5 is fully deterministic: the resumed run's table must be
+        # byte-identical to the uninterrupted reference run's.
+        ref = store.load("ref").records["table5"].rendered
+        resumed = store.load("int").records["table5"].rendered
+        assert resumed == ref
+        assert "Table 5" in resumed

@@ -1,0 +1,111 @@
+"""Tests for the structured exception hierarchy."""
+
+import pytest
+
+from repro.resilience.errors import (
+    CheckpointError,
+    ConfigError,
+    ExperimentError,
+    ExperimentTimeout,
+    FaultInjected,
+    ReproError,
+    SimulationError,
+    as_experiment_error,
+    classify_error,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            ConfigError,
+            SimulationError,
+            FaultInjected,
+            ExperimentError,
+            ExperimentTimeout,
+            CheckpointError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_config_error_is_value_error(self):
+        """Pre-existing ``except ValueError`` call sites keep working."""
+        assert issubclass(ConfigError, ValueError)
+        with pytest.raises(ValueError):
+            raise ConfigError("bad", field="size")
+
+    def test_fault_injected_transient_by_default(self):
+        assert FaultInjected("boom").transient
+        assert not FaultInjected("boom", transient=False).transient
+        assert not SimulationError("boom").transient
+
+    def test_timeout_carries_seconds(self):
+        exc = ExperimentTimeout("slow", timeout_s=1.5, experiment_id="table2")
+        assert exc.timeout_s == 1.5
+        assert exc.experiment_id == "table2"
+
+
+class TestContext:
+    def test_str_appends_context(self):
+        exc = SimulationError("boom", machine="R8000/64", program="pde_regular")
+        assert "boom" in str(exc)
+        assert "machine=R8000/64" in str(exc)
+        assert "program=pde_regular" in str(exc)
+
+    def test_str_without_context_is_plain(self):
+        assert str(ReproError("plain message")) == "plain message"
+
+    def test_context_dict_drops_empty(self):
+        exc = ExperimentError("x", experiment_id="table3")
+        assert exc.context() == {"experiment_id": "table3"}
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "exc,category",
+        [
+            (ConfigError("x"), "config"),
+            (FaultInjected("x"), "fault"),
+            (SimulationError("x"), "simulation"),
+            (ExperimentError("x"), "experiment"),
+            (ExperimentTimeout("x"), "timeout"),
+            (CheckpointError("x"), "checkpoint"),
+            (KeyboardInterrupt(), "interrupted"),
+            (RuntimeError("x"), "unexpected"),
+        ],
+    )
+    def test_categories(self, exc, category):
+        assert classify_error(exc) == category
+
+
+class TestAsExperimentError:
+    def test_wraps_foreign_exception(self):
+        wrapped = as_experiment_error(RuntimeError("kaput"), "table4")
+        assert isinstance(wrapped, ExperimentError)
+        assert wrapped.experiment_id == "table4"
+        assert "RuntimeError" in str(wrapped)
+        assert isinstance(wrapped.__cause__, RuntimeError)
+
+    def test_structured_passes_through_gaining_id(self):
+        original = SimulationError("boom", machine="R8000")
+        same = as_experiment_error(original, "table4")
+        assert same is original
+        assert same.experiment_id == "table4"
+
+    def test_existing_id_not_overwritten(self):
+        original = ExperimentError("boom", experiment_id="table2")
+        assert as_experiment_error(original, "table4").experiment_id == "table2"
+
+
+class TestSimulatorWrapsErrors:
+    def test_program_exception_becomes_simulation_error(self):
+        from repro.machine.presets import r8000
+        from repro.sim.engine import Simulator
+
+        def exploding_program(context):
+            raise RuntimeError("numerical blow-up")
+
+        with pytest.raises(SimulationError) as info:
+            Simulator(r8000(256)).run(exploding_program)
+        assert info.value.program == "exploding_program"
+        assert info.value.machine.startswith("R8000")
+        assert isinstance(info.value.__cause__, RuntimeError)

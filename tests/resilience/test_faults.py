@@ -1,0 +1,117 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.resilience.errors import (
+    ConfigError,
+    ExperimentTimeout,
+    FaultInjected,
+)
+from repro.resilience.faults import FAULTS, FaultInjector, fault_point
+
+
+class TestArmAndFire:
+    def test_unarmed_site_is_noop(self):
+        fault_point("sim.run", machine="R8000")  # must not raise
+
+    def test_fail_once_then_clear(self):
+        injector = FaultInjector()
+        injector.arm("sim.run", times=1)
+        with pytest.raises(FaultInjected):
+            injector.fire("sim.run")
+        injector.fire("sim.run")  # disarmed after firing once
+
+    def test_fail_n_times(self):
+        injector = FaultInjector()
+        injector.arm("sim.run", times=3)
+        for _ in range(3):
+            with pytest.raises(FaultInjected):
+                injector.fire("sim.run")
+        injector.fire("sim.run")
+
+    def test_context_reaches_exception(self):
+        injector = FaultInjector()
+        injector.arm("exp.before", times=1)
+        with pytest.raises(FaultInjected) as info:
+            injector.fire("exp.before", experiment_id="table3")
+        assert info.value.site == "exp.before"
+        assert info.value.experiment_id == "table3"
+
+    def test_modes(self):
+        injector = FaultInjector()
+        injector.arm("sim.run", mode="timeout")
+        with pytest.raises(ExperimentTimeout):
+            injector.fire("sim.run")
+        injector.arm("sim.run", mode="interrupt")
+        with pytest.raises(KeyboardInterrupt):
+            injector.fire("sim.run")
+        injector.arm("sim.run", mode="fail-hard")
+        with pytest.raises(FaultInjected) as info:
+            injector.fire("sim.run")
+        assert not info.value.transient
+
+    def test_fail_mode_is_transient(self):
+        injector = FaultInjector()
+        injector.arm("sim.run", mode="fail")
+        with pytest.raises(FaultInjected) as info:
+            injector.fire("sim.run")
+        assert info.value.transient
+
+    def test_disarm_and_reset(self):
+        injector = FaultInjector()
+        injector.arm("sim.run")
+        injector.disarm("sim.run")
+        injector.fire("sim.run")
+        injector.arm("sim.run")
+        injector.arm("exp.before")
+        injector.reset()
+        injector.fire("sim.run")
+        injector.fire("exp.before")
+
+    def test_injected_context_manager_disarms(self):
+        injector = FaultInjector()
+        with injector.injected("sim.run", times=5):
+            with pytest.raises(FaultInjected):
+                injector.fire("sim.run")
+        injector.fire("sim.run")  # remaining 4 were disarmed on exit
+
+
+class TestSpecs:
+    def test_site_only(self):
+        fault = FaultInjector().arm_from_spec("sim.run")
+        assert (fault.mode, fault.times) == ("fail", 1)
+
+    def test_full_spec(self):
+        fault = FaultInjector().arm_from_spec("exp.before:timeout:3")
+        assert (fault.site, fault.mode, fault.times) == ("exp.before", "timeout", 3)
+
+    @pytest.mark.parametrize(
+        "spec", ["nowhere:fail", "sim.run:explode", "sim.run:fail:x", ":fail", "sim.run:fail:0"]
+    )
+    def test_bad_specs_raise_config_error(self, spec):
+        with pytest.raises(ConfigError):
+            FaultInjector().arm_from_spec(spec)
+
+
+class TestInstrumentedSites:
+    def test_simulator_site_fires(self):
+        from repro.machine.presets import r8000
+        from repro.sim.engine import Simulator
+
+        FAULTS.arm("sim.run", times=1)
+        with pytest.raises(FaultInjected) as info:
+            Simulator(r8000(256)).run(lambda context: None, name="noop")
+        assert info.value.program == "noop"
+
+    def test_runner_version_site_fires(self):
+        from repro.exp.runners import run_versions
+        from repro.machine.presets import r8000
+
+        FAULTS.arm("exp.version", times=1)
+        with pytest.raises(FaultInjected) as info:
+            run_versions(
+                {"only": lambda config: (lambda context: None)},
+                config=None,
+                machine=r8000(256),
+            )
+        assert info.value.program == "only"

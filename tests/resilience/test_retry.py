@@ -1,0 +1,128 @@
+"""Tests for bounded retry and the watchdog timeout."""
+
+import time
+
+import pytest
+
+from repro.resilience.errors import ConfigError, ExperimentTimeout, FaultInjected
+from repro.resilience.retry import (
+    RetryPolicy,
+    call_with_retry,
+    is_transient,
+    watchdog,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(retries=5, backoff_s=0.1, factor=2.0, max_backoff_s=0.3)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.3)  # capped
+        assert policy.delay(4) == pytest.approx(0.3)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigError, match="retries"):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ConfigError, match="backoff_s"):
+            RetryPolicy(backoff_s=-0.1)
+
+
+class TestIsTransient:
+    def test_flags(self):
+        assert is_transient(FaultInjected("x"))
+        assert not is_transient(RuntimeError("x"))
+        assert not is_transient(ExperimentTimeout("x"))
+
+
+class TestCallWithRetry:
+    def test_first_try_success(self):
+        value, attempts = call_with_retry(lambda: 42, RetryPolicy(retries=3))
+        assert (value, attempts) == (42, 1)
+
+    def test_retries_transient_until_success(self):
+        calls = []
+        slept = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise FaultInjected("transient glitch")
+            return "done"
+
+        value, attempts = call_with_retry(
+            flaky, RetryPolicy(retries=5, backoff_s=0.01), sleep=slept.append
+        )
+        assert (value, attempts) == ("done", 3)
+        assert slept == [pytest.approx(0.01), pytest.approx(0.02)]
+
+    def test_budget_exhausted_reraises(self):
+        def always_failing():
+            raise FaultInjected("still broken")
+
+        with pytest.raises(FaultInjected):
+            call_with_retry(
+                always_failing, RetryPolicy(retries=2), sleep=lambda s: None
+            )
+
+    def test_non_transient_not_retried(self):
+        calls = []
+
+        def hard_failure():
+            calls.append(1)
+            raise RuntimeError("deterministic bug")
+
+        with pytest.raises(RuntimeError):
+            call_with_retry(
+                hard_failure, RetryPolicy(retries=5), sleep=lambda s: None
+            )
+        assert len(calls) == 1
+
+    def test_on_retry_callback_sees_attempts(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 1:
+                raise FaultInjected("once")
+            return "ok"
+
+        call_with_retry(
+            flaky,
+            RetryPolicy(retries=1),
+            sleep=lambda s: None,
+            on_retry=lambda attempt, exc: seen.append((attempt, type(exc))),
+        )
+        assert seen == [(1, FaultInjected)]
+
+    def test_keyboard_interrupt_never_retried(self):
+        def interrupted():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            call_with_retry(
+                interrupted, RetryPolicy(retries=5), sleep=lambda s: None
+            )
+
+
+class TestWatchdog:
+    def test_fires_on_overrun(self):
+        with pytest.raises(ExperimentTimeout) as info:
+            with watchdog(0.05, experiment_id="table2"):
+                time.sleep(1.0)
+        assert info.value.experiment_id == "table2"
+        assert info.value.timeout_s == pytest.approx(0.05)
+
+    def test_disabled_when_zero(self):
+        with watchdog(0):
+            time.sleep(0.01)
+
+    def test_no_false_positive(self):
+        with watchdog(5.0):
+            pass
+
+    def test_timer_cleared_after_block(self):
+        import signal
+
+        with watchdog(0.5):
+            pass
+        assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.resilience.errors import ConfigError
 from repro.util.validation import (
     require_in_range,
     require_non_negative,
@@ -61,3 +62,68 @@ class TestRequireInRange:
     def test_rejects_outside(self):
         with pytest.raises(ValueError, match=r"in \[1, 3\]"):
             require_in_range(4, "x", 1, 3)
+
+
+class TestStructuredErrors:
+    """Every helper raises ConfigError naming the offending field."""
+
+    @pytest.mark.parametrize(
+        "helper,args",
+        [
+            (require_positive, (0,)),
+            (require_non_negative, (-1,)),
+            (require_power_of_two, (3,)),
+        ],
+    )
+    def test_helpers_name_the_field(self, helper, args):
+        with pytest.raises(ConfigError) as info:
+            helper(*args, "my_field")
+        assert info.value.field == "my_field"
+        assert "my_field" in str(info.value)
+
+    def test_in_range_names_the_field(self):
+        with pytest.raises(ConfigError) as info:
+            require_in_range(9, "my_field", 0, 1)
+        assert info.value.field == "my_field"
+
+
+class TestConfigSurfaces:
+    """Invalid MachineSpec / cache geometry values surface as ConfigError
+    with the offending field named."""
+
+    def test_machine_spec_bad_clock(self):
+        from dataclasses import replace
+
+        from repro.machine.presets import r8000
+
+        with pytest.raises(ConfigError) as info:
+            replace(r8000(256), clock_hz=-75e6)
+        assert info.value.field == "clock_hz"
+
+    def test_machine_spec_bad_scale_factor(self):
+        from repro.machine.presets import r8000
+
+        with pytest.raises(ConfigError) as info:
+            r8000(1).scaled(l2_factor=3)
+        assert info.value.field == "l2_factor"
+
+    def test_cache_config_bad_size(self):
+        from repro.cache.config import CacheConfig
+
+        with pytest.raises(ConfigError) as info:
+            CacheConfig("L2", size=1000, line_size=128, associativity=4)
+        assert info.value.field == "size"
+
+    def test_cache_config_line_exceeds_size(self):
+        from repro.cache.config import CacheConfig
+
+        with pytest.raises(ConfigError) as info:
+            CacheConfig("L2", size=128, line_size=256, associativity=1)
+        assert info.value.field == "line_size"
+
+    def test_cache_config_bad_associativity(self):
+        from repro.cache.config import CacheConfig
+
+        with pytest.raises(ConfigError) as info:
+            CacheConfig("L2", size=512, line_size=128, associativity=8)
+        assert info.value.field == "associativity"
