@@ -75,11 +75,17 @@ class ClassifyingCache:
         self.real = SetAssociativeCache(self.config)
         self.shadow = FullyAssociativeLRU(self.config.num_lines)
         self._seen: set[int] = set()
+        #: Misses of the fully-associative shadow (including shadow
+        #: misses on real-cache hits, which the classification ignores).
+        #: Feeds the cache oracle's LRU stack-inclusion check.
+        self.shadow_misses = 0
 
     def access(self, line: int) -> bool:
         """Reference one line; update statistics; return ``True`` on hit."""
         self.stats.accesses += 1
         shadow_hit = self.shadow.access(line)
+        if not shadow_hit:
+            self.shadow_misses += 1
         if self.real.access(line):
             return True
         self.stats.misses += 1
@@ -129,6 +135,7 @@ class ClassifyingCache:
         n_compulsory = 0
         n_capacity = 0
         n_conflict = 0
+        n_shadow_misses = 0
 
         for i, line in enumerate(lines):
             n_accesses += counts[i] if counts is not None else 1
@@ -139,6 +146,7 @@ class ClassifyingCache:
                 shadow_lines[line] = None
             else:
                 shadow_hit = False
+                n_shadow_misses += 1
                 if len(shadow_lines) >= shadow_capacity:
                     del shadow_lines[next(iter(shadow_lines))]
                 shadow_lines[line] = None
@@ -166,6 +174,7 @@ class ClassifyingCache:
         stats.compulsory += n_compulsory
         stats.capacity += n_capacity
         stats.conflict += n_conflict
+        self.shadow_misses += n_shadow_misses
         return misses
 
     def flush(self) -> None:
@@ -182,6 +191,7 @@ class ClassifyingCache:
         """Empty the caches and zero all statistics and history."""
         self.flush()
         self._seen.clear()
+        self.shadow_misses = 0
         self.stats = LevelStats()
 
     @property

@@ -50,7 +50,24 @@ class FullyAssociativeLRU:
         """All currently cached line numbers (for tests)."""
         return set(self._lines)
 
+    def lru_order(self) -> list[int]:
+        """Resident lines, least recently used first (for tests and the
+        differential set-assoc ≡ fully-assoc equivalence check)."""
+        return list(self._lines)
+
     @property
     def lru_line(self) -> int | None:
         """The line that would be evicted next, or ``None`` if empty."""
         return next(iter(self._lines), None)
+
+    def structural_violations(self) -> list[str]:
+        """Descriptions of broken internal invariants (empty when sound).
+
+        The only structural claim a fully-associative LRU dict can break
+        is over-occupancy; duplicates are impossible by construction.
+        """
+        if len(self._lines) > self.capacity:
+            return [
+                f"holds {len(self._lines)} lines (capacity {self.capacity})"
+            ]
+        return []

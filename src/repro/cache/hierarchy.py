@@ -76,6 +76,10 @@ class CacheHierarchy:
         self._data_reads = 0
         self._data_writes = 0
         self._l1i_compulsory = 0
+        #: Optional :class:`repro.verify.cache_oracle.CacheOracle`,
+        #: consulted after every access batch.  ``None`` (the default)
+        #: keeps the hot path free of verification work.
+        self.oracle = None
 
     # ------------------------------------------------------------------
     # Reference streams
@@ -107,18 +111,21 @@ class CacheHierarchy:
         self._data_reads += total - writes
         self._data_writes += writes
         l1_misses = self.l1d.process(lines, counts)
-        if not l1_misses:
-            return
-        shift = self._l2_shift
-        if shift:
-            l2_lines = [line >> shift for line in l1_misses]
-        else:
-            l2_lines = l1_misses
-        mapper = self.l2_page_mapper
-        if mapper is not None:
-            bits = self.l2.config.line_bits
-            l2_lines = [mapper.translate_line(line, bits) for line in l2_lines]
-        self.l2.process(l2_lines)
+        if l1_misses:
+            shift = self._l2_shift
+            if shift:
+                l2_lines = [line >> shift for line in l1_misses]
+            else:
+                l2_lines = l1_misses
+            mapper = self.l2_page_mapper
+            if mapper is not None:
+                bits = self.l2.config.line_bits
+                l2_lines = [
+                    mapper.translate_line(line, bits) for line in l2_lines
+                ]
+            self.l2.process(l2_lines)
+        if self.oracle is not None:
+            self.oracle.after_batch(self)
 
     def fetch_instructions(self, count: int) -> None:
         """Record ``count`` instruction fetches (counted, not simulated)."""

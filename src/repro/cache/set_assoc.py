@@ -57,3 +57,29 @@ class SetAssociativeCache:
     def lru_order(self, set_index: int) -> list[int]:
         """Lines of one set, least recently used first (for tests)."""
         return list(self._sets[set_index])
+
+    def structural_violations(self) -> list[str]:
+        """Descriptions of broken internal invariants (empty when sound).
+
+        Used by the verification oracle: every set must hold at most
+        ``associativity`` distinct lines, and every line must map to the
+        set it is stored in.  O(cache size) — meant for opt-in checking,
+        not the access path.
+        """
+        violations: list[str] = []
+        associativity = self.config.associativity
+        for index, cache_set in enumerate(self._sets):
+            if len(cache_set) > associativity:
+                violations.append(
+                    f"set {index} holds {len(cache_set)} lines "
+                    f"(associativity {associativity})"
+                )
+            if len(set(cache_set)) != len(cache_set):
+                violations.append(f"set {index} holds duplicate lines")
+            for line in cache_set:
+                if line & self._set_mask != index:
+                    violations.append(
+                        f"line {line:#x} stored in set {index}, "
+                        f"maps to set {line & self._set_mask}"
+                    )
+        return violations

@@ -64,6 +64,10 @@ class BinTable:
         self._slots: dict[SlotKey, list[Bin]] = {}
         self.ready: list[Bin] = []
         self._chain_probes = 0
+        #: Optional observer called with each newly allocated bin, in
+        #: allocation order.  The verification oracle uses it to learn
+        #: the ready-list order independently of ``ready`` itself.
+        self.on_allocate = None
 
     def find(self, slot: SlotKey, block: BlockKey) -> Bin | None:
         """The bin for ``block``, or ``None`` if not yet allocated."""
@@ -85,6 +89,8 @@ class BinTable:
             bin_ = Bin(block, header_address=header_address)
             self._slots.setdefault(slot, []).append(bin_)
             self.ready.append(bin_)
+            if self.on_allocate is not None:
+                self.on_allocate(bin_)
         return bin_
 
     @property

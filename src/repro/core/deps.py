@@ -108,6 +108,8 @@ class DependentThreadPackage(ThreadPackage):
             if not pred.done:
                 pred.dependents.append(thread_id)
                 record.remaining += 1
+        if self.oracle is not None:
+            self.oracle.on_dep_fork(thread_id, record.spec, tuple(after))
         return thread_id
 
     # ------------------------------------------------------------------
@@ -133,6 +135,14 @@ class DependentThreadPackage(ThreadPackage):
         recorder = self.recorder
         records = self._records
         pending = sum(1 for r in records if not r.done)
+        oracle = self.oracle
+        if oracle is not None:
+            # Dependency scheduling legitimately revisits bins, so the
+            # allocation-order check is off; exactly-once, dependency
+            # order, and run-to-completion are still enforced.
+            oracle.on_run_start(
+                [r.spec for r in records if not r.done], ordered=False
+            )
         counts = [0] * len(self._bin_order)
         bin_index_of = {id(bin_): i for i, bin_ in enumerate(self._bin_order)}
         queue = deque(range(len(self._bin_order)))
@@ -185,6 +195,8 @@ class DependentThreadPackage(ThreadPackage):
                 )
         finally:
             self._running = False
+        if oracle is not None:
+            oracle.on_run_end()
         self.last_activations = activations
         self.last_sweeps = activations  # backwards-compatible alias
         self.table.clear_threads()

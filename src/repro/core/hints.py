@@ -49,6 +49,27 @@ class HintVector:
     def as_tuple(self) -> tuple[int, int, int]:
         return (self.h1, self.h2, self.h3)
 
+    @classmethod
+    def from_sequence(cls, hints) -> "HintVector":
+        """Build a hint vector from any sequence of hint addresses.
+
+        Raises a structured :class:`~repro.resilience.errors.HintError`
+        when more than :data:`MAX_HINTS` hints are supplied — the paper's
+        interface has exactly three hint slots, and truncating silently
+        would change which bin the thread lands in.
+        """
+        hints = tuple(hints)
+        if len(hints) > MAX_HINTS:
+            from repro.resilience.errors import HintError
+
+            raise HintError(
+                f"{len(hints)} hints supplied but th_fork takes at most "
+                f"{MAX_HINTS}; refusing to truncate {hints!r}",
+                invariant="at most MAX_HINTS hints",
+            )
+        padded = hints + (0,) * (MAX_HINTS - len(hints))
+        return cls(*padded)
+
 
 def fold_symmetric(hints: HintVector) -> HintVector:
     """Canonicalise hint order so (hi, hj) and (hj, hi) share a bin.

@@ -91,6 +91,10 @@ class ThreadPackage:
         self._total_forks = 0
         self._total_dispatches = 0
         self._alloc_seq = 0
+        #: Optional :class:`repro.verify.scheduler_oracle.SchedulerOracle`;
+        #: attach with :meth:`attach_oracle`.  ``None`` keeps every hook a
+        #: single attribute test.
+        self.oracle = None
         self.run_history: list[SchedulingStats] = []
         self._hash_base: int | None = None
         self.scheduler: LocalityScheduler
@@ -119,6 +123,8 @@ class ThreadPackage:
             block_size, hash_size, fold=self.fold_symmetric
         )
         self.table = BinTable(self.scheduler, self.costs.group_capacity)
+        if getattr(self, "oracle", None) is not None:
+            self.table.on_allocate = self.oracle.on_bin_allocated
         if self.space is not None and self._hash_base is None:
             entries = hash_size ** 3
             # The C package's table is hash_size^3 pointers; cap the
@@ -179,8 +185,11 @@ class ThreadPackage:
         if group is None:
             group = self._new_group()
             bin_.groups.append(group)
-        index = group.append(ThreadSpec(func, arg1, arg2))
+        spec = ThreadSpec(func, arg1, arg2)
+        index = group.append(spec)
         self._total_forks += 1
+        if self.oracle is not None:
+            self.oracle.on_fork(bin_, group, index, spec)
         if self.recorder is not None:
             self._trace_fork(slot, bin_.header_address, group, index)
         return bin_, group, index
@@ -196,8 +205,17 @@ class ThreadPackage:
         before the next bin.  Thread specifications are destroyed unless
         ``keep`` is non-zero, allowing re-execution.
         """
+        oracle = self.oracle
+        if oracle is not None:
+            from repro.core.policies import creation_order
+
+            oracle.on_run_start(
+                self.table.all_threads(), ordered=self.policy is creation_order
+            )
         bins = self.policy(self.table.ready)
         counts = self.execute_bins(bins)
+        if oracle is not None:
+            oracle.on_run_end(keep)
         if not keep:
             self.table.clear_threads()
         stats = SchedulingStats.from_counts(counts)
@@ -215,9 +233,12 @@ class ThreadPackage:
         recorder = self.recorder
         costs = self.costs
         counts: list[int] = []
+        oracle = self.oracle
         self._running = True
         try:
             for bin_ in bins:
+                if oracle is not None:
+                    oracle.on_bin_start(bin_)
                 if bin_.thread_count == 0:
                     continue
                 counts.append(bin_.thread_count)
@@ -254,8 +275,31 @@ class ThreadPackage:
                         8,
                     )
                 )
-        spec.run()
+        oracle = self.oracle
+        if oracle is not None:
+            oracle.on_dispatch_start(spec)
+            try:
+                self._invoke(group, index, spec)
+            finally:
+                oracle.on_dispatch_end(spec)
+        else:
+            self._invoke(group, index, spec)
         self._total_dispatches += 1
+
+    def _invoke(self, group: ThreadGroup, index: int, spec: ThreadSpec):
+        """Actually run one thread proc.
+
+        The seam guarded execution overrides: the base package lets any
+        exception propagate (the paper's package would crash too);
+        :class:`repro.verify.guarded.GuardedThreadPackage` adds budgets
+        and exception capture here.
+        """
+        return spec.run()
+
+    def attach_oracle(self, oracle) -> None:
+        """Attach a scheduler oracle; survives subsequent ``th_init``."""
+        self.oracle = oracle
+        self.table.on_allocate = oracle.on_bin_allocated
 
     # ------------------------------------------------------------------
     # Introspection

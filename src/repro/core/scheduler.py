@@ -17,7 +17,10 @@ full block coordinates.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.core.hints import HintVector, MAX_HINTS, fold_symmetric
+from repro.resilience.errors import ConfigError, ConfigWarning
 from repro.util.validation import require_positive, require_power_of_two
 
 #: Default hash-table entries per dimension.
@@ -46,14 +49,21 @@ class LocalityScheduler:
     ----------
     block_size:
         Block dimension size in bytes (one value for all dimensions, as
-        in ``th_init``).  Powers of two use the paper's shift; other
-        sizes fall back to division (same block geometry).
+        in ``th_init``).  Powers of two use the paper's shift.  Other
+        sizes fall back to division (same block geometry but not the
+        paper's hash function); that fallback is announced with a
+        :class:`~repro.resilience.errors.ConfigWarning`, and rejected
+        with a :class:`~repro.resilience.errors.ConfigError` when
+        ``strict`` is set.
     hash_size:
         Hash-table entries per dimension; must be a power of two so the
         paper's mask applies.
     fold:
         Canonicalise symmetric hint orderings into one bin (Section 2.3's
         50% bin reduction).
+    strict:
+        Reject configurations the paper's shift-and-mask hash cannot
+        express instead of warning and falling back.
     """
 
     def __init__(
@@ -61,6 +71,7 @@ class LocalityScheduler:
         block_size: int,
         hash_size: int = DEFAULT_HASH_SIZE,
         fold: bool = False,
+        strict: bool = False,
     ) -> None:
         require_positive(block_size, "block_size")
         require_power_of_two(hash_size, "hash_size")
@@ -70,6 +81,21 @@ class LocalityScheduler:
         if block_size & (block_size - 1) == 0:
             self._shift = block_size.bit_length() - 1
         else:
+            if strict:
+                raise ConfigError(
+                    f"block_size {block_size} is not a power of two, so "
+                    "the paper's shift-based hash does not apply; pass a "
+                    "power of two or drop strict to accept the division "
+                    "fallback",
+                    field="block_size",
+                )
+            warnings.warn(
+                f"block_size {block_size} is not a power of two; the "
+                "scheduler falls back to division instead of the paper's "
+                "shift (same block geometry, different hash cost)",
+                ConfigWarning,
+                stacklevel=2,
+            )
             self._shift = None
         self._mask = hash_size - 1
 

@@ -45,6 +45,22 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the experiment ids with one-line descriptions and exit",
     )
+    parser.add_argument(
+        "--verify",
+        dest="verify",
+        action="store_true",
+        default=None,
+        help=(
+            "run every simulation under the runtime-verification oracles "
+            "(scheduler and cache invariants; see repro-verify)"
+        ),
+    )
+    parser.add_argument(
+        "--no-verify",
+        dest="verify",
+        action="store_false",
+        help="force the oracles off, overriding the process default",
+    )
     durability = parser.add_argument_group("durability")
     durability.add_argument(
         "--runs-dir",
@@ -150,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
         resume=args.resume,
         fail_fast=args.fail_fast,
         save=not args.no_save,
+        verify=args.verify,
     )
     try:
         return run_campaign(config)

@@ -18,9 +18,15 @@ def run_versions(
     versions: dict[str, VersionFactory],
     config,
     machine: MachineSpec,
+    verify: bool | None = None,
 ) -> dict[str, SimResult]:
-    """Simulate every version of an application on one machine."""
-    simulator = Simulator(machine)
+    """Simulate every version of an application on one machine.
+
+    ``verify`` arms the runtime-verification oracles for these runs;
+    ``None`` (the default) defers to the process-wide switch, which
+    ``repro-experiments --verify`` flips for a whole campaign.
+    """
+    simulator = Simulator(machine, verify=verify)
     results: dict[str, SimResult] = {}
     for name, factory in versions.items():
         fault_point("exp.version", program=name, machine=machine.name)

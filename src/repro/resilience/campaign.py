@@ -23,7 +23,7 @@ import signal
 import sys
 import threading
 import time
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, TextIO
 
@@ -58,6 +58,10 @@ class CampaignConfig:
     resume: str | None = None
     fail_fast: bool = False
     save: bool = True
+    #: Runtime-verification oracles for every simulation in the campaign:
+    #: ``True``/``False`` flip the process-wide switch for the campaign's
+    #: duration; ``None`` leaves whatever the process already chose.
+    verify: bool | None = None
 
 
 @contextmanager
@@ -203,8 +207,14 @@ def run_campaign(
     manifest = _prepare_manifest(config, store, out)
     persist = config.save or config.resume is not None
 
+    if config.verify is None:
+        verify_scope = nullcontext()
+    else:
+        from repro.verify.config import verification
+
+        verify_scope = verification(config.verify)
     interrupted = False
-    with _sigint_raises():
+    with _sigint_raises(), verify_scope:
         for experiment_id in manifest.remaining():
             try:
                 record = _run_one(config, experiment_id, runner, out)

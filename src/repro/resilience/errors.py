@@ -9,6 +9,11 @@ in a traceback.  The hierarchy:
     ├── ``ConfigError``       (also a ``ValueError``) — bad user input
     ├── ``SimulationError``   — a traced program blew up under the simulator
     │       └── ``FaultInjected`` — deterministic injected failure (transient)
+    ├── ``VerificationError`` — a runtime-verification oracle found an
+    │       │                   invariant violation (see ``repro.verify``)
+    │       ├── ``HintError``         (also a ``ValueError``) — bad hint vector
+    │       ├── ``ThreadBudgetError`` — a thread proc exceeded its budget
+    │       └── ``ThreadProcError``   — a user thread proc raised
     ├── ``ExperimentError``   — an experiment failed outside the simulator
     │       └── ``ExperimentTimeout`` — the watchdog fired
     └── ``CheckpointError``   — a run manifest could not be read or written
@@ -23,7 +28,22 @@ from __future__ import annotations
 from typing import Any
 
 #: Context keys rendered after the message, in this order.
-_CONTEXT_KEYS = ("experiment_id", "machine", "program", "site", "field")
+_CONTEXT_KEYS = (
+    "experiment_id",
+    "machine",
+    "program",
+    "site",
+    "field",
+    "oracle",
+    "invariant",
+    "level",
+    "thread",
+)
+
+
+class ConfigWarning(UserWarning):
+    """A configuration is accepted but deviates from the paper's model
+    (e.g. a non-power-of-two block size forcing the division fallback)."""
 
 
 class ReproError(Exception):
@@ -56,15 +76,22 @@ class ReproError(Exception):
         self.field = field
         self.transient = transient
         self.extra = extra
+        # Extra context (oracle, invariant, level, thread, ...) is also
+        # exposed as attributes, mirroring the named keyword arguments.
+        for key, value in extra.items():
+            if not hasattr(self, key):
+                setattr(self, key, value)
 
     def context(self) -> dict[str, Any]:
         """The non-empty context fields, for manifests and reports."""
         context = {
             key: value
             for key in _CONTEXT_KEYS
-            if (value := getattr(self, key)) is not None
+            if (value := getattr(self, key, None)) is not None
         }
-        context.update(self.extra)
+        for key, value in self.extra.items():
+            if key not in context and value is not None:
+                context[key] = value
         return context
 
     def __str__(self) -> str:
@@ -99,6 +126,41 @@ class FaultInjected(SimulationError):
         super().__init__(message, **context)
 
 
+class VerificationError(ReproError):
+    """A runtime-verification oracle detected an invariant violation.
+
+    Raised by the ``repro.verify`` oracles (scheduler and cache) and by
+    guarded execution.  ``oracle`` names the oracle, ``invariant`` the
+    violated claim, ``level``/``thread`` the cache level or thread the
+    violation was localised to.
+    """
+
+
+class HintError(VerificationError, ValueError):
+    """A thread's scheduling hint vector is malformed.
+
+    Too many hints, a negative or out-of-range address, or a gap in the
+    hint ordering.  Guarded execution records these (quarantining the
+    thread into the unhinted bin) instead of raising; strict call sites
+    raise.  Subclasses ``ValueError`` so generic validation call sites
+    keep working.
+    """
+
+
+class ThreadBudgetError(VerificationError):
+    """A thread proc exceeded its per-thread execution budget.
+
+    Raised by :class:`repro.verify.guarded.GuardedThreadPackage` when a
+    runaway thread proc passes its step/reference budget, naming the
+    thread instead of hanging the campaign.
+    """
+
+
+class ThreadProcError(VerificationError):
+    """A user thread proc raised; recorded by guarded execution so the
+    bin sweep can continue (graceful degradation)."""
+
+
 class ExperimentError(ReproError):
     """An experiment failed outside the simulator proper."""
 
@@ -127,6 +189,8 @@ def classify_error(exc: BaseException) -> str:
         return "config"
     if isinstance(exc, FaultInjected):
         return "fault"
+    if isinstance(exc, VerificationError):
+        return "verification"
     if isinstance(exc, SimulationError):
         return "simulation"
     if isinstance(exc, ExperimentError):

@@ -35,6 +35,8 @@ KNOWN_SITES = (
     "exp.before",         # campaign driver, before an experiment starts
     "exp.version",        # runners.run_versions, before each program version
     "checkpoint.write",   # checkpoint layer, after temp write / before rename
+    "verify.oracle",      # verification oracles, on every oracle check
+    "thread.proc",        # guarded execution, before each thread proc runs
 )
 
 MODES = ("fail", "fail-hard", "timeout", "interrupt")

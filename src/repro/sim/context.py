@@ -30,6 +30,7 @@ class SimContext:
     recorder: TraceRecorder
     space: AddressSpace
     packages: list[ThreadPackage] = field(default_factory=list)
+    verify: bool = False
 
     def allocate_array(
         self,
@@ -90,6 +91,33 @@ class SimContext:
             costs=costs,
         )
 
+    def make_guarded_thread_package(
+        self,
+        block_size: int = 0,
+        hash_size: int = 0,
+        fold_symmetric: bool = False,
+        policy: str | TraversalPolicy = "creation",
+        costs: ThreadCostModel = DEFAULT_THREAD_COSTS,
+        thread_budget: int = 0,
+        max_address: int | None = None,
+        strict_hints: bool = False,
+    ) -> ThreadPackage:
+        """An instrumented :class:`~repro.verify.guarded.GuardedThreadPackage`
+        (validated hints, contained thread procs, optional step budget)."""
+        from repro.verify.guarded import GuardedThreadPackage
+
+        return self._register(
+            GuardedThreadPackage,
+            block_size=block_size,
+            hash_size=hash_size,
+            fold_symmetric=fold_symmetric,
+            policy=policy,
+            costs=costs,
+            thread_budget=thread_budget,
+            max_address=max_address,
+            strict_hints=strict_hints,
+        )
+
     def _register(self, factory, **kwargs) -> ThreadPackage:
         package = factory(
             l2_size=self.machine.l2.size,
@@ -97,6 +125,12 @@ class SimContext:
             address_space=self.space,
             **kwargs,
         )
+        if self.verify:
+            from repro.verify.scheduler_oracle import SchedulerOracle
+
+            package.attach_oracle(
+                SchedulerOracle(machine=self.machine.name)
+            )
         self.packages.append(package)
         return package
 

@@ -12,6 +12,7 @@ from repro.resilience.faults import fault_point
 from repro.sim.context import SimContext
 from repro.sim.result import SimResult
 from repro.trace.recorder import TraceRecorder
+from repro.verify.config import resolve_verify
 
 TracedProgram = Callable[[SimContext], Any]
 
@@ -21,11 +22,20 @@ class Simulator:
 
     Each :meth:`run` gets a fresh cache hierarchy, recorder, and address
     space, so results are independent and deterministic.
+
+    ``verify`` arms the runtime-verification oracles (see
+    ``repro.verify``): a :class:`~repro.verify.cache_oracle.CacheOracle`
+    audits the hierarchy after every access batch, and every thread
+    package the program creates gets a
+    :class:`~repro.verify.scheduler_oracle.SchedulerOracle`.  ``None``
+    (the default) defers to the process-wide switch
+    (``repro.verify.config``), which is off — benchmarks pay nothing.
     """
 
-    def __init__(self, machine: MachineSpec) -> None:
+    def __init__(self, machine: MachineSpec, verify: bool | None = None) -> None:
         self.machine = machine
         self.timing = TimingModel(machine)
+        self.verify = verify
 
     def run(
         self,
@@ -33,6 +43,7 @@ class Simulator:
         name: str | None = None,
         code_footprint: int = 4096,
         l2_page_mapper=None,
+        verify: bool | None = None,
     ) -> SimResult:
         """Simulate ``program`` and return its result.
 
@@ -42,8 +53,11 @@ class Simulator:
         loop code; 4 KB covers every kernel in the paper).
         ``l2_page_mapper`` optionally models a physically-indexed L2
         behind a virtual-to-physical page table (repro.mem.paging).
+        ``verify`` overrides the simulator-level and process-wide
+        verification switches for this one run.
         """
         program_name = name or getattr(program, "__name__", "program")
+        verify_run = resolve_verify(verify, self.verify)
         fault_point("sim.run", machine=self.machine.name, program=program_name)
         hierarchy = self.machine.build_hierarchy(l2_page_mapper)
         recorder = TraceRecorder(hierarchy)
@@ -56,7 +70,14 @@ class Simulator:
             hierarchy=hierarchy,
             recorder=recorder,
             space=space,
+            verify=verify_run,
         )
+        if verify_run:
+            from repro.verify.cache_oracle import CacheOracle
+
+            hierarchy.oracle = CacheOracle(
+                machine=self.machine.name, program=program_name
+            )
         if code_footprint:
             hierarchy.charge_code_footprint(code_footprint)
         try:
@@ -71,6 +92,13 @@ class Simulator:
                 machine=self.machine.name,
                 program=program_name,
             ) from exc
+        if verify_run and hierarchy.oracle is not None:
+            hierarchy.oracle.final_check(hierarchy)
+        thread_faults: list = []
+        for package in context.packages:
+            report = getattr(package, "fault_report", None)
+            if report is not None:
+                thread_faults.extend(report())
         stats = hierarchy.snapshot()
         time = self.timing.estimate(
             TimingInputs(
@@ -98,4 +126,6 @@ class Simulator:
             sched=sched,
             time=time,
             payload=payload,
+            thread_faults=thread_faults,
+            verified=verify_run,
         )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.cache.hierarchy import HierarchyStats
@@ -29,6 +29,12 @@ class SimResult:
     sched: SchedulingStats | None
     time: TimeBreakdown
     payload: Any = None
+    #: Structured degradations recorded by guarded thread packages during
+    #: the run (``repro.verify.guarded``): one manifest-ready dict per
+    #: quarantined hint vector, captured proc exception, or budget stop.
+    thread_faults: list = field(default_factory=list)
+    #: Whether the runtime-verification oracles audited this run.
+    verified: bool = False
 
     # -- performance-table view ----------------------------------------
     @property

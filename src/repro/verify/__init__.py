@@ -1,0 +1,64 @@
+"""Runtime verification: invariant oracles, guarded execution,
+differential self-checks.
+
+Three layers, each independently optional (see DESIGN.md,
+"Verification"):
+
+* :mod:`repro.verify.scheduler_oracle` / :mod:`repro.verify.cache_oracle`
+  — re-derive the scheduler's and cache simulator's invariants from
+  observed events; attached by ``Simulator(..., verify=True)``.
+* :mod:`repro.verify.guarded` — a thread package that validates hint
+  vectors, budgets runaway procs, and contains proc exceptions.
+* :mod:`repro.verify.differential` — cross-checks two independent
+  computations of the same thing; driven by the ``repro-verify`` CLI.
+
+The process-wide switch lives in :mod:`repro.verify.config`, the only
+submodule imported eagerly: the rest load on first attribute access
+(PEP 562) because :mod:`repro.verify.differential` imports the simulator,
+which imports this package back for the switch.
+"""
+
+from __future__ import annotations
+
+from repro.verify.config import (
+    resolve_verify,
+    set_verification,
+    verification,
+    verification_enabled,
+)
+
+_LAZY = {
+    "CacheOracle": ("repro.verify.cache_oracle", "CacheOracle"),
+    "SchedulerOracle": ("repro.verify.scheduler_oracle", "SchedulerOracle"),
+    "GuardedThreadPackage": ("repro.verify.guarded", "GuardedThreadPackage"),
+    "GuardedScheduler": ("repro.verify.guarded", "GuardedScheduler"),
+    "guarded_run": ("repro.verify.guarded", "guarded_run"),
+    "CheckOutcome": ("repro.verify.differential", "CheckOutcome"),
+    "run_all_checks": ("repro.verify.differential", "run_all_checks"),
+}
+
+__all__ = [
+    "resolve_verify",
+    "set_verification",
+    "verification",
+    "verification_enabled",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    from importlib import import_module
+
+    value = getattr(import_module(module_name), attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(__all__)

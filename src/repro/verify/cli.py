@@ -1,0 +1,128 @@
+"""Command-line entry point: ``repro-verify [--quick] [--seed N]``.
+
+The simulator's self-check harness.  Two stages:
+
+1. **Differential checks** (:mod:`repro.verify.differential`) — trace
+   replay determinism, set-assoc ≡ fully-assoc equivalence, and
+   hinted-vs-unhinted work conservation.
+2. **Oracle smoke run** — a threaded matmul simulated end to end with
+   the scheduler and cache oracles armed; any invariant violation
+   surfaces as a structured
+   :class:`~repro.resilience.errors.VerificationError`.
+
+Exit code 0 when every check passes, 1 otherwise — CI runs
+``repro-verify --quick`` on every push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import TextIO
+
+from repro.resilience.errors import ConfigError, VerificationError
+from repro.resilience.faults import FAULTS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description=(
+            "Self-check the thread-scheduling simulator: differential "
+            "cross-checks plus an oracle-audited smoke simulation."
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workloads (a few seconds; what CI runs)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1996,
+        metavar="N",
+        help="seed for the randomized checks (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--skip-smoke",
+        action="store_true",
+        help="run only the differential checks, not the oracle smoke run",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="SITE[:MODE[:TIMES]]",
+        help=(
+            "arm a deterministic fault (e.g. verify.oracle:fail) to prove "
+            "the violation-reporting path (repeatable)"
+        ),
+    )
+    return parser
+
+
+def _oracle_smoke(quick: bool, out: TextIO) -> bool:
+    """Simulate a threaded matmul with every oracle armed; True on pass."""
+    from repro.apps.matmul.config import MatmulConfig
+    from repro.apps.matmul.programs import threaded as matmul_threaded
+    from repro.machine.presets import DEFAULT_SCALE, r8000
+    from repro.sim.engine import Simulator
+
+    n = 16 if quick else 48
+    simulator = Simulator(r8000(DEFAULT_SCALE), verify=True)
+    try:
+        result = simulator.run(matmul_threaded(MatmulConfig(n=n)))
+    except VerificationError as exc:
+        print(f"[FAIL] oracle smoke run — {exc}", file=out)
+        return False
+    print(
+        f"[PASS] oracle smoke run — {result.data_refs:,} data refs and "
+        f"{result.dispatches:,} dispatches audited clean",
+        file=out,
+    )
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        for spec in args.inject_fault:
+            FAULTS.arm_from_spec(spec)
+    except ConfigError as exc:
+        parser.error(str(exc))
+
+    from repro.verify.differential import run_all_checks
+
+    out = sys.stdout
+    print(
+        f"repro-verify: {'quick' if args.quick else 'full'} self-check, "
+        f"seed {args.seed}",
+        file=out,
+    )
+    failed = 0
+    try:
+        outcomes = run_all_checks(
+            quick=args.quick, seed=args.seed, verify=True
+        )
+    except VerificationError as exc:
+        print(f"[FAIL] differential checks — oracle violation: {exc}", file=out)
+        failed += 1
+        outcomes = []
+    for outcome in outcomes:
+        print(outcome, file=out)
+        if not outcome.passed:
+            failed += 1
+    if not args.skip_smoke:
+        if not _oracle_smoke(args.quick, out):
+            failed += 1
+    if failed:
+        print(f"\n{failed} self-check(s) FAILED.", file=out)
+        return 1
+    print("\nAll self-checks passed.", file=out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""The process-wide verification switch.
+
+Oracles are opt-in: the hot simulation paths stay unpolluted unless the
+caller asks for runtime verification.  Three layers can ask, from most to
+least specific:
+
+1. ``Simulator.run(..., verify=True/False)`` — one run;
+2. ``Simulator(machine, verify=True/False)`` — one simulator;
+3. the process-wide switch here — flipped by ``repro-experiments
+   --verify``, ``repro-verify``, and the test suite, so experiment
+   modules never need a ``verify`` parameter threaded through them.
+
+``None`` at any layer defers to the next one down; the global default is
+off.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_ENABLED = False
+
+
+def verification_enabled() -> bool:
+    """Whether the process-wide verification switch is on."""
+    return _ENABLED
+
+
+def set_verification(enabled: bool) -> bool:
+    """Flip the process-wide switch; returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def verification(enabled: bool = True) -> Iterator[None]:
+    """Enable (or disable) verification for the duration of a block."""
+    previous = set_verification(enabled)
+    try:
+        yield
+    finally:
+        set_verification(previous)
+
+
+def resolve_verify(*levels: bool | None) -> bool:
+    """The effective verify flag: the first non-``None`` of ``levels``,
+    falling back to the process-wide switch."""
+    for level in levels:
+        if level is not None:
+            return bool(level)
+    return _ENABLED

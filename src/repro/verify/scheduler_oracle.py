@@ -1,0 +1,255 @@
+"""Scheduler invariant oracle: checks the thread package's own claims.
+
+The paper's scheduler makes four observable promises (Sections 2.3, 3.2):
+
+* threads are **run-to-completion** — no interleaving, no nesting, no
+  forks from inside a running thread's dispatch;
+* every thread scheduled when ``th_run`` starts is dispatched **exactly
+  once** during that run (re-runs under ``keep`` are separate runs);
+* bins are traversed in **allocation order** (the ready list) when the
+  creation policy is active;
+* with the dependency extension, a thread never runs before **all of its
+  declared predecessors** have completed.
+
+:class:`SchedulerOracle` observes the package through narrow hooks
+(fork, bin start, dispatch start/end, run start/end) that cost one
+attribute test when no oracle is attached, and re-derives each claim
+independently of the scheduler's own data structures.  A violation
+raises :class:`~repro.resilience.errors.VerificationError` naming the
+thread and invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.thread import ThreadSpec
+from repro.resilience.errors import FaultInjected, VerificationError
+from repro.resilience.faults import fault_point
+
+
+@dataclass
+class _ThreadRecord:
+    """The oracle's independent view of one forked thread."""
+
+    spec: ThreadSpec          # pins the spec so id() stays unique
+    fork_order: int
+    bin_key: tuple
+    runs: int = 0
+
+
+def _describe(spec: ThreadSpec) -> str:
+    func = getattr(spec.func, "__name__", repr(spec.func))
+    return f"{func}({spec.arg1!r}, {spec.arg2!r})"
+
+
+class SchedulerOracle:
+    """Re-derives the scheduler's invariants from observed events."""
+
+    def __init__(
+        self,
+        machine: str | None = None,
+        program: str | None = None,
+        check_bin_order: bool = True,
+    ) -> None:
+        self.machine = machine
+        self.program = program
+        self.check_bin_order = check_bin_order
+        self.runs_verified = 0
+        self.dispatches_verified = 0
+        # Bin allocation bookkeeping (allocation order == ready order).
+        self._bin_alloc: dict[int, int] = {}
+        self._bins: list = []  # pins bin objects so id() stays unique
+        # Forked threads, keyed by id(spec) (records pin the specs).
+        self._forked: dict[int, _ThreadRecord] = {}
+        self._active: ThreadSpec | None = None
+        # Per-run state.
+        self._in_run = False
+        self._run_ordered = False
+        self._last_bin_index = -1
+        self._expected: dict[int, int] | None = None
+        # Dependency extension bookkeeping.
+        self._dep_ids: dict[int, int] = {}
+        self._dep_preds: dict[int, tuple[int, ...]] = {}
+        self._dep_done: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def _fail(self, invariant: str, message: str, thread: str | None = None) -> None:
+        raise VerificationError(
+            message,
+            machine=self.machine,
+            program=self.program,
+            oracle="scheduler",
+            invariant=invariant,
+            thread=thread,
+        )
+
+    # ------------------------------------------------------------------
+    # Fork-side hooks
+    # ------------------------------------------------------------------
+    def on_bin_allocated(self, bin_) -> None:
+        self._bin_alloc[id(bin_)] = len(self._bins)
+        self._bins.append(bin_)
+
+    def on_fork(self, bin_, group, index, spec: ThreadSpec) -> None:
+        if self._active is not None:
+            self._fail(
+                "run-to-completion",
+                "th_fork observed while a thread was being dispatched "
+                f"({_describe(self._active)})",
+                thread=_describe(spec),
+            )
+        if id(bin_) not in self._bin_alloc:
+            self._fail(
+                "bins allocated before use",
+                f"thread forked into bin {bin_.key} that the table never "
+                "reported as allocated",
+                thread=_describe(spec),
+            )
+        self._forked[id(spec)] = _ThreadRecord(
+            spec=spec, fork_order=len(self._forked), bin_key=bin_.key
+        )
+
+    def on_dep_fork(
+        self, thread_id: int, spec: ThreadSpec, predecessors: tuple[int, ...]
+    ) -> None:
+        """Register a dependent thread and the edges it must wait on."""
+        self._dep_ids[id(spec)] = thread_id
+        self._dep_preds[thread_id] = tuple(predecessors)
+
+    # ------------------------------------------------------------------
+    # Run-side hooks
+    # ------------------------------------------------------------------
+    def on_run_start(self, pending, ordered: bool) -> None:
+        """A ``th_run`` begins over the ``pending`` thread specs.
+
+        The exactly-once expectation is built from the oracle's *own*
+        fork records, not from ``pending`` — a scheduler whose ready
+        list silently lost a bin would otherwise under-report its own
+        pending set and the loss would go unnoticed.  ``pending`` is
+        cross-checked against the fork records instead.
+        """
+        self._in_run = True
+        self._run_ordered = ordered and self.check_bin_order
+        self._last_bin_index = -1
+        pending_ids = {id(spec) for spec in pending}
+        for spec_id, record in self._forked.items():
+            if spec_id not in pending_ids:
+                self._fail(
+                    "exactly-once dispatch",
+                    "forked thread missing from the run's pending set "
+                    "(lost bin or corrupted ready list?)",
+                    thread=_describe(record.spec),
+                )
+        self._expected = {spec_id: 0 for spec_id in self._forked}
+
+    def on_bin_start(self, bin_) -> None:
+        if not (self._in_run and self._run_ordered):
+            return
+        index = self._bin_alloc.get(id(bin_))
+        if index is None:
+            self._fail(
+                "bin traversal in allocation order",
+                f"run visited bin {bin_.key} that was never allocated",
+            )
+        if index <= self._last_bin_index:
+            self._fail(
+                "bin traversal in allocation order",
+                f"run visited bin {bin_.key} (allocation index {index}) "
+                f"after allocation index {self._last_bin_index}",
+            )
+        self._last_bin_index = index
+
+    def on_dispatch_start(self, spec: ThreadSpec) -> None:
+        if self._active is not None:
+            self._fail(
+                "run-to-completion",
+                f"thread {_describe(spec)} dispatched while "
+                f"{_describe(self._active)} was still running",
+                thread=_describe(spec),
+            )
+        record = self._forked.get(id(spec))
+        if record is None:
+            self._fail(
+                "only forked threads run",
+                "dispatched a thread that was never forked",
+                thread=_describe(spec),
+            )
+        thread_id = self._dep_ids.get(id(spec))
+        if thread_id is not None:
+            blocked = [
+                p for p in self._dep_preds.get(thread_id, ())
+                if p not in self._dep_done
+            ]
+            if blocked:
+                self._fail(
+                    "dependency order",
+                    f"thread {thread_id} ran before predecessor(s) "
+                    f"{blocked}",
+                    thread=_describe(spec),
+                )
+        self._active = spec
+
+    def on_dispatch_end(self, spec: ThreadSpec) -> None:
+        self._active = None
+        self.dispatches_verified += 1
+        record = self._forked.get(id(spec))
+        if record is not None:
+            record.runs += 1
+        if self._expected is not None:
+            if id(spec) in self._expected:
+                self._expected[id(spec)] += 1
+            elif self._in_run:
+                self._fail(
+                    "exactly-once dispatch",
+                    "dispatched a thread that was not pending when the "
+                    "run started",
+                    thread=_describe(spec),
+                )
+        thread_id = self._dep_ids.get(id(spec))
+        if thread_id is not None:
+            self._dep_done.add(thread_id)
+
+    def on_run_end(self, keep: int = 0) -> None:
+        """A ``th_run`` finished; every pending thread ran exactly once."""
+        self._fault_point()
+        expected = self._expected or {}
+        for spec_id, runs in expected.items():
+            if runs == 1:
+                continue
+            record = self._forked.get(spec_id)
+            thread = _describe(record.spec) if record else f"spec {spec_id}"
+            self._fail(
+                "exactly-once dispatch",
+                f"thread dispatched {runs} times in one run"
+                if runs
+                else "scheduled thread never dispatched during the run",
+                thread=thread,
+            )
+        self._in_run = False
+        self._expected = None
+        self.runs_verified += 1
+        if not keep:
+            # The package destroys the thread records; drop ours too so
+            # a long campaign's oracle does not grow without bound.
+            self._forked.clear()
+            self._dep_ids.clear()
+            self._dep_preds.clear()
+            self._dep_done.clear()
+
+    # ------------------------------------------------------------------
+    def _fault_point(self) -> None:
+        """The ``verify.oracle`` injection site (see CacheOracle)."""
+        try:
+            fault_point(
+                "verify.oracle", machine=self.machine, program=self.program
+            )
+        except FaultInjected as exc:
+            raise VerificationError(
+                f"injected oracle violation: {exc.message}",
+                machine=self.machine,
+                program=self.program,
+                oracle="scheduler",
+                invariant="injected",
+                site="verify.oracle",
+            ) from exc

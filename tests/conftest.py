@@ -7,6 +7,20 @@ import pytest
 from repro.cache.config import CacheConfig
 from repro.machine.presets import r8000, r10000
 from repro.sim.engine import Simulator
+from repro.verify.config import set_verification
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _verification_on():
+    """Runtime-verification oracles are on by default under pytest.
+
+    Every simulation the suite runs doubles as an oracle audit; tests
+    that need the oracles off (benchmarks, oracle-failure tests) pass
+    ``verify=False`` or use ``repro.verify.config.verification(False)``.
+    """
+    previous = set_verification(True)
+    yield
+    set_verification(previous)
 
 
 @pytest.fixture

@@ -1,0 +1,121 @@
+"""Property-based checks of the bin hashing pipeline (seeded random).
+
+Randomised but deterministic (``random.Random`` with fixed seeds): each
+test draws hundreds of hint vectors and asserts a property that must
+hold for *every* draw, complementing the example-based tests in
+``test_bins.py`` and ``test_scheduler.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bins import BinTable
+from repro.core.hints import HintVector, fold_symmetric
+from repro.core.scheduler import LocalityScheduler
+
+BLOCK = 4096
+HASH = 64
+
+
+def random_hints(rng: random.Random, dims: int) -> HintVector:
+    values = sorted(
+        (rng.randrange(1, 1 << 24) for _ in range(dims)), reverse=True
+    )
+    return HintVector.from_sequence(values)
+
+
+class TestSymmetricFold:
+    @pytest.mark.parametrize("seed", [7, 1996, 31337])
+    def test_permuted_hints_share_slot_and_block(self, seed):
+        rng = random.Random(seed)
+        sched = LocalityScheduler(BLOCK, HASH, fold=True)
+        for _ in range(300):
+            a = rng.randrange(1, 1 << 24)
+            b = rng.randrange(1, 1 << 24)
+            slot_ab, block_ab = sched.locate(HintVector(a, b))
+            slot_ba, block_ba = sched.locate(HintVector(b, a))
+            assert block_ab == block_ba
+            assert slot_ab == slot_ba
+
+    @pytest.mark.parametrize("seed", [11, 23])
+    def test_three_dim_permutations_collapse(self, seed):
+        rng = random.Random(seed)
+        sched = LocalityScheduler(BLOCK, HASH, fold=True)
+        for _ in range(100):
+            h = [rng.randrange(1, 1 << 20) for _ in range(3)]
+            blocks = {
+                sched.block_of(HintVector(h[i], h[j], h[k]))
+                for i, j, k in (
+                    (0, 1, 2), (0, 2, 1), (1, 0, 2),
+                    (1, 2, 0), (2, 0, 1), (2, 1, 0),
+                )
+            }
+            assert len(blocks) == 1
+
+    def test_fold_is_idempotent_on_random_vectors(self):
+        rng = random.Random(5)
+        for _ in range(200):
+            hints = random_hints(rng, rng.randrange(1, 4))
+            once = fold_symmetric(hints)
+            assert fold_symmetric(once) == once
+
+
+class TestChainingWithoutLoss:
+    @pytest.mark.parametrize("seed", [3, 1996])
+    def test_every_distinct_block_gets_its_own_bin(self, seed):
+        """Colliding blocks chain; none are merged and none are lost."""
+        rng = random.Random(seed)
+        sched = LocalityScheduler(BLOCK, hash_size=4)  # tiny: force chains
+        table = BinTable(sched, group_capacity=4)
+        blocks_seen = {}
+        for _ in range(500):
+            hints = random_hints(rng, rng.randrange(1, 4))
+            slot, block = sched.locate(hints)
+            bin_ = table.find_or_allocate(slot, block)
+            assert bin_.key == block
+            previous = blocks_seen.setdefault(block, bin_)
+            assert previous is bin_  # same block -> same bin, always
+        assert table.bin_count == len(blocks_seen)
+        assert table.max_chain_length > 1  # the tiny table did collide
+        for block, bin_ in blocks_seen.items():
+            assert table.find(sched.slot_of(block), block) is bin_
+
+    def test_allocation_order_matches_ready_list(self):
+        rng = random.Random(17)
+        sched = LocalityScheduler(BLOCK, hash_size=8)
+        table = BinTable(sched, group_capacity=4)
+        allocated = []
+        table.on_allocate = allocated.append
+        for _ in range(300):
+            slot, block = sched.locate(random_hints(rng, 2))
+            table.find_or_allocate(slot, block)
+        assert allocated == table.ready
+
+
+class TestSlotRange:
+    @pytest.mark.parametrize("hash_size", [1, 2, 64, 256])
+    def test_slots_always_within_table(self, hash_size):
+        rng = random.Random(hash_size)
+        sched = LocalityScheduler(BLOCK, hash_size)
+        for _ in range(300):
+            hints = random_hints(rng, rng.randrange(1, 4))
+            slot = sched.slot_of(sched.block_of(hints))
+            assert all(0 <= coordinate < hash_size for coordinate in slot)
+
+    def test_division_fallback_agrees_with_shift_on_geometry(self):
+        """Power-of-two shift and the general division fallback must put
+        every hint vector in the same block."""
+        rng = random.Random(29)
+        shift_sched = LocalityScheduler(BLOCK, HASH)
+        with pytest.warns(Warning):
+            # 3 * BLOCK is not a power of two -> division fallback.
+            div_sched = LocalityScheduler(3 * BLOCK, HASH)
+        for _ in range(300):
+            hints = random_hints(rng, 2)
+            expected = tuple(h // (3 * BLOCK) for h in hints.as_tuple())
+            assert div_sched.block_of(hints) == expected
+            shifted = tuple(h >> 12 for h in hints.as_tuple())
+            assert shift_sched.block_of(hints) == shifted

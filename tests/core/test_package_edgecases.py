@@ -1,0 +1,77 @@
+"""Thread-package edge cases: empty runs, unhinted bins, too many hints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hints import MAX_HINTS, HintVector
+from repro.core.package import ThreadPackage
+from repro.resilience.errors import HintError, classify_error
+
+L2 = 64 * 1024
+
+
+class TestZeroThreads:
+    def test_th_run_with_nothing_scheduled(self):
+        package = ThreadPackage(l2_size=L2)
+        stats = package.th_run()
+        assert stats.threads == 0
+        assert package.total_dispatches == 0
+
+    def test_empty_run_then_fork_then_run(self):
+        package = ThreadPackage(l2_size=L2)
+        package.th_run()
+        ran = []
+        package.th_fork(lambda a, b: ran.append(a), 1, None, hint1=64)
+        package.th_run()
+        assert ran == [1]
+
+    def test_second_run_after_destructive_run_is_empty(self):
+        package = ThreadPackage(l2_size=L2)
+        package.th_fork(lambda a, b: None, None, None, hint1=64)
+        package.th_run()
+        stats = package.th_run()
+        assert stats.threads == 0
+
+
+class TestUnhintedThreads:
+    def test_zero_hints_share_the_fallback_bin(self):
+        package = ThreadPackage(l2_size=L2)
+        order = []
+        for i in range(10):
+            package.th_fork(lambda a, b: order.append(a), i, None)
+        assert package.bin_count == 1  # all unhinted -> one bin
+        package.th_run()
+        assert order == list(range(10))  # fork order preserved in-bin
+
+    def test_unhinted_and_hinted_bins_coexist(self):
+        package = ThreadPackage(l2_size=L2)
+        ran = []
+        package.th_fork(lambda a, b: ran.append(a), "unhinted", None)
+        package.th_fork(
+            lambda a, b: ran.append(a), "far", None, hint1=10 * L2
+        )
+        assert package.bin_count == 2
+        package.th_run()
+        assert sorted(ran) == ["far", "unhinted"]
+
+
+class TestTooManyHints:
+    def test_from_sequence_rejects_more_than_max(self):
+        with pytest.raises(HintError) as excinfo:
+            HintVector.from_sequence((8, 16, 24, 32))
+        error = excinfo.value
+        assert f"at most {MAX_HINTS}" in str(error)
+        assert error.invariant == "at most MAX_HINTS hints"
+        assert classify_error(error) == "verification"
+
+    def test_from_sequence_zero_fills_shorter(self):
+        assert HintVector.from_sequence((64,)) == HintVector(64, 0, 0)
+        assert HintVector.from_sequence(()) == HintVector(0, 0, 0)
+        assert HintVector.from_sequence((64, 32)).dims == 2
+
+    def test_hint_error_is_a_value_error(self):
+        # HintError subclasses ValueError so pre-existing callers that
+        # catch ValueError on bad hints keep working.
+        with pytest.raises(ValueError):
+            HintVector.from_sequence(range(8, 48, 8))

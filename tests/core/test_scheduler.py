@@ -53,7 +53,8 @@ class TestBlockMapping:
         assert sched.block_of(HintVector(5000, 3000, 1000)) == (4, 2, 0)
 
     def test_non_power_of_two_uses_division(self):
-        sched = LocalityScheduler(block_size=1000)
+        with pytest.warns(Warning, match="not a power of two"):
+            sched = LocalityScheduler(block_size=1000)
         assert sched.block_of(HintVector(5000, 3000, 999)) == (5, 3, 0)
 
     def test_power_and_division_agree(self):
@@ -140,3 +141,34 @@ class TestPaperGeometry:
             assert sched.slot_of(sched.block_of(va)) == sched.slot_of(
                 sched.block_of(vb)
             )
+
+
+class TestBlockSizeValidation:
+    """The docstring promises the paper's shift; other sizes must not
+    be accepted silently (satellite of the verification layer)."""
+
+    def test_non_power_of_two_warns(self):
+        from repro.resilience.errors import ConfigWarning
+
+        with pytest.warns(ConfigWarning, match="not a power of two"):
+            sched = LocalityScheduler(block_size=1000)
+        assert sched._shift is None  # division fallback selected
+
+    def test_power_of_two_does_not_warn(self, recwarn):
+        LocalityScheduler(block_size=1024)
+        assert not [
+            w for w in recwarn if issubclass(w.category, UserWarning)
+        ]
+
+    def test_strict_rejects_non_power_of_two(self):
+        from repro.resilience.errors import ConfigError
+
+        with pytest.raises(ConfigError) as excinfo:
+            LocalityScheduler(block_size=1000, strict=True)
+        assert excinfo.value.field == "block_size"
+        # ConfigError subclasses ValueError, the seed's contract.
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_strict_accepts_power_of_two(self, recwarn):
+        sched = LocalityScheduler(block_size=2048, strict=True)
+        assert sched._shift == 11

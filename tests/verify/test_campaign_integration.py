@@ -1,0 +1,120 @@
+"""Oracle violations and thread faults through the campaign driver.
+
+The acceptance path of the verification layer: an injected fault at
+``verify.oracle`` (or a corrupted cache in a test double) must come out
+the other end of a campaign as a structured ``[verification]`` error in
+the summary table — not a crash, not a silent pass.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.apps.matmul.config import MatmulConfig
+from repro.apps.matmul.programs import threaded as matmul_threaded
+from repro.exp.base import ExperimentResult
+from repro.machine.presets import r8000
+from repro.resilience.campaign import (
+    EXIT_FAILED,
+    EXIT_OK,
+    CampaignConfig,
+    run_campaign,
+)
+from repro.resilience.faults import FAULTS
+from repro.sim.engine import Simulator
+from repro.util.tables import TextTable
+from repro.verify.config import verification_enabled
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
+
+
+def simulating_runner(experiment_id, quick=False):
+    """A miniature experiment that really simulates, with oracles armed."""
+    result = Simulator(r8000(64), verify=True).run(
+        matmul_threaded(MatmulConfig(n=8))
+    )
+    table = TextTable(["metric", "value"], title=f"Table for {experiment_id}")
+    table.add_row(["L2 misses", result.l2_misses])
+    out = ExperimentResult(experiment_id, f"Table for {experiment_id}", table)
+    out.check("simulated", True, "ok")
+    return out
+
+
+def run(config, runner):
+    out, err = io.StringIO(), io.StringIO()
+    code = run_campaign(config, out=out, err=err, runner=runner)
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestOracleFaultSurfacing:
+    def test_injected_oracle_violation_in_summary(self, tmp_path):
+        FAULTS.arm("verify.oracle", mode="fail-hard", times=1)
+        config = CampaignConfig(
+            ids=["exp"], runs_dir=str(tmp_path), run_id="r1"
+        )
+        code, out, err = run(config, simulating_runner)
+        assert code == EXIT_FAILED
+        assert "[verification]" in out  # classified in the summary table
+        assert "injected oracle violation" in out
+        assert "Errors in: exp" in err
+
+    def test_clean_oracle_run_passes(self, tmp_path):
+        config = CampaignConfig(
+            ids=["exp"], runs_dir=str(tmp_path), run_id="r1"
+        )
+        code, out, _ = run(config, simulating_runner)
+        assert code == EXIT_OK
+        assert "All shape checks passed." in out
+
+    def test_transient_oracle_violation_is_not_retried_away(self, tmp_path):
+        # Even in 'fail' (transient) mode the retry re-runs the whole
+        # experiment; with times=2 both attempts hit the oracle, and the
+        # second failure is what the summary reports.
+        FAULTS.arm("verify.oracle", mode="fail", times=2)
+        config = CampaignConfig(
+            ids=["exp"], runs_dir=str(tmp_path), run_id="r1"
+        )
+        code, out, err = run(config, simulating_runner)
+        assert code == EXIT_FAILED
+        assert "[verification]" in out
+
+
+class TestCampaignVerifySwitch:
+    def test_verify_flag_flips_global_switch_during_campaign(self, tmp_path):
+        observed = []
+
+        def observing_runner(experiment_id, quick=False):
+            observed.append(verification_enabled())
+            return simulating_runner(experiment_id, quick)
+
+        config = CampaignConfig(
+            ids=["exp"], runs_dir=str(tmp_path), run_id="r1", verify=False
+        )
+        code, _, _ = run(config, observing_runner)
+        assert code == EXIT_OK
+        assert observed == [False]
+
+        config = CampaignConfig(
+            ids=["exp"], runs_dir=str(tmp_path), run_id="r2", verify=True
+        )
+        code, _, _ = run(config, observing_runner)
+        assert code == EXIT_OK
+        assert observed == [False, True]
+
+    def test_switch_restored_after_campaign(self, tmp_path):
+        before = verification_enabled()
+        config = CampaignConfig(
+            ids=["exp"],
+            runs_dir=str(tmp_path),
+            run_id="r1",
+            verify=not before,
+        )
+        run(config, simulating_runner)
+        assert verification_enabled() == before

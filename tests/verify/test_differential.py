@@ -1,0 +1,75 @@
+"""Differential self-checks and the repro-verify CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.faults import FAULTS
+from repro.verify.cli import main as verify_main
+from repro.verify.differential import (
+    check_assoc_equivalence,
+    check_trace_determinism,
+    check_work_conservation,
+    run_all_checks,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
+
+
+class TestChecks:
+    def test_assoc_equivalence_passes(self):
+        outcome = check_assoc_equivalence(quick=True)
+        assert outcome.passed, outcome.detail
+
+    def test_assoc_equivalence_seed_varies_stream(self):
+        a = check_assoc_equivalence(quick=True, seed=1)
+        b = check_assoc_equivalence(quick=True, seed=2)
+        assert a.passed and b.passed
+
+    def test_work_conservation_passes(self):
+        outcome = check_work_conservation(quick=True)
+        assert outcome.passed, outcome.detail
+
+    def test_trace_determinism_passes(self):
+        outcome = check_trace_determinism(quick=True)
+        assert outcome.passed, outcome.detail
+
+    def test_run_all_checks_is_three_checks(self):
+        outcomes = run_all_checks(quick=True)
+        assert len(outcomes) == 3
+        assert all(outcome.passed for outcome in outcomes)
+
+    def test_outcome_str_shows_verdict(self):
+        outcome = check_assoc_equivalence(quick=True)
+        assert str(outcome).startswith("[PASS]")
+
+
+class TestCli:
+    def test_quick_run_passes(self, capsys):
+        assert verify_main(["--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "All self-checks passed." in out
+        assert out.count("[PASS]") == 4  # three checks + the smoke run
+
+    def test_skip_smoke(self, capsys):
+        assert verify_main(["--quick", "--skip-smoke"]) == 0
+        assert capsys.readouterr().out.count("[PASS]") == 3
+
+    def test_injected_oracle_fault_fails_the_run(self, capsys):
+        code = verify_main(
+            ["--quick", "--inject-fault", "verify.oracle:fail"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "[FAIL]" in out
+        assert "verify.oracle" in out
+
+    def test_unknown_fault_site_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            verify_main(["--inject-fault", "bogus.site:fail"])
+        assert excinfo.value.code == 2
