@@ -1,0 +1,92 @@
+"""The telemetry overhead guard.
+
+The observability layer's contract (DESIGN.md section 9) is quantitative:
+
+* **disabled** (the default), instrumentation may cost < 1% of a
+  mid-size simulation's wall clock — it is one attribute test per site;
+* **enabled**, the spans + metrics + cache sampler together may cost
+  < 15% — cheap enough to leave on for every recorded campaign.
+
+This benchmark measures both ratios on the threaded matmul (the paper's
+flagship kernel: tens of thousands of forks through the bin hash, then
+a full bin sweep) and fails if either budget is exceeded.  Results are
+also written to ``BENCH_obs.json`` at the repo root so the numbers are
+tracked in version control alongside the code that must honor them.
+
+Timing discipline: min-of-N of whole-run wall clock.  The minimum is
+the right statistic for overhead ratios — noise only ever adds time.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.apps.matmul.config import MatmulConfig
+from repro.apps.matmul.programs import threaded
+from repro.machine import r8000
+from repro.obs import Telemetry
+from repro.sim.engine import Simulator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_FILE = REPO_ROOT / "BENCH_obs.json"
+
+#: Budgets, as fractions of the baseline wall clock.
+DISABLED_BUDGET = 0.01
+ENABLED_BUDGET = 0.15
+
+#: n=96 forks 9216 threads — mid-size: big enough that per-fork and
+#: per-batch costs dominate, small enough to repeat several times.
+N = 96
+REPEATS = 5
+
+
+def run_once(telemetry: Telemetry | None) -> float:
+    program = threaded(MatmulConfig(n=N))
+    simulator = Simulator(r8000(), telemetry=telemetry)
+    started = time.perf_counter()
+    simulator.run(program, name="matmul_threaded")
+    return time.perf_counter() - started
+
+
+def test_overhead_budgets():
+    # Interleave the three configurations within each round so slow
+    # drift (thermal, scheduler) hits all of them alike; take min-of-N
+    # per configuration.
+    baseline_times, disabled_times, enabled_times = [], [], []
+    for _ in range(REPEATS):
+        baseline_times.append(run_once(None))  # no handle anywhere
+        disabled_times.append(run_once(None))  # same path: jitter floor
+        enabled_times.append(run_once(Telemetry()))
+    baseline = min(baseline_times)
+    disabled = min(disabled_times)
+    enabled = min(enabled_times)
+
+    disabled_overhead = disabled / baseline - 1.0
+    enabled_overhead = enabled / baseline - 1.0
+
+    payload = {
+        "benchmark": "telemetry overhead, threaded matmul",
+        "n": N,
+        "repeats": REPEATS,
+        "baseline_s": round(baseline, 4),
+        "disabled_s": round(disabled, 4),
+        "enabled_s": round(enabled, 4),
+        "disabled_overhead_pct": round(100 * disabled_overhead, 2),
+        "enabled_overhead_pct": round(100 * enabled_overhead, 2),
+        "budgets": {
+            "disabled_pct": 100 * DISABLED_BUDGET,
+            "enabled_pct": 100 * ENABLED_BUDGET,
+        },
+    }
+    RESULT_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert disabled_overhead < DISABLED_BUDGET, (
+        f"disabled telemetry cost {100 * disabled_overhead:.2f}% "
+        f"(budget {100 * DISABLED_BUDGET:.0f}%)"
+    )
+    assert enabled_overhead < ENABLED_BUDGET, (
+        f"enabled telemetry cost {100 * enabled_overhead:.2f}% "
+        f"(budget {100 * ENABLED_BUDGET:.0f}%)"
+    )

@@ -80,6 +80,11 @@ class CacheHierarchy:
         #: consulted after every access batch.  ``None`` (the default)
         #: keeps the hot path free of verification work.
         self.oracle = None
+        #: Optional telemetry observer (``repro.obs.sampler.CacheSampler``)
+        #: with an ``on_batch(hierarchy)`` method, called after every
+        #: access batch.  Same contract as ``oracle``: ``None`` keeps the
+        #: hot path to one attribute test.
+        self.observer = None
 
     # ------------------------------------------------------------------
     # Reference streams
@@ -126,6 +131,8 @@ class CacheHierarchy:
             self.l2.process(l2_lines)
         if self.oracle is not None:
             self.oracle.after_batch(self)
+        if self.observer is not None:
+            self.observer.on_batch(self)
 
     def fetch_instructions(self, count: int) -> None:
         """Record ``count`` instruction fetches (counted, not simulated)."""

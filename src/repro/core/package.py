@@ -38,6 +38,7 @@ from repro.core.stats import SchedulingStats
 from repro.core.thread import ThreadGroup, ThreadSpec
 from repro.mem.allocator import AddressSpace
 from repro.mem.arrays import RefSegment
+from repro.obs.telemetry import DISABLED, Telemetry
 from repro.trace.costmodel import DEFAULT_THREAD_COSTS, ThreadCostModel
 from repro.trace.recorder import TraceRecorder
 
@@ -62,6 +63,11 @@ class ThreadPackage:
     recorder, address_space, costs:
         When both ``recorder`` and ``address_space`` are given the
         package traces its own instructions and memory references.
+    obs:
+        Observability handle (``repro.obs``); the disabled singleton by
+        default.  When enabled the package emits spans for fork batches
+        and bin sweeps and populates the scheduler metrics (fork and
+        dispatch counters, bin-occupancy histogram).
     """
 
     def __init__(
@@ -74,6 +80,7 @@ class ThreadPackage:
         recorder: TraceRecorder | None = None,
         address_space: AddressSpace | None = None,
         costs: ThreadCostModel = DEFAULT_THREAD_COSTS,
+        obs: Telemetry = DISABLED,
     ) -> None:
         if (recorder is None) != (address_space is None):
             raise ValueError(
@@ -87,6 +94,15 @@ class ThreadPackage:
         self.recorder = recorder
         self.space = address_space
         self.costs = costs
+        self.obs = obs
+        #: Telemetry lane for this package's spans (fork batches of two
+        #: packages may overlap in time; separate lanes keep each lane's
+        #: begin/end events properly nested).
+        self._obs_tid = obs.bus.new_tid() if obs.enabled else 0
+        self._fork_batch_open = False
+        self._run_seq = 0
+        self._forks_reported = 0
+        self._dispatches_reported = 0
         self._running = False
         self._total_forks = 0
         self._total_dispatches = 0
@@ -188,6 +204,12 @@ class ThreadPackage:
         spec = ThreadSpec(func, arg1, arg2)
         index = group.append(spec)
         self._total_forks += 1
+        if self.obs.enabled and not self._fork_batch_open:
+            # One span from the first fork to the next th_run covers the
+            # whole scheduling phase; individual forks are far too hot to
+            # trace one by one.
+            self.obs.bus.begin("sched.fork_batch", tid=self._obs_tid)
+            self._fork_batch_open = True
         if self.oracle is not None:
             self.oracle.on_fork(bin_, group, index, spec)
         if self.recorder is not None:
@@ -205,22 +227,66 @@ class ThreadPackage:
         before the next bin.  Thread specifications are destroyed unless
         ``keep`` is non-zero, allowing re-execution.
         """
-        oracle = self.oracle
-        if oracle is not None:
-            from repro.core.policies import creation_order
-
-            oracle.on_run_start(
-                self.table.all_threads(), ordered=self.policy is creation_order
+        obs = self.obs
+        if obs.enabled:
+            self._close_fork_batch()
+            self._run_seq += 1
+            obs.bus.begin(
+                "sched.run",
+                tid=self._obs_tid,
+                run=self._run_seq,
+                threads=self.pending_threads,
+                keep=keep,
             )
-        bins = self.policy(self.table.ready)
-        counts = self.execute_bins(bins)
-        if oracle is not None:
-            oracle.on_run_end(keep)
+        oracle = self.oracle
+        try:
+            if oracle is not None:
+                from repro.core.policies import creation_order
+
+                oracle.on_run_start(
+                    self.table.all_threads(), ordered=self.policy is creation_order
+                )
+            bins = self.policy(self.table.ready)
+            counts = self.execute_bins(bins)
+            if oracle is not None:
+                oracle.on_run_end(keep)
+        finally:
+            if obs.enabled:
+                obs.bus.end(tid=self._obs_tid)
         if not keep:
             self.table.clear_threads()
         stats = SchedulingStats.from_counts(counts)
         self.run_history.append(stats)
+        if obs.enabled:
+            self._record_run_metrics(stats, counts)
         return stats
+
+    def _close_fork_batch(self) -> None:
+        """Close the open fork-batch span, stamping its fork count."""
+        if self._fork_batch_open:
+            self.obs.bus.end(tid=self._obs_tid, forks=self._total_forks)
+            self._fork_batch_open = False
+
+    def _record_run_metrics(self, stats: SchedulingStats, counts: list[int]) -> None:
+        """Populate the scheduler metrics after one ``th_run``.
+
+        Forks and dispatches are reported as deltas here rather than
+        counted one by one in the (very hot) fork/dispatch paths.
+        """
+        metrics = self.obs.metrics
+        metrics.counter("sched.runs").inc()
+        metrics.counter("sched.forks").inc(self._total_forks - self._forks_reported)
+        self._forks_reported = self._total_forks
+        metrics.counter("sched.dispatches").inc(
+            self._total_dispatches - self._dispatches_reported
+        )
+        self._dispatches_reported = self._total_dispatches
+        occupancy = metrics.histogram("sched.bin_occupancy")
+        for count in counts:
+            occupancy.observe(count)
+        metrics.counter("sched.bins_swept").inc(len(counts))
+        metrics.gauge("sched.bins").set(self.bin_count)
+        metrics.gauge("sched.max_chain_length").set(self.table.max_chain_length)
 
     def execute_bins(self, bins) -> list[int]:
         """Run every thread of ``bins`` in order; return per-bin counts.
@@ -234,6 +300,8 @@ class ThreadPackage:
         costs = self.costs
         counts: list[int] = []
         oracle = self.oracle
+        obs = self.obs
+        bus = obs.bus if obs.enabled else None
         self._running = True
         try:
             for bin_ in bins:
@@ -242,19 +310,33 @@ class ThreadPackage:
                 if bin_.thread_count == 0:
                     continue
                 counts.append(bin_.thread_count)
-                if recorder is not None and bin_.header_address is not None:
-                    recorder.record(
-                        RefSegment(bin_.header_address, 8, 1, 8)
+                if bus is not None:
+                    # One span per dispatched bin: the unit repro-trace's
+                    # "top bins" report ranks.  Per-thread spans would
+                    # dominate the run they are meant to observe.
+                    bus.begin(
+                        "sched.bin",
+                        tid=self._obs_tid,
+                        key=str(bin_.key),
+                        threads=bin_.thread_count,
                     )
-                for group in bin_.groups:
-                    if recorder is not None and group.base_address is not None:
+                try:
+                    if recorder is not None and bin_.header_address is not None:
                         recorder.record(
-                            RefSegment(
-                                group.base_address, 8, max(1, costs.run_extra_refs), 8
-                            )
+                            RefSegment(bin_.header_address, 8, 1, 8)
                         )
-                    for index, spec in enumerate(group):
-                        self._dispatch(group, index, spec)
+                    for group in bin_.groups:
+                        if recorder is not None and group.base_address is not None:
+                            recorder.record(
+                                RefSegment(
+                                    group.base_address, 8, max(1, costs.run_extra_refs), 8
+                                )
+                            )
+                        for index, spec in enumerate(group):
+                            self._dispatch(group, index, spec)
+                finally:
+                    if bus is not None:
+                        bus.end(tid=self._obs_tid)
         finally:
             self._running = False
         return counts

@@ -13,7 +13,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.exp.registry import EXPERIMENTS, describe_experiment
+from repro.exp.registry import (
+    EXPERIMENTS,
+    describe_experiment,
+    resolve_experiment_id,
+)
 from repro.resilience.campaign import CampaignConfig, run_campaign
 from repro.resilience.errors import CheckpointError, ConfigError
 from repro.resilience.faults import FAULTS
@@ -60,6 +64,36 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="verify",
         action="store_false",
         help="force the oracles off, overriding the process default",
+    )
+    loudness = parser.add_mutually_exclusive_group()
+    loudness.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="per-experiment progress detail (timings, checkpoint latency)",
+    )
+    loudness.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="errors and the final summary only",
+    )
+    parser.add_argument(
+        "--telemetry",
+        dest="telemetry",
+        action="store_true",
+        default=None,
+        help=(
+            "record structured telemetry (events.jsonl, metrics.json, "
+            "trace.json) into the run directory; on by default whenever "
+            "run artifacts are saved"
+        ),
+    )
+    parser.add_argument(
+        "--no-telemetry",
+        dest="telemetry",
+        action="store_false",
+        help="force telemetry off even when saving run artifacts",
     )
     durability = parser.add_argument_group("durability")
     durability.add_argument(
@@ -141,8 +175,9 @@ def main(argv: list[str] | None = None) -> int:
         print(_list_experiments())
         return 0
 
-    ids = args.experiments or (list(EXPERIMENTS) if not args.resume else [])
-    unknown = [i for i in ids if i not in EXPERIMENTS]
+    requested = args.experiments or (list(EXPERIMENTS) if not args.resume else [])
+    ids = [resolve_experiment_id(i) for i in requested]
+    unknown = [r for r, i in zip(requested, ids) if i not in EXPERIMENTS]
     if unknown:
         # argparse convention: usage + message on stderr, exit code 2.
         parser.error(
@@ -167,6 +202,8 @@ def main(argv: list[str] | None = None) -> int:
         fail_fast=args.fail_fast,
         save=not args.no_save,
         verify=args.verify,
+        verbosity=1 if args.verbose else (-1 if args.quiet else 0),
+        telemetry=args.telemetry,
     )
     try:
         return run_campaign(config)

@@ -59,9 +59,31 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     **ANALYSIS_EXPERIMENTS,
 }
 
+#: Descriptive aliases (``<id>-<kernel>``) accepted anywhere an
+#: experiment id is: the CLI, :func:`get_experiment`, and campaigns.
+#: Canonical ids are what manifests record, so resume stays stable.
+ALIASES: dict[str, str] = {
+    "table1-overhead": "table1",
+    "table2-matmul": "table2",
+    "table3-matmul": "table3",
+    "table4-pde": "table4",
+    "table5-pde": "table5",
+    "table6-sor": "table6",
+    "table7-sor": "table7",
+    "table8-nbody": "table8",
+    "table9-nbody": "table9",
+    "figure4-blocksize": "figure4",
+}
+
+
+def resolve_experiment_id(experiment_id: str) -> str:
+    """Canonical id for ``experiment_id`` (aliases map through)."""
+    return ALIASES.get(experiment_id, experiment_id)
+
 
 def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
     """The runner for one experiment id (e.g. ``"table3"``)."""
+    experiment_id = resolve_experiment_id(experiment_id)
     try:
         return EXPERIMENTS[experiment_id]
     except KeyError:

@@ -1,0 +1,53 @@
+"""repro.obs — the observability subsystem.
+
+Three pieces, designed to cost nothing when off:
+
+* :mod:`repro.obs.bus` — an event bus emitting structured spans and
+  instants for the simulator's phases (setup, fork batches, bin sweeps,
+  cache sampling intervals, oracle audits);
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, histograms
+  and time series populated by the scheduler, the cache hierarchy, and
+  the resilience layer;
+* :mod:`repro.obs.exporters` — JSONL event logs, ``metrics.json``, and
+  Chrome trace-event ``trace.json`` written into ``runs/<run-id>/``,
+  summarized after the fact by the ``repro-trace`` CLI.
+
+Everything hangs off a :class:`~repro.obs.telemetry.Telemetry` handle
+carried through :class:`~repro.sim.context.SimContext` the same way the
+verification hooks are; the module-level :data:`DISABLED` singleton is
+the default everywhere, and instrumented sites guard their work with a
+single ``if obs.enabled`` test.
+"""
+
+from repro.obs.bus import EventBus, NULL_BUS, NullBus
+from repro.obs.config import (
+    current_telemetry,
+    resolve_telemetry,
+    set_telemetry,
+    telemetry_scope,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+from repro.obs.telemetry import DISABLED, Telemetry
+
+__all__ = [
+    "EventBus",
+    "NullBus",
+    "NULL_BUS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "MetricsRegistry",
+    "Telemetry",
+    "DISABLED",
+    "current_telemetry",
+    "set_telemetry",
+    "telemetry_scope",
+    "resolve_telemetry",
+]

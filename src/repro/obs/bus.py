@@ -1,0 +1,206 @@
+"""The event bus: structured spans, instants, and counter samples.
+
+Events are plain dicts in emission order, timestamped with a monotonic
+nanosecond clock relative to the bus's creation::
+
+    {"ph": "B", "name": "sched.run", "ts": 12345, "tid": 1}
+    {"ph": "E", "name": "sched.run", "ts": 99887, "tid": 1}
+    {"ph": "i", "name": "verify.violation", "ts": ..., "args": {...}}
+    {"ph": "C", "name": "cache.l1.classes", "ts": ..., "args": {...}}
+
+The ``ph`` codes deliberately match the Chrome trace-event format
+(``B``/``E`` duration begin/end, ``i`` instant, ``C`` counter) so the
+export in :mod:`repro.obs.exporters` is a near-identity mapping.
+
+``tid`` separates lanes that may overlap in time — thread packages get
+their own lane via :meth:`EventBus.new_tid` so two packages' fork
+batches never produce improperly nested ``B``/``E`` pairs in one lane;
+everything emitted by the simulator and campaign drivers shares lane 0.
+
+**Disabled fast path.**  Instrumented sites hold a bus reference and
+guard their work with ``bus.enabled`` (or the owning telemetry handle's
+``enabled``); the :data:`NULL_BUS` singleton additionally turns every
+method into a no-op, so un-guarded calls on a disabled bus still cost
+only an attribute lookup and an empty call.  The overhead-guard
+benchmark (``benchmarks/test_obs_overhead.py``) holds this to <1% of a
+mid-size simulation's wall clock.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+
+class EventBus:
+    """Collects structured span/instant/counter events."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        self.events: list[dict[str, Any]] = []
+        self._stacks: dict[int, list[str]] = {}
+        self._tids = 0
+        #: Events handed out by :meth:`drain` so far (for diagnostics).
+        self.drained = 0
+
+    # ------------------------------------------------------------------
+    # Clocks and lanes
+    # ------------------------------------------------------------------
+    def now(self) -> int:
+        """Nanoseconds since the bus was created (monotonic)."""
+        return self._clock() - self._t0
+
+    def new_tid(self) -> int:
+        """A fresh lane id; lane 0 always exists and is the default."""
+        self._tids += 1
+        return self._tids
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def begin(self, name: str, tid: int = 0, **attrs: Any) -> None:
+        """Open a span on lane ``tid``."""
+        event: dict[str, Any] = {"ph": "B", "name": name, "ts": self.now()}
+        if tid:
+            event["tid"] = tid
+        if attrs:
+            event["args"] = attrs
+        self._stacks.setdefault(tid, []).append(name)
+        self.events.append(event)
+
+    def end(self, tid: int = 0, **attrs: Any) -> None:
+        """Close the innermost open span on lane ``tid``.
+
+        Closing with nothing open is tolerated (a no-op): exporters must
+        never crash a run that mis-nested under an exception.
+        """
+        stack = self._stacks.get(tid)
+        if not stack:
+            return
+        name = stack.pop()
+        event: dict[str, Any] = {"ph": "E", "name": name, "ts": self.now()}
+        if tid:
+            event["tid"] = tid
+        if attrs:
+            event["args"] = attrs
+        self.events.append(event)
+
+    @contextmanager
+    def span(self, name: str, tid: int = 0, **attrs: Any) -> Iterator[None]:
+        """Context manager: a span around the ``with`` block."""
+        self.begin(name, tid=tid, **attrs)
+        try:
+            yield
+        finally:
+            self.end(tid=tid)
+
+    def instant(self, name: str, tid: int = 0, **attrs: Any) -> None:
+        """A zero-duration event (oracle violations, allocations, ...)."""
+        event: dict[str, Any] = {"ph": "i", "name": name, "ts": self.now()}
+        if tid:
+            event["tid"] = tid
+        if attrs:
+            event["args"] = attrs
+        self.events.append(event)
+
+    def counter(self, name: str, values: dict[str, Any], tid: int = 0) -> None:
+        """A counter sample (renders as a Perfetto counter track)."""
+        event: dict[str, Any] = {
+            "ph": "C",
+            "name": name,
+            "ts": self.now(),
+            "args": dict(values),
+        }
+        if tid:
+            event["tid"] = tid
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    @property
+    def open_spans(self) -> int:
+        return sum(len(stack) for stack in self._stacks.values())
+
+    def depth(self, tid: int = 0) -> int:
+        """How many spans are open on lane ``tid``."""
+        return len(self._stacks.get(tid, ()))
+
+    def unwind(self, depth: int, tid: int = 0) -> None:
+        """Close spans on lane ``tid`` until only ``depth`` remain.
+
+        Exception hygiene for nested instrumented scopes: a scope records
+        ``depth()`` on entry and unwinds to it on the way out, closing
+        exactly its own spans — never an enclosing scope's.
+        """
+        while self.depth(tid) > depth:
+            self.end(tid=tid)
+
+    def close_all(self) -> None:
+        """Close every still-open span (crash/interrupt hygiene): a
+        drained event log must always pair its ``B``/``E`` events."""
+        for tid, stack in self._stacks.items():
+            while stack:
+                self.end(tid=tid)
+
+    def drain(self) -> list[dict[str, Any]]:
+        """Hand over the buffered events and clear the buffer.
+
+        Open spans stay open (their ``E`` arrives in a later drain), so
+        a campaign can flush incrementally after every experiment.
+        """
+        events, self.events = self.events, []
+        self.drained += len(events)
+        return events
+
+
+class NullBus(EventBus):
+    """A bus whose every method is a no-op; shared via :data:`NULL_BUS`.
+
+    Buffers nothing and allocates nothing per call, so code that fails
+    to guard with ``enabled`` still pays almost nothing.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:  # no clock capture
+        self.events = []
+        self.drained = 0
+        self._stacks = {}
+        self._tids = 0
+
+    def now(self) -> int:
+        return 0
+
+    def new_tid(self) -> int:
+        return 0
+
+    def begin(self, name: str, tid: int = 0, **attrs: Any) -> None:
+        pass
+
+    def end(self, tid: int = 0, **attrs: Any) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, tid: int = 0, **attrs: Any) -> Iterator[None]:
+        yield
+
+    def instant(self, name: str, tid: int = 0, **attrs: Any) -> None:
+        pass
+
+    def counter(self, name: str, values: dict[str, Any], tid: int = 0) -> None:
+        pass
+
+    def close_all(self) -> None:
+        pass
+
+    def drain(self) -> list[dict[str, Any]]:
+        return []
+
+
+#: The process-wide disabled bus every un-instrumented object points at.
+NULL_BUS = NullBus()

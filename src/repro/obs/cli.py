@@ -1,0 +1,116 @@
+"""Command-line entry point: ``repro-trace runs/<run-id> [options]``.
+
+Summarizes a recorded campaign from its artifacts alone — the manifest,
+``events.jsonl``, and ``metrics.json`` written by ``repro-experiments``
+— with no re-simulation: a span summary, the bins that dominated
+dispatch time, the miss-class timeline, and a text flamegraph.  The
+companion ``trace.json`` in the same directory loads directly into
+Perfetto / ``chrome://tracing`` for the visual version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.obs.exporters import EVENTS_FILE, METRICS_FILE, load_run
+from repro.obs.report import (
+    miss_timeline_table,
+    render_flamegraph,
+    run_header,
+    span_summary_table,
+    top_bins_table,
+)
+from repro.resilience.errors import CheckpointError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description=(
+            "Summarize a recorded repro-experiments run from its telemetry "
+            "artifacts (events.jsonl, metrics.json) without re-simulating."
+        ),
+    )
+    parser.add_argument(
+        "run_dir",
+        metavar="RUN_DIR",
+        help="a run directory, e.g. runs/20260806-120000-42",
+    )
+    parser.add_argument(
+        "--bins",
+        type=int,
+        default=10,
+        metavar="N",
+        help="how many top bins to list (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--level",
+        choices=["l1", "l2"],
+        default="l1",
+        help="cache level for the miss-class timeline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--depth",
+        type=int,
+        default=6,
+        metavar="D",
+        help="flamegraph depth limit (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--section",
+        choices=["summary", "bins", "timeline", "flamegraph", "all"],
+        default="all",
+        help="print only one section (default: %(default)s)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    run_dir = Path(args.run_dir)
+    if not run_dir.is_dir():
+        print(f"repro-trace: error: {run_dir} is not a directory", file=sys.stderr)
+        return 2
+    try:
+        manifest, events, metrics = load_run(run_dir)
+    except CheckpointError as exc:
+        print(f"repro-trace: error: {exc}", file=sys.stderr)
+        return 2
+    if not events and metrics is None:
+        print(
+            f"repro-trace: error: no telemetry under {run_dir} "
+            f"(expected {EVENTS_FILE} and/or {METRICS_FILE}; was the run "
+            "recorded with telemetry disabled?)",
+            file=sys.stderr,
+        )
+        return 2
+
+    sections = []
+    if args.section in ("summary", "all"):
+        sections.append(run_header(manifest, events))
+        sections.append(span_summary_table(events).render())
+    if args.section in ("bins", "all"):
+        sections.append(top_bins_table(events, limit=args.bins).render())
+    if args.section in ("timeline", "all"):
+        if metrics is not None:
+            sections.append(
+                miss_timeline_table(metrics, level=args.level).render()
+            )
+        else:
+            sections.append("(no metrics.json; miss-class timeline skipped)")
+    if args.section in ("flamegraph", "all"):
+        sections.append(render_flamegraph(events, max_depth=args.depth))
+
+    print("\n\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)  # e.g. `repro-trace runs/r1 | head`

@@ -1,0 +1,59 @@
+"""The process-wide telemetry handle, mirroring ``repro.verify.config``.
+
+Three layers can supply a :class:`~repro.obs.telemetry.Telemetry`, from
+most to least specific:
+
+1. ``Simulator.run(..., telemetry=...)`` — one run;
+2. ``Simulator(machine, telemetry=...)`` — one simulator;
+3. the process-wide handle here — installed by the campaign driver for
+   a whole ``repro-experiments`` invocation, so experiment modules never
+   thread a telemetry parameter through themselves.
+
+``None`` at any layer defers to the next one down; the global default is
+the shared :data:`~repro.obs.telemetry.DISABLED` singleton, which keeps
+every instrumented site on its no-op fast path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.telemetry import DISABLED, Telemetry
+
+_CURRENT: Telemetry = DISABLED
+
+
+def current_telemetry() -> Telemetry:
+    """The process-wide telemetry handle (``DISABLED`` by default)."""
+    return _CURRENT
+
+
+def set_telemetry(telemetry: Telemetry | None) -> Telemetry:
+    """Install a process-wide handle; returns the previous one.
+
+    ``None`` restores the disabled default.
+    """
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = telemetry if telemetry is not None else DISABLED
+    return previous
+
+
+@contextmanager
+def telemetry_scope(telemetry: Telemetry | None) -> Iterator[Telemetry]:
+    """Install ``telemetry`` for the duration of a block."""
+    previous = set_telemetry(telemetry)
+    try:
+        yield current_telemetry()
+    finally:
+        set_telemetry(previous)
+
+
+def resolve_telemetry(*layers: Telemetry | None) -> Telemetry:
+    """The effective handle: the first non-``None`` layer, else the
+    process-wide one."""
+    for layer in layers:
+        if layer is not None:
+            return layer
+    return _CURRENT

@@ -1,0 +1,283 @@
+"""The metrics registry: counters, gauges, histograms, time series.
+
+Instruments are created lazily and get-or-create by name, so producers
+(scheduler, cache sampler, campaign driver) never coordinate::
+
+    obs.metrics.counter("sched.forks").inc(64000)
+    obs.metrics.histogram("sched.bin_occupancy").observe(1391)
+    obs.metrics.series("cache.l1.classes").append(t_ns, {...})
+
+Invariants the exporter tests pin down:
+
+* a histogram's bucket counts (including the overflow bucket) always
+  sum to its ``count``;
+* ``as_dict()`` → ``from_dict()`` round-trips every instrument exactly
+  (that is what ``metrics.json`` stores).
+
+Like the event bus, a :class:`NullMetrics` registry backs the disabled
+telemetry singleton so unguarded calls are harmless no-ops.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any
+
+#: Default histogram bucket upper bounds: ~logarithmic, covering both
+#: bin-occupancy counts and sub-second latencies expressed in seconds.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.01,
+    0.1,
+    1.0,
+    10.0,
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int | float = 0) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        self.value += amount
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int | float = 0) -> None:
+        self.value = value
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """A fixed-bucket histogram with count/sum/min/max.
+
+    ``bounds`` are inclusive upper edges; one implicit overflow bucket
+    catches everything above the last bound, so bucket counts always sum
+    to ``count``.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted, got {bounds}")
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)  # + overflow
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: int | float) -> None:
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        edges = [*self.bounds, "inf"]
+        return {
+            "buckets": [
+                {"le": edge, "count": count}
+                for edge, count in zip(edges, self.buckets)
+            ],
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class Series:
+    """A time series: (timestamp, values-dict) samples in append order.
+
+    Bounded by adaptive decimation: past ``max_samples`` retained
+    samples, every other one is dropped and the series halves its accept
+    rate, so a campaign of any length holds at most ``max_samples``
+    samples spread evenly over its whole duration (``stride`` records
+    how many offered samples each retained one stands for).
+    """
+
+    __slots__ = ("samples", "max_samples", "stride", "_skipped")
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        self.samples: list[dict[str, Any]] = []
+        self.max_samples = max_samples
+        self.stride = 1
+        self._skipped = 0
+
+    def append(self, t: int, values: dict[str, Any]) -> None:
+        if self.stride > 1:
+            self._skipped += 1
+            if self._skipped < self.stride:
+                return
+            self._skipped = 0
+        self.samples.append({"t": t, **values})
+        if self.max_samples and len(self.samples) > self.max_samples:
+            self.samples = self.samples[::2]
+            self.stride *= 2
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"samples": self.samples, "stride": self.stride}
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.series_: dict[str, Series] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge()
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(bounds)
+        return instrument
+
+    def series(self, name: str) -> Series:
+        instrument = self.series_.get(name)
+        if instrument is None:
+            instrument = self.series_[name] = Series()
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Persistence (the ``metrics.json`` shape)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "counters": {
+                name: c.as_dict() for name, c in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: g.as_dict() for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: h.as_dict()
+                for name, h in sorted(self.histograms.items())
+            },
+            "series": {
+                name: s.as_dict() for name, s in sorted(self.series_.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "MetricsRegistry":
+        registry = cls()
+        for name, entry in payload.get("counters", {}).items():
+            registry.counters[name] = Counter(entry["value"])
+        for name, entry in payload.get("gauges", {}).items():
+            registry.gauges[name] = Gauge(entry["value"])
+        for name, entry in payload.get("histograms", {}).items():
+            edges = [b["le"] for b in entry["buckets"]]
+            histogram = Histogram(tuple(edges[:-1]) or DEFAULT_BUCKETS)
+            histogram.buckets = [b["count"] for b in entry["buckets"]]
+            histogram.count = entry["count"]
+            histogram.total = entry["sum"]
+            histogram.min = entry["min"]
+            histogram.max = entry["max"]
+            registry.histograms[name] = histogram
+        for name, entry in payload.get("series", {}).items():
+            series = Series()
+            series.samples = list(entry["samples"])
+            series.stride = entry.get("stride", 1)
+            registry.series_[name] = series
+        return registry
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: int | float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: int | float) -> None:
+        pass
+
+
+class _NullSeries(Series):
+    __slots__ = ()
+
+    def append(self, t: int, values: dict[str, Any]) -> None:
+        pass
+
+
+class NullMetrics(MetricsRegistry):
+    """A registry that records nothing (the disabled-telemetry default)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = _NullCounter()
+        self._gauge = _NullGauge()
+        self._histogram = _NullHistogram()
+        self._series = _NullSeries()
+
+    def counter(self, name: str) -> Counter:
+        return self._counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauge
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._histogram
+
+    def series(self, name: str) -> Series:
+        return self._series

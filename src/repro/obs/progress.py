@@ -1,0 +1,126 @@
+"""Campaign progress reporting through the ``repro`` logging namespace.
+
+The campaign driver used to narrate with bare ``print()`` — impossible
+to silence, capture, or redirect through standard tooling.  Everything
+now flows through the ``repro.campaign`` logger:
+
+* default verbosity (0) reproduces the previous output byte-for-byte on
+  the campaign's ``out`` stream (tables, retry notes, completion lines);
+* ``--verbose`` (1) additionally emits DEBUG detail — per-experiment
+  telemetry stats, checkpoint latencies;
+* ``--quiet`` (-1) silences the narration entirely; errors still reach
+  the ``err`` stream and the final summary is always printed (it is the
+  campaign's primary artifact, not narration).
+
+The reporter also tracks per-experiment wall clock and reports progress
+with an ETA extrapolated from the mean of completed experiments.
+
+Handlers are attached per campaign and removed on ``close()`` so
+concurrent/consecutive campaigns (the test suite runs dozens) never
+cross streams; the logger itself does not propagate to the root logger,
+but library users who want the records can attach their own handler to
+``logging.getLogger("repro.campaign")`` before running a campaign.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import TextIO
+
+LOGGER_NAME = "repro.campaign"
+
+logger = logging.getLogger(LOGGER_NAME)
+logger.setLevel(logging.DEBUG)
+logger.propagate = False
+
+
+class _BelowWarning(logging.Filter):
+    def filter(self, record: logging.LogRecord) -> bool:
+        return record.levelno < logging.WARNING
+
+
+def _out_level(verbosity: int) -> int:
+    if verbosity < 0:
+        return logging.WARNING  # nothing below WARNING goes to out
+    if verbosity > 0:
+        return logging.DEBUG
+    return logging.INFO
+
+
+class CampaignReporter:
+    """Routes one campaign's narration through ``repro.campaign``.
+
+    ``out`` receives INFO/DEBUG narration (gated by ``verbosity``);
+    ``err`` receives WARNING and above.  ``always()`` bypasses the
+    verbosity gate for the campaign's primary outputs (the summary
+    table, the final verdict).
+    """
+
+    def __init__(self, out: TextIO, err: TextIO, verbosity: int = 0) -> None:
+        self.out = out
+        self.err = err
+        self.verbosity = verbosity
+        self._elapsed: list[float] = []
+        formatter = logging.Formatter("%(message)s")
+        self._out_handler = logging.StreamHandler(out)
+        self._out_handler.setLevel(_out_level(verbosity))
+        self._out_handler.addFilter(_BelowWarning())
+        self._out_handler.setFormatter(formatter)
+        self._err_handler = logging.StreamHandler(err)
+        self._err_handler.setLevel(logging.WARNING)
+        self._err_handler.setFormatter(formatter)
+        logger.addHandler(self._out_handler)
+        logger.addHandler(self._err_handler)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for handler in (self._out_handler, self._err_handler):
+            logger.removeHandler(handler)
+            handler.flush()
+
+    def __enter__(self) -> "CampaignReporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Levels
+    # ------------------------------------------------------------------
+    def info(self, message: str) -> None:
+        """Default narration (silenced by --quiet)."""
+        logger.info(message)
+
+    def detail(self, message: str) -> None:
+        """--verbose-only detail, visually set off from the narration."""
+        logger.debug("· %s", message)
+
+    def error(self, message: str) -> None:
+        """Failure reporting; always reaches the err stream."""
+        logger.error(message)
+
+    def always(self, message: str) -> None:
+        """The campaign's primary output: printed even under --quiet."""
+        print(message, file=self.out)
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    def start_experiment(self, experiment_id: str, index: int, total: int) -> None:
+        self._start_time = time.perf_counter()
+        self.detail(f"[{index}/{total}] {experiment_id} starting")
+
+    def finish_experiment(
+        self, experiment_id: str, status: str, elapsed_s: float, index: int, total: int
+    ) -> None:
+        """Progress line with wall clock and an ETA for the remainder."""
+        self._elapsed.append(elapsed_s)
+        remaining = total - index
+        text = f"[{index}/{total}] {experiment_id} {status} in {elapsed_s:.1f}s"
+        if remaining > 0 and self._elapsed:
+            eta = remaining * (sum(self._elapsed) / len(self._elapsed))
+            text += f" — ETA {eta:.0f}s for {remaining} more"
+        self.info(text)

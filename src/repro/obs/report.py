@@ -1,0 +1,203 @@
+"""Text summaries of a recorded run, rendered from artifacts alone.
+
+Everything here consumes the in-memory forms produced by
+:mod:`repro.obs.exporters` (event dicts, :class:`SpanNode` forests, a
+:class:`~repro.obs.metrics.MetricsRegistry`) — never a live simulator —
+so ``repro-trace`` can explain a run without re-running it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable
+
+from repro.obs.exporters import SpanNode, build_span_tree, iter_spans
+from repro.obs.metrics import MetricsRegistry
+from repro.util.tables import TextTable
+
+BAR_WIDTH = 30
+MISS_CLASSES = ("compulsory", "capacity", "conflict")
+
+
+def _ms(ns: int) -> float:
+    return ns / 1e6
+
+
+def _bar(value: float, peak: float, width: int = BAR_WIDTH) -> str:
+    if peak <= 0:
+        return ""
+    return "#" * max(1 if value > 0 else 0, round(width * value / peak))
+
+
+# ----------------------------------------------------------------------
+# Span summary
+# ----------------------------------------------------------------------
+def span_summary_table(events: Iterable[dict[str, Any]]) -> TextTable:
+    """Aggregate spans by name: count, total/mean/max wall time."""
+    totals: dict[str, list[float]] = defaultdict(list)
+    for span in iter_spans(build_span_tree(events)):
+        totals[span.name].append(span.duration_ns)
+    table = TextTable(
+        ["Span", "Count", "Total(ms)", "Mean(ms)", "Max(ms)"],
+        title="Span summary",
+    )
+    for name, durations in sorted(
+        totals.items(), key=lambda item: -sum(item[1])
+    ):
+        table.add_row(
+            [
+                name,
+                len(durations),
+                f"{_ms(sum(durations)):.2f}",
+                f"{_ms(sum(durations) / len(durations)):.3f}",
+                f"{_ms(max(durations)):.3f}",
+            ]
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Top bins by dispatch time
+# ----------------------------------------------------------------------
+def top_bins_table(
+    events: Iterable[dict[str, Any]], limit: int = 10
+) -> TextTable:
+    """The ``sched.bin`` spans that spent the most dispatch wall time."""
+    bins = [
+        span
+        for span in iter_spans(build_span_tree(events))
+        if span.name == "sched.bin" and span.end is not None
+    ]
+    bins.sort(key=lambda span: -span.duration_ns)
+    table = TextTable(
+        ["Bin", "Threads", "Time(ms)", ""],
+        title=f"Top bins by dispatch time ({len(bins)} swept)",
+    )
+    peak = bins[0].duration_ns if bins else 0
+    for span in bins[:limit]:
+        key = span.attrs.get("key", "?")
+        table.add_row(
+            [
+                str(key),
+                span.attrs.get("threads", "?"),
+                f"{_ms(span.duration_ns):.3f}",
+                _bar(span.duration_ns, peak),
+            ]
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Miss-class timeline
+# ----------------------------------------------------------------------
+def miss_timeline_table(
+    metrics: MetricsRegistry, level: str = "l1", limit: int = 40
+) -> TextTable:
+    """The per-interval miss-class series as a text timeline.
+
+    Each row is one sampling interval: miss deltas by class plus a bar
+    scaled to the busiest interval.  Long campaigns are downsampled to
+    ``limit`` rows by striding, never truncating the tail.
+    """
+    series = metrics.series_.get(f"cache.{level}.classes")
+    samples = series.samples if series is not None else []
+    stride = max(1, -(-len(samples) // limit))
+    rows = samples[::stride]
+    table = TextTable(
+        ["t(ms)", "Program", "Compulsory", "Capacity", "Conflict", ""],
+        title=(
+            f"{level.upper()} miss-class timeline "
+            f"({len(samples)} samples, every {stride})"
+        ),
+    )
+    peak = max(
+        (sum(s.get(c, 0) for c in MISS_CLASSES) for s in samples), default=0
+    )
+    for sample in rows:
+        total = sum(sample.get(c, 0) for c in MISS_CLASSES)
+        table.add_row(
+            [
+                f"{_ms(sample['t']):.1f}",
+                str(sample.get("program", ""))[:24],
+                f"{sample.get('compulsory', 0):,}",
+                f"{sample.get('capacity', 0):,}",
+                f"{sample.get('conflict', 0):,}",
+                _bar(total, peak),
+            ]
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Text flamegraph
+# ----------------------------------------------------------------------
+def _merge_children(nodes: list[SpanNode]):
+    """Group sibling spans by name: (name, total_ns, count, children)."""
+    grouped: dict[str, list[SpanNode]] = defaultdict(list)
+    for node in nodes:
+        grouped[node.name].append(node)
+    merged = []
+    for name, group in grouped.items():
+        total = sum(node.duration_ns for node in group)
+        children = [child for node in group for child in node.children]
+        merged.append((name, total, len(group), children))
+    merged.sort(key=lambda item: -item[1])
+    return merged
+
+
+def render_flamegraph(
+    events: Iterable[dict[str, Any]],
+    max_depth: int = 6,
+    min_pct: float = 0.5,
+) -> str:
+    """An aggregated call-tree ("flamegraph as text") of the span forest.
+
+    Sibling spans with the same name merge; each line shows total wall
+    time, call count, and share of the root.  Branches under ``min_pct``
+    percent of the root are elided to keep the view readable.
+    """
+    roots = build_span_tree(events)
+    if not roots:
+        return "(no spans recorded)"
+    lines: list[str] = ["Span flamegraph (wall time, merged by name):"]
+    root_total = sum(node.duration_ns for node in roots) or 1
+
+    def render(nodes: list[SpanNode], depth: int) -> None:
+        if depth >= max_depth:
+            return
+        for name, total, count, children in _merge_children(nodes):
+            pct = 100.0 * total / root_total
+            if pct < min_pct:
+                continue
+            indent = "  " * depth
+            lines.append(
+                f"{indent}{name:<{max(1, 28 - 2 * depth)}} "
+                f"{_ms(total):>10.2f}ms  x{count:<6} {pct:5.1f}%"
+            )
+            render(children, depth + 1)
+
+    render(roots, 0)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Run header
+# ----------------------------------------------------------------------
+def run_header(manifest: dict[str, Any] | None, events: list) -> str:
+    lines = []
+    if manifest:
+        statuses = defaultdict(int)
+        for record in manifest.get("records", {}).values():
+            statuses[record.get("status", "?")] += 1
+        status_text = (
+            ", ".join(f"{v} {k}" for k, v in sorted(statuses.items()))
+            or "nothing recorded"
+        )
+        lines.append(
+            f"Run {manifest.get('run_id', '?')} "
+            f"(created {manifest.get('created_at', '?')}): "
+            f"{len(manifest.get('ids', []))} experiments planned — "
+            f"{status_text}."
+        )
+    lines.append(f"{len(events)} telemetry events recorded.")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""The telemetry handle: one flag, one bus, one metrics registry.
+
+A :class:`Telemetry` object is what instrumented code carries around
+(``SimContext.obs``, ``ThreadPackage.obs``, the campaign driver).  The
+single ``enabled`` flag guards every instrumentation site, and the
+module-level :data:`DISABLED` singleton — a null bus plus a null metrics
+registry — is the default everywhere, so the un-instrumented hot path
+costs one attribute test.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.bus import EventBus, NULL_BUS
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+
+
+class Telemetry:
+    """Bundle of event bus + metrics registry behind one switch."""
+
+    __slots__ = ("enabled", "bus", "metrics")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        bus: EventBus | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.enabled = enabled
+        if bus is None:
+            bus = EventBus() if enabled else NULL_BUS
+        if metrics is None:
+            metrics = MetricsRegistry() if enabled else NullMetrics()
+        self.bus = bus
+        self.metrics = metrics
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"Telemetry({state}, {len(self.bus.events)} buffered events)"
+
+    # Convenience pass-throughs used by call sites that only need one
+    # emission and no span bracketing.
+    def instant(self, name: str, **attrs: Any) -> None:
+        if self.enabled:
+            self.bus.instant(name, **attrs)
+
+
+#: The shared do-nothing telemetry every component defaults to.
+DISABLED = Telemetry(enabled=False, bus=NULL_BUS, metrics=NullMetrics())

@@ -28,13 +28,17 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator, TextIO
 
 from repro.exp.registry import run_experiment
+from repro.obs.config import telemetry_scope
+from repro.obs.exporters import RunTelemetryWriter
+from repro.obs.progress import CampaignReporter
+from repro.obs.telemetry import DISABLED, Telemetry
 from repro.resilience.checkpoint import ExperimentRecord, RunManifest, RunStore
 from repro.resilience.errors import (
     CheckpointError,
     as_experiment_error,
     classify_error,
 )
-from repro.resilience.faults import fault_point
+from repro.resilience.faults import FAULTS, fault_point
 from repro.resilience.retry import RetryPolicy, call_with_retry, watchdog
 from repro.util.tables import TextTable
 
@@ -62,6 +66,13 @@ class CampaignConfig:
     #: ``True``/``False`` flip the process-wide switch for the campaign's
     #: duration; ``None`` leaves whatever the process already chose.
     verify: bool | None = None
+    #: Narration level: 0 default, 1 ``--verbose`` (adds DEBUG detail),
+    #: -1 ``--quiet`` (errors and the summary only).
+    verbosity: int = 0
+    #: Telemetry (``repro.obs``): ``True``/``False`` force it on or off;
+    #: ``None`` enables it exactly when run artifacts are being saved —
+    #: the exporters need a run directory to write into.
+    telemetry: bool | None = None
 
 
 @contextmanager
@@ -79,7 +90,7 @@ def _sigint_raises() -> Iterator[None]:
 
 
 def _prepare_manifest(
-    config: CampaignConfig, store: RunStore, out: TextIO
+    config: CampaignConfig, store: RunStore, reporter: CampaignReporter
 ) -> RunManifest:
     """Create a fresh manifest, or reload and replay a resumed one."""
     if config.resume:
@@ -99,22 +110,20 @@ def _prepare_manifest(
             )
         manifest.interrupted = False
         done = [i for i in manifest.ids if (r := manifest.records.get(i)) and r.is_final]
-        print(
+        reporter.info(
             f"Resuming run {manifest.run_id}: {len(done)} of "
-            f"{len(manifest.ids)} experiments already recorded.",
-            file=out,
+            f"{len(manifest.ids)} experiments already recorded."
         )
         for experiment_id in done:
             record = manifest.records[experiment_id]
-            print(f"\n{RULE}", file=out)
-            print(record.rendered, file=out)
-            print(f"({experiment_id} replayed from checkpoint)", file=out)
+            reporter.info(f"\n{RULE}")
+            reporter.info(record.rendered)
+            reporter.info(f"({experiment_id} replayed from checkpoint)")
         return manifest
     if config.save:
         manifest = store.new_run(config.ids, config.quick, config.run_id)
-        print(
-            f"Run {manifest.run_id} -> {store.run_dir(manifest.run_id)}",
-            file=out,
+        reporter.info(
+            f"Run {manifest.run_id} -> {store.run_dir(manifest.run_id)}"
         )
         return manifest
     return RunManifest(
@@ -126,7 +135,8 @@ def _run_one(
     config: CampaignConfig,
     experiment_id: str,
     runner: Callable,
-    out: TextIO,
+    reporter: CampaignReporter,
+    obs: Telemetry = DISABLED,
 ) -> ExperimentRecord:
     """One experiment through fault point, watchdog, and retry."""
     started = time.perf_counter()
@@ -135,11 +145,18 @@ def _run_one(
     def _on_retry(attempt: int, exc: BaseException) -> None:
         nonlocal attempts
         attempts = attempt + 1
-        print(
+        reporter.info(
             f"  retrying {experiment_id} (attempt {attempt + 1}) after "
-            f"{classify_error(exc)} error: {exc}",
-            file=out,
+            f"{classify_error(exc)} error: {exc}"
         )
+        if obs.enabled:
+            obs.metrics.counter("campaign.retries").inc()
+            obs.instant(
+                "campaign.retry",
+                experiment=experiment_id,
+                attempt=attempt + 1,
+                error=classify_error(exc),
+            )
 
     def _attempt():
         fault_point("exp.before", experiment_id=experiment_id)
@@ -203,9 +220,26 @@ def run_campaign(
     # redirected stdout) sees the campaign's reporting.
     out = sys.stdout if out is None else out
     err = sys.stderr if err is None else err
+    with CampaignReporter(out, err, config.verbosity) as reporter:
+        return _run_campaign(config, reporter, runner)
+
+
+def _run_campaign(
+    config: CampaignConfig, reporter: CampaignReporter, runner: Callable
+) -> int:
     store = RunStore(config.runs_dir)
-    manifest = _prepare_manifest(config, store, out)
+    manifest = _prepare_manifest(config, store, reporter)
     persist = config.save or config.resume is not None
+
+    obs_on = config.telemetry if config.telemetry is not None else persist
+    obs = Telemetry() if obs_on else DISABLED
+    writer = (
+        RunTelemetryWriter(store.run_dir(manifest.run_id), obs)
+        if obs_on and persist
+        else None
+    )
+    if writer is not None:
+        writer.metadata = {"run_id": manifest.run_id, "quick": config.quick}
 
     if config.verify is None:
         verify_scope = nullcontext()
@@ -214,50 +248,83 @@ def run_campaign(
 
         verify_scope = verification(config.verify)
     interrupted = False
-    with _sigint_raises(), verify_scope:
-        for experiment_id in manifest.remaining():
-            try:
-                record = _run_one(config, experiment_id, runner, out)
-            except KeyboardInterrupt:
-                interrupted = True
-                manifest.interrupted = True
+    total = len(manifest.ids)
+    try:
+        with _sigint_raises(), verify_scope, telemetry_scope(obs):
+            remaining = manifest.remaining()
+            done_before = total - len(remaining)
+            for offset, experiment_id in enumerate(remaining):
+                index = done_before + offset + 1
+                reporter.start_experiment(experiment_id, index, total)
+                if obs.enabled:
+                    obs.bus.begin(f"exp.{experiment_id}", quick=config.quick)
+                try:
+                    record = _run_one(config, experiment_id, runner, reporter, obs)
+                except KeyboardInterrupt:
+                    if obs.enabled:
+                        obs.bus.end(status="interrupted")
+                    interrupted = True
+                    manifest.interrupted = True
+                    if persist:
+                        store.save(manifest)
+                    break
+                if obs.enabled:
+                    obs.bus.end(status=record.status, attempts=record.attempts)
                 if persist:
-                    store.save(manifest)
-                break
-            if persist:
-                store.record(manifest, record)
-            else:
-                manifest.records[experiment_id] = record
-            print(f"\n{RULE}", file=out)
-            if record.status == "error":
-                error = record.error or {}
-                print(
-                    f"{experiment_id} ERROR [{error.get('category')}] "
-                    f"after {record.attempts} attempt(s): "
-                    f"{error.get('message')}",
-                    file=out,
+                    checkpoint_started = time.perf_counter()
+                    store.record(manifest, record)
+                    checkpoint_s = time.perf_counter() - checkpoint_started
+                    if obs.enabled:
+                        obs.metrics.histogram(
+                            "checkpoint.write_seconds"
+                        ).observe(checkpoint_s)
+                    reporter.detail(
+                        f"checkpoint {experiment_id} written in "
+                        f"{checkpoint_s * 1000:.1f}ms"
+                    )
+                else:
+                    manifest.records[experiment_id] = record
+                if writer is not None:
+                    writer.flush()
+                    reporter.detail(
+                        f"telemetry flushed: {obs.bus.drained} events so far"
+                    )
+                reporter.info(f"\n{RULE}")
+                if record.status == "error":
+                    error = record.error or {}
+                    reporter.info(
+                        f"{experiment_id} ERROR [{error.get('category')}] "
+                        f"after {record.attempts} attempt(s): "
+                        f"{error.get('message')}"
+                    )
+                    reporter.info("(continuing with remaining experiments)")
+                else:
+                    reporter.info(record.rendered)
+                    reporter.info(
+                        f"({experiment_id} completed in {record.elapsed_s:.1f}s)"
+                    )
+                reporter.finish_experiment(
+                    experiment_id, record.status, record.elapsed_s, index, total
                 )
-                print("(continuing with remaining experiments)", file=out)
-            else:
-                print(record.rendered, file=out)
-                print(
-                    f"({experiment_id} completed in {record.elapsed_s:.1f}s)",
-                    file=out,
-                )
-            if config.fail_fast and record.status != "passed":
-                break
+                if config.fail_fast and record.status != "passed":
+                    break
+    finally:
+        if writer is not None:
+            obs.metrics.gauge("faults.fired_total").set(FAULTS.fired_total)
+            for status, count in manifest.counts().items():
+                obs.metrics.gauge(f"campaign.{status}").set(count)
+            writer.finalize()
 
-    print(f"\n{RULE}", file=out)
-    print(_summary_table(manifest).render(), file=out)
+    reporter.always(f"\n{RULE}")
+    reporter.always(_summary_table(manifest).render())
     counts = manifest.counts()
     line = ", ".join(f"{v} {k}" for k, v in counts.items() if v)
     if interrupted:
-        print(
+        reporter.error(
             f"\nInterrupted — {line}. Manifest flushed; resume with:\n"
             f"  repro-experiments --runs-dir {config.runs_dir} "
             f"--resume {manifest.run_id}"
-            + (" --quick" if config.quick else ""),
-            file=err,
+            + (" --quick" if config.quick else "")
         )
         return EXIT_INTERRUPTED
     if counts["failed"] or counts["error"] or counts["pending"]:
@@ -270,14 +337,13 @@ def run_campaign(
             for status in ("failed", "error")
         }
         if by_status["failed"]:
-            print(
-                f"\nShape checks FAILED in: {', '.join(by_status['failed'])}",
-                file=err,
+            reporter.error(
+                f"\nShape checks FAILED in: {', '.join(by_status['failed'])}"
             )
         if by_status["error"]:
-            print(f"Errors in: {', '.join(by_status['error'])}", file=err)
+            reporter.error(f"Errors in: {', '.join(by_status['error'])}")
         if counts["pending"]:
-            print(f"Not run: {counts['pending']} experiment(s).", file=err)
+            reporter.error(f"Not run: {counts['pending']} experiment(s).")
         return EXIT_FAILED
-    print("\nAll shape checks passed.", file=out)
+    reporter.always("\nAll shape checks passed.")
     return EXIT_OK

@@ -69,6 +69,9 @@ class FaultInjector:
 
     def __init__(self) -> None:
         self._armed: dict[str, ArmedFault] = {}
+        #: Faults actually fired over the injector's lifetime (survives
+        #: :meth:`reset`); the campaign exports it as a gauge.
+        self.fired_total = 0
 
     def arm(
         self,
@@ -134,6 +137,7 @@ class FaultInjector:
             return
         fault.times -= 1
         fault.triggered += 1
+        self.fired_total += 1
         if fault.times <= 0:
             self._armed.pop(site, None)
         fault.fire(**context)

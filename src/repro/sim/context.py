@@ -11,6 +11,7 @@ from repro.machine.spec import MachineSpec
 from repro.mem.allocator import AddressSpace
 from repro.mem.arrays import ArrayHandle
 from repro.mem.layout import Layout
+from repro.obs.telemetry import DISABLED, Telemetry
 from repro.trace.costmodel import DEFAULT_THREAD_COSTS, ThreadCostModel
 from repro.trace.recorder import TraceRecorder
 
@@ -31,6 +32,11 @@ class SimContext:
     space: AddressSpace
     packages: list[ThreadPackage] = field(default_factory=list)
     verify: bool = False
+    #: Observability handle (``repro.obs``): the event bus and metrics
+    #: registry every package and oracle created through this context
+    #: reports into.  The shared disabled singleton by default, so the
+    #: un-instrumented path costs one attribute test.
+    obs: Telemetry = DISABLED
 
     def allocate_array(
         self,
@@ -44,6 +50,10 @@ class SimContext:
         for dim in shape:
             size *= dim
         region = self.space.allocate(name, size)
+        if self.obs.enabled:
+            self.obs.bus.instant(
+                "mem.alloc", array=name, bytes=size, base=region.base
+            )
         return ArrayHandle(
             name, region.base, shape, element_size=element_size, layout=layout
         )
@@ -123,14 +133,15 @@ class SimContext:
             l2_size=self.machine.l2.size,
             recorder=self.recorder,
             address_space=self.space,
+            obs=self.obs,
             **kwargs,
         )
         if self.verify:
             from repro.verify.scheduler_oracle import SchedulerOracle
 
-            package.attach_oracle(
-                SchedulerOracle(machine=self.machine.name)
-            )
+            oracle = SchedulerOracle(machine=self.machine.name)
+            oracle.obs = self.obs
+            package.attach_oracle(oracle)
         self.packages.append(package)
         return package
 

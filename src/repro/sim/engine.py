@@ -7,6 +7,8 @@ from typing import Any, Callable
 from repro.machine.spec import MachineSpec
 from repro.machine.timing import TimingInputs, TimingModel
 from repro.mem.allocator import AddressSpace
+from repro.obs.config import resolve_telemetry
+from repro.obs.telemetry import Telemetry
 from repro.resilience.errors import ReproError, SimulationError
 from repro.resilience.faults import fault_point
 from repro.sim.context import SimContext
@@ -30,12 +32,25 @@ class Simulator:
     :class:`~repro.verify.scheduler_oracle.SchedulerOracle`.  ``None``
     (the default) defers to the process-wide switch
     (``repro.verify.config``), which is off — benchmarks pay nothing.
+
+    ``telemetry`` attaches an observability handle (see ``repro.obs``):
+    the run emits structured spans for its phases, a cache sampler
+    streams per-interval miss-class series, and the scheduler populates
+    the metrics registry.  ``None`` defers to the process-wide handle
+    (``repro.obs.config``), which is the disabled singleton — the same
+    zero-cost contract as verification.
     """
 
-    def __init__(self, machine: MachineSpec, verify: bool | None = None) -> None:
+    def __init__(
+        self,
+        machine: MachineSpec,
+        verify: bool | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         self.machine = machine
         self.timing = TimingModel(machine)
         self.verify = verify
+        self.telemetry = telemetry
 
     def run(
         self,
@@ -44,6 +59,7 @@ class Simulator:
         code_footprint: int = 4096,
         l2_page_mapper=None,
         verify: bool | None = None,
+        telemetry: Telemetry | None = None,
     ) -> SimResult:
         """Simulate ``program`` and return its result.
 
@@ -54,61 +70,98 @@ class Simulator:
         ``l2_page_mapper`` optionally models a physically-indexed L2
         behind a virtual-to-physical page table (repro.mem.paging).
         ``verify`` overrides the simulator-level and process-wide
-        verification switches for this one run.
+        verification switches for this one run; ``telemetry`` does the
+        same for the observability handle.
         """
         program_name = name or getattr(program, "__name__", "program")
         verify_run = resolve_verify(verify, self.verify)
+        obs = resolve_telemetry(telemetry, self.telemetry)
         fault_point("sim.run", machine=self.machine.name, program=program_name)
-        hierarchy = self.machine.build_hierarchy(l2_page_mapper)
-        recorder = TraceRecorder(hierarchy)
-        # Stagger allocations by a few L2 lines so equal-sized arrays do
-        # not alias the same sets exactly (a scaled-cache artifact; real
-        # allocators and page placement provide the same spreading).
-        space = AddressSpace(stagger=3 * self.machine.l2.line_size)
-        context = SimContext(
-            machine=self.machine,
-            hierarchy=hierarchy,
-            recorder=recorder,
-            space=space,
-            verify=verify_run,
-        )
-        if verify_run:
-            from repro.verify.cache_oracle import CacheOracle
-
-            hierarchy.oracle = CacheOracle(
-                machine=self.machine.name, program=program_name
+        bus = obs.bus
+        base_depth = bus.depth()
+        if obs.enabled:
+            bus.begin(
+                "sim.run", machine=self.machine.name, program=program_name
             )
-        if code_footprint:
-            hierarchy.charge_code_footprint(code_footprint)
+            bus.begin("sim.setup")
         try:
-            payload = program(context)
-        except ReproError:
-            raise  # already structured (e.g. an armed fault at an inner site)
-        except (KeyboardInterrupt, SystemExit):
-            raise
-        except Exception as exc:
-            raise SimulationError(
-                f"{type(exc).__name__}: {exc}",
-                machine=self.machine.name,
-                program=program_name,
-            ) from exc
-        if verify_run and hierarchy.oracle is not None:
-            hierarchy.oracle.final_check(hierarchy)
-        thread_faults: list = []
-        for package in context.packages:
-            report = getattr(package, "fault_report", None)
-            if report is not None:
-                thread_faults.extend(report())
-        stats = hierarchy.snapshot()
-        time = self.timing.estimate(
-            TimingInputs(
-                instructions=recorder.app_instructions,
-                l1_misses=stats.l1.misses,
-                l2_misses=stats.l2.misses,
-                forks=context.total_forks,
-                thread_runs=context.total_dispatches,
+            hierarchy = self.machine.build_hierarchy(l2_page_mapper)
+            recorder = TraceRecorder(hierarchy)
+            # Stagger allocations by a few L2 lines so equal-sized arrays do
+            # not alias the same sets exactly (a scaled-cache artifact; real
+            # allocators and page placement provide the same spreading).
+            space = AddressSpace(stagger=3 * self.machine.l2.line_size)
+            context = SimContext(
+                machine=self.machine,
+                hierarchy=hierarchy,
+                recorder=recorder,
+                space=space,
+                verify=verify_run,
+                obs=obs,
             )
-        )
+            if verify_run:
+                from repro.verify.cache_oracle import CacheOracle
+
+                hierarchy.oracle = CacheOracle(
+                    machine=self.machine.name, program=program_name
+                )
+                hierarchy.oracle.obs = obs
+            sampler = None
+            if obs.enabled:
+                from repro.obs.sampler import CacheSampler
+
+                sampler = CacheSampler(obs, program=program_name)
+                hierarchy.observer = sampler
+            if code_footprint:
+                hierarchy.charge_code_footprint(code_footprint)
+            if obs.enabled:
+                bus.end()  # sim.setup
+                bus.begin("sim.program")
+            try:
+                payload = program(context)
+            except ReproError:
+                raise  # already structured (e.g. an armed fault at an inner site)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                raise SimulationError(
+                    f"{type(exc).__name__}: {exc}",
+                    machine=self.machine.name,
+                    program=program_name,
+                ) from exc
+            finally:
+                if obs.enabled:
+                    bus.end()  # sim.program
+            if verify_run and hierarchy.oracle is not None:
+                with bus.span("verify.final_check"):
+                    hierarchy.oracle.final_check(hierarchy)
+            thread_faults: list = []
+            for package in context.packages:
+                report = getattr(package, "fault_report", None)
+                if report is not None:
+                    thread_faults.extend(report())
+            if sampler is not None:
+                sampler.sample(hierarchy)  # flush the tail interval
+            stats = hierarchy.snapshot()
+            time = self.timing.estimate(
+                TimingInputs(
+                    instructions=recorder.app_instructions,
+                    l1_misses=stats.l1.misses,
+                    l2_misses=stats.l2.misses,
+                    forks=context.total_forks,
+                    thread_runs=context.total_dispatches,
+                )
+            )
+        finally:
+            # Close sim.run (and sim.setup, if the program raised inside
+            # it) without touching any enclosing scope's spans.
+            bus.unwind(base_depth)
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("sim.runs").inc()
+            metrics.counter("sim.forks").inc(context.total_forks)
+            metrics.counter("sim.dispatches").inc(context.total_dispatches)
+            metrics.histogram("sim.modeled_seconds").observe(time.total)
         # The paper quotes per-run distributions ("64000 threads ... in 46
         # bins" for a typical iteration); report the last th_run's stats.
         sched = None

@@ -35,12 +35,17 @@ update surfaces as a structured error instead of a silently wrong table.
 from __future__ import annotations
 
 from repro.cache.classify import ClassifyingCache
+from repro.obs.telemetry import DISABLED
 from repro.resilience.errors import FaultInjected, VerificationError
 from repro.resilience.faults import fault_point
 
 
 class CacheOracle:
     """Re-checks cache-counter invariants after every access batch."""
+
+    #: Observability handle; the simulator overwrites this with the run's
+    #: telemetry so violations land in the event log as well as raising.
+    obs = DISABLED
 
     def __init__(
         self,
@@ -60,6 +65,17 @@ class CacheOracle:
 
     # ------------------------------------------------------------------
     def _fail(self, invariant: str, message: str, level: str) -> None:
+        if self.obs.enabled:
+            # Emit before raising so the violation is in the event log
+            # even if the error aborts the run before any export hook.
+            self.obs.instant(
+                "verify.violation",
+                oracle="cache",
+                invariant=invariant,
+                level=level,
+                message=message,
+            )
+            self.obs.metrics.counter("verify.violations").inc()
         raise VerificationError(
             message,
             machine=self.machine,
@@ -145,6 +161,8 @@ class CacheOracle:
         """Called by the hierarchy after every simulated access batch."""
         self._fault_point()
         self.batches_checked += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("verify.cache_audits").inc()
         self.check_level("L1D", hierarchy.l1d)
         self.check_level("L2", hierarchy.l2)
         if self.structural_every and (

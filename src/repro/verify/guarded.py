@@ -158,6 +158,14 @@ class GuardedThreadPackage(ThreadPackage):
                 raise error
             self.hint_errors.append(error)
             self.quarantined += 1
+            if self.obs.enabled:
+                self.obs.bus.instant(
+                    "sched.hint_quarantine",
+                    tid=self._obs_tid,
+                    thread=error.context().get("thread"),
+                    message=error.message,
+                )
+                self.obs.metrics.counter("sched.hints_quarantined").inc()
             hint1 = hint2 = hint3 = 0
         self._fork_impl(func, arg1, arg2, hint1, hint2, hint3)
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.thread import ThreadSpec
+from repro.obs.telemetry import DISABLED
 from repro.resilience.errors import FaultInjected, VerificationError
 from repro.resilience.faults import fault_point
 
@@ -45,6 +46,10 @@ def _describe(spec: ThreadSpec) -> str:
 
 class SchedulerOracle:
     """Re-derives the scheduler's invariants from observed events."""
+
+    #: Observability handle; the context overwrites this with the run's
+    #: telemetry so violations land in the event log as well as raising.
+    obs = DISABLED
 
     def __init__(
         self,
@@ -75,6 +80,15 @@ class SchedulerOracle:
 
     # ------------------------------------------------------------------
     def _fail(self, invariant: str, message: str, thread: str | None = None) -> None:
+        if self.obs.enabled:
+            self.obs.instant(
+                "verify.violation",
+                oracle="scheduler",
+                invariant=invariant,
+                thread=thread,
+                message=message,
+            )
+            self.obs.metrics.counter("verify.violations").inc()
         raise VerificationError(
             message,
             machine=self.machine,
@@ -229,6 +243,8 @@ class SchedulerOracle:
         self._in_run = False
         self._expected = None
         self.runs_verified += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("verify.sched_runs").inc()
         if not keep:
             # The package destroys the thread records; drop ours too so
             # a long campaign's oracle does not grow without bound.

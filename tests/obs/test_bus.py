@@ -1,0 +1,136 @@
+"""Tests for the event bus: nesting, lanes, unwind, drain, null path."""
+
+import pytest
+
+from repro.obs.bus import NULL_BUS, EventBus, NullBus
+
+
+def make_bus(start=0):
+    """A bus on a deterministic, manually advanced clock."""
+    state = {"t": start}
+
+    def clock():
+        state["t"] += 10
+        return state["t"]
+
+    return EventBus(clock=clock)
+
+
+class TestSpans:
+    def test_begin_end_pair_by_name(self):
+        bus = make_bus()
+        bus.begin("outer")
+        bus.begin("inner")
+        bus.end()
+        bus.end()
+        phs = [(e["ph"], e["name"]) for e in bus.events]
+        assert phs == [
+            ("B", "outer"),
+            ("B", "inner"),
+            ("E", "inner"),
+            ("E", "outer"),
+        ]
+
+    def test_timestamps_are_monotonic(self):
+        bus = make_bus()
+        bus.begin("a")
+        bus.instant("x")
+        bus.end()
+        stamps = [e["ts"] for e in bus.events]
+        assert stamps == sorted(stamps)
+        assert all(t >= 0 for t in stamps)
+
+    def test_end_with_nothing_open_is_tolerated(self):
+        bus = make_bus()
+        bus.end()
+        assert bus.events == []
+
+    def test_span_context_manager_closes_on_exception(self):
+        bus = make_bus()
+        with pytest.raises(RuntimeError):
+            with bus.span("risky"):
+                raise RuntimeError("boom")
+        assert bus.open_spans == 0
+        assert [e["ph"] for e in bus.events] == ["B", "E"]
+
+    def test_attrs_land_in_args(self):
+        bus = make_bus()
+        bus.begin("sched.run", threads=64, keep=0)
+        assert bus.events[0]["args"] == {"threads": 64, "keep": 0}
+
+
+class TestLanes:
+    def test_new_tid_is_fresh_and_nonzero(self):
+        bus = make_bus()
+        assert bus.new_tid() == 1
+        assert bus.new_tid() == 2
+
+    def test_lanes_nest_independently(self):
+        bus = make_bus()
+        lane = bus.new_tid()
+        bus.begin("outer")          # lane 0
+        bus.begin("batch", tid=lane)
+        bus.end()                   # closes lane 0's outer, not batch
+        names = [(e["ph"], e["name"]) for e in bus.events]
+        assert ("E", "outer") in names
+        assert bus.depth(lane) == 1
+        assert bus.depth(0) == 0
+
+    def test_unwind_closes_only_own_spans(self):
+        bus = make_bus()
+        bus.begin("enclosing")
+        base = bus.depth()
+        bus.begin("mine")
+        bus.begin("mine.inner")
+        bus.unwind(base)
+        assert bus.depth() == 1  # enclosing still open
+        assert [e["name"] for e in bus.events if e["ph"] == "E"] == [
+            "mine.inner",
+            "mine",
+        ]
+
+    def test_close_all_pairs_every_lane(self):
+        bus = make_bus()
+        lane = bus.new_tid()
+        bus.begin("a")
+        bus.begin("b", tid=lane)
+        bus.close_all()
+        assert bus.open_spans == 0
+        begins = sum(1 for e in bus.events if e["ph"] == "B")
+        ends = sum(1 for e in bus.events if e["ph"] == "E")
+        assert begins == ends == 2
+
+
+class TestDrain:
+    def test_drain_hands_over_and_clears(self):
+        bus = make_bus()
+        bus.instant("x")
+        first = bus.drain()
+        assert [e["name"] for e in first] == ["x"]
+        assert bus.events == []
+        assert bus.drained == 1
+
+    def test_open_spans_survive_a_drain(self):
+        bus = make_bus()
+        bus.begin("campaign")
+        bus.drain()
+        bus.end()
+        assert [e["ph"] for e in bus.events] == ["E"]
+
+
+class TestNullBus:
+    def test_singleton_is_disabled(self):
+        assert NULL_BUS.enabled is False
+        assert isinstance(NULL_BUS, NullBus)
+
+    def test_everything_is_a_no_op(self):
+        NULL_BUS.begin("a", threads=1)
+        NULL_BUS.instant("b")
+        NULL_BUS.counter("c", {"v": 1})
+        NULL_BUS.end()
+        with NULL_BUS.span("d"):
+            pass
+        assert NULL_BUS.events == []
+        assert NULL_BUS.drain() == []
+        assert NULL_BUS.new_tid() == 0
+        assert NULL_BUS.now() == 0

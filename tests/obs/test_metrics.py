@@ -1,0 +1,108 @@
+"""Tests for the metrics registry: instruments, invariants, round-trip."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    Series,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter().inc(-1)
+
+
+class TestHistogram:
+    def test_bucket_counts_sum_to_count(self):
+        histogram = Histogram()
+        for value in (0.0005, 0.5, 7, 42, 1e6, 1e9):
+            histogram.observe(value)
+        assert sum(histogram.buckets) == histogram.count == 6
+
+    def test_overflow_bucket_catches_everything_above_last_bound(self):
+        histogram = Histogram(bounds=(1.0, 10.0))
+        histogram.observe(100)
+        assert histogram.buckets == [0, 0, 1]
+
+    def test_min_max_mean(self):
+        histogram = Histogram()
+        for value in (2, 4, 6):
+            histogram.observe(value)
+        assert (histogram.min, histogram.max, histogram.mean) == (2, 6, 4)
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram(bounds=(10.0, 1.0))
+
+
+class TestSeries:
+    def test_appends_in_order(self):
+        series = Series()
+        series.append(10, {"misses": 3})
+        series.append(20, {"misses": 5})
+        assert [s["t"] for s in series.samples] == [10, 20]
+        assert len(series) == 2
+
+    def test_decimation_bounds_length(self):
+        series = Series(max_samples=8)
+        for t in range(1000):
+            series.append(t, {"v": t})
+        assert len(series.samples) <= 8
+        assert series.stride > 1
+        # Retained samples still span the whole duration, evenly.
+        ts = [s["t"] for s in series.samples]
+        assert ts == sorted(ts)
+        # Decimation keeps the tail, not just the first few samples.
+        assert ts[-1] > 800
+
+
+class TestRegistry:
+    def test_get_or_create_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.series("s") is registry.series("s")
+
+    def test_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("sched.forks").inc(64000)
+        registry.gauge("sched.bins").set(46)
+        registry.histogram("sched.bin_occupancy").observe(1391)
+        registry.series("cache.l1.classes").append(5, {"compulsory": 7})
+        restored = MetricsRegistry.from_dict(registry.as_dict())
+        assert restored.as_dict() == registry.as_dict()
+        assert restored.counter("sched.forks").value == 64000
+        assert restored.histogram("sched.bin_occupancy").count == 1
+        assert sum(
+            restored.histogram("sched.bin_occupancy").buckets
+        ) == restored.histogram("sched.bin_occupancy").count
+
+    def test_default_buckets_cover_latencies_and_occupancies(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 100_000
+
+
+class TestNullMetrics:
+    def test_records_nothing(self):
+        metrics = NullMetrics()
+        metrics.counter("a").inc(100)
+        metrics.gauge("b").set(5)
+        metrics.histogram("c").observe(1)
+        metrics.series("d").append(0, {"v": 1})
+        payload = metrics.as_dict()
+        assert payload["counters"] == {}
+        assert payload["series"] == {}
+        assert metrics.counter("a").value == 0

@@ -1,0 +1,87 @@
+"""Campaign reporter: verbosity routing, ETA lines, handler hygiene."""
+
+import io
+import logging
+
+from repro.obs.progress import LOGGER_NAME, CampaignReporter, logger
+
+
+def make_reporter(verbosity=0):
+    out, err = io.StringIO(), io.StringIO()
+    return CampaignReporter(out, err, verbosity), out, err
+
+
+class TestRouting:
+    def test_info_reaches_out_at_default(self):
+        reporter, out, err = make_reporter()
+        with reporter:
+            reporter.info("narration")
+        assert "narration" in out.getvalue()
+        assert err.getvalue() == ""
+
+    def test_detail_hidden_at_default_shown_at_verbose(self):
+        reporter, out, _ = make_reporter(verbosity=0)
+        with reporter:
+            reporter.detail("checkpoint in 2ms")
+        assert out.getvalue() == ""
+
+        reporter, out, _ = make_reporter(verbosity=1)
+        with reporter:
+            reporter.detail("checkpoint in 2ms")
+        assert "· checkpoint in 2ms" in out.getvalue()
+
+    def test_quiet_silences_info_but_not_errors_or_always(self):
+        reporter, out, err = make_reporter(verbosity=-1)
+        with reporter:
+            reporter.info("narration")
+            reporter.error("it broke")
+            reporter.always("Campaign summary")
+        assert "narration" not in out.getvalue()
+        assert "it broke" in err.getvalue()
+        assert "Campaign summary" in out.getvalue()
+
+    def test_errors_go_to_err_not_out(self):
+        reporter, out, err = make_reporter()
+        with reporter:
+            reporter.error("Errors in: bad")
+        assert "Errors in: bad" in err.getvalue()
+        assert "Errors in: bad" not in out.getvalue()
+
+
+class TestProgress:
+    def test_finish_line_has_wall_clock_and_eta(self):
+        reporter, out, _ = make_reporter()
+        with reporter:
+            reporter.start_experiment("table2", 1, 3)
+            reporter.finish_experiment("table2", "passed", 2.0, 1, 3)
+        text = out.getvalue()
+        assert "[1/3] table2 passed in 2.0s" in text
+        assert "ETA 4s for 2 more" in text
+
+    def test_last_experiment_has_no_eta(self):
+        reporter, out, _ = make_reporter()
+        with reporter:
+            reporter.finish_experiment("table9", "passed", 1.0, 3, 3)
+        assert "ETA" not in out.getvalue()
+
+
+class TestHandlerHygiene:
+    def test_close_detaches_handlers(self):
+        before = list(logger.handlers)
+        reporter, _, _ = make_reporter()
+        assert len(logger.handlers) == len(before) + 2
+        reporter.close()
+        assert logger.handlers == before
+
+    def test_logger_is_repro_namespaced_and_does_not_propagate(self):
+        assert LOGGER_NAME == "repro.campaign"
+        assert logging.getLogger(LOGGER_NAME).propagate is False
+
+    def test_two_reporters_do_not_cross_streams(self):
+        first, out1, _ = make_reporter()
+        first.close()
+        second, out2, _ = make_reporter()
+        with second:
+            second.info("only second")
+        assert out1.getvalue() == ""
+        assert "only second" in out2.getvalue()

@@ -1,0 +1,39 @@
+"""Repository hygiene: generated artifacts stay out of version control."""
+
+import subprocess
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def tracked_files():
+    out = subprocess.run(
+        ["git", "ls-files"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return out.stdout.splitlines()
+
+
+class TestNoGeneratedArtifactsTracked:
+    def test_no_pycache_tracked(self):
+        offenders = [f for f in tracked_files() if "__pycache__" in f]
+        assert offenders == []
+
+    def test_no_pyc_tracked(self):
+        offenders = [f for f in tracked_files() if f.endswith(".pyc")]
+        assert offenders == []
+
+    def test_gitignore_covers_pycache(self):
+        patterns = (REPO_ROOT / ".gitignore").read_text().splitlines()
+        assert "__pycache__/" in patterns
+
+    def test_no_run_artifacts_tracked(self):
+        offenders = [
+            f
+            for f in tracked_files()
+            if f.startswith("runs/") and f.endswith(".json")
+        ]
+        assert offenders == []
