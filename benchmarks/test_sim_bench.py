@@ -1,0 +1,179 @@
+"""The simulator performance guard: kernel throughput + campaign scaling.
+
+Two measurements, recorded in ``BENCH_sim.json`` at the repo root so the
+perf trajectory lives in version control alongside the code:
+
+**Kernel throughput.**  The table-3 threaded matmul is simulated once
+with the L1D batch stream captured, then that exact trace is replayed
+through the optimized kernel (:meth:`ClassifyingCache.process`: dict
+LRU, hoisted counts, run-length fast path, direct-mapped loop) and
+through the naive per-line list-based reference model
+(:mod:`repro.cache.reference`) that the golden-equivalence suite pins
+it to.  The optimized kernel must be at least ``KERNEL_SPEEDUP_MIN``
+times faster — and must not regress more than 20% against the speedup
+committed in ``BENCH_sim.json``.
+
+**Campaign scaling.**  The same four-experiment quick campaign is run
+serially and with ``--jobs 4``.  On a runner with at least four CPUs
+the parallel campaign must finish at least ``CAMPAIGN_SPEEDUP_MIN``
+times faster; on smaller machines the ratio is recorded but not
+enforced (the workers just time-share).
+
+Timing discipline: min-of-N wall clock (noise only ever adds time).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.apps.matmul.config import MatmulConfig
+from repro.apps.matmul.programs import threaded
+from repro.cache.classify import ClassifyingCache
+from repro.cache.reference import ReferenceClassifyingCache
+from repro.machine import r8000
+from repro.resilience.campaign import EXIT_OK, CampaignConfig, run_campaign
+from repro.sim.engine import Simulator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_FILE = REPO_ROOT / "BENCH_sim.json"
+
+#: Acceptance floors (see ISSUE/DESIGN §10).
+KERNEL_SPEEDUP_MIN = 1.5
+CAMPAIGN_SPEEDUP_MIN = 2.0
+#: A run may not lose more than 20% of the committed kernel speedup.
+REGRESSION_FRACTION = 0.8
+
+KERNEL_REPEATS = 3
+CAMPAIGN_REPEATS = 2
+CAMPAIGN_IDS = ["table4", "table6", "table8", "extension_blocking"]
+CAMPAIGN_JOBS = 4
+
+#: The table-3 configuration: threaded matmul on the R8000 model.
+TRACE_N = 64
+
+
+def capture_l1d_trace() -> list[tuple[list[int], list[int] | None]]:
+    """One table-3 simulation with every L1D ``process`` batch recorded."""
+    batches: list[tuple[list[int], list[int] | None]] = []
+    original = ClassifyingCache.process
+
+    def recording(self, lines, counts=None):
+        if self.config.name == "L1D":
+            batches.append(
+                (list(lines), list(counts) if counts is not None else None)
+            )
+        return original(self, lines, counts)
+
+    ClassifyingCache.process = recording
+    try:
+        Simulator(r8000()).run(
+            threaded(MatmulConfig(n=TRACE_N)), name="bench_capture"
+        )
+    finally:
+        ClassifyingCache.process = original
+    return batches
+
+
+def replay_seconds(factory, batches) -> float:
+    best = float("inf")
+    config = r8000().l1d
+    for _ in range(KERNEL_REPEATS):
+        cache = factory(config)
+        started = time.perf_counter()
+        for lines, counts in batches:
+            cache.process(lines, counts)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def campaign_seconds(jobs: int) -> float:
+    best = float("inf")
+    for _ in range(CAMPAIGN_REPEATS):
+        config = CampaignConfig(
+            ids=list(CAMPAIGN_IDS), quick=True, save=False, jobs=jobs
+        )
+        out, err = io.StringIO(), io.StringIO()
+        started = time.perf_counter()
+        code = run_campaign(config, out=out, err=err)
+        elapsed = time.perf_counter() - started
+        assert code == EXIT_OK, err.getvalue()
+        best = min(best, elapsed)
+    return best
+
+
+def committed_kernel_speedup() -> float | None:
+    if not RESULT_FILE.exists():
+        return None
+    try:
+        return json.loads(RESULT_FILE.read_text())["kernel"]["speedup"]
+    except (json.JSONDecodeError, KeyError):
+        return None
+
+
+def test_kernel_and_campaign_throughput():
+    batches = capture_l1d_trace()
+    total_lines = sum(len(lines) for lines, _ in batches)
+
+    optimized_s = replay_seconds(ClassifyingCache, batches)
+    reference_s = replay_seconds(ReferenceClassifyingCache, batches)
+    kernel_speedup = reference_s / optimized_s
+    baseline_speedup = committed_kernel_speedup()
+
+    serial_s = campaign_seconds(jobs=1)
+    parallel_s = campaign_seconds(jobs=CAMPAIGN_JOBS)
+    campaign_speedup = serial_s / parallel_s
+    cpu_count = os.cpu_count() or 1
+
+    payload = {
+        "benchmark": "simulator kernel throughput + campaign parallelism",
+        "kernel": {
+            "trace": f"table3 threaded matmul (n={TRACE_N}), R8000 L1D stream",
+            "batches": len(batches),
+            "lines": total_lines,
+            "repeats": KERNEL_REPEATS,
+            "optimized_s": round(optimized_s, 4),
+            "reference_s": round(reference_s, 4),
+            "optimized_lines_per_s": round(total_lines / optimized_s),
+            "reference_lines_per_s": round(total_lines / reference_s),
+            "speedup": round(kernel_speedup, 2),
+        },
+        "campaign": {
+            "ids": list(CAMPAIGN_IDS),
+            "quick": True,
+            "jobs": CAMPAIGN_JOBS,
+            "repeats": CAMPAIGN_REPEATS,
+            "cpu_count": cpu_count,
+            "serial_s": round(serial_s, 2),
+            "parallel_s": round(parallel_s, 2),
+            "speedup": round(campaign_speedup, 2),
+        },
+        "floors": {
+            "kernel_speedup_min": KERNEL_SPEEDUP_MIN,
+            "campaign_speedup_min": CAMPAIGN_SPEEDUP_MIN,
+            "campaign_floor_enforced": cpu_count >= CAMPAIGN_JOBS,
+            "regression_fraction": REGRESSION_FRACTION,
+        },
+    }
+    RESULT_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n{json.dumps(payload, indent=2)}")
+
+    assert kernel_speedup >= KERNEL_SPEEDUP_MIN, (
+        f"kernel speedup {kernel_speedup:.2f}x below the "
+        f"{KERNEL_SPEEDUP_MIN}x floor"
+    )
+    if baseline_speedup is not None:
+        floor = REGRESSION_FRACTION * baseline_speedup
+        assert kernel_speedup >= floor, (
+            f"kernel speedup regressed: {kernel_speedup:.2f}x vs committed "
+            f"{baseline_speedup:.2f}x (floor {floor:.2f}x)"
+        )
+    if cpu_count >= CAMPAIGN_JOBS:
+        assert campaign_speedup >= CAMPAIGN_SPEEDUP_MIN, (
+            f"--jobs {CAMPAIGN_JOBS} campaign speedup "
+            f"{campaign_speedup:.2f}x below the {CAMPAIGN_SPEEDUP_MIN}x "
+            f"floor on a {cpu_count}-CPU machine"
+        )

@@ -76,6 +76,7 @@ class CacheHierarchy:
         self._data_reads = 0
         self._data_writes = 0
         self._l1i_compulsory = 0
+        self._l2_code_lines = 0
         #: Optional :class:`repro.verify.cache_oracle.CacheOracle`,
         #: consulted after every access batch.  ``None`` (the default)
         #: keeps the hot path free of verification work.
@@ -146,11 +147,14 @@ class CacheHierarchy:
         if size_bytes < 0:
             raise ValueError(f"size_bytes must be non-negative, got {size_bytes}")
         self._l1i_compulsory += -(-size_bytes // self.l1i_config.line_size)
-        # Code occupies L2 lines too; model the fill as compulsory misses on
-        # a reserved high-address region that no data allocation reaches.
-        code_base_line = (1 << 62) >> self.l2.config.line_bits
-        n_lines = -(-size_bytes // self.l2.config.line_size)
-        self.l2.process(list(range(code_base_line, code_base_line + n_lines)))
+        # Code occupies L2 lines too, but the fill must not pass through the
+        # simulated L2: inserting code lines into the fully-associative
+        # classification shadow (and the first-touch history) would occupy
+        # shadow capacity and skew early *data* misses between capacity and
+        # conflict.  Charge the one-time compulsory misses as a hierarchy-
+        # level count folded into :meth:`snapshot`, leaving the L2's
+        # classification state to data lines only.
+        self._l2_code_lines += -(-size_bytes // self.l2.config.line_size)
 
     # ------------------------------------------------------------------
     # Statistics
@@ -169,6 +173,9 @@ class CacheHierarchy:
         l1.compulsory += self._l1i_compulsory
         l2 = LevelStats()
         l2.merge(self.l2.stats)
+        l2.accesses += self._l2_code_lines
+        l2.misses += self._l2_code_lines
+        l2.compulsory += self._l2_code_lines
         return HierarchyStats(
             inst_fetches=self._inst_fetches,
             data_reads=self._data_reads,
@@ -190,3 +197,4 @@ class CacheHierarchy:
         self._data_reads = 0
         self._data_writes = 0
         self._l1i_compulsory = 0
+        self._l2_code_lines = 0

@@ -2,9 +2,12 @@
 
 Operates on *line numbers* (byte address right-shifted by ``line_bits``);
 callers are expected to do the shift once, in bulk, with numpy.  Each set
-is a small Python list kept in LRU order (least recent first).  With the
-1- to 4-way caches of the paper's machines the per-access list operations
-are O(associativity) with a tiny constant.
+is a small insertion-ordered dict (least recent first), the same O(1)
+LRU trick the fully-associative shadow uses: a hit refreshes recency by
+delete-and-reinsert instead of the old list's O(associativity)
+``remove`` scan, and eviction pops the dict's first key.  The list-based
+original survives as :class:`repro.cache.reference.ReferenceSetAssociativeCache`
+for the golden-equivalence suite.
 """
 
 from __future__ import annotations
@@ -18,7 +21,9 @@ class SetAssociativeCache:
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self._set_mask = config.num_sets - 1
-        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        #: One insertion-ordered dict per set; keys are resident line
+        #: numbers, least recently used first.  Values are unused.
+        self._sets: list[dict[int, None]] = [{} for _ in range(config.num_sets)]
 
     def access(self, line: int) -> bool:
         """Reference ``line``; return ``True`` on hit.
@@ -28,13 +33,13 @@ class SetAssociativeCache:
         """
         cache_set = self._sets[line & self._set_mask]
         if line in cache_set:
-            # Refresh recency: move to the MRU end.
-            cache_set.remove(line)
-            cache_set.append(line)
+            # Refresh recency: move to the MRU end of the dict order.
+            del cache_set[line]
+            cache_set[line] = None
             return True
         if len(cache_set) >= self.config.associativity:
-            del cache_set[0]
-        cache_set.append(line)
+            del cache_set[next(iter(cache_set))]
+        cache_set[line] = None
         return False
 
     def probe(self, line: int) -> bool:
@@ -63,8 +68,9 @@ class SetAssociativeCache:
 
         Used by the verification oracle: every set must hold at most
         ``associativity`` distinct lines, and every line must map to the
-        set it is stored in.  O(cache size) — meant for opt-in checking,
-        not the access path.
+        set it is stored in.  (Duplicate lines, which the list layout
+        could harbor, are impossible in a dict by construction.)
+        O(cache size) — meant for opt-in checking, not the access path.
         """
         violations: list[str] = []
         associativity = self.config.associativity
@@ -74,8 +80,6 @@ class SetAssociativeCache:
                     f"set {index} holds {len(cache_set)} lines "
                     f"(associativity {associativity})"
                 )
-            if len(set(cache_set)) != len(cache_set):
-                violations.append(f"set {index} holds duplicate lines")
             for line in cache_set:
                 if line & self._set_mask != index:
                     violations.append(

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable
 
 from repro.core.package import ThreadPackage
-from repro.core.stats import SchedulingStats
+from repro.core.stats import SchedulingStats, next_run_seq
 from repro.mem.arrays import RefSegment
 
 #: Instruction cost of parking + resuming a blocked thread (saving and
@@ -258,7 +258,9 @@ class BlockingThreadPackage(ThreadPackage):
         self._bin_members.clear()
         self._bin_order.clear()
         self._bin_index_of.clear()
-        stats = SchedulingStats.from_counts([c for c in counts if c])
+        stats = SchedulingStats.from_counts(
+            [c for c in counts if c], seq=next_run_seq()
+        )
         self.run_history.append(stats)
         return stats
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.core.package import ThreadPackage
-from repro.core.stats import SchedulingStats
+from repro.core.stats import SchedulingStats, next_run_seq
 from repro.core.thread import ThreadGroup, ThreadSpec
 from repro.mem.arrays import RefSegment
 
@@ -203,6 +203,8 @@ class DependentThreadPackage(ThreadPackage):
         self._records.clear()
         self._bin_members.clear()
         self._bin_order.clear()
-        stats = SchedulingStats.from_counts([c for c in counts if c])
+        stats = SchedulingStats.from_counts(
+            [c for c in counts if c], seq=next_run_seq()
+        )
         self.run_history.append(stats)
         return stats

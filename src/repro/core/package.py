@@ -34,7 +34,7 @@ from repro.core.scheduler import (
     LocalityScheduler,
     default_block_size,
 )
-from repro.core.stats import SchedulingStats
+from repro.core.stats import SchedulingStats, next_run_seq
 from repro.core.thread import ThreadGroup, ThreadSpec
 from repro.mem.allocator import AddressSpace
 from repro.mem.arrays import RefSegment
@@ -255,7 +255,7 @@ class ThreadPackage:
                 obs.bus.end(tid=self._obs_tid)
         if not keep:
             self.table.clear_threads()
-        stats = SchedulingStats.from_counts(counts)
+        stats = SchedulingStats.from_counts(counts, seq=next_run_seq())
         self.run_history.append(stats)
         if obs.enabled:
             self._record_run_metrics(stats, counts)
@@ -416,7 +416,15 @@ class ThreadPackage:
     # ------------------------------------------------------------------
     def _next_name(self, kind: str) -> str:
         self._alloc_seq += 1
-        return f"th_{kind}_{self._alloc_seq}"
+        name = f"th_{kind}_{self._alloc_seq}"
+        if self.space is not None:
+            # A second package in the same simulated address space skips
+            # over names its sibling already claimed (same discipline as
+            # the hash-table allocation in ``th_init``).
+            while name in self.space:
+                self._alloc_seq += 1
+                name = f"th_{kind}_{self._alloc_seq}"
+        return name
 
     def _bin_header_address(self) -> int:
         region = self.space.allocate(self._next_name("bin"), 64)

@@ -11,8 +11,20 @@ uniformity claim checkable.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
+
+#: Process-wide ``th_run`` sequence: every completed run (any package
+#: flavor — base, blocking, dependent, SMP) draws the next stamp, so
+#: "the last run" is well-defined even when a program interleaves runs
+#: across several packages.
+_RUN_SEQ = itertools.count(1)
+
+
+def next_run_seq() -> int:
+    """The next process-wide ``th_run`` sequence stamp (monotonic)."""
+    return next(_RUN_SEQ)
 
 
 @dataclass(frozen=True)
@@ -22,11 +34,19 @@ class SchedulingStats:
     threads: int
     bins: int
     threads_per_bin: tuple[int, ...] = field(default=())
+    #: Process-wide dispatch sequence number of the ``th_run`` that
+    #: produced these stats (0 for stats built outside a run, e.g.
+    #: :meth:`ThreadPackage.distribution`).  Lets the simulator pick the
+    #: chronologically last run across several packages.
+    seq: int = 0
 
     @classmethod
-    def from_counts(cls, counts: list[int]) -> "SchedulingStats":
+    def from_counts(cls, counts: list[int], seq: int = 0) -> "SchedulingStats":
         return cls(
-            threads=sum(counts), bins=len(counts), threads_per_bin=tuple(counts)
+            threads=sum(counts),
+            bins=len(counts),
+            threads_per_bin=tuple(counts),
+            seq=seq,
         )
 
     @property

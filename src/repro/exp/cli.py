@@ -95,6 +95,18 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="force telemetry off even when saving run artifacts",
     )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run up to N experiments concurrently in worker processes; "
+            "manifests, summaries, and --resume behave exactly as in a "
+            "serial run (default: %(default)s)"
+        ),
+    )
     durability = parser.add_argument_group("durability")
     durability.add_argument(
         "--runs-dir",
@@ -185,6 +197,9 @@ def main(argv: list[str] | None = None) -> int:
             f"(valid ids: {', '.join(EXPERIMENTS)})"
         )
 
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
     try:
         for spec in args.inject_fault:
             FAULTS.arm_from_spec(spec)
@@ -204,6 +219,7 @@ def main(argv: list[str] | None = None) -> int:
         verify=args.verify,
         verbosity=1 if args.verbose else (-1 if args.quiet else 0),
         telemetry=args.telemetry,
+        jobs=args.jobs,
     )
     try:
         return run_campaign(config)

@@ -206,6 +206,43 @@ class MetricsRegistry:
             },
         }
 
+    def merge_payload(self, payload: dict[str, Any]) -> None:
+        """Fold another registry's ``as_dict()`` into this one.
+
+        Used by the parallel campaign executor to combine per-worker
+        registries into the campaign's: counters and histograms
+        accumulate, gauges take the incoming value (last write wins),
+        series extend sample-by-sample through their own decimation.
+        """
+        for name, entry in payload.get("counters", {}).items():
+            self.counter(name).inc(entry["value"])
+        for name, entry in payload.get("gauges", {}).items():
+            self.gauge(name).set(entry["value"])
+        for name, entry in payload.get("histograms", {}).items():
+            edges = tuple(b["le"] for b in entry["buckets"][:-1])
+            histogram = self.histogram(name, edges or DEFAULT_BUCKETS)
+            if len(histogram.buckets) == len(entry["buckets"]):
+                for index, bucket in enumerate(entry["buckets"]):
+                    histogram.buckets[index] += bucket["count"]
+            else:  # incompatible bounds: keep totals right, drop buckets
+                histogram.buckets[-1] += entry["count"]
+            histogram.count += entry["count"]
+            histogram.total += entry["sum"]
+            for bound, pick in (("min", min), ("max", max)):
+                incoming = entry[bound]
+                if incoming is not None:
+                    current = getattr(histogram, bound)
+                    setattr(
+                        histogram,
+                        bound,
+                        incoming if current is None else pick(current, incoming),
+                    )
+        for name, entry in payload.get("series", {}).items():
+            series = self.series(name)
+            for sample in entry["samples"]:
+                values = {k: v for k, v in sample.items() if k != "t"}
+                series.append(sample["t"], values)
+
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "MetricsRegistry":
         registry = cls()

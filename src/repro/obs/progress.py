@@ -15,17 +15,20 @@ now flows through the ``repro.campaign`` logger:
 The reporter also tracks per-experiment wall clock and reports progress
 with an ETA extrapolated from the mean of completed experiments.
 
-Handlers are attached per campaign and removed on ``close()`` so
-concurrent/consecutive campaigns (the test suite runs dozens) never
-cross streams; the logger itself does not propagate to the root logger,
-but library users who want the records can attach their own handler to
-``logging.getLogger("repro.campaign")`` before running a campaign.
+Handlers are attached per campaign and removed on ``close()``, and every
+record a reporter emits is stamped with its reporter's identity so each
+handler only accepts its own campaign's records.  Concurrent *live*
+campaigns (``--jobs`` workers, the test suite's dozens of runs) therefore
+never cross streams or duplicate each other's narration; the logger
+itself does not propagate to the root logger, but library users who want
+the records can attach their own handler to
+``logging.getLogger("repro.campaign")`` before running a campaign —
+unstamped third-party records pass every reporter's filter.
 """
 
 from __future__ import annotations
 
 import logging
-import time
 from typing import TextIO
 
 LOGGER_NAME = "repro.campaign"
@@ -38,6 +41,25 @@ logger.propagate = False
 class _BelowWarning(logging.Filter):
     def filter(self, record: logging.LogRecord) -> bool:
         return record.levelno < logging.WARNING
+
+
+class _OwnedRecords(logging.Filter):
+    """Accept only records stamped by one reporter (or left unstamped).
+
+    The ``repro.campaign`` logger is module-level shared state; two live
+    reporters would otherwise each receive the other's records through
+    their own handlers.  Records carry their emitting reporter's token in
+    ``record.campaign``; unstamped records (library users logging to the
+    namespace directly) reach every live reporter.
+    """
+
+    def __init__(self, token: object) -> None:
+        super().__init__()
+        self._token = token
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        owner = getattr(record, "campaign", None)
+        return owner is None or owner is self._token
 
 
 def _out_level(verbosity: int) -> int:
@@ -62,13 +84,19 @@ class CampaignReporter:
         self.err = err
         self.verbosity = verbosity
         self._elapsed: list[float] = []
+        #: Identity stamped on every record this reporter emits; the
+        #: handlers' ``_OwnedRecords`` filter matches on it.
+        self._token = object()
+        self._extra = {"campaign": self._token}
         formatter = logging.Formatter("%(message)s")
         self._out_handler = logging.StreamHandler(out)
         self._out_handler.setLevel(_out_level(verbosity))
         self._out_handler.addFilter(_BelowWarning())
+        self._out_handler.addFilter(_OwnedRecords(self._token))
         self._out_handler.setFormatter(formatter)
         self._err_handler = logging.StreamHandler(err)
         self._err_handler.setLevel(logging.WARNING)
+        self._err_handler.addFilter(_OwnedRecords(self._token))
         self._err_handler.setFormatter(formatter)
         logger.addHandler(self._out_handler)
         logger.addHandler(self._err_handler)
@@ -92,15 +120,15 @@ class CampaignReporter:
     # ------------------------------------------------------------------
     def info(self, message: str) -> None:
         """Default narration (silenced by --quiet)."""
-        logger.info(message)
+        logger.info(message, extra=self._extra)
 
     def detail(self, message: str) -> None:
         """--verbose-only detail, visually set off from the narration."""
-        logger.debug("· %s", message)
+        logger.debug("· %s", message, extra=self._extra)
 
     def error(self, message: str) -> None:
         """Failure reporting; always reaches the err stream."""
-        logger.error(message)
+        logger.error(message, extra=self._extra)
 
     def always(self, message: str) -> None:
         """The campaign's primary output: printed even under --quiet."""
@@ -110,7 +138,6 @@ class CampaignReporter:
     # Progress
     # ------------------------------------------------------------------
     def start_experiment(self, experiment_id: str, index: int, total: int) -> None:
-        self._start_time = time.perf_counter()
         self.detail(f"[{index}/{total}] {experiment_id} starting")
 
     def finish_experiment(

@@ -15,6 +15,11 @@ around each one:
 ``--resume <run-id>`` replays the stored rendering of every completed
 experiment byte-for-byte (the simulator is deterministic, so stored and
 recomputed tables are identical) and runs only what is missing.
+
+``--jobs N`` shards the remaining experiments across N worker processes
+(see :mod:`repro.resilience.parallel`); results merge back in plan
+order, so manifests, summaries, retries, faults, and resume behave
+exactly as in a serial run.
 """
 
 from __future__ import annotations
@@ -73,6 +78,11 @@ class CampaignConfig:
     #: ``None`` enables it exactly when run artifacts are being saved —
     #: the exporters need a run directory to write into.
     telemetry: bool | None = None
+    #: Worker processes for the campaign (``--jobs``): 1 runs everything
+    #: in-process; N > 1 shards the remaining experiments across N
+    #: workers via :mod:`repro.resilience.parallel`, with results merged
+    #: back in plan order so manifests and summaries match serial runs.
+    jobs: int = 1
 
 
 @contextmanager
@@ -179,6 +189,62 @@ def _run_one(
         )
 
 
+def _emit_record(
+    config: CampaignConfig,
+    store: RunStore,
+    manifest: RunManifest,
+    reporter: CampaignReporter,
+    obs: Telemetry,
+    writer: RunTelemetryWriter | None,
+    persist: bool,
+    record: ExperimentRecord,
+    index: int,
+    total: int,
+) -> None:
+    """Checkpoint and narrate one finished experiment.
+
+    Shared by the serial loop and the parallel executor (which calls it
+    in plan order as worker results merge), so checkpoint timing,
+    narration, and progress lines are identical either way.
+    """
+    if persist:
+        checkpoint_started = time.perf_counter()
+        store.record(manifest, record)
+        checkpoint_s = time.perf_counter() - checkpoint_started
+        if obs.enabled:
+            obs.metrics.histogram("checkpoint.write_seconds").observe(
+                checkpoint_s
+            )
+        reporter.detail(
+            f"checkpoint {record.experiment_id} written in "
+            f"{checkpoint_s * 1000:.1f}ms"
+        )
+    else:
+        manifest.records[record.experiment_id] = record
+    if writer is not None:
+        writer.flush()
+        reporter.detail(
+            f"telemetry flushed: {obs.bus.drained} events so far"
+        )
+    reporter.info(f"\n{RULE}")
+    if record.status == "error":
+        error = record.error or {}
+        reporter.info(
+            f"{record.experiment_id} ERROR [{error.get('category')}] "
+            f"after {record.attempts} attempt(s): "
+            f"{error.get('message')}"
+        )
+        reporter.info("(continuing with remaining experiments)")
+    else:
+        reporter.info(record.rendered)
+        reporter.info(
+            f"({record.experiment_id} completed in {record.elapsed_s:.1f}s)"
+        )
+    reporter.finish_experiment(
+        record.experiment_id, record.status, record.elapsed_s, index, total
+    )
+
+
 def _summary_table(manifest: RunManifest) -> TextTable:
     table = TextTable(
         ["Experiment", "Status", "Checks", "Time(s)", "Attempts", "Error"],
@@ -253,61 +319,53 @@ def _run_campaign(
         with _sigint_raises(), verify_scope, telemetry_scope(obs):
             remaining = manifest.remaining()
             done_before = total - len(remaining)
-            for offset, experiment_id in enumerate(remaining):
-                index = done_before + offset + 1
-                reporter.start_experiment(experiment_id, index, total)
-                if obs.enabled:
-                    obs.bus.begin(f"exp.{experiment_id}", quick=config.quick)
-                try:
-                    record = _run_one(config, experiment_id, runner, reporter, obs)
-                except KeyboardInterrupt:
-                    if obs.enabled:
-                        obs.bus.end(status="interrupted")
-                    interrupted = True
-                    manifest.interrupted = True
-                    if persist:
-                        store.save(manifest)
-                    break
-                if obs.enabled:
-                    obs.bus.end(status=record.status, attempts=record.attempts)
-                if persist:
-                    checkpoint_started = time.perf_counter()
-                    store.record(manifest, record)
-                    checkpoint_s = time.perf_counter() - checkpoint_started
-                    if obs.enabled:
-                        obs.metrics.histogram(
-                            "checkpoint.write_seconds"
-                        ).observe(checkpoint_s)
-                    reporter.detail(
-                        f"checkpoint {experiment_id} written in "
-                        f"{checkpoint_s * 1000:.1f}ms"
-                    )
-                else:
-                    manifest.records[experiment_id] = record
-                if writer is not None:
-                    writer.flush()
-                    reporter.detail(
-                        f"telemetry flushed: {obs.bus.drained} events so far"
-                    )
-                reporter.info(f"\n{RULE}")
-                if record.status == "error":
-                    error = record.error or {}
-                    reporter.info(
-                        f"{experiment_id} ERROR [{error.get('category')}] "
-                        f"after {record.attempts} attempt(s): "
-                        f"{error.get('message')}"
-                    )
-                    reporter.info("(continuing with remaining experiments)")
-                else:
-                    reporter.info(record.rendered)
-                    reporter.info(
-                        f"({experiment_id} completed in {record.elapsed_s:.1f}s)"
-                    )
-                reporter.finish_experiment(
-                    experiment_id, record.status, record.elapsed_s, index, total
+            if config.jobs > 1 and len(remaining) > 1:
+                from repro.resilience.parallel import run_parallel
+
+                interrupted = run_parallel(
+                    config,
+                    manifest,
+                    store,
+                    reporter,
+                    runner,
+                    obs,
+                    writer,
+                    persist,
                 )
-                if config.fail_fast and record.status != "passed":
-                    break
+            else:
+                for offset, experiment_id in enumerate(remaining):
+                    index = done_before + offset + 1
+                    reporter.start_experiment(experiment_id, index, total)
+                    if obs.enabled:
+                        obs.bus.begin(f"exp.{experiment_id}", quick=config.quick)
+                    try:
+                        record = _run_one(
+                            config, experiment_id, runner, reporter, obs
+                        )
+                    except KeyboardInterrupt:
+                        if obs.enabled:
+                            obs.bus.end(status="interrupted")
+                        interrupted = True
+                        manifest.interrupted = True
+                        if persist:
+                            store.save(manifest)
+                        break
+                    if obs.enabled:
+                        obs.bus.end(status=record.status, attempts=record.attempts)
+                    _emit_record(
+                        config,
+                        store,
+                        manifest,
+                        reporter,
+                        obs,
+                        writer,
+                        persist,
+                        record,
+                        index,
+                        total,
+                    )
+                    if config.fail_fast and record.status != "passed":
+                        break
     finally:
         if writer is not None:
             obs.metrics.gauge("faults.fired_total").set(FAULTS.fired_total)

@@ -123,6 +123,25 @@ class FaultInjector:
     def disarm(self, site: str) -> None:
         self._armed.pop(site, None)
 
+    def export(self, exclude: tuple[str, ...] = ()) -> list[dict[str, Any]]:
+        """Picklable specs of the currently armed faults.
+
+        The parallel campaign executor ships these to worker processes
+        (minus ``exclude``, the sites that fire in the parent) so an
+        armed fault behaves identically whether the experiment runs
+        in-process or in a worker.
+        """
+        return [
+            {
+                "site": fault.site,
+                "mode": fault.mode,
+                "times": fault.times,
+                "message": fault.message,
+            }
+            for fault in self._armed.values()
+            if fault.site not in exclude
+        ]
+
     def reset(self) -> None:
         """Disarm everything (tests call this between cases)."""
         self._armed.clear()

@@ -1,0 +1,382 @@
+"""Parallel campaign execution: ``repro-experiments --jobs N``.
+
+Shards the remaining experiments of a campaign across worker processes
+(:class:`concurrent.futures.ProcessPoolExecutor`) while keeping every
+observable output — the run manifest, the per-experiment result files,
+the summary table, the exit code — byte-identical to a serial run
+(timestamps and ``elapsed_s`` aside).  The parent keeps sole ownership
+of everything stateful:
+
+* **Checkpointing** stays in the parent: worker results are merged in
+  *plan order* (a reorder buffer over completion order) and each one
+  goes through the same :func:`~repro.resilience.campaign._emit_record`
+  path the serial loop uses, so ``checkpoint.write`` faults, atomic
+  manifest updates, and ``--resume`` behave exactly as before.
+* **Fault injection** is budget-chained.  Faults armed at worker-side
+  sites (``exp.before``, ``sim.run``, ...) are exported to the workers;
+  while any budget remains, experiments are dispatched one at a time in
+  plan order with the full remaining budget, and each worker reports
+  back how many times each fault actually fired so the parent can
+  decrement.  Only when every budget is exhausted does dispatch fan out
+  to the full ``--jobs`` width.  A serial campaign consumes fault
+  budgets strictly in plan order; this reproduces that exactly.
+* **Verification and telemetry switches** are process-wide in the
+  worker too: each task carries the campaign's ``--verify`` choice and
+  telemetry flag, and the worker wraps the experiment in the same
+  ``verification(...)`` / ``telemetry_scope(...)`` context managers the
+  serial driver uses.
+* **Telemetry** streams back: each worker drains its private event bus
+  and metrics registry into the task result; the parent grafts the
+  events into its own bus under an ``exp.<id>`` span on fresh lanes
+  (worker lane *k* maps to a fresh parent ``tid``) and folds the
+  metrics in via :meth:`MetricsRegistry.merge_payload`, so
+  ``events.jsonl``, ``metrics.json``, and ``trace.json`` cover the whole
+  campaign with true span durations.
+* **Narration** from inside a worker (retry notes) is buffered and
+  replayed through the campaign reporter at merge time, so ``--verbose``
+  output reads in plan order, uninterleaved.
+
+An ``interrupt``-mode fault (or a worker pressing the metaphorical
+Ctrl-C) reports back as ``interrupted``; the parent then flushes the
+manifest and exits 130 exactly like the serial path.  A worker process
+that dies outright (OOM kill, segfault) surfaces as an ``error`` record
+for its experiment — graceful degradation, not a crashed campaign.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.obs.config import telemetry_scope
+from repro.obs.exporters import RunTelemetryWriter
+from repro.obs.progress import CampaignReporter
+from repro.obs.telemetry import DISABLED, Telemetry
+from repro.resilience.checkpoint import ExperimentRecord, RunManifest, RunStore
+from repro.resilience.faults import FAULTS
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
+    from repro.resilience.campaign import CampaignConfig
+
+#: Fault sites that fire in the parent process even under ``--jobs``:
+#: checkpoints are written by the parent, never by workers.
+PARENT_SITES = ("checkpoint.write",)
+
+
+class _BufferReporter:
+    """Captures a worker's narration for plan-order replay in the parent.
+
+    Presents the slice of the :class:`CampaignReporter` interface that
+    :func:`~repro.resilience.campaign._run_one` uses; each call is
+    recorded as ``(method, message)`` and replayed verbatim through the
+    campaign's real reporter when the worker's result merges.
+    """
+
+    def __init__(self) -> None:
+        self.messages: list[tuple[str, str]] = []
+
+    def info(self, message: str) -> None:
+        self.messages.append(("info", message))
+
+    def detail(self, message: str) -> None:
+        self.messages.append(("detail", message))
+
+    def error(self, message: str) -> None:
+        self.messages.append(("error", message))
+
+
+def _execute_experiment(task: dict[str, Any]) -> dict[str, Any]:
+    """Run one experiment inside a worker process.
+
+    Reconstructs the campaign environment the serial driver would give
+    the experiment — armed faults, the verify switch, a private
+    telemetry handle — runs it through the usual fault-point/watchdog/
+    retry stack, and returns a picklable result: the experiment record,
+    buffered narration, drained telemetry, and per-site fault-fire
+    counts (for the parent's budget chaining).
+    """
+    from repro.resilience.campaign import CampaignConfig, _run_one
+
+    # The pool may fork us with the parent's armed faults (or a previous
+    # task's leftovers) in module state; the task's spec is authoritative.
+    FAULTS.reset()
+    armed = {
+        spec["site"]: FAULTS.arm(
+            spec["site"],
+            mode=spec["mode"],
+            times=spec["times"],
+            message=spec["message"],
+        )
+        for spec in task["faults"]
+    }
+
+    config = CampaignConfig(
+        ids=[task["experiment_id"]],
+        quick=task["quick"],
+        timeout_s=task["timeout_s"],
+        retry=task["retry"],
+        save=False,
+    )
+    obs = Telemetry() if task["telemetry"] else DISABLED
+    if task["verify"] is None:
+        verify_scope = nullcontext()
+    else:
+        from repro.verify.config import verification
+
+        verify_scope = verification(task["verify"])
+
+    reporter = _BufferReporter()
+    record: ExperimentRecord | None = None
+    interrupted = False
+    try:
+        with verify_scope, telemetry_scope(obs):
+            record = _run_one(
+                config, task["experiment_id"], task["runner"], reporter, obs
+            )
+    except KeyboardInterrupt:
+        interrupted = True
+
+    events: list[dict[str, Any]] = []
+    metrics: dict[str, Any] = {}
+    if obs.enabled:
+        obs.bus.close_all()
+        events = obs.bus.drain()
+        metrics = obs.metrics.as_dict()
+    fired = {
+        site: fault.triggered for site, fault in armed.items() if fault.triggered
+    }
+    FAULTS.reset()
+    return {
+        "experiment_id": task["experiment_id"],
+        "record": record.to_dict() if record is not None else None,
+        "messages": reporter.messages,
+        "events": events,
+        "metrics": metrics,
+        "fired": fired,
+        "interrupted": interrupted,
+    }
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork``: workers inherit loaded modules, so any runner the
+    parent can call is callable in the worker too."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _graft_events(
+    obs: Telemetry,
+    experiment_id: str,
+    quick: bool,
+    record: ExperimentRecord | None,
+    events: list[dict[str, Any]],
+) -> None:
+    """Splice one worker's drained events into the parent bus.
+
+    The worker's clock starts at its own bus creation, so its timestamps
+    are rebased onto the parent clock at merge time; every worker lane
+    (including lane 0) maps to a fresh parent lane, and the whole batch
+    is wrapped in the same ``exp.<id>`` span the serial driver emits.
+    Events are appended raw — the worker closed its spans before
+    draining, so each lane arrives balanced and the parent bus's own
+    span stacks stay untouched.
+    """
+    if not obs.enabled:
+        return
+    bus = obs.bus
+    base = bus.now()
+    lanes: dict[int, int] = {}
+
+    def lane(worker_tid: int) -> int:
+        if worker_tid not in lanes:
+            lanes[worker_tid] = bus.new_tid()
+        return lanes[worker_tid]
+
+    exp_lane = lane(0)
+    bus.events.append(
+        {
+            "ph": "B",
+            "name": f"exp.{experiment_id}",
+            "ts": base,
+            "tid": exp_lane,
+            "args": {"quick": quick, "worker": True},
+        }
+    )
+    last = base
+    for event in events:
+        grafted = dict(event)
+        grafted["ts"] = base + 1 + event.get("ts", 0)
+        grafted["tid"] = lane(event.get("tid", 0))
+        last = max(last, grafted["ts"])
+        bus.events.append(grafted)
+    end: dict[str, Any] = {
+        "ph": "E",
+        "name": f"exp.{experiment_id}",
+        "ts": last + 1,
+        "tid": exp_lane,
+    }
+    if record is not None:
+        end["args"] = {"status": record.status, "attempts": record.attempts}
+    else:
+        end["args"] = {"status": "interrupted"}
+    bus.events.append(end)
+
+
+def run_parallel(
+    config: "CampaignConfig",
+    manifest: RunManifest,
+    store: RunStore,
+    reporter: CampaignReporter,
+    runner: Callable,
+    obs: Telemetry,
+    writer: RunTelemetryWriter | None,
+    persist: bool,
+) -> bool:
+    """Execute the campaign's remaining experiments across workers.
+
+    Returns ``True`` if the campaign was interrupted (worker-side
+    ``interrupt`` fault or parent SIGINT); the caller turns that into
+    the usual flush-and-exit-130 path.  Everything else — checkpoints,
+    narration, fail-fast — happens here through the same helpers the
+    serial loop uses, in plan order.
+    """
+    from repro.resilience.campaign import _emit_record
+
+    remaining = manifest.remaining()
+    total = len(manifest.ids)
+    done_before = total - len(remaining)
+
+    # Budget-chained fault handoff: parent-side sites stay armed here;
+    # everything else ships to workers, one solo dispatch at a time
+    # while any budget remains (see the module docstring).
+    specs = FAULTS.export(exclude=PARENT_SITES)
+    budgets = {spec["site"]: spec["times"] for spec in specs}
+    for spec in specs:
+        FAULTS.disarm(spec["site"])
+
+    def live_specs() -> list[dict[str, Any]]:
+        return [
+            {**spec, "times": budgets[spec["site"]]}
+            for spec in specs
+            if budgets[spec["site"]] > 0
+        ]
+
+    def make_task(experiment_id: str, faults: list[dict[str, Any]]) -> dict[str, Any]:
+        return {
+            "experiment_id": experiment_id,
+            "quick": config.quick,
+            "timeout_s": config.timeout_s,
+            "retry": config.retry,
+            "verify": config.verify,
+            "telemetry": obs.enabled,
+            "faults": faults,
+            "runner": runner,
+        }
+
+    interrupted = False
+    stop = False
+
+    def merge(result: dict[str, Any] | None, index: int) -> None:
+        """Fold one worker result into the campaign, serial-style."""
+        nonlocal interrupted, stop
+        experiment_id = remaining[index - done_before - 1]
+        reporter.start_experiment(experiment_id, index, total)
+        if result is None:  # worker process died (not a task exception)
+            record = ExperimentRecord.from_error(
+                experiment_id,
+                RuntimeError("worker process died before returning a result"),
+                0.0,
+            )
+            _emit_record(
+                config, store, manifest, reporter, obs, writer, persist,
+                record, index, total,
+            )
+            if config.fail_fast:
+                stop = True
+            return
+        for site, count in result["fired"].items():
+            if site in budgets:
+                budgets[site] = max(0, budgets[site] - count)
+            # Mirror the serial invariant: fired_total counts every
+            # injected fire in the campaign, wherever it ran.
+            FAULTS.fired_total += count
+        for method, message in result["messages"]:
+            getattr(reporter, method)(message)
+        if result["interrupted"]:
+            _graft_events(obs, experiment_id, config.quick, None, result["events"])
+            if result["metrics"]:
+                obs.metrics.merge_payload(result["metrics"])
+            interrupted = True
+            manifest.interrupted = True
+            if persist:
+                store.save(manifest)
+            return
+        record = ExperimentRecord.from_dict(result["record"])
+        _graft_events(obs, experiment_id, config.quick, record, result["events"])
+        if result["metrics"]:
+            obs.metrics.merge_payload(result["metrics"])
+        _emit_record(
+            config, store, manifest, reporter, obs, writer, persist,
+            record, index, total,
+        )
+        if config.fail_fast and record.status != "passed":
+            stop = True
+
+    position = 0  # next entry of ``remaining`` to dispatch
+    pool = ProcessPoolExecutor(max_workers=config.jobs, mp_context=_pool_context())
+    try:
+        # Phase 1 — solo dispatch while worker-side fault budget
+        # remains, so budgets drain in plan order exactly as serial.
+        while (
+            position < len(remaining)
+            and any(budgets.values())
+            and not (interrupted or stop)
+        ):
+            experiment_id = remaining[position]
+            future = pool.submit(
+                _execute_experiment, make_task(experiment_id, live_specs())
+            )
+            position += 1
+            try:
+                result = future.result()
+            except Exception:
+                result = None
+            merge(result, done_before + position)
+
+        # Phase 2 — full fan-out for everything left.  Completion order
+        # is arbitrary; a reorder buffer merges strictly in plan order.
+        futures: dict[Future, int] = {}
+        if not (interrupted or stop):
+            for offset in range(position, len(remaining)):
+                future = pool.submit(
+                    _execute_experiment, make_task(remaining[offset], [])
+                )
+                futures[future] = done_before + offset + 1
+        results: dict[int, dict[str, Any] | None] = {}
+        next_index = min(futures.values()) if futures else 0
+        pending = set(futures)
+        while pending and not (interrupted or stop):
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                try:
+                    results[futures[future]] = future.result()
+                except Exception:
+                    results[futures[future]] = None
+            while next_index in results and not (interrupted or stop):
+                merge(results.pop(next_index), next_index)
+                next_index += 1
+        if stop:
+            for future in pending:
+                future.cancel()
+    except KeyboardInterrupt:
+        interrupted = True
+        manifest.interrupted = True
+        if persist:
+            store.save(manifest)
+        pool.shutdown(wait=False, cancel_futures=True)
+        return interrupted
+    pool.shutdown(wait=True, cancel_futures=True)
+    return interrupted

@@ -163,11 +163,15 @@ class Simulator:
             metrics.counter("sim.dispatches").inc(context.total_dispatches)
             metrics.histogram("sim.modeled_seconds").observe(time.total)
         # The paper quotes per-run distributions ("64000 threads ... in 46
-        # bins" for a typical iteration); report the last th_run's stats.
-        sched = None
-        for package in context.packages:
-            if package.run_history:
-                sched = package.run_history[-1]
+        # bins" for a typical iteration); report the chronologically last
+        # th_run's stats.  Runs are stamped with a process-wide dispatch
+        # sequence, so a program that creates package B but runs package A
+        # last reports A's distribution, not B's.
+        sched = max(
+            (stats for package in context.packages for stats in package.run_history),
+            key=lambda stats: stats.seq,
+            default=None,
+        )
         return SimResult(
             program=program_name,
             machine=self.machine.name,

@@ -226,10 +226,11 @@ class SmpSimulator:
                 )
             )
         forks = context.total_forks
-        sched = None
-        for package in context.packages:
-            if package.run_history:
-                sched = package.run_history[-1]
+        sched = max(
+            (s for package in context.packages for s in package.run_history),
+            key=lambda s: s.seq,
+            default=None,
+        )
         assignment_name = assignment if isinstance(assignment, str) else getattr(
             assignment, "__name__", "custom"
         )

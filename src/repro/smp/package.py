@@ -14,7 +14,7 @@ which the engine reconstructs as a makespan.
 from __future__ import annotations
 
 from repro.core.package import ThreadPackage
-from repro.core.stats import SchedulingStats
+from repro.core.stats import SchedulingStats, next_run_seq
 from repro.smp.assign import AssignmentPolicy, resolve_assignment
 from repro.smp.recorder import SwitchableRecorder
 
@@ -57,6 +57,6 @@ class SmpThreadPackage(ThreadPackage):
         self.smp_recorder.switch_to(0)
         if not keep:
             self.table.clear_threads()
-        stats = SchedulingStats.from_counts(counts)
+        stats = SchedulingStats.from_counts(counts, seq=next_run_seq())
         self.run_history.append(stats)
         return stats

@@ -78,15 +78,55 @@ class TestInstructionSide:
         h = make_hierarchy()
         h.charge_code_footprint(256)
         assert h.l1i_compulsory == 256 // 16
-        assert h.l2.stats.compulsory == 256 // 64
         stats = h.snapshot()
         assert stats.l1.compulsory == 256 // 16
+        assert stats.l2.compulsory == 256 // 64
+        assert stats.l2.misses == 256 // 64
+        assert stats.l2.accesses == 256 // 64
 
     def test_code_footprint_does_not_touch_data_region(self):
         h = make_hierarchy()
         h.charge_code_footprint(256)
         h.access_data([0])
         assert h.l1d.stats.misses == 1  # data line 0 still cold
+
+    def test_code_footprint_leaves_l2_classification_state_alone(self):
+        # Regression: the code fill used to run through ``l2.process``,
+        # occupying the fully-associative shadow and the first-touch
+        # history, which skewed early data misses between capacity and
+        # conflict.  The fill is now charged straight into the snapshot.
+        h = make_hierarchy()
+        h.charge_code_footprint(4096)
+        assert h.l2.stats.accesses == 0
+        assert h.l2.lines_ever_touched == 0
+        assert len(h.l2.shadow) == 0
+
+    def test_data_classification_identical_with_and_without_code(self):
+        # A data trace long enough to generate capacity and conflict
+        # misses must classify identically whether or not a code
+        # footprint was charged first.
+        import random
+
+        rng = random.Random(20260806)
+        trace = [rng.randrange(0, 4096) for _ in range(20_000)]
+
+        plain = make_hierarchy()
+        plain.access_data(trace)
+        with_code = make_hierarchy()
+        with_code.charge_code_footprint(8192)
+        with_code.access_data(trace)
+
+        assert with_code.l1d.stats.as_dict() == plain.l1d.stats.as_dict()
+        assert with_code.l2.stats.as_dict() == plain.l2.stats.as_dict()
+        # The snapshots differ only by the code charge itself.
+        code_lines = -(-8192 // with_code.l2.config.line_size)
+        plain_l2 = plain.snapshot().l2
+        coded_l2 = with_code.snapshot().l2
+        assert coded_l2.accesses == plain_l2.accesses + code_lines
+        assert coded_l2.misses == plain_l2.misses + code_lines
+        assert coded_l2.compulsory == plain_l2.compulsory + code_lines
+        assert coded_l2.capacity == plain_l2.capacity
+        assert coded_l2.conflict == plain_l2.conflict
 
 
 class TestRates:

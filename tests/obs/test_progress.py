@@ -85,3 +85,35 @@ class TestHandlerHygiene:
             second.info("only second")
         assert out1.getvalue() == ""
         assert "only second" in out2.getvalue()
+
+    def test_two_live_reporters_do_not_cross_streams(self):
+        # Regression: both reporters' handlers hang off the shared
+        # module-level logger, so two *concurrent* campaigns (--jobs,
+        # parallel test runs) used to receive each other's records and
+        # emit their own twice.
+        first, out1, err1 = make_reporter()
+        second, out2, err2 = make_reporter()
+        with first, second:
+            first.info("from first")
+            second.info("from second")
+            first.error("first broke")
+        assert out1.getvalue() == "from first\n"
+        assert out2.getvalue() == "from second\n"
+        assert err1.getvalue() == "first broke\n"
+        assert err2.getvalue() == ""
+
+    def test_unstamped_records_reach_every_live_reporter(self):
+        # Library users logging to the namespace directly still reach
+        # all attached campaign handlers.
+        first, out1, _ = make_reporter()
+        second, out2, _ = make_reporter()
+        with first, second:
+            logger.info("third party")
+        assert "third party" in out1.getvalue()
+        assert "third party" in out2.getvalue()
+
+    def test_start_experiment_keeps_no_dead_state(self):
+        reporter, _, _ = make_reporter()
+        with reporter:
+            reporter.start_experiment("table2", 1, 3)
+        assert not hasattr(reporter, "_start_time")

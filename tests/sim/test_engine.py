@@ -80,6 +80,38 @@ class TestEngine:
         bare = sim.run(program, code_footprint=0)
         assert bare.stats.l2.compulsory == 0
 
+    def test_sched_is_chronologically_last_run(self, sim):
+        # Regression: ``sched`` used to report the last *package* with
+        # run history, not the last ``th_run``.  Create A then B, but run
+        # B first and A last: the result must carry A's distribution.
+        def program(ctx):
+            a = ctx.make_thread_package()
+            b = ctx.make_thread_package()
+            for i in range(7):
+                b.th_fork(lambda x, y: None, hint1=1 + i)
+            b.th_run(0)
+            for i in range(3):
+                a.th_fork(lambda x, y: None, hint1=1 + i)
+            a.th_run(0)
+            return None
+
+        result = sim.run(program)
+        assert result.sched is not None
+        assert result.sched.threads == 3
+
+    def test_sched_still_reports_single_package_last_run(self, sim):
+        def program(ctx):
+            package = ctx.make_thread_package()
+            for i in range(4):
+                package.th_fork(lambda x, y: None, hint1=1 + i)
+            package.th_run(keep=1)
+            package.th_run(0)
+            return None
+
+        result = sim.run(program)
+        assert result.sched.threads == 4
+        assert result.sched.seq > 0
+
     def test_forks_and_dispatches_flow_to_timing(self, sim):
         def program(ctx):
             package = ctx.make_thread_package()

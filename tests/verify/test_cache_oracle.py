@@ -54,7 +54,7 @@ class TestCorruption:
         # the kind of damage a buggy eviction path would cause.  Lines
         # that are multiples of num_sets map to set 0.
         for extra in (25, 26, 27):
-            cache.real._sets[0].append(extra * tiny_cache.num_sets)
+            cache.real._sets[0][extra * tiny_cache.num_sets] = None
         oracle = CacheOracle()
         with pytest.raises(VerificationError) as excinfo:
             oracle.check_structure("L1D", cache)
@@ -65,8 +65,8 @@ class TestCorruption:
         cache = ClassifyingCache(tiny_cache)
         cache.access(0)
         # Move the resident line into a set it does not map to.
-        cache.real._sets[0].remove(0)
-        cache.real._sets[1].append(0)
+        del cache.real._sets[0][0]
+        cache.real._sets[1][0] = None
         with pytest.raises(VerificationError) as excinfo:
             CacheOracle().check_structure("L1D", cache)
         assert "maps to set" in str(excinfo.value)
