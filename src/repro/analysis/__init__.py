@@ -1,0 +1,68 @@
+"""Static analysis for thread programs (``repro-lint``).
+
+The subsystem statically analyses ``build_package()``-style programs —
+hint quality against the real scheduler geometry, dependence races from
+'after' edges and captured footprints, and thread-proc hygiene — and
+emits structured diagnostics with stable codes (see
+:mod:`repro.analysis.diagnostics` and DESIGN.md §11).
+
+Public surface::
+
+    from repro.analysis import lint_program, run_lint, resolve_targets
+
+    diagnostics = lint_program(program, machine, name="my_program")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.analysis.capture import CaptureResult, run_capture
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    has_errors,
+    make_diagnostic,
+)
+from repro.analysis.engine import LintReport, lint_target, run_lint
+from repro.analysis.targets import (
+    LintTarget,
+    all_experiment_targets,
+    app_targets,
+    experiment_targets,
+    file_targets,
+    resolve_targets,
+)
+from repro.machine.spec import MachineSpec
+
+__all__ = [
+    "CODES",
+    "CaptureResult",
+    "Diagnostic",
+    "LintReport",
+    "LintTarget",
+    "Severity",
+    "all_experiment_targets",
+    "app_targets",
+    "experiment_targets",
+    "file_targets",
+    "has_errors",
+    "lint_program",
+    "lint_target",
+    "make_diagnostic",
+    "resolve_targets",
+    "run_capture",
+    "run_lint",
+]
+
+
+def lint_program(
+    program: Callable[[Any], Any],
+    machine: MachineSpec,
+    name: str = "program",
+) -> list[Diagnostic]:
+    """Lint one ``program(ctx)`` callable against ``machine``."""
+    return lint_target(
+        LintTarget(name=name, kind="program", program=program, machine=machine)
+    )

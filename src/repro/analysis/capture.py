@@ -1,0 +1,592 @@
+"""Capture execution: run a program's scheduling, skip the cache sim.
+
+``run_capture`` executes a ``program(ctx)`` callable against the *real*
+scheduler geometry (:class:`~repro.core.scheduler.LocalityScheduler`,
+:class:`~repro.core.bins.BinTable`, the real address-space allocator)
+but with the cache hierarchy replaced by a footprint recorder: every
+``th_fork`` is logged with its hints, bin, and call site, and every
+memory reference a thread proc records is attributed to that thread as a
+strided segment.  The analyzers in :mod:`repro.analysis.locality` and
+:mod:`repro.analysis.races` then reason about the captured structure
+without a single simulated cache access.
+
+Thread procs run in fork order — the program's own sequential order,
+which is a legal schedule for both independent packages (any order is)
+and dependent packages ('after' edges only point backwards).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.package import ThreadPackage
+from repro.core.policies import TraversalPolicy
+from repro.core.stats import SchedulingStats, next_run_seq
+from repro.machine.spec import MachineSpec
+from repro.mem.allocator import AddressSpace
+from repro.mem.arrays import ArrayHandle, RefSegment
+from repro.mem.layout import Layout
+from repro.obs.telemetry import DISABLED, Telemetry
+from repro.trace.costmodel import DEFAULT_THREAD_COSTS, ThreadCostModel
+
+_ANALYSIS_DIR = os.path.dirname(os.path.abspath(__file__))
+_CORE_DIR = os.path.join(
+    os.path.dirname(_ANALYSIS_DIR), "core"
+)
+
+
+def _call_site() -> tuple[str | None, int | None]:
+    """File and line of the nearest frame outside the capture machinery."""
+    frame = sys._getframe(2)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not (
+            filename.startswith(_ANALYSIS_DIR)
+            or filename.startswith(_CORE_DIR)
+        ):
+            return filename, frame.f_lineno
+        frame = frame.f_back
+    return None, None
+
+
+@dataclass(frozen=True)
+class FootSeg:
+    """One recorded reference segment, tagged read or write.
+
+    Line-granular records (``record_lines``) are normalised to segments
+    with ``stride == 0`` and ``element_size`` equal to the line size, so
+    every analyzer sees one shape.
+    """
+
+    base: int
+    stride: int
+    count: int
+    element_size: int
+    written: bool
+
+    @property
+    def lo(self) -> int:
+        """Lowest byte address touched."""
+        if self.stride >= 0:
+            return self.base
+        return self.base + self.stride * (self.count - 1)
+
+    @property
+    def hi(self) -> int:
+        """One past the highest byte address touched."""
+        if self.stride >= 0:
+            return self.base + self.stride * (self.count - 1) + self.element_size
+        return self.base + self.element_size
+
+    def lines(self, line_bits: int) -> range | set[int]:
+        """The cache lines this segment touches.
+
+        Exact for dense walks (``|stride|`` at most one line) and for
+        single elements; enumerated for sparse strides.
+        """
+        line_size = 1 << line_bits
+        if self.stride == 0 or self.count == 1:
+            return range(self.lo >> line_bits, ((self.hi - 1) >> line_bits) + 1)
+        if abs(self.stride) <= line_size:
+            # Dense: every line in the span contains touched bytes.
+            return range(self.lo >> line_bits, ((self.hi - 1) >> line_bits) + 1)
+        touched: set[int] = set()
+        address = self.base
+        for _ in range(self.count):
+            touched.add(address >> line_bits)
+            touched.add((address + self.element_size - 1) >> line_bits)
+            address += self.stride
+        return touched
+
+
+@dataclass(frozen=True)
+class CaptureProblem:
+    """A structured problem observed while replaying forks (bad hint
+    vectors, bad 'after' edges) — converted to a diagnostic later."""
+
+    code: str
+    message: str
+    file: str | None
+    line: int | None
+
+
+@dataclass
+class ForkRecord:
+    """Everything captured about one ``th_fork``."""
+
+    ordinal: int
+    func: Callable
+    hints: tuple[int, int, int]
+    bin_key: Any
+    bin_ref: int
+    file: str | None
+    line: int | None
+    arg1: Any = None
+    arg2: Any = None
+    after: tuple[int, ...] = ()
+    footprint: list[FootSeg] = field(default_factory=list)
+
+    @property
+    def dims(self) -> int:
+        if self.hints[2]:
+            return 3
+        if self.hints[1]:
+            return 2
+        if self.hints[0]:
+            return 1
+        return 0
+
+
+@dataclass
+class CapturedRun:
+    """One ``th_run``'s worth of captured threads."""
+
+    index: int
+    records: list[ForkRecord]
+    bin_counts: list[int]
+    max_chain: int
+
+
+@dataclass
+class PackageCapture:
+    """Everything captured from one thread package's lifetime."""
+
+    kind: str  # "independent" | "dependent" | "guarded"
+    block_size: int
+    hash_size: int
+    fold_symmetric: bool
+    runs: list[CapturedRun] = field(default_factory=list)
+    problems: list[CaptureProblem] = field(default_factory=list)
+
+    @property
+    def all_records(self) -> list[ForkRecord]:
+        return [record for run in self.runs for record in run.records]
+
+
+@dataclass
+class CaptureResult:
+    """What :func:`run_capture` hands to the analyzers."""
+
+    machine: MachineSpec
+    space: AddressSpace
+    packages: list[PackageCapture]
+    payload: Any
+    line_bits: int
+
+
+class FootprintRecorder:
+    """Duck-types :class:`~repro.trace.recorder.TraceRecorder`, keeping
+    footprints instead of simulating them.
+
+    Write attribution follows the conventions of the traced programs in
+    ``repro.apps``: ``record`` marks the whole segment written when
+    ``writes`` is non-zero; ``record_interleaved`` marks the trailing
+    ``ceil(writes / count)`` segments (the store operands come last in a
+    load/load/store loop body); ``record_lines`` marks the trailing
+    entries whose accumulated counts cover ``writes``.
+    """
+
+    def __init__(self, line_bits: int) -> None:
+        self._line_bits = line_bits
+        self._app_instructions = 0
+        self._thread_instructions = 0
+        #: Segments recorded outside any captured thread (serial phases).
+        self.program_segments: list[FootSeg] = []
+        self._sink: list[FootSeg] = self.program_segments
+
+    # -- attribution ----------------------------------------------------
+    def attribute_to(self, sink: list[FootSeg]) -> list[FootSeg]:
+        """Redirect recording into ``sink``; returns the previous sink."""
+        previous = self._sink
+        self._sink = sink
+        return previous
+
+    # -- TraceRecorder surface ------------------------------------------
+    def record(self, segment: RefSegment, writes: int = 0) -> None:
+        self._sink.append(
+            FootSeg(
+                segment.base,
+                segment.stride,
+                segment.count,
+                segment.element_size,
+                written=writes > 0,
+            )
+        )
+
+    def record_interleaved(
+        self, segments: list[RefSegment], writes: int = 0
+    ) -> None:
+        if not segments:
+            return
+        count = max(segment.count for segment in segments)
+        stores = 0
+        if writes > 0:
+            stores = min(len(segments), -(-writes // count))
+        first_store = len(segments) - stores
+        for position, segment in enumerate(segments):
+            self._sink.append(
+                FootSeg(
+                    segment.base,
+                    segment.stride,
+                    segment.count,
+                    segment.element_size,
+                    written=position >= first_store,
+                )
+            )
+
+    def record_lines(
+        self, lines: list[int], counts: list[int] | None = None, writes: int = 0
+    ) -> None:
+        if counts is None:
+            counts = [1] * len(lines)
+        line_size = 1 << self._line_bits
+        # Trailing entries whose accumulated reference counts cover the
+        # writes are the store operands.
+        written_from = len(lines)
+        remaining = writes
+        while remaining > 0 and written_from > 0:
+            written_from -= 1
+            remaining -= counts[written_from]
+        for position, line in enumerate(lines):
+            self._sink.append(
+                FootSeg(
+                    line << self._line_bits,
+                    0,
+                    counts[position],
+                    line_size,
+                    written=position >= written_from,
+                )
+            )
+
+    def line_of(self, address: int) -> int:
+        return address >> self._line_bits
+
+    def count_instructions(self, count: int) -> None:
+        self._app_instructions += count
+
+    def count_thread_instructions(self, count: int) -> None:
+        self._thread_instructions += count
+
+    @property
+    def app_instructions(self) -> int:
+        return self._app_instructions
+
+    @property
+    def thread_instructions(self) -> int:
+        return self._thread_instructions
+
+    @property
+    def total_instructions(self) -> int:
+        return self._app_instructions + self._thread_instructions
+
+
+class CaptureThreadPackage(ThreadPackage):
+    """An untraced :class:`ThreadPackage` that logs forks and attributes
+    proc footprints instead of dispatching bin by bin.
+
+    ``th_run`` executes pending threads in *fork order* — the program's
+    own sequential order, always a legal schedule — so numerics behave
+    exactly as the serial program while the captured structure records
+    what the locality scheduler *would* have done with them.
+    """
+
+    capture_kind = "independent"
+
+    def __init__(
+        self, *args: Any, capture_recorder: FootprintRecorder, **kwargs: Any
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self._capture_recorder = capture_recorder
+        self._pending_records: list[ForkRecord] = []
+        #: Mirrors DependentThreadPackage's counters so programs that
+        #: report them keep working under capture; fork order needs one
+        #: activation per bin (the time-skewed-tiling ideal), which is
+        #: what the counter *means*, not what a real dispatch measured.
+        self.last_activations = 0
+        self.last_sweeps = 0
+        self.capture = PackageCapture(
+            kind=self.capture_kind,
+            block_size=self.scheduler.block_size,
+            hash_size=self.scheduler.hash_size,
+            fold_symmetric=self.fold_symmetric,
+        )
+
+    # -- forking --------------------------------------------------------
+    def th_fork(
+        self,
+        func: Callable[[Any, Any], Any],
+        arg1: Any = None,
+        arg2: Any = None,
+        hint1: int = 0,
+        hint2: int = 0,
+        hint3: int = 0,
+    ) -> None:
+        self._capture_fork(func, arg1, arg2, hint1, hint2, hint3)
+
+    def _capture_fork(
+        self,
+        func: Callable[[Any, Any], Any],
+        arg1: Any,
+        arg2: Any,
+        hint1: int,
+        hint2: int,
+        hint3: int,
+        after: tuple[int, ...] = (),
+    ) -> int:
+        file, line = _call_site()
+        hints = (hint1, hint2, hint3)
+        try:
+            bin_, _group, _index = self._fork_impl(
+                func, arg1, arg2, hint1, hint2, hint3
+            )
+        except ValueError as exc:
+            # Invalid hint vector (negative, or a gap): RL006.  Re-fork
+            # unhinted so capture can continue past the first defect.
+            self.capture.problems.append(
+                CaptureProblem("RL006", str(exc), file, line)
+            )
+            hints = (0, 0, 0)
+            bin_, _group, _index = self._fork_impl(func, arg1, arg2, 0, 0, 0)
+        record = ForkRecord(
+            ordinal=len(self._pending_records),
+            func=func,
+            hints=hints,
+            bin_key=bin_.key,
+            bin_ref=id(bin_),
+            file=file,
+            line=line,
+            arg1=arg1,
+            arg2=arg2,
+            after=after,
+        )
+        self._pending_records.append(record)
+        return record.ordinal
+
+    # -- running --------------------------------------------------------
+    def th_run(self, keep: int = 0) -> SchedulingStats:
+        records = self._pending_records
+        counts = [b.thread_count for b in self.table.ready if b.thread_count]
+        run = CapturedRun(
+            index=len(self.capture.runs),
+            records=list(records),
+            bin_counts=counts,
+            max_chain=self.table.max_chain_length,
+        )
+        self.capture.runs.append(run)
+        recorder = self._capture_recorder
+        self._running = True
+        try:
+            for record in records:
+                previous = recorder.attribute_to(record.footprint)
+                try:
+                    record.func(record.arg1, record.arg2)
+                finally:
+                    recorder.attribute_to(previous)
+                self._total_dispatches += 1
+        finally:
+            self._running = False
+        if not keep:
+            self.table.clear_threads()
+            self._pending_records = []
+        self.last_activations = len(counts)
+        self.last_sweeps = len(counts)
+        stats = SchedulingStats.from_counts(counts, seq=next_run_seq())
+        self.run_history.append(stats)
+        return stats
+
+
+class DependentCaptureThreadPackage(CaptureThreadPackage):
+    """Capture variant of :class:`~repro.core.deps.DependentThreadPackage`.
+
+    Invalid ``after`` references become RC002 problems (with the edge
+    dropped) instead of raising, so one defect does not hide the rest of
+    the program's structure.  Fork order remains a legal schedule: valid
+    edges only ever point backwards.
+    """
+
+    capture_kind = "dependent"
+
+    def th_fork(  # type: ignore[override]
+        self,
+        func: Callable[[Any, Any], Any],
+        arg1: Any = None,
+        arg2: Any = None,
+        hint1: int = 0,
+        hint2: int = 0,
+        hint3: int = 0,
+        after: tuple[int, ...] | list[int] = (),
+    ) -> int:
+        thread_id = len(self._pending_records)
+        valid: list[int] = []
+        for predecessor in after:
+            problem = self._check_edge(thread_id, predecessor)
+            if problem is None:
+                valid.append(predecessor)
+            else:
+                file, line = _call_site()
+                self.capture.problems.append(
+                    CaptureProblem("RC002", problem, file, line)
+                )
+        return self._capture_fork(
+            func, arg1, arg2, hint1, hint2, hint3, after=tuple(valid)
+        )
+
+    @staticmethod
+    def _check_edge(thread_id: int, predecessor: Any) -> str | None:
+        if not isinstance(predecessor, int) or isinstance(predecessor, bool):
+            return (
+                f"thread {thread_id} cannot depend on {predecessor!r}: "
+                f"'after' takes thread ids"
+            )
+        if predecessor == thread_id:
+            return f"thread {thread_id} cannot depend on itself"
+        if not 0 <= predecessor < thread_id:
+            return (
+                f"thread {thread_id} cannot depend on {predecessor}: unknown "
+                f"thread id (ids 0..{thread_id - 1} exist so far)"
+            )
+        return None
+
+
+class GuardedCaptureThreadPackage(CaptureThreadPackage):
+    """Capture stand-in for ``GuardedThreadPackage``: the guard options
+    (budgets, containment) are runtime concerns with no static meaning,
+    so they are accepted and ignored."""
+
+    capture_kind = "guarded"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        kwargs.pop("thread_budget", None)
+        kwargs.pop("max_address", None)
+        kwargs.pop("strict_hints", None)
+        super().__init__(*args, **kwargs)
+
+
+@dataclass
+class CaptureContext:
+    """Duck-types :class:`~repro.sim.context.SimContext` for capture."""
+
+    machine: MachineSpec
+    recorder: FootprintRecorder
+    space: AddressSpace
+    packages: list[CaptureThreadPackage] = field(default_factory=list)
+    verify: bool = False
+    obs: Telemetry = DISABLED
+    #: No cache hierarchy exists under capture; anything poking at it
+    #: would be simulating, which is exactly what capture avoids.
+    hierarchy: Any = None
+
+    def allocate_array(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        element_size: int = 8,
+        layout: Layout = Layout.COLUMN_MAJOR,
+    ) -> ArrayHandle:
+        size = element_size
+        for dim in shape:
+            size *= dim
+        region = self.space.allocate(name, size)
+        return ArrayHandle(
+            name, region.base, shape, element_size=element_size, layout=layout
+        )
+
+    def make_thread_package(
+        self,
+        block_size: int = 0,
+        hash_size: int = 0,
+        fold_symmetric: bool = False,
+        policy: str | TraversalPolicy = "creation",
+        costs: ThreadCostModel = DEFAULT_THREAD_COSTS,
+    ) -> CaptureThreadPackage:
+        return self._register(
+            CaptureThreadPackage,
+            block_size=block_size,
+            hash_size=hash_size,
+            fold_symmetric=fold_symmetric,
+            policy=policy,
+            costs=costs,
+        )
+
+    def make_dependent_thread_package(
+        self,
+        block_size: int = 0,
+        hash_size: int = 0,
+        fold_symmetric: bool = False,
+        policy: str | TraversalPolicy = "creation",
+        costs: ThreadCostModel = DEFAULT_THREAD_COSTS,
+    ) -> DependentCaptureThreadPackage:
+        return self._register(
+            DependentCaptureThreadPackage,
+            block_size=block_size,
+            hash_size=hash_size,
+            fold_symmetric=fold_symmetric,
+            policy=policy,
+            costs=costs,
+        )
+
+    def make_guarded_thread_package(
+        self,
+        block_size: int = 0,
+        hash_size: int = 0,
+        fold_symmetric: bool = False,
+        policy: str | TraversalPolicy = "creation",
+        costs: ThreadCostModel = DEFAULT_THREAD_COSTS,
+        **guard_options: Any,
+    ) -> GuardedCaptureThreadPackage:
+        return self._register(
+            GuardedCaptureThreadPackage,
+            block_size=block_size,
+            hash_size=hash_size,
+            fold_symmetric=fold_symmetric,
+            policy=policy,
+            costs=costs,
+            **guard_options,
+        )
+
+    def _register(self, factory, **kwargs) -> CaptureThreadPackage:
+        package = factory(
+            l2_size=self.machine.l2.size,
+            capture_recorder=self.recorder,
+            **kwargs,
+        )
+        self.packages.append(package)
+        return package
+
+    @property
+    def total_forks(self) -> int:
+        return sum(p.total_forks for p in self.packages)
+
+    @property
+    def total_dispatches(self) -> int:
+        return sum(p.total_dispatches for p in self.packages)
+
+
+def run_capture(
+    program: Callable[[CaptureContext], Any], machine: MachineSpec
+) -> CaptureResult:
+    """Execute ``program`` under capture and return what it did.
+
+    The address space matches the simulator's layout (same base, same
+    anti-conflict stagger) so captured hints resolve to the same arrays
+    a real run would use.
+    """
+    space = AddressSpace(stagger=3 * machine.l2.line_size)
+    recorder = FootprintRecorder(machine.l1d.line_bits)
+    context = CaptureContext(machine=machine, recorder=recorder, space=space)
+    payload = program(context)
+    # A program that forked but never ran leaves its last batch pending;
+    # flush it so the analyzers still see those threads.
+    for package in context.packages:
+        if package._pending_records:
+            package.th_run(0)
+    return CaptureResult(
+        machine=machine,
+        space=space,
+        packages=[package.capture for package in context.packages],
+        payload=payload,
+        line_bits=machine.l1d.line_bits,
+    )

@@ -1,0 +1,106 @@
+"""Command-line entry point: ``repro-lint [targets...] [options]``.
+
+Statically analyses registered experiment programs (capture execution:
+real scheduler geometry, no cache simulation) and/or ``.py`` files
+(AST proc lint).  Exit status 1 when any error-severity finding — or a
+target that could not be analysed — is present; see DESIGN.md §11 for
+the diagnostic code table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.engine import run_lint
+from repro.analysis.report import (
+    emit_findings,
+    render_codes,
+    render_json,
+    render_text,
+)
+from repro.analysis.targets import resolve_targets
+from repro.resilience.errors import ConfigError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static locality/race analysis for thread programs: hint "
+            "quality, bin geometry, dependence races, and thread-proc "
+            "hygiene — without running the cache simulation."
+        ),
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        metavar="TARGET",
+        help=(
+            "experiment ids (e.g. table6, extension_deps), applications "
+            "(sor, pde, matmul, nbody — optionally app:version), and/or "
+            ".py files or directories (default: every registered "
+            "experiment)"
+        ),
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help=(
+            "capture the full-size workloads instead of the quick "
+            "configurations (slower; same geometry family)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--list-codes",
+        action="store_true",
+        help="print the diagnostic code table and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="print only the summary line (text format)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_codes:
+        print(render_codes())
+        return 0
+    try:
+        targets = resolve_targets(args.targets, quick=not args.full)
+    except ConfigError as exc:
+        parser.error(str(exc))
+    report = run_lint(targets)
+
+    # Findings also go over the event bus when telemetry is live, so
+    # they appear alongside campaign narration.
+    from repro.obs.config import current_telemetry
+
+    emit_findings(current_telemetry(), report.diagnostics)
+
+    if args.format == "json":
+        print(render_json(report))
+    elif args.quiet:
+        print(render_text(report).splitlines()[-1])
+    else:
+        print(render_text(report))
+    return 1 if report.failed else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        sys.exit(0)

@@ -1,0 +1,257 @@
+"""Diagnostic records and the stable code registry for ``repro-lint``.
+
+Every finding carries a stable code (``RL0xx`` locality, ``RC0xx``
+concurrency, ``RP0xx`` proc hygiene), a severity, a message, and — where
+the analyzer can recover one — a source location.  The codes, their
+meanings, and the rationale behind each live in :data:`CODES`; DESIGN.md
+§11 renders the same table for humans.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Severity(enum.IntEnum):
+    """How seriously to take a finding.
+
+    ``ERROR`` findings fail ``repro-lint`` (and the ``--lint`` gate of
+    ``repro-experiments``); ``WARNING`` and ``INFO`` findings are
+    reported but do not change the exit status.
+    """
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """One entry of the diagnostic-code registry."""
+
+    code: str
+    default_severity: Severity
+    title: str
+    rationale: str
+
+
+#: The stable code registry.  Codes are append-only: a released code is
+#: never renumbered or reused, so CI suppressions and docs stay valid.
+CODES: dict[str, CodeInfo] = {
+    info.code: info
+    for info in (
+        CodeInfo(
+            "RL001",
+            Severity.WARNING,
+            "thread forked without locality hints",
+            "A zero hint vector lands the thread in the (0,0,0) bin, so "
+            "it shares no locality with its data; the paper's win "
+            "depends on every thread naming the addresses it touches.",
+        ),
+        CodeInfo(
+            "RL002",
+            Severity.WARNING,
+            "index-like hint among address hints",
+            "Hints are memory addresses; a small integer (below the "
+            "address-space base) next to real addresses usually means an "
+            "array index was passed where an address was intended, "
+            "silently scattering threads across unrelated bins.",
+        ),
+        CodeInfo(
+            "RL003",
+            Severity.WARNING,
+            "all threads collapsed into one bin",
+            "Hinted threads that all hash to a single bin serialise the "
+            "run with zero locality benefit — typically a degenerate "
+            "hint expression (constant hint, or block size larger than "
+            "the whole data set).",
+        ),
+        CodeInfo(
+            "RL004",
+            Severity.WARNING,
+            "bin occupancy badly skewed",
+            "The paper's analysis assumes threads spread 'quite "
+            "uniformly' over bins; one bin holding most threads means "
+            "most of the run is effectively unscheduled.",
+        ),
+        CodeInfo(
+            "RL005",
+            Severity.WARNING,
+            "per-bin footprint exceeds the L2 cache",
+            "A bin is the unit of cache reuse: if one bin's threads "
+            "together touch more than the L2 holds, the bin thrashes "
+            "its own data and the locality benefit evaporates (the "
+            "block size is probably too large).",
+        ),
+        CodeInfo(
+            "RL006",
+            Severity.ERROR,
+            "invalid hint vector",
+            "Negative hints, or a gap (hint2/hint3 set while an earlier "
+            "hint is 0), violate the package's interface and raise at "
+            "fork time in a real run.",
+        ),
+        CodeInfo(
+            "RL007",
+            Severity.WARNING,
+            "hash-chain pressure in the bin table",
+            "Long chains mean the hash table is too small for the bin "
+            "population; every fork pays a linear probe (th_init's "
+            "hash_size should grow).",
+        ),
+        CodeInfo(
+            "RC001",
+            Severity.ERROR,
+            "conflicting threads not ordered by 'after' edges",
+            "Two threads touch overlapping memory, at least one writes, "
+            "and no chain of 'after' edges orders them: the result "
+            "depends on bin traversal order, which the scheduler is "
+            "free to change.  The runtime oracle can only see this "
+            "once dispatch order happens to expose it.",
+        ),
+        CodeInfo(
+            "RC002",
+            Severity.ERROR,
+            "invalid 'after' reference",
+            "An 'after' edge naming an unknown, forward, or self thread "
+            "id can never be satisfied; at runtime it raises inside "
+            "th_fork (or, historically, deadlocked the sweep loop).",
+        ),
+        CodeInfo(
+            "RC003",
+            Severity.INFO,
+            "cross-bin write sharing (SMP false-sharing advisory)",
+            "Threads in different bins write the same cache line.  On "
+            "the uniprocessor this is harmless; under the SMP extension "
+            "those bins may run on different processors and the line "
+            "ping-pongs between their caches.",
+        ),
+        CodeInfo(
+            "RP001",
+            Severity.WARNING,
+            "nondeterminism in a thread proc",
+            "random/time calls inside a proc make runs unreproducible, "
+            "which defeats checkpoint/resume comparisons and makes "
+            "cache-behaviour diffs meaningless.",
+        ),
+        CodeInfo(
+            "RP002",
+            Severity.ERROR,
+            "late-binding loop-variable capture in a thread proc",
+            "A proc defined inside a loop that reads the loop variable "
+            "as a free variable sees only its final value when th_run "
+            "executes the threads — every thread silently does the last "
+            "iteration's work.  Pass the value as arg1/arg2 instead.",
+        ),
+        CodeInfo(
+            "RP003",
+            Severity.WARNING,
+            "proc mutates shared Python state",
+            "Appending to or rebinding captured Python objects couples "
+            "threads through interpreter state; the result then depends "
+            "on dispatch order, which locality scheduling deliberately "
+            "changes as hints and geometry change.",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    ``program`` names the linted program (``table6:threaded``); ``file``
+    and ``line`` point at the offending source (the fork call site for
+    capture-time findings, the proc definition for RP findings).
+    ``context`` carries analyzer-specific structured detail, rendered in
+    the JSON report.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    program: str = ""
+    file: str | None = None
+    line: int | None = None
+    context: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def location(self) -> str:
+        """``file:line`` when known, else an empty string."""
+        if self.file is None:
+            return ""
+        if self.line is None:
+            return self.file
+        return f"{self.file}:{self.line}"
+
+    def render(self) -> str:
+        """One human-readable report line."""
+        where = self.location
+        prefix = f"{where}: " if where else ""
+        program = f" [{self.program}]" if self.program else ""
+        return f"{prefix}{self.code} {self.severity}: {self.message}{program}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (stable keys; see report.py)."""
+        payload: dict[str, Any] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "title": CODES[self.code].title,
+        }
+        if self.program:
+            payload["program"] = self.program
+        if self.file is not None:
+            payload["file"] = self.file
+        if self.line is not None:
+            payload["line"] = self.line
+        if self.context:
+            payload["context"] = self.context
+        return payload
+
+
+def make_diagnostic(
+    code: str,
+    message: str,
+    *,
+    severity: Severity | None = None,
+    program: str = "",
+    file: str | None = None,
+    line: int | None = None,
+    **context: Any,
+) -> Diagnostic:
+    """Build a :class:`Diagnostic`, defaulting severity from the registry."""
+    if code not in CODES:
+        raise ValueError(f"unknown diagnostic code {code!r}")
+    if severity is None:
+        severity = CODES[code].default_severity
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        message=message,
+        program=program,
+        file=file,
+        line=line,
+        context=context,
+    )
+
+
+def worst_severity(diagnostics: list[Diagnostic]) -> Severity | None:
+    """The most severe level present, or ``None`` for a clean report."""
+    if not diagnostics:
+        return None
+    return max(d.severity for d in diagnostics)
+
+
+def has_errors(diagnostics: list[Diagnostic]) -> bool:
+    """True when any finding is error severity (the lint gate condition)."""
+    return any(d.severity >= Severity.ERROR for d in diagnostics)

@@ -1,0 +1,81 @@
+"""Running the analyzers over lint targets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.capture import run_capture
+from repro.analysis.diagnostics import Diagnostic, Severity, has_errors
+from repro.analysis.locality import analyze_locality, problem_diagnostics
+from repro.analysis.procs import analyze_captured_procs, analyze_file
+from repro.analysis.races import analyze_races
+from repro.analysis.targets import LintTarget
+
+
+@dataclass
+class LintReport:
+    """Everything one ``repro-lint`` invocation found."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    targets: list[str] = field(default_factory=list)
+    #: Targets whose capture execution itself failed (program bug or
+    #: unsupported construct), mapped to the error text.
+    failures: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity >= Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(
+            1 for d in self.diagnostics if d.severity == Severity.WARNING
+        )
+
+    @property
+    def notes(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == Severity.INFO)
+
+    @property
+    def failed(self) -> bool:
+        """The gate condition: error findings or broken capture."""
+        return bool(self.failures) or has_errors(self.diagnostics)
+
+
+def _sort_key(diagnostic: Diagnostic):
+    return (
+        diagnostic.program,
+        diagnostic.file or "",
+        diagnostic.line or 0,
+        diagnostic.code,
+    )
+
+
+def lint_target(target: LintTarget) -> list[Diagnostic]:
+    """All diagnostics for one target."""
+    if target.kind == "file":
+        assert target.path is not None
+        return analyze_file(target.path, program=target.name)
+    assert target.program is not None and target.machine is not None
+    capture = run_capture(target.program, target.machine)
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(problem_diagnostics(capture, target.name))
+    diagnostics.extend(analyze_locality(capture, target.name))
+    diagnostics.extend(analyze_races(capture, target.name))
+    diagnostics.extend(analyze_captured_procs(capture, target.name))
+    return diagnostics
+
+
+def run_lint(targets: list[LintTarget]) -> LintReport:
+    """Lint every target, tolerating per-target capture failures."""
+    report = LintReport()
+    for target in targets:
+        report.targets.append(target.name)
+        try:
+            found = lint_target(target)
+        except Exception as exc:  # noqa: BLE001 - surfaced per target
+            report.failures[target.name] = f"{type(exc).__name__}: {exc}"
+            continue
+        report.diagnostics.extend(found)
+    report.diagnostics.sort(key=_sort_key)
+    return report

@@ -1,0 +1,429 @@
+"""Proc lint (the RP family): ``ast``/``inspect`` inspection of thread
+procs for Python-level hazards the scheduler cannot see.
+
+Two entry points share one rule set:
+
+* :func:`analyze_file` parses a source file cold (no execution) — the
+  mode ``repro-lint examples/`` uses.  It finds ``*.th_fork(...)``
+  calls, resolves their proc argument to a function defined in the same
+  file, and applies the RP rules.
+* :func:`analyze_captured_procs` starts from the *actual* function
+  objects captured by :mod:`repro.analysis.capture` and restricts
+  file-level findings to fork sites that really executed — so linting
+  ``table6:threaded`` does not surface findings from other program
+  versions that happen to live in the same module.
+
+Rules:
+
+* RP001 — nondeterminism: ``random``/``time``/``np.random`` calls
+  inside a proc body.
+* RP002 — late-binding capture: the proc passed to ``th_fork`` is
+  defined inside the enclosing loop and reads the loop variable as a
+  *free* variable.  Every such thread sees the loop variable's final
+  value when ``th_run`` fires.  (Reading it via ``arg1``/``arg2`` or a
+  default argument is fine and not flagged.)
+* RP003 — shared mutable state: the proc calls a mutating method
+  (``append``, ``update``, ...) on a captured name, or declares
+  ``nonlocal``/``global``.  Element stores into captured arrays
+  (``c[i, j] = ...``) are the paper's shared-memory model and are *not*
+  flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterable
+
+from repro.analysis.capture import CaptureResult
+from repro.analysis.diagnostics import Diagnostic, make_diagnostic
+
+#: Method names whose call on a captured object mutates shared state.
+MUTATING_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "popleft",
+    "appendleft",
+    "add",
+    "discard",
+    "update",
+    "setdefault",
+    "clear",
+    "sort",
+    "reverse",
+    "write",
+}
+
+#: Names whose attribute calls inside a proc mean nondeterminism.
+NONDET_ROOTS = {"random", "time"}
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+def _attribute_path(node: ast.AST) -> list[str]:
+    """``np.random.default_rng`` -> ["np", "random", "default_rng"]."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def _local_names(func: ast.FunctionDef | ast.Lambda) -> set[str]:
+    """Names bound inside ``func`` (params and assignments): not captures."""
+    names: set[str] = set()
+    args = func.args
+    for arg in (
+        list(args.posonlyargs)
+        + list(args.args)
+        + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        names.add(arg.arg)
+    body = func.body if isinstance(func.body, list) else [func.body]
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store,)
+            ):
+                names.add(node.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(node.name)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                target = getattr(node, "target", None)
+                for sub in ast.walk(target) if target is not None else ():
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+    return names
+
+
+def _proc_body(func: ast.FunctionDef | ast.Lambda) -> list[ast.AST]:
+    return func.body if isinstance(func.body, list) else [func.body]
+
+
+def _free_reads(func: ast.FunctionDef | ast.Lambda) -> dict[str, int]:
+    """Free-variable reads inside ``func``: name -> first line."""
+    local = _local_names(func)
+    reads: dict[str, int] = {}
+    for stmt in _proc_body(func):
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id not in local
+                and node.id not in reads
+            ):
+                reads[node.id] = node.lineno
+    return reads
+
+
+def _check_proc_body(
+    func: ast.FunctionDef | ast.Lambda,
+    file: str,
+    program: str,
+    proc_name: str,
+) -> list[Diagnostic]:
+    """RP001 and RP003 over one proc's body."""
+    diagnostics: list[Diagnostic] = []
+    local = _local_names(func)
+    seen_rp001 = False
+    seen_rp003: set[str] = set()
+    for stmt in _proc_body(func):
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                path = _attribute_path(node.func)
+                if (
+                    not seen_rp001
+                    and path
+                    and (
+                        path[0] in NONDET_ROOTS
+                        or "random" in path[1:-1]
+                        or (len(path) >= 2 and path[-2] == "random")
+                    )
+                ):
+                    diagnostics.append(
+                        make_diagnostic(
+                            "RP001",
+                            f"thread proc {proc_name!r} calls "
+                            f"{'.'.join(path)}(); runs become "
+                            f"unreproducible (seed a Generator outside "
+                            f"the proc instead)",
+                            program=program,
+                            file=file,
+                            line=node.lineno,
+                            call=".".join(path),
+                        )
+                    )
+                    seen_rp001 = True
+                if (
+                    len(path) == 2
+                    and path[1] in MUTATING_METHODS
+                    and path[0] not in local
+                    and path[0] not in seen_rp003
+                ):
+                    diagnostics.append(
+                        make_diagnostic(
+                            "RP003",
+                            f"thread proc {proc_name!r} mutates captured "
+                            f"{path[0]!r} via .{path[1]}(); threads are "
+                            f"then coupled through dispatch order, which "
+                            f"locality scheduling deliberately changes",
+                            program=program,
+                            file=file,
+                            line=node.lineno,
+                            name=path[0],
+                            method=path[1],
+                        )
+                    )
+                    seen_rp003.add(path[0])
+            elif isinstance(node, (ast.Nonlocal, ast.Global)):
+                kind = "nonlocal" if isinstance(node, ast.Nonlocal) else "global"
+                names = ", ".join(node.names)
+                if names not in seen_rp003:
+                    diagnostics.append(
+                        make_diagnostic(
+                            "RP003",
+                            f"thread proc {proc_name!r} declares {kind} "
+                            f"{names}; rebinding shared state couples "
+                            f"threads through dispatch order",
+                            program=program,
+                            file=file,
+                            line=node.lineno,
+                            name=names,
+                        )
+                    )
+                    seen_rp003.add(names)
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# File-level analysis
+# ---------------------------------------------------------------------------
+class _ForkSite:
+    """One ``*.th_fork(...)`` call and its syntactic context."""
+
+    def __init__(
+        self,
+        call: ast.Call,
+        loops: tuple[ast.For, ...],
+        scope: ast.AST,
+    ) -> None:
+        self.call = call
+        self.loops = loops
+        self.scope = scope
+
+    @property
+    def proc_arg(self) -> ast.AST | None:
+        if self.call.args:
+            return self.call.args[0]
+        for keyword in self.call.keywords:
+            if keyword.arg == "func":
+                return keyword.value
+        return None
+
+
+def _loop_targets(loops: Iterable[ast.For]) -> dict[str, ast.For]:
+    targets: dict[str, ast.For] = {}
+    for loop in loops:
+        for node in ast.walk(loop.target):
+            if isinstance(node, ast.Name):
+                targets[node.id] = loop
+    return targets
+
+
+def _collect_fork_sites(tree: ast.AST) -> list[_ForkSite]:
+    sites: list[_ForkSite] = []
+
+    def visit(node: ast.AST, loops: tuple[ast.For, ...], scope: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_loops = loops
+            child_scope = scope
+            if isinstance(child, ast.For):
+                child_loops = loops + (child,)
+            elif isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                # A new function scope snapshots nothing: closures over
+                # the loop variable are exactly the hazard, so keep the
+                # loop context but remember the new scope.
+                child_scope = child
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr == "th_fork"
+            ):
+                sites.append(_ForkSite(child, loops, scope))
+            visit(child, child_loops, child_scope)
+
+    visit(tree, (), tree)
+    return sites
+
+
+def _functions_by_name(tree: ast.AST) -> dict[str, list[ast.AST]]:
+    """Every def / ``name = lambda`` in the file, keyed by name."""
+    table: dict[str, list[ast.AST]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            table.setdefault(node.name, []).append(node)
+        elif isinstance(node, ast.Assign) and isinstance(
+            node.value, ast.Lambda
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    table.setdefault(target.id, []).append(node.value)
+    return table
+
+
+def _defined_in(node: ast.AST, container: ast.AST) -> bool:
+    return any(node is candidate for candidate in ast.walk(container))
+
+
+def analyze_file(
+    path: str,
+    program: str = "",
+    source: str | None = None,
+    only_fork_lines: set[int] | None = None,
+    only_proc_lines: set[int] | None = None,
+) -> list[Diagnostic]:
+    """Run the RP rules over one source file without executing it.
+
+    ``only_fork_lines`` / ``only_proc_lines`` restrict findings to fork
+    call sites and proc definitions that are known to have executed
+    (captured mode); ``None`` means report everything (file mode).
+    """
+    if source is None:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        # A file that cannot parse cannot be linted; surfaced as an
+        # RP002-family error would be misleading, so raise to the CLI.
+        raise ValueError(f"{path}: cannot parse: {exc}") from exc
+    program = program or path
+    diagnostics: list[Diagnostic] = []
+    functions = _functions_by_name(tree)
+    checked_procs: set[int] = set()
+
+    for site in _collect_fork_sites(tree):
+        if (
+            only_fork_lines is not None
+            and site.call.lineno not in only_fork_lines
+        ):
+            continue
+        proc = site.proc_arg
+        if proc is None:
+            continue
+        proc_node: ast.FunctionDef | ast.Lambda | None = None
+        proc_name = "<proc>"
+        if isinstance(proc, ast.Lambda):
+            proc_node = proc
+            proc_name = "<lambda>"
+        elif isinstance(proc, ast.Name):
+            candidates = functions.get(proc.id, [])
+            if candidates:
+                # Nearest preceding definition wins (several program
+                # versions in one module may reuse a proc name).
+                preceding = [
+                    c for c in candidates if c.lineno <= site.call.lineno
+                ]
+                pool = preceding or candidates
+                proc_node = max(pool, key=lambda c: c.lineno)
+            proc_name = proc.id
+        if proc_node is None:
+            continue
+
+        # RP002: proc defined inside one of the enclosing loops and
+        # reading a loop target as a free variable.
+        targets = _loop_targets(site.loops)
+        if targets:
+            defining_loops = [
+                loop
+                for loop in site.loops
+                if _defined_in(proc_node, loop)
+                or isinstance(proc, ast.Lambda)
+            ]
+            if defining_loops:
+                captured = {
+                    name: line
+                    for name, line in _free_reads(proc_node).items()
+                    if name in targets and _defined_in(proc_node, targets[name])
+                }
+                for name, line in sorted(captured.items(), key=lambda kv: kv[1]):
+                    diagnostics.append(
+                        make_diagnostic(
+                            "RP002",
+                            f"thread proc {proc_name!r} is defined inside "
+                            f"the loop over {name!r} and reads {name!r} as "
+                            f"a free variable; when th_run executes the "
+                            f"threads, every one sees {name!r}'s final "
+                            f"value — pass it as arg1/arg2 instead",
+                            program=program,
+                            file=path,
+                            line=line,
+                            proc=proc_name,
+                            variable=name,
+                            fork_line=site.call.lineno,
+                        )
+                    )
+
+        # RP001 / RP003 once per proc definition.
+        if id(proc_node) in checked_procs:
+            continue
+        checked_procs.add(id(proc_node))
+        if (
+            only_proc_lines is not None
+            and proc_node.lineno not in only_proc_lines
+        ):
+            continue
+        diagnostics.extend(
+            _check_proc_body(proc_node, path, program, proc_name)
+        )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Captured-program analysis
+# ---------------------------------------------------------------------------
+def analyze_captured_procs(
+    capture: CaptureResult, program: str
+) -> list[Diagnostic]:
+    """RP rules over the procs a captured program actually forked."""
+    fork_lines_by_file: dict[str, set[int]] = {}
+    proc_lines_by_file: dict[str, set[int]] = {}
+    funcs: dict[int, Callable] = {}
+    for package in capture.packages:
+        for record in package.all_records:
+            if record.file is not None and record.line is not None:
+                fork_lines_by_file.setdefault(record.file, set()).add(
+                    record.line
+                )
+            funcs.setdefault(id(record.func), record.func)
+    for func in funcs.values():
+        code = getattr(func, "__code__", None)
+        if code is not None:
+            proc_lines_by_file.setdefault(code.co_filename, set()).add(
+                code.co_firstlineno
+            )
+    diagnostics: list[Diagnostic] = []
+    for file, fork_lines in sorted(fork_lines_by_file.items()):
+        try:
+            diagnostics.extend(
+                analyze_file(
+                    file,
+                    program=program,
+                    only_fork_lines=fork_lines,
+                    only_proc_lines=proc_lines_by_file.get(file, set()),
+                )
+            )
+        except (OSError, ValueError):
+            continue  # source unavailable (REPL, generated code)
+    return diagnostics

@@ -1,0 +1,225 @@
+"""Static race detection over captured thread structure (the RC family).
+
+For dependent packages the captured 'after' edges form a DAG (edges only
+point backwards), so happens-before is exact: RC001 reports every pair
+of threads whose footprints conflict (overlapping bytes, at least one
+write) without an ordering chain.  Overlap between strided segments is
+decided by the GCD (Banerjee-style) test — two arithmetic progressions
+of elements are provably disjoint when the residue gap modulo
+``gcd(stride1, stride2)`` exceeds both element sizes — so stride-2
+red/black sweeps of the same column are *not* flagged.
+
+Independent packages have no ordering vocabulary at all; flagging their
+write overlaps as races would indict the paper's own chaotic-relaxation
+SOR.  For them RC003 reports cross-bin write/write line sharing as an
+informational SMP advisory: under the SMP extension those bins may run
+on different processors and the shared lines ping-pong.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+
+from repro.analysis.capture import (
+    CaptureResult,
+    CapturedRun,
+    FootSeg,
+    ForkRecord,
+)
+from repro.analysis.diagnostics import Diagnostic, make_diagnostic
+
+#: Cap on RC001 diagnostics per run: the first conflicts name the bug;
+#: hundreds of echoes of the same missing edge family drown it.
+MAX_RACE_REPORTS = 5
+
+
+def segments_conflict(a: FootSeg, b: FootSeg) -> bool:
+    """Can segments ``a`` and ``b`` touch a common byte?
+
+    Exact extent test first; then the GCD residue test for two strided
+    progressions.  Returns ``True`` when overlap cannot be excluded
+    (conservative in the reporting direction only after the caller has
+    already established one side writes).
+    """
+    if a.hi <= b.lo or b.hi <= a.lo:
+        return False
+    stride_a, stride_b = abs(a.stride), abs(b.stride)
+    if a.count == 1 or stride_a == 0:
+        stride_a = 0
+    if b.count == 1 or stride_b == 0:
+        stride_b = 0
+    if stride_a == 0 and stride_b == 0:
+        # Two dense extents with overlapping ranges.
+        return True
+    if stride_a == 0:
+        return _element_hits_progression(a.lo, a.hi - a.lo, b)
+    if stride_b == 0:
+        return _element_hits_progression(b.lo, b.hi - b.lo, a)
+    g = gcd(stride_a, stride_b)
+    d = (b.lo - a.lo) % g
+    # Element pairs differ by d - k*g; bytes overlap only if some
+    # difference falls in (-size_b, size_a).
+    if d >= a.element_size and g - d >= b.element_size:
+        return False
+    return True
+
+
+def _element_hits_progression(lo: int, size: int, seg: FootSeg) -> bool:
+    """Does the dense extent [lo, lo+size) hit any element of ``seg``?"""
+    stride = abs(seg.stride)
+    first = min(seg.base, seg.base + seg.stride * (seg.count - 1))
+    # Offset of the extent within the progression's period.
+    d = (lo - first) % stride
+    # The extent [d, d+size) (mod stride) must reach an element
+    # occupying [0, element_size).
+    if d < seg.element_size:
+        return True
+    return d + size > stride
+
+
+def records_conflict(a: ForkRecord, b: ForkRecord) -> tuple[FootSeg, FootSeg] | None:
+    """First conflicting (write, other) segment pair, or ``None``."""
+    for seg_a in a.footprint:
+        for seg_b in b.footprint:
+            if not (seg_a.written or seg_b.written):
+                continue
+            if segments_conflict(seg_a, seg_b):
+                return seg_a, seg_b
+    return None
+
+
+def _footprint_bounds(record: ForkRecord) -> tuple[int, int]:
+    lo = min((seg.lo for seg in record.footprint), default=0)
+    hi = max((seg.hi for seg in record.footprint), default=0)
+    return lo, hi
+
+
+def _ancestor_bitsets(records: list[ForkRecord]) -> list[int]:
+    """``bits[i]`` has bit ``p`` set iff thread ``p`` happens-before
+    thread ``i`` ('after' edges are backward, so one pass suffices)."""
+    bits = [0] * len(records)
+    for i, record in enumerate(records):
+        mask = 0
+        for predecessor in record.after:
+            mask |= bits[predecessor] | (1 << predecessor)
+        bits[i] = mask
+    return bits
+
+
+def analyze_races(capture: CaptureResult, program: str) -> list[Diagnostic]:
+    """Run RC001/RC003 over every captured package."""
+    diagnostics: list[Diagnostic] = []
+    for index, package in enumerate(capture.packages):
+        label = f"package {index}" if len(capture.packages) > 1 else "package"
+        for run in package.runs:
+            if package.kind == "dependent":
+                diagnostics.extend(
+                    _find_unordered_conflicts(run, label, program)
+                )
+            else:
+                diagnostics.extend(
+                    _find_cross_bin_write_sharing(
+                        capture, run, label, program
+                    )
+                )
+    return diagnostics
+
+
+def _find_unordered_conflicts(
+    run: CapturedRun, label: str, program: str
+) -> list[Diagnostic]:
+    """RC001: conflicting thread pairs with no 'after' chain between them."""
+    records = run.records
+    if len(records) < 2:
+        return []
+    ancestors = _ancestor_bitsets(records)
+    # Sweep threads by footprint extent so only extent-overlapping pairs
+    # are tested pairwise.
+    order = sorted(range(len(records)), key=lambda i: _footprint_bounds(records[i])[0])
+    diagnostics: list[Diagnostic] = []
+    conflicts = 0
+    for position, i in enumerate(order):
+        lo_i, hi_i = _footprint_bounds(records[i])
+        for j in order[position + 1 :]:
+            lo_j, hi_j = _footprint_bounds(records[j])
+            if lo_j >= hi_i:
+                break
+            first, second = (i, j) if i < j else (j, i)
+            if ancestors[second] & (1 << first):
+                continue  # ordered by an 'after' chain
+            pair = records_conflict(records[first], records[second])
+            if pair is None:
+                continue
+            conflicts += 1
+            if len(diagnostics) < MAX_RACE_REPORTS:
+                write_seg = pair[0] if pair[0].written else pair[1]
+                a, b = records[first], records[second]
+                diagnostics.append(
+                    make_diagnostic(
+                        "RC001",
+                        f"{label} run {run.index}: threads {a.ordinal} "
+                        f"and {b.ordinal} touch overlapping memory "
+                        f"(write at 0x{write_seg.lo:x}..0x{write_seg.hi:x})"
+                        f" but no 'after' chain orders them; the result "
+                        f"depends on bin traversal order",
+                        program=program,
+                        file=b.file,
+                        line=b.line,
+                        thread_a=a.ordinal,
+                        thread_b=b.ordinal,
+                        site_a=f"{a.file}:{a.line}" if a.file else None,
+                        site_b=f"{b.file}:{b.line}" if b.file else None,
+                        write_lo=write_seg.lo,
+                        write_hi=write_seg.hi,
+                    )
+                )
+    if conflicts > MAX_RACE_REPORTS:
+        last = diagnostics[-1]
+        diagnostics[-1] = Diagnostic(
+            code=last.code,
+            severity=last.severity,
+            message=last.message
+            + f" ({conflicts - MAX_RACE_REPORTS} further unordered "
+            f"conflicting pairs suppressed)",
+            program=last.program,
+            file=last.file,
+            line=last.line,
+            context=dict(last.context, suppressed=conflicts - MAX_RACE_REPORTS),
+        )
+    return diagnostics
+
+
+def _find_cross_bin_write_sharing(
+    capture: CaptureResult, run: CapturedRun, label: str, program: str
+) -> list[Diagnostic]:
+    """RC003: cache lines written by threads in two or more bins."""
+    records = run.records
+    if len(records) < 2:
+        return []
+    bins_writing: dict[int, set[int]] = {}
+    for record in records:
+        for segment in record.footprint:
+            if not segment.written:
+                continue
+            for line in segment.lines(capture.line_bits):
+                bins_writing.setdefault(line, set()).add(record.bin_ref)
+    shared = [
+        line for line, bins in bins_writing.items() if len(bins) > 1
+    ]
+    if not shared:
+        return []
+    first = records[0]
+    return [
+        make_diagnostic(
+            "RC003",
+            f"{label} run {run.index}: {len(shared)} cache line(s) are "
+            f"written by threads in more than one bin; harmless on the "
+            f"uniprocessor, but under the SMP extension those bins may "
+            f"run on different processors and the lines ping-pong "
+            f"(false sharing)",
+            program=program,
+            file=first.file,
+            line=first.line,
+            shared_lines=len(shared),
+        )
+    ]

@@ -1,0 +1,64 @@
+"""Rendering lint reports and publishing findings over the event bus."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import CODES, Diagnostic
+from repro.analysis.engine import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """The human-readable report: one line per finding plus a summary."""
+    lines = [diagnostic.render() for diagnostic in report.diagnostics]
+    for target, error in sorted(report.failures.items()):
+        lines.append(f"{target}: lint could not analyse this target: {error}")
+    lines.append(
+        f"{report.errors} error(s), {report.warnings} warning(s), "
+        f"{report.notes} note(s) across {len(report.targets)} target(s)"
+        + (f"; {len(report.failures)} target(s) failed" if report.failures else "")
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (stable keys, one JSON document)."""
+    payload = {
+        "targets": report.targets,
+        "diagnostics": [d.to_dict() for d in report.diagnostics],
+        "failures": report.failures,
+        "summary": {
+            "errors": report.errors,
+            "warnings": report.warnings,
+            "notes": report.notes,
+            "failed": report.failed,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_codes() -> str:
+    """The diagnostic-code table (``repro-lint --list-codes``)."""
+    width = max(len(code) for code in CODES)
+    lines = []
+    for code, info in CODES.items():
+        lines.append(
+            f"{code.ljust(width)}  {info.default_severity}  {info.title}"
+        )
+    return "\n".join(lines)
+
+
+def emit_findings(telemetry, diagnostics: list[Diagnostic]) -> None:
+    """Publish findings as ``lint.finding`` instants on the event bus,
+    so campaign narration and trace exports can show them."""
+    if not telemetry.enabled:
+        return
+    for diagnostic in diagnostics:
+        telemetry.bus.instant(
+            "lint.finding",
+            code=diagnostic.code,
+            severity=str(diagnostic.severity),
+            message=diagnostic.message,
+            program=diagnostic.program,
+            location=diagnostic.location,
+        )

@@ -1,0 +1,164 @@
+"""Resolving what ``repro-lint`` should look at.
+
+A lint target is either a *program* (a ``program(ctx)`` callable plus
+the machine it runs on — analysed by capture execution) or a *file*
+(a ``.py`` path — analysed cold by the AST proc lint only, since
+running arbitrary scripts is not linting).  Program targets come from
+registered experiments or directly from the application registry
+(``repro-lint sor:threaded``).
+
+Experiment modules opt in by exposing ``lint_programs(quick)``
+returning either ``(dict[name, program], machine)`` or — when the
+programs run on different machines — ``dict[name, (program,
+machine)]``.  The registry side of that contract lives in the
+experiment modules themselves so each experiment names exactly the
+program versions that exercise a thread package.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.machine.spec import MachineSpec
+from repro.resilience.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LintTarget:
+    """One unit of lint work."""
+
+    name: str
+    kind: str  # "program" | "file"
+    program: Callable[[Any], Any] | None = None
+    machine: MachineSpec | None = None
+    path: str | None = None
+
+
+def experiment_targets(
+    experiment_id: str, quick: bool = True
+) -> list[LintTarget]:
+    """Program targets for one registered experiment.
+
+    Experiments without a ``lint_programs`` hook (or whose programs do
+    not use a thread package) contribute nothing — there is no locality
+    structure to lint.
+    """
+    from repro.exp.registry import get_experiment, resolve_experiment_id
+
+    experiment_id = resolve_experiment_id(experiment_id)
+    runner = get_experiment(experiment_id)
+    module = sys.modules[runner.__module__]
+    hook = getattr(module, "lint_programs", None)
+    if hook is None:
+        return []
+    result = hook(quick)
+    if isinstance(result, dict):
+        # Per-program machines: {name: (program, machine)} — used when
+        # an experiment runs its programs on different machines.
+        entries = [
+            (name, program, machine)
+            for name, (program, machine) in result.items()
+        ]
+    else:
+        programs, machine = result
+        entries = [(name, program, machine) for name, program in programs.items()]
+    return [
+        LintTarget(
+            name=f"{experiment_id}:{name}",
+            kind="program",
+            program=program,
+            machine=machine,
+        )
+        for name, program, machine in entries
+    ]
+
+
+def all_experiment_targets(quick: bool = True) -> list[LintTarget]:
+    """Program targets for every registered experiment."""
+    from repro.exp.registry import EXPERIMENTS
+
+    targets: list[LintTarget] = []
+    for experiment_id in EXPERIMENTS:
+        targets.extend(experiment_targets(experiment_id, quick))
+    return targets
+
+
+def app_targets(spec: str) -> list[LintTarget]:
+    """Program targets for one application, outside any experiment.
+
+    ``spec`` is ``"sor"`` (every lintable version) or ``"sor:threaded"``
+    (one version); the registry is ``repro.apps.LINT_PROGRAMS`` and the
+    programs are built at each app's quick-mode scale on the default
+    scaled machine.
+    """
+    from repro.apps import LINT_PROGRAMS
+    from repro.exp.base import r8000_scaled
+
+    app, _, version = spec.partition(":")
+    versions = LINT_PROGRAMS[app]
+    if version:
+        if version not in versions:
+            raise ConfigError(
+                f"app {app!r} has no lintable version {version!r} "
+                f"(choose from: {', '.join(sorted(versions))})",
+                field="target",
+            )
+        versions = {version: versions[version]}
+    machine = r8000_scaled(True)
+    return [
+        LintTarget(
+            name=f"{app}:{name}",
+            kind="program",
+            program=factory(),
+            machine=machine,
+        )
+        for name, factory in versions.items()
+    ]
+
+
+def file_targets(path: str) -> list[LintTarget]:
+    """File targets for one ``.py`` file or a directory of them."""
+    if os.path.isdir(path):
+        targets: list[LintTarget] = []
+        for entry in sorted(os.listdir(path)):
+            if entry.endswith(".py"):
+                full = os.path.join(path, entry)
+                targets.append(LintTarget(name=full, kind="file", path=full))
+        return targets
+    return [LintTarget(name=path, kind="file", path=path)]
+
+
+def resolve_targets(
+    requested: list[str], quick: bool = True
+) -> list[LintTarget]:
+    """Map CLI arguments (experiment ids and/or paths) to lint targets.
+
+    With no arguments: every registered experiment.
+    """
+    if not requested:
+        return all_experiment_targets(quick)
+    from repro.apps import LINT_PROGRAMS
+    from repro.exp.registry import EXPERIMENTS, resolve_experiment_id
+
+    targets: list[LintTarget] = []
+    for argument in requested:
+        if resolve_experiment_id(argument) in EXPERIMENTS:
+            targets.extend(experiment_targets(argument, quick))
+        elif argument.partition(":")[0] in LINT_PROGRAMS:
+            targets.extend(app_targets(argument))
+        elif os.path.isdir(argument) or (
+            argument.endswith(".py") and os.path.exists(argument)
+        ):
+            targets.extend(file_targets(argument))
+        else:
+            raise ConfigError(
+                f"unknown lint target {argument!r}: not an experiment id "
+                f"(see repro-experiments --list), not an application "
+                f"(sor, pde, matmul, nbody, optionally app:version), and "
+                f"not a .py file or directory",
+                field="target",
+            )
+    return targets

@@ -9,4 +9,20 @@ while emitting the memory-reference trace of the paper's loop structure.
 
 from repro.apps import matmul, nbody, pde, sor
 
-__all__ = ["matmul", "pde", "sor", "nbody"]
+#: The versions of each application that drive a thread package —
+#: what ``repro-lint <app>[:<version>]`` captures, built at each app's
+#: quick-mode scale (``Config.quick()``).  The non-threaded versions
+#: (``untiled``, ``interchanged``, ...) have no hints or bins to lint;
+#: ``threaded_blocking`` constructs its package outside the context
+#: factories and is likewise not capturable.
+LINT_PROGRAMS = {
+    "matmul": {"threaded": lambda: matmul.threaded(matmul.MatmulConfig.quick())},
+    "pde": {"threaded": lambda: pde.threaded(pde.PdeConfig.quick())},
+    "sor": {
+        "threaded": lambda: sor.threaded(sor.SorConfig.quick()),
+        "threaded_exact": lambda: sor.threaded_exact(sor.SorConfig.quick()),
+    },
+    "nbody": {"threaded": lambda: nbody.threaded(nbody.NbodyConfig.quick())},
+}
+
+__all__ = ["matmul", "pde", "sor", "nbody", "LINT_PROGRAMS"]

@@ -41,3 +41,12 @@ class MatmulConfig:
         """The paper's full-size workload (n = 1024, for unscaled
         machines; expect hours of simulation)."""
         return cls(n=1024)
+
+    @classmethod
+    def quick(cls) -> "MatmulConfig":
+        """The quick-mode workload, shared by the experiments' --quick
+        runs and ``repro-lint`` capture: matrices stay comfortably
+        larger than the scaled L2 (2.25x), so the capacity-miss story —
+        and the hint/bin geometry the lint inspects — survive at ~40%
+        of the full simulation cost."""
+        return cls(n=96)

@@ -51,3 +51,11 @@ class NbodyConfig:
     def paper(cls) -> "NbodyConfig":
         """The paper's full-size workload (64,000 bodies, 4 iterations)."""
         return cls(bodies=64_000, iterations=4)
+
+    @classmethod
+    def quick(cls) -> "NbodyConfig":
+        """The quick-mode workload, shared by the experiments' --quick
+        runs and ``repro-lint`` capture: enough bodies to populate the
+        scheduling plane's bins, one iteration (tree build + traversal
+        dominate; later iterations repeat the same access pattern)."""
+        return cls(bodies=800, iterations=1)

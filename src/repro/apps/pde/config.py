@@ -41,3 +41,11 @@ class PdeConfig:
     def paper(cls) -> "PdeConfig":
         """The paper's full-size workload (size 2049, 5 iterations)."""
         return cls(n=2049, iterations=5)
+
+    @classmethod
+    def quick(cls) -> "PdeConfig":
+        """The quick-mode workload, shared by the experiments' --quick
+        runs and ``repro-lint`` capture: the grid still crosses the
+        scaled cache, so the red-black traversal-order story is
+        preserved with fewer sweeps."""
+        return cls(n=129, iterations=3)

@@ -39,3 +39,11 @@ class SorConfig:
     def paper(cls) -> "SorConfig":
         """The paper's full-size workload (n = 2005, t = 30, s = 18)."""
         return cls(n=2005, iterations=30, tile=18)
+
+    @classmethod
+    def quick(cls) -> "SorConfig":
+        """The quick-mode workload, shared by the experiments' --quick
+        runs and ``repro-lint`` capture: the matrix still spans several
+        scheduler blocks, so tiling/binning behaviour is preserved at a
+        fraction of the sweep cost."""
+        return cls(n=127, iterations=10)

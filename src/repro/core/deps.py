@@ -30,10 +30,16 @@ from repro.core.package import ThreadPackage
 from repro.core.stats import SchedulingStats, next_run_seq
 from repro.core.thread import ThreadGroup, ThreadSpec
 from repro.mem.arrays import RefSegment
+from repro.resilience.errors import ConfigError
 
 
 class DependencyCycleError(RuntimeError):
-    """Raised when a full sweep over all bins cannot run any thread."""
+    """Raised when a full sweep over all bins cannot run any thread.
+
+    The message names the blocked thread ids and, for each, the unmet
+    predecessors they are waiting on — enough to see the cycle without
+    re-running under a debugger.
+    """
 
 
 @dataclass
@@ -46,6 +52,7 @@ class _Record:
     remaining: int
     bin_id: int = 0
     dependents: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
     done: bool = False
 
 
@@ -82,10 +89,33 @@ class DependentThreadPackage(ThreadPackage):
 
         Returns the new thread's id.
         """
+        # Validate the edge list *before* the fork takes effect, so a bad
+        # ``after`` never leaves a half-registered thread in the bins.
+        thread_id = len(self._records)
+        for predecessor in after:
+            if not isinstance(predecessor, int) or isinstance(predecessor, bool):
+                raise ConfigError(
+                    f"thread {thread_id} cannot depend on {predecessor!r}: "
+                    f"'after' takes thread ids returned by earlier th_fork "
+                    f"calls",
+                    field="after",
+                )
+            if predecessor == thread_id:
+                raise ConfigError(
+                    f"thread {thread_id} cannot depend on itself "
+                    f"(after={predecessor})",
+                    field="after",
+                )
+            if not 0 <= predecessor < thread_id:
+                raise ConfigError(
+                    f"thread {thread_id} cannot depend on {predecessor}: "
+                    f"unknown thread id (ids 0..{thread_id - 1} exist so "
+                    f"far; 'after' edges must point backwards)",
+                    field="after",
+                )
         bin_, group, index = self._fork_impl(
             func, arg1, arg2, hint1, hint2, hint3
         )
-        thread_id = len(self._records)
         record = _Record(
             spec=group.spec_at(index),
             group=group,
@@ -100,13 +130,10 @@ class DependentThreadPackage(ThreadPackage):
             self._bin_order.append(bin_)
         members.append(thread_id)
         for predecessor in after:
-            if not 0 <= predecessor < thread_id:
-                raise ValueError(
-                    f"thread {thread_id} cannot depend on {predecessor!r}"
-                )
             pred = self._records[predecessor]
             if not pred.done:
                 pred.dependents.append(thread_id)
+                record.preds.append(predecessor)
                 record.remaining += 1
         if self.oracle is not None:
             self.oracle.on_dep_fork(thread_id, record.spec, tuple(after))
@@ -190,9 +217,7 @@ class DependentThreadPackage(ThreadPackage):
                                         queue.append(other)
                                         queued.add(other)
             if pending:
-                raise DependencyCycleError(
-                    f"{pending} threads blocked in a dependence cycle"
-                )
+                raise DependencyCycleError(self._describe_blocked(pending))
         finally:
             self._running = False
         if oracle is not None:
@@ -208,3 +233,29 @@ class DependentThreadPackage(ThreadPackage):
         )
         self.run_history.append(stats)
         return stats
+
+    # ------------------------------------------------------------------
+    def _describe_blocked(self, pending: int, limit: int = 8) -> str:
+        """Name the blocked threads and what each is still waiting on."""
+        details = []
+        for thread_id, record in enumerate(self._records):
+            if record.done:
+                continue
+            unmet = [p for p in record.preds if not self._records[p].done]
+            if unmet:
+                waits = "waiting on " + ", ".join(str(p) for p in unmet)
+            elif record.remaining:
+                # Edges injected behind th_fork's back (tests, tooling)
+                # leave no preds record; the count is still truthful.
+                waits = f"waiting on {record.remaining} unrecorded edge(s)"
+            else:
+                waits = "ready but never dispatched"
+            details.append(f"thread {thread_id} {waits}")
+            if len(details) == limit:
+                break
+        suffix = "" if pending <= limit else f"; ... {pending - limit} more"
+        return (
+            f"{pending} threads blocked in a dependence cycle: "
+            + "; ".join(details)
+            + suffix
+        )

@@ -25,6 +25,20 @@ def sizes(quick: bool = False) -> list[int]:
     return [32, 64, 96] if quick else [32, 48, 64, 96, 128, 160]
 
 
+def lint_programs(quick: bool = True):
+    """Thread programs ``repro-lint`` captures for this experiment.
+
+    Only the largest swept size: the small, in-cache points fork few
+    threads into few bins by design and would trip occupancy lint for
+    reasons the analysis itself is about.
+    """
+    largest = sizes(quick)[-1]
+    return (
+        {"threaded": threaded(MatmulConfig(n=largest))},
+        r8000_scaled(quick),
+    )
+
+
 def run(quick: bool = False) -> ExperimentResult:
     machine = r8000_scaled(quick)
     simulator = Simulator(machine)

@@ -11,10 +11,14 @@ README section "Running long campaigns".
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.exp.registry import (
+    ALIASES,
     EXPERIMENTS,
+    EXTENSION_EXPERIMENTS,
+    PAPER_EXPERIMENTS,
     describe_experiment,
     resolve_experiment_id,
 )
@@ -48,6 +52,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list",
         action="store_true",
         help="list the experiment ids with one-line descriptions and exit",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --list: emit the listing as JSON (ids, descriptions, aliases)",
+    )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help=(
+            "statically analyse the selected experiments' thread programs "
+            "(repro-lint) before running anything; abort the campaign on "
+            "error-severity findings"
+        ),
     )
     parser.add_argument(
         "--verify",
@@ -179,13 +197,72 @@ def _list_experiments() -> str:
     )
 
 
+def _group_of(experiment_id: str) -> str:
+    if experiment_id in PAPER_EXPERIMENTS:
+        return "paper"
+    if experiment_id in EXTENSION_EXPERIMENTS:
+        return "extension"
+    return "analysis"
+
+
+def _list_experiments_json() -> str:
+    """The --list listing as JSON, for scripts and CI."""
+    listing = {
+        "experiments": [
+            {
+                "id": experiment_id,
+                "description": describe_experiment(experiment_id),
+                "group": _group_of(experiment_id),
+            }
+            for experiment_id in EXPERIMENTS
+        ],
+        "aliases": dict(ALIASES),
+    }
+    return json.dumps(listing, indent=2)
+
+
+def _lint_gate(ids: list[str], quick: bool, verbosity: int) -> int:
+    """Statically analyse ``ids`` before the campaign runs anything.
+
+    Returns 0 when clean; 1 on error-severity findings or targets that
+    could not be analysed (the campaign must not start).  Findings are
+    narrated through :class:`~repro.obs.progress.CampaignReporter` (and
+    published on the event bus when telemetry is live), so they obey the
+    campaign's --quiet/--verbose gating like any other narration.
+    """
+    from repro.analysis import resolve_targets, run_lint
+    from repro.analysis.report import emit_findings, render_text
+    from repro.obs.config import current_telemetry
+    from repro.obs.progress import CampaignReporter
+
+    report = run_lint(resolve_targets(ids, quick=quick))
+    emit_findings(current_telemetry(), report.diagnostics)
+    with CampaignReporter(sys.stdout, sys.stderr, verbosity=verbosity) as reporter:
+        for target, error in sorted(report.failures.items()):
+            reporter.error(
+                f"{target}: lint could not analyse this target: {error}"
+            )
+        reporter.lint_findings(
+            report.diagnostics, render_text(report).splitlines()[-1]
+        )
+        if report.failed:
+            reporter.error(
+                "repro-experiments: lint gate failed; not starting the "
+                "campaign (rerun with repro-lint for details)"
+            )
+            return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
 
     if args.list:
-        print(_list_experiments())
+        print(_list_experiments_json() if args.json else _list_experiments())
         return 0
+    if args.json:
+        parser.error("--json only makes sense together with --list")
 
     requested = args.experiments or (list(EXPERIMENTS) if not args.resume else [])
     ids = [resolve_experiment_id(i) for i in requested]
@@ -205,6 +282,15 @@ def main(argv: list[str] | None = None) -> int:
             FAULTS.arm_from_spec(spec)
     except ConfigError as exc:
         parser.error(str(exc))
+
+    if args.lint:
+        gate = _lint_gate(
+            ids,
+            quick=args.quick,
+            verbosity=1 if args.verbose else (-1 if args.quiet else 0),
+        )
+        if gate != 0:
+            return gate
 
     config = CampaignConfig(
         ids=ids,

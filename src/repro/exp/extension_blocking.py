@@ -34,7 +34,24 @@ TITLE = "Extension: general-purpose (blocking) threads on SOR"
 
 
 def config(quick: bool = False) -> SorConfig:
-    return SorConfig(n=127 if quick else 251, iterations=10 if quick else 30)
+    return SorConfig.quick() if quick else SorConfig()
+
+
+def lint_programs(quick: bool = True):
+    """Thread programs ``repro-lint`` captures for this experiment.
+
+    ``threaded_blocking`` is excluded: it constructs a
+    ``BlockingThreadPackage`` directly (generator threads, condition
+    waits), which capture execution does not model.
+    """
+    cfg = config(quick)
+    return (
+        {
+            "threaded": VERSIONS["threaded"](cfg),
+            "threaded_exact": threaded_exact(cfg),
+        },
+        r8000_scaled(quick),
+    )
 
 
 def run(quick: bool = False) -> ExperimentResult:

@@ -28,7 +28,23 @@ TITLE = "Extension: dependence-aware threading of SOR"
 
 
 def config(quick: bool = False) -> SorConfig:
-    return SorConfig(n=127 if quick else 251, iterations=10 if quick else 30)
+    return SorConfig.quick() if quick else SorConfig()
+
+
+def lint_programs(quick: bool = True):
+    """Thread programs ``repro-lint`` captures for this experiment.
+
+    Both the chaotic and the dependence-declaring versions; the latter
+    exercises the static race detector's ordered-DAG path.
+    """
+    cfg = config(quick)
+    return (
+        {
+            "threaded": VERSIONS["threaded"](cfg),
+            "threaded_exact": threaded_exact(cfg),
+        },
+        r8000_scaled(quick),
+    )
 
 
 def run(quick: bool = False) -> ExperimentResult:

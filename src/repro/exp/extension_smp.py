@@ -28,7 +28,12 @@ POLICIES = ("chunked", "round_robin", "lpt", "affinity")
 
 
 def config(quick: bool = False) -> MatmulConfig:
-    return MatmulConfig(n=96 if quick else 128)
+    return MatmulConfig.quick() if quick else MatmulConfig()
+
+
+def lint_programs(quick: bool = True):
+    """Thread programs ``repro-lint`` captures for this experiment."""
+    return {"threaded": threaded(config(quick))}, r8000(64)
 
 
 def run(quick: bool = False) -> ExperimentResult:

@@ -58,6 +58,18 @@ def _apps(quick: bool):
     ]
 
 
+def lint_programs(quick: bool = True):
+    """Thread programs ``repro-lint`` captures for this experiment.
+
+    One target per threaded app, each on its own machine (the default
+    block size; the sweep itself only varies ``block_size``).
+    """
+    return {
+        name: (version(cfg), machine)
+        for name, cfg, version, machine in _apps(quick)
+    }
+
+
 def run(quick: bool = False) -> ExperimentResult:
     table = TextTable([""] + SIZE_LABELS, title=TITLE)
     series: dict[str, list[float]] = {}

@@ -47,6 +47,27 @@ def measure_overhead(thread_count: int, l2_size: int) -> tuple[float, float]:
     return fork_us, run_us
 
 
+def lint_programs(quick: bool = True):
+    """Thread programs ``repro-lint`` captures for this experiment.
+
+    The microbenchmark's fork pattern (null procs, evenly spread
+    synthetic-plane hints) at a lint-friendly thread count.
+    """
+    count = 1 << (12 if quick else 14)
+
+    def null_threads(ctx):
+        package = ctx.make_thread_package()
+        block = package.scheduler.block_size
+        side = 32
+        for i in range(count):
+            hint1 = 8 + (i % side) * block
+            hint2 = 8 + ((i // side) % side) * block
+            package.th_fork(_null_thread, i, None, hint1, hint2)
+        package.th_run(0)
+
+    return {"null_threads": null_threads}, r8000()
+
+
 def run(quick: bool = False) -> ExperimentResult:
     thread_count = 1 << (14 if quick else 20)
     machines = [r8000(), r10000()]

@@ -11,10 +11,15 @@ TITLE = "Table 2: Matrix multiply performance in seconds"
 
 
 def config(quick: bool = False) -> MatmulConfig:
-    # Quick mode keeps the matrices comfortably larger than the scaled
-    # L2 (2.25x) so the capacity-miss story survives, at ~40% of the
-    # full simulation cost.
-    return MatmulConfig(n=96 if quick else 128)
+    return MatmulConfig.quick() if quick else MatmulConfig()
+
+
+def lint_programs(quick: bool = True):
+    """Thread programs ``repro-lint`` captures for this experiment."""
+    return (
+        {"threaded": VERSIONS["threaded"](config(quick))},
+        experiment_machines(quick)[0],
+    )
 
 
 def run(quick: bool = False) -> ExperimentResult:

@@ -23,6 +23,14 @@ PAPER_NAMES = {
 }
 
 
+def lint_programs(quick: bool = True):
+    """Thread programs ``repro-lint`` captures for this experiment."""
+    return (
+        {"threaded": VERSIONS["threaded"](config(quick))},
+        r8000_scaled(quick),
+    )
+
+
 def run(quick: bool = False) -> ExperimentResult:
     result, results = cache_table(
         "table3",

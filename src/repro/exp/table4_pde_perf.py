@@ -11,7 +11,15 @@ TITLE = "Table 4: PDE performance in seconds"
 
 
 def config(quick: bool = False) -> PdeConfig:
-    return PdeConfig(n=129 if quick else 257, iterations=3 if quick else 5)
+    return PdeConfig.quick() if quick else PdeConfig()
+
+
+def lint_programs(quick: bool = True):
+    """Thread programs ``repro-lint`` captures for this experiment."""
+    return (
+        {"threaded": VERSIONS["threaded"](config(quick))},
+        experiment_machines(quick)[0],
+    )
 
 
 def run(quick: bool = False) -> ExperimentResult:

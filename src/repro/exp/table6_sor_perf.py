@@ -11,7 +11,15 @@ TITLE = "Table 6: SOR performance in seconds"
 
 
 def config(quick: bool = False) -> SorConfig:
-    return SorConfig(n=127 if quick else 251, iterations=10 if quick else 30)
+    return SorConfig.quick() if quick else SorConfig()
+
+
+def lint_programs(quick: bool = True):
+    """Thread programs ``repro-lint`` captures for this experiment."""
+    return (
+        {"threaded": VERSIONS["threaded"](config(quick))},
+        experiment_machines(quick)[0],
+    )
 
 
 def run(quick: bool = False) -> ExperimentResult:

@@ -11,6 +11,14 @@ from repro.exp.table6_sor_perf import config
 TITLE = "Table 7: SOR memory references and cache misses"
 
 
+def lint_programs(quick: bool = True):
+    """Thread programs ``repro-lint`` captures for this experiment."""
+    return (
+        {"threaded": VERSIONS["threaded"](config(quick))},
+        r8000_scaled(quick),
+    )
+
+
 def run(quick: bool = False) -> ExperimentResult:
     result, results = cache_table(
         "table7",

@@ -15,15 +15,21 @@ TITLE = "Table 8: N-body performance in seconds"
 
 
 def config(quick: bool = False) -> NbodyConfig:
-    return NbodyConfig(
-        bodies=800 if quick else 2000, iterations=1 if quick else 4
-    )
+    return NbodyConfig.quick() if quick else NbodyConfig()
 
 
 def machines(quick: bool = False) -> list[MachineSpec]:
     """N-body working sets are all O(N), so L1 and L2 scale together."""
     scale = 32 if quick else 16
     return [r8000(scale, scale), r10000(scale, scale)]
+
+
+def lint_programs(quick: bool = True):
+    """Thread programs ``repro-lint`` captures for this experiment."""
+    return (
+        {"threaded": VERSIONS["threaded"](config(quick))},
+        machines(quick)[0],
+    )
 
 
 def run(quick: bool = False) -> ExperimentResult:

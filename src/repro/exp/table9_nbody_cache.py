@@ -13,6 +13,15 @@ from repro.exp.table8_nbody_perf import config, machines
 TITLE = "Table 9: N-body memory references and cache misses (one iteration)"
 
 
+def lint_programs(quick: bool = True):
+    """Thread programs ``repro-lint`` captures for this experiment."""
+    one_iteration = replace(config(quick), iterations=1)
+    return (
+        {"threaded": VERSIONS["threaded"](one_iteration)},
+        machines(quick)[0],
+    )
+
+
 def run(quick: bool = False) -> ExperimentResult:
     one_iteration = replace(config(quick), iterations=1)
     result, results = cache_table(

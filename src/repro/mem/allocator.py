@@ -64,7 +64,10 @@ class AddressSpace:
             raise ValueError(f"stagger must be non-negative, got {stagger!r}")
         self.alignment = alignment
         self.stagger = stagger
-        self._next = self._align(base)
+        #: First allocatable address; everything below is the guard
+        #: region (hint/address validity checks compare against this).
+        self.base = self._align(base)
+        self._next = self.base
         self._allocations: dict[str, Allocation] = {}
 
     def _align(self, address: int) -> int:

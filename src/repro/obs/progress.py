@@ -135,6 +135,30 @@ class CampaignReporter:
         print(message, file=self.out)
 
     # ------------------------------------------------------------------
+    # Lint narration
+    # ------------------------------------------------------------------
+    def lint_findings(self, diagnostics, summary: str) -> None:
+        """Narrate a lint report through the campaign logger.
+
+        ``diagnostics`` is any iterable of objects with ``severity``
+        (stringifying to ``"error"``/``"warning"``/``"info"``) and
+        ``render()`` — kept duck-typed so ``repro.obs`` does not import
+        ``repro.analysis``.  Errors always reach the err stream;
+        warnings are ordinary narration; info notes are --verbose
+        detail.  The summary line is a primary output and is printed
+        even under --quiet.
+        """
+        for diagnostic in diagnostics:
+            severity = str(diagnostic.severity)
+            if severity == "error":
+                self.error(diagnostic.render())
+            elif severity == "warning":
+                self.info(diagnostic.render())
+            else:
+                self.detail(diagnostic.render())
+        self.always(summary)
+
+    # ------------------------------------------------------------------
     # Progress
     # ------------------------------------------------------------------
     def start_experiment(self, experiment_id: str, index: int, total: int) -> None:

@@ -125,7 +125,16 @@ class SmpResult:
     sched: SchedulingStats | None
     write_shared_lines: int
     written_lines: int
+    #: ``line -> processors`` for the write-shared L2 lines — the
+    #: measured counterpart of the static RC003 advisory (see
+    #: ``repro.smp.recorder``).
+    write_sharers: dict[int, frozenset[int]] = field(default_factory=dict)
     payload: Any = None
+
+    @property
+    def write_shared_line_set(self) -> frozenset[int]:
+        """Identities of the write-shared L2 lines."""
+        return frozenset(self.write_sharers)
 
     @property
     def makespan(self) -> float:
@@ -245,5 +254,6 @@ class SmpSimulator:
             sched=sched,
             write_shared_lines=switchable.write_shared_lines,
             written_lines=switchable.written_lines,
+            write_sharers=switchable.write_sharer_map,
             payload=payload,
         )

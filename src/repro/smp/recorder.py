@@ -7,6 +7,14 @@ every L2 line written from a processor is recorded, and lines written
 from more than one processor are reported (on a real SMP those lines
 would ping-pong under an invalidate protocol; the paper's workloads
 mostly avoid this because bins group neighbouring writes).
+
+This ledger is the runtime twin of the static RC003 advisory
+(``repro.analysis.races``): RC003 predicts cross-*bin* write sharing
+from capture execution, and since an assignment policy places whole
+bins on processors, every line this ledger sees shared between two
+worker processors must come from two different bins — i.e. must have
+been predicted.  ``write_sharer_map`` exposes the line identities and
+their writers so that containment can actually be checked.
 """
 
 from __future__ import annotations
@@ -48,16 +56,30 @@ class SwitchableRecorder:
         self.target.record(segment, writes=writes)
 
     def record_interleaved(self, segments, writes: int = 0) -> None:
-        if writes:
-            for segment in segments:
+        # Only the store operands count for the ledger.  The trace API's
+        # convention (shared with the capture layer, see
+        # ``repro.analysis.capture``): the trailing ceil(writes / count)
+        # segments of a load/.../store loop body are the stores.
+        segments = list(segments)
+        if writes and segments:
+            count = max(segment.count for segment in segments)
+            stores = min(len(segments), -(-writes // count))
+            for segment in segments[len(segments) - stores :]:
                 self._note_writes(segment)
         self.target.record_interleaved(segments, writes=writes)
 
     def record_lines(self, lines, counts=None, writes: int = 0) -> None:
+        # Same convention as capture: the trailing entries whose
+        # accumulated reference counts cover ``writes`` are the stores.
         if writes:
             shift = self._l2_line_bits - self.target.hierarchy.l1d.config.line_bits
-            for line in lines:
+            tally = counts if counts is not None else [1] * len(lines)
+            remaining = writes
+            for line, count in zip(reversed(lines), reversed(tally)):
+                if remaining <= 0:
+                    break
                 self._writers.setdefault(line >> shift, set()).add(self.current)
+                remaining -= count
         self.target.record_lines(lines, counts, writes=writes)
 
     def count_instructions(self, count: int) -> None:
@@ -99,6 +121,19 @@ class SwitchableRecorder:
     def write_shared_lines(self) -> int:
         """L2 lines written from more than one processor."""
         return sum(1 for cpus in self._writers.values() if len(cpus) > 1)
+
+    @property
+    def write_sharer_map(self) -> dict[int, frozenset[int]]:
+        """``line -> processors`` for the write-shared L2 lines only.
+
+        Comparable against the static RC003 prediction when the run
+        uses the same machine and allocation order as the capture.
+        """
+        return {
+            line: frozenset(cpus)
+            for line, cpus in self._writers.items()
+            if len(cpus) > 1
+        }
 
     @property
     def written_lines(self) -> int:

@@ -1,0 +1,53 @@
+"""Seeded defect: a mis-ordered SOR wavefront (RC001).
+
+The dependence-aware SOR from ``repro.apps.sor.programs.threaded_exact``
+with one class of edges dropped: thread (sweep, j) no longer waits for
+its same-sweep west neighbour (sweep, j-1), which *writes* the column
+that (sweep, j) reads.  The pair is conflicting and unordered — a race
+the runtime work-list schedule may or may not expose.
+"""
+
+from repro.mem.arrays import RefSegment
+
+KIND = "program"
+EXPECTED = ["RC001"]
+
+N = 64
+SWEEPS = 2
+
+
+def PROGRAM(ctx):
+    handle = ctx.allocate_array("A", (N, N))
+    recorder = ctx.recorder
+    package = ctx.make_dependent_thread_package()
+    col = handle.col_stride
+
+    def update(j, _unused):
+        recorder.record(RefSegment(handle.base + (j - 1) * col, 8, N, 8))
+        recorder.record(RefSegment(handle.base + (j + 1) * col, 8, N, 8))
+        recorder.record(
+            RefSegment(handle.base + j * col, 8, N, 8), writes=N
+        )
+
+    columns = N - 2
+    ids = []
+    for tau in range(SWEEPS):
+        for j in range(1, N - 1):
+            after = []
+            # BUG: the same-sweep (tau, j-1) edge is missing — compare
+            # threaded_exact, which appends it for every j > 1.
+            if tau > 0:
+                after.append(ids[(tau - 1) * columns + (j - 1)])
+                if j + 1 <= N - 2:
+                    after.append(ids[(tau - 1) * columns + j])
+            ids.append(
+                package.th_fork(
+                    update,
+                    j,
+                    None,
+                    handle.addr(0, j - 1),
+                    handle.addr(N - 1, j + 1),
+                    after=after,
+                )
+            )
+    package.th_run(0)

@@ -1,0 +1,21 @@
+"""Seeded defect: an ``after`` edge naming a thread that does not exist
+(RC002).
+
+At runtime ``DependentThreadPackage.th_fork`` raises; under capture the
+edge is dropped and reported so the rest of the program can still be
+analysed.
+"""
+
+KIND = "program"
+EXPECTED = ["RC002"]
+
+
+def PROGRAM(ctx):
+    package = ctx.make_dependent_thread_package()
+
+    def proc(a, b):
+        pass
+
+    package.th_fork(proc, 0, None, 8)
+    package.th_fork(proc, 1, None, 8, after=[7])  # BUG: id 7 never forked
+    package.th_run(0)

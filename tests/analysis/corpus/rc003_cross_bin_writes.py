@@ -1,0 +1,26 @@
+"""Seeded pattern: threads in different bins write the same cache line
+(RC003, advisory).
+
+Harmless on the paper's uniprocessor; under the SMP extension the two
+bins may run on different processors and the line ping-pongs.
+"""
+
+from repro.mem.arrays import RefSegment
+
+KIND = "program"
+EXPECTED = ["RC003"]
+
+
+def PROGRAM(ctx):
+    recorder = ctx.recorder
+    package = ctx.make_thread_package()
+    block = package.scheduler.block_size
+    handle = ctx.allocate_array("shared", (2 * block // 8,))
+
+    def proc(i, _unused):
+        # Both threads write the same first line of the array.
+        recorder.record(RefSegment(handle.base, 8, 4, 8), writes=4)
+
+    package.th_fork(proc, 0, None, handle.base)
+    package.th_fork(proc, 1, None, handle.base + block)  # a different bin
+    package.th_run(0)

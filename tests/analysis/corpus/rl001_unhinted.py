@@ -1,0 +1,19 @@
+"""Seeded defect: every thread forked without hints (RL001).
+
+The scheduler files unhinted threads into one catch-all bin, so the
+run degrades to FIFO with no locality benefit.
+"""
+
+KIND = "program"
+EXPECTED = ["RL001"]
+
+
+def PROGRAM(ctx):
+    package = ctx.make_thread_package()
+
+    def proc(a, b):
+        pass
+
+    for i in range(16):
+        package.th_fork(proc, i, None)  # BUG: no hints
+    package.th_run(0)

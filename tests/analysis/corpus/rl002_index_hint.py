@@ -1,0 +1,23 @@
+"""Seeded defect: a column *index* passed where an address was meant
+(RL002).
+
+Most threads hint with real array addresses; a few pass the small loop
+index instead, which lands below the address-space guard region.
+"""
+
+KIND = "program"
+EXPECTED = ["RL002"]
+
+
+def PROGRAM(ctx):
+    handle = ctx.allocate_array("grid", (64, 64))
+    package = ctx.make_thread_package()
+
+    def proc(a, b):
+        pass
+
+    for j in range(12):
+        package.th_fork(proc, j, None, handle.addr(0, j))
+    for j in range(4):
+        package.th_fork(proc, j, None, j + 1)  # BUG: index, not address
+    package.th_run(0)

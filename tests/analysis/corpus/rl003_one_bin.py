@@ -1,0 +1,22 @@
+"""Seeded defect: all hints span less than one scheduling block
+(RL003).
+
+Every thread hashes into the same bin; the run is serial and the hints
+buy nothing.
+"""
+
+KIND = "program"
+EXPECTED = ["RL003"]
+
+
+def PROGRAM(ctx):
+    handle = ctx.allocate_array("grid", (64, 64))
+    package = ctx.make_thread_package()
+
+    def proc(a, b):
+        pass
+
+    for i in range(16):
+        # BUG: hints 8 bytes apart — the whole set fits one block.
+        package.th_fork(proc, i, None, handle.base + i * 8)
+    package.th_run(0)

@@ -1,0 +1,23 @@
+"""Seeded defect: bin occupancy skew (RL004).
+
+Sixty of sixty-four threads hint at the same block, so the fullest bin
+holds ~94% of the work and the schedule is mostly serial.
+"""
+
+KIND = "program"
+EXPECTED = ["RL004"]
+
+
+def PROGRAM(ctx):
+    package = ctx.make_thread_package()
+    block = package.scheduler.block_size
+    handle = ctx.allocate_array("grid", (2 * block // 8,))
+
+    def proc(a, b):
+        pass
+
+    for i in range(60):
+        package.th_fork(proc, i, None, handle.base)  # BUG: one hot block
+    for i in range(4):
+        package.th_fork(proc, i, None, handle.base + block)
+    package.th_run(0)

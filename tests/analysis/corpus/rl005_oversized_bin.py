@@ -1,0 +1,25 @@
+"""Seeded defect: one bin's footprint is several times the L2 (RL005).
+
+Four threads share a bin but each touches a full cache worth of
+distinct data, so running the bin to completion evicts its own lines.
+"""
+
+from repro.mem.arrays import RefSegment
+
+KIND = "program"
+EXPECTED = ["RL005"]
+
+
+def PROGRAM(ctx):
+    recorder = ctx.recorder
+    package = ctx.make_thread_package()
+    l2 = ctx.machine.l2.size
+    handle = ctx.allocate_array("big", (l2 // 2,))  # 4x the L2 in bytes
+
+    def proc(i, _unused):
+        recorder.record(RefSegment(handle.base + i * l2, 8, l2 // 8, 8))
+
+    for i in range(4):
+        # BUG: same hint for all, but disjoint L2-sized footprints.
+        package.th_fork(proc, i, None, handle.base)
+    package.th_run(0)

@@ -1,0 +1,19 @@
+"""Seeded defect: an invalid hint vector (RL006).
+
+A negative hint is rejected by the thread package at fork time; under
+capture the fork is replayed unhinted so analysis can continue, and the
+interface violation is reported as an error.
+"""
+
+KIND = "program"
+EXPECTED = ["RL006"]
+
+
+def PROGRAM(ctx):
+    package = ctx.make_thread_package()
+
+    def proc(a, b):
+        pass
+
+    package.th_fork(proc, 0, None, -42)  # BUG: hints must be >= 0
+    package.th_run(0)

@@ -1,0 +1,20 @@
+"""Seeded defect: hash table far too small for the hint spread (RL007).
+
+Sixteen distinct blocks hash into two slots, so every fork walks a
+chain of ~8 bins.
+"""
+
+KIND = "program"
+EXPECTED = ["RL007"]
+
+
+def PROGRAM(ctx):
+    package = ctx.make_thread_package(hash_size=2)  # BUG: 16 blocks used
+    block = package.scheduler.block_size
+
+    def proc(a, b):
+        pass
+
+    for i in range(16):
+        package.th_fork(proc, i, None, 8 + i * block)
+    package.th_run(0)

@@ -1,0 +1,21 @@
+"""Seeded defect: a nondeterministic thread proc (RP001).
+
+Calling ``random`` inside a proc makes runs unreproducible: the
+scheduler's dispatch order (which locality scheduling deliberately
+changes) then affects the numbers drawn.
+"""
+
+import random
+
+KIND = "file"
+EXPECTED = ["RP001"]
+
+
+def jitter(a, b):
+    return random.random() * a  # BUG: nondeterministic proc
+
+
+def build(package):
+    for i in range(8):
+        package.th_fork(jitter, i, None, 8 + i)
+    package.th_run(0)

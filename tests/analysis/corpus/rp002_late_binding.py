@@ -1,0 +1,19 @@
+"""Seeded defect: late-binding capture of the loop variable (RP002).
+
+The proc is defined inside the fork loop and reads ``j`` as a free
+variable; when ``th_run`` finally executes the threads, every one sees
+``j``'s final value.
+"""
+
+KIND = "file"
+EXPECTED = ["RP002"]
+
+
+def build(package, grid):
+    for j in range(1, 31):
+
+        def update(a, b):
+            grid[j] = grid[j - 1] + grid[j + 1]  # BUG: j read late
+
+        package.th_fork(update, 0, None, 8 + j * 64)
+    package.th_run(0)

@@ -1,0 +1,20 @@
+"""Seeded defect: a proc mutating captured shared state (RP003).
+
+Appending to a captured list couples threads through dispatch order —
+the very thing locality scheduling rearranges.
+"""
+
+KIND = "file"
+EXPECTED = ["RP003"]
+
+results = []
+
+
+def accumulate(a, b):
+    results.append(a * b)  # BUG: order-dependent shared mutation
+
+
+def build(package):
+    for i in range(8):
+        package.th_fork(accumulate, i, i, 8 + i * 1024)
+    package.th_run(0)

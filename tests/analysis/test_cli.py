@@ -1,0 +1,106 @@
+"""CLI surfaces: repro-lint and the repro-experiments lint/list wiring."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+import repro.analysis.cli as lint_cli
+import repro.exp.cli as exp_cli
+from repro.exp.registry import ALIASES, EXPERIMENTS
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+
+
+class TestReproLint:
+    def test_list_codes(self, capsys):
+        assert lint_cli.main(["--list-codes"]) == 0
+        out = capsys.readouterr().out
+        assert "RL001" in out and "RP003" in out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        script = tmp_path / "clean.py"
+        script.write_text(
+            "def proc(a, b):\n"
+            "    return a + b\n"
+            "\n"
+            "def build(package):\n"
+            "    package.th_fork(proc, 1, 2, 8)\n"
+        )
+        assert lint_cli.main([str(script)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_error_finding_exits_one(self, capsys):
+        corpus = str(CORPUS_DIR / "rp002_late_binding.py")
+        assert lint_cli.main([corpus]) == 1
+        out = capsys.readouterr().out
+        assert "RP002" in out
+
+    def test_json_format(self, capsys):
+        corpus = str(CORPUS_DIR / "rp002_late_binding.py")
+        lint_cli.main(["--format", "json", corpus])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] >= 1
+        codes = [d["code"] for d in payload["diagnostics"]]
+        assert "RP002" in codes
+
+    def test_quiet_prints_summary_only(self, capsys):
+        corpus = str(CORPUS_DIR / "rp003_mutable_capture.py")
+        lint_cli.main(["-q", corpus])
+        out = capsys.readouterr().out.strip()
+        assert len(out.splitlines()) == 1
+        assert "warning(s)" in out
+
+    def test_unknown_target_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            lint_cli.main(["definitely_not_a_target"])
+        assert excinfo.value.code == 2
+
+    def test_unparseable_file_is_a_failure(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert lint_cli.main([str(bad)]) == 1
+        assert "cannot parse" in capsys.readouterr().out
+
+
+class TestExperimentsListJson:
+    def test_json_listing_is_machine_readable(self, capsys):
+        assert exp_cli.main(["--list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        ids = [entry["id"] for entry in payload["experiments"]]
+        assert ids == list(EXPERIMENTS)
+        for entry in payload["experiments"]:
+            assert entry["description"]
+            assert entry["group"] in {"paper", "extension", "analysis"}
+        assert payload["aliases"] == ALIASES
+
+    def test_plain_listing_unchanged(self, capsys):
+        assert exp_cli.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert not out.lstrip().startswith("{")
+
+    def test_json_without_list_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            exp_cli.main(["--json"])
+        assert excinfo.value.code == 2
+
+
+class TestExperimentsLintGate:
+    def test_gate_passes_for_clean_experiment(self, tmp_path, capsys):
+        code = exp_cli.main(
+            [
+                "table2",
+                "--quick",
+                "--lint",
+                "--no-save",
+                "-q",
+                "--runs-dir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+        assert code == 0

@@ -1,0 +1,83 @@
+"""The seeded-defect corpus: every file raises exactly its intended code.
+
+Each corpus module seeds one defect and names the code(s) it must
+trigger.  The walker asserts two directions: the seeded code fires (no
+missed seeds) and no *error*-severity code outside the expectation does
+(no false-positive errors).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.analysis import lint_program
+from repro.analysis.diagnostics import CODES, Severity
+from repro.analysis.procs import analyze_file
+from repro.machine.presets import DEFAULT_SCALE, r8000
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.py"))
+
+
+def _load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(
+        f"corpus_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _diagnostics_for(path: pathlib.Path, module):
+    if module.KIND == "program":
+        machine = getattr(module, "MACHINE", None) or r8000(DEFAULT_SCALE)
+        return lint_program(module.PROGRAM, machine, name=path.stem)
+    return analyze_file(str(path))
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_seeded_defect_raises_its_code(path):
+    module = _load(path)
+    expected = set(module.EXPECTED)
+    diagnostics = _diagnostics_for(path, module)
+    codes = {d.code for d in diagnostics}
+    missing = expected - codes
+    assert not missing, (
+        f"{path.stem}: seeded {sorted(expected)} but lint raised "
+        f"{sorted(codes)} — missed seed(s) {sorted(missing)}"
+    )
+    unexpected_errors = sorted(
+        d.code
+        for d in diagnostics
+        if d.severity >= Severity.ERROR and d.code not in expected
+    )
+    assert not unexpected_errors, (
+        f"{path.stem}: unexpected error-severity findings "
+        f"{unexpected_errors}: "
+        + "; ".join(d.render() for d in diagnostics)
+    )
+
+
+def test_corpus_covers_every_registered_code():
+    seeded: set[str] = set()
+    for path in CORPUS:
+        seeded |= set(_load(path).EXPECTED)
+    assert seeded == set(CODES), (
+        f"codes without a corpus seed: {sorted(set(CODES) - seeded)}"
+    )
+
+
+def test_misordered_sor_reports_fork_provenance():
+    """RC001 must carry file:line of the racing forks (the corpus file)."""
+    path = CORPUS_DIR / "rc001_misordered_sor.py"
+    module = _load(path)
+    diagnostics = _diagnostics_for(path, module)
+    races = [d for d in diagnostics if d.code == "RC001"]
+    assert races
+    for diagnostic in races:
+        assert diagnostic.file == str(path)
+        assert diagnostic.line is not None
+        assert diagnostic.context["site_a"].startswith(str(path))

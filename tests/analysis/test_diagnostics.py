@@ -1,0 +1,85 @@
+"""The diagnostic registry: stable codes, severities, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Severity,
+    has_errors,
+    make_diagnostic,
+    worst_severity,
+)
+
+
+def test_code_table_is_stable():
+    """Codes are a public contract (CI gates and docs key on them)."""
+    assert set(CODES) == {
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+        "RC001", "RC002", "RC003",
+        "RP001", "RP002", "RP003",
+    }
+
+
+def test_error_severity_set():
+    """Exactly these codes abort a gated run; everything else advises."""
+    errors = {
+        code for code, info in CODES.items()
+        if info.default_severity >= Severity.ERROR
+    }
+    assert errors == {"RL006", "RC001", "RC002", "RP002"}
+
+
+def test_every_code_has_title_and_rationale():
+    for code, info in CODES.items():
+        assert info.code == code
+        assert info.title
+        assert info.rationale
+
+
+def test_make_diagnostic_uses_registry_default():
+    diagnostic = make_diagnostic("RL001", "msg", program="p")
+    assert diagnostic.severity == Severity.WARNING
+    assert make_diagnostic("RC001", "msg", program="p").severity == Severity.ERROR
+
+
+def test_severity_override_and_unknown_code():
+    info = make_diagnostic("RL005", "msg", program="p", severity=Severity.INFO)
+    assert info.severity == Severity.INFO
+    with pytest.raises(ValueError, match="unknown diagnostic code"):
+        make_diagnostic("RL999", "msg", program="p")
+
+
+def test_render_and_location():
+    diagnostic = make_diagnostic(
+        "RP002", "late binding", program="demo", file="a.py", line=7
+    )
+    assert diagnostic.location == "a.py:7"
+    rendered = diagnostic.render()
+    assert "a.py:7" in rendered
+    assert "RP002" in rendered
+    assert "error" in rendered
+    assert "[demo]" in rendered
+
+
+def test_to_dict_round_trips_context():
+    diagnostic = make_diagnostic(
+        "RL004", "skew", program="p", file="f.py", line=3, share=0.9
+    )
+    payload = diagnostic.to_dict()
+    assert payload["code"] == "RL004"
+    assert payload["severity"] == "warning"
+    assert payload["context"] == {"share": 0.9}
+
+
+def test_worst_severity_and_has_errors():
+    notes = [make_diagnostic("RC003", "m", program="p")]
+    warns = notes + [make_diagnostic("RL001", "m", program="p")]
+    errors = warns + [make_diagnostic("RL006", "m", program="p")]
+    assert worst_severity([]) is None
+    assert worst_severity(notes) == Severity.INFO
+    assert worst_severity(warns) == Severity.WARNING
+    assert worst_severity(errors) == Severity.ERROR
+    assert not has_errors(warns)
+    assert has_errors(errors)

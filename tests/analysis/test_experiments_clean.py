@@ -1,0 +1,63 @@
+"""Acceptance: the shipped workloads lint clean.
+
+Every registered experiment's thread programs must produce no
+error-severity findings (the corpus in ``corpus/`` proves the same
+analyzers *do* fire on seeded defects — together: no false positives,
+no missed seeds).  Example scripts must pass the AST proc lint with no
+errors either.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import run_lint
+from repro.analysis.diagnostics import Severity
+from repro.analysis.targets import (
+    all_experiment_targets,
+    file_targets,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def experiment_report():
+    return run_lint(all_experiment_targets(quick=True))
+
+
+def test_no_targets_fail_to_capture(experiment_report):
+    assert experiment_report.failures == {}
+
+
+def test_no_error_findings_on_registered_experiments(experiment_report):
+    errors = [
+        d.render()
+        for d in experiment_report.diagnostics
+        if d.severity >= Severity.ERROR
+    ]
+    assert errors == []
+
+
+def test_no_warning_findings_on_registered_experiments(experiment_report):
+    """The shipped programs are the reference corpus of *good* hinting;
+    they should not trip quality warnings either."""
+    warnings = [
+        d.render()
+        for d in experiment_report.diagnostics
+        if d.severity == Severity.WARNING
+    ]
+    assert warnings == []
+
+
+def test_examples_pass_proc_lint():
+    report = run_lint(file_targets(str(REPO_ROOT / "examples")))
+    assert report.failures == {}
+    errors = [
+        d.render()
+        for d in report.diagnostics
+        if d.severity >= Severity.ERROR
+    ]
+    assert errors == []

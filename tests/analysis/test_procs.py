@@ -1,0 +1,237 @@
+"""Proc lint (RP family): AST rules and their deliberate non-findings."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.procs import analyze_file
+
+
+def lint_source(source: str):
+    return analyze_file("<test>", source=textwrap.dedent(source))
+
+
+class TestRP001Nondeterminism:
+    def test_random_call_flagged(self):
+        diagnostics = lint_source(
+            """
+            import random
+
+            def proc(a, b):
+                return random.random()
+
+            def build(package):
+                package.th_fork(proc, 0, None, 8)
+            """
+        )
+        assert [d.code for d in diagnostics] == ["RP001"]
+
+    def test_numpy_random_flagged(self):
+        diagnostics = lint_source(
+            """
+            import numpy as np
+
+            def proc(a, b):
+                return np.random.default_rng().normal()
+
+            def build(package):
+                package.th_fork(proc, 0, None, 8)
+            """
+        )
+        assert [d.code for d in diagnostics] == ["RP001"]
+
+    def test_time_call_flagged(self):
+        diagnostics = lint_source(
+            """
+            import time
+
+            def proc(a, b):
+                return time.perf_counter()
+
+            def build(package):
+                package.th_fork(proc, 0, None, 8)
+            """
+        )
+        assert [d.code for d in diagnostics] == ["RP001"]
+
+    def test_pure_arithmetic_clean(self):
+        diagnostics = lint_source(
+            """
+            def proc(a, b):
+                return a * b + 1
+
+            def build(package):
+                package.th_fork(proc, 0, None, 8)
+            """
+        )
+        assert diagnostics == []
+
+
+class TestRP002LateBinding:
+    SOURCE = """
+        def build(package, grid):
+            for j in range(10):
+                def proc(a, b):
+                    grid[j] = a
+                package.th_fork(proc, 0, None, 8 + j)
+    """
+
+    def test_loop_variable_free_read_flagged(self):
+        diagnostics = lint_source(self.SOURCE)
+        assert [d.code for d in diagnostics] == ["RP002"]
+        (diagnostic,) = diagnostics
+        assert diagnostic.context["variable"] == "j"
+
+    def test_loop_variable_as_argument_clean(self):
+        diagnostics = lint_source(
+            """
+            def build(package, grid):
+                def proc(j, b):
+                    grid[j] = b
+                for j in range(10):
+                    package.th_fork(proc, j, None, 8 + j)
+            """
+        )
+        assert diagnostics == []
+
+    def test_default_argument_snapshot_clean(self):
+        diagnostics = lint_source(
+            """
+            def build(package, grid):
+                for j in range(10):
+                    def proc(a, b, j=j):
+                        grid[j] = a
+                    package.th_fork(proc, 0, None, 8 + j)
+            """
+        )
+        assert diagnostics == []
+
+    def test_lambda_in_loop_flagged(self):
+        diagnostics = lint_source(
+            """
+            def build(package, grid):
+                for j in range(10):
+                    package.th_fork(lambda a, b: grid[j], 0, None, 8 + j)
+            """
+        )
+        assert [d.code for d in diagnostics] == ["RP002"]
+
+    def test_proc_defined_outside_loop_clean(self):
+        diagnostics = lint_source(
+            """
+            def build(package, grid):
+                j = 3
+
+                def proc(a, b):
+                    grid[j] = a
+
+                for i in range(10):
+                    package.th_fork(proc, i, None, 8 + i)
+            """
+        )
+        assert diagnostics == []
+
+
+class TestRP003SharedMutation:
+    def test_append_on_capture_flagged(self):
+        diagnostics = lint_source(
+            """
+            def build(package):
+                order = []
+
+                def proc(a, b):
+                    order.append(a)
+
+                package.th_fork(proc, 0, None, 8)
+            """
+        )
+        assert [d.code for d in diagnostics] == ["RP003"]
+
+    def test_nonlocal_flagged(self):
+        diagnostics = lint_source(
+            """
+            def build(package):
+                total = 0
+
+                def proc(a, b):
+                    nonlocal total
+                    total += a
+
+                package.th_fork(proc, 0, None, 8)
+            """
+        )
+        assert [d.code for d in diagnostics] == ["RP003"]
+
+    def test_element_store_into_array_clean(self):
+        """c[i, j] = ... is the paper's shared-memory model, not a bug."""
+        diagnostics = lint_source(
+            """
+            def build(package, c):
+                def proc(i, j):
+                    c[i, j] = i * j
+
+                package.th_fork(proc, 1, 2, 8)
+            """
+        )
+        assert diagnostics == []
+
+    def test_mutation_of_local_clean(self):
+        diagnostics = lint_source(
+            """
+            def build(package):
+                def proc(a, b):
+                    scratch = []
+                    scratch.append(a)
+                    return scratch
+
+                package.th_fork(proc, 0, None, 8)
+            """
+        )
+        assert diagnostics == []
+
+
+class TestScoping:
+    def test_only_forked_procs_are_checked(self):
+        """A random() call in a never-forked helper is not a finding."""
+        diagnostics = lint_source(
+            """
+            import random
+
+            def helper():
+                return random.random()
+
+            def proc(a, b):
+                return a
+
+            def build(package):
+                package.th_fork(proc, 0, None, 8)
+            """
+        )
+        assert diagnostics == []
+
+    def test_nearest_preceding_definition_wins(self):
+        diagnostics = lint_source(
+            """
+            import random
+
+            def proc(a, b):
+                return random.random()
+
+            def build_one(package):
+                package.th_fork(proc, 0, None, 8)
+
+            def proc(a, b):
+                return a
+
+            def build_two(package):
+                package.th_fork(proc, 0, None, 8)
+            """
+        )
+        # Only the first build's proc is nondeterministic.
+        assert [d.code for d in diagnostics] == ["RP001"]
+
+    def test_syntax_error_raises_value_error(self):
+        with pytest.raises(ValueError, match="cannot parse"):
+            lint_source("def broken(:\n")

@@ -1,0 +1,73 @@
+"""Unit tests for the dependence race detector's overlap machinery."""
+
+from __future__ import annotations
+
+from repro.analysis.capture import FootSeg
+from repro.analysis.races import segments_conflict
+
+
+def seg(base, stride, count, element_size=8, written=False):
+    return FootSeg(base, stride, count, element_size, written)
+
+
+class TestExtentRejection:
+    def test_disjoint_extents_never_conflict(self):
+        assert not segments_conflict(seg(0, 8, 10), seg(1000, 8, 10))
+        assert not segments_conflict(seg(1000, 8, 10), seg(0, 8, 10))
+
+    def test_touching_extents_do_not_conflict(self):
+        # [0, 80) and [80, 160): adjacent, no shared byte.
+        assert not segments_conflict(seg(0, 8, 10), seg(80, 8, 10))
+
+
+class TestDenseOverlap:
+    def test_overlapping_dense_runs_conflict(self):
+        assert segments_conflict(seg(0, 8, 10), seg(40, 8, 10))
+
+    def test_identical_segments_conflict(self):
+        assert segments_conflict(seg(64, 8, 4), seg(64, 8, 4))
+
+    def test_single_element_inside_dense_run(self):
+        assert segments_conflict(seg(0, 8, 10), seg(32, 0, 1))
+
+    def test_single_element_outside_dense_run(self):
+        assert not segments_conflict(seg(0, 8, 10), seg(96, 0, 1))
+
+
+class TestGcdDisjointness:
+    def test_red_black_interleave_is_disjoint(self):
+        """Stride-16 progressions offset by 8 never share a byte — the
+        red/black SOR pattern the GCD test exists to prove safe."""
+        red = seg(0, 16, 64)
+        black = seg(8, 16, 64)
+        assert not segments_conflict(red, black)
+
+    def test_same_phase_strided_runs_conflict(self):
+        assert segments_conflict(seg(0, 16, 64), seg(16, 16, 32))
+
+    def test_coprime_strides_conflict(self):
+        # gcd(24, 16) = 8 = element size: no residue gap remains.
+        assert segments_conflict(seg(0, 24, 64), seg(8, 16, 64))
+
+    def test_wide_elements_close_the_gap(self):
+        # Same phase offset as red/black but 16-byte elements overlap.
+        a = FootSeg(0, 32, 16, 16, False)
+        b = FootSeg(8, 32, 16, 16, False)
+        assert segments_conflict(a, b)
+
+    def test_dense_probe_between_strided_elements(self):
+        # Elements at 0, 64, 128...; an 8-byte probe at 16 misses.
+        assert not segments_conflict(seg(16, 0, 1), seg(0, 64, 8))
+        # ...but a probe spanning into the next element hits.
+        assert segments_conflict(seg(60, 8, 2, 8), seg(0, 64, 8))
+
+
+class TestNegativeStride:
+    def test_reversed_run_conflicts_with_forward_run(self):
+        backwards = seg(72, -8, 10)  # elements 72, 64, ..., 0
+        assert segments_conflict(backwards, seg(0, 8, 4))
+
+    def test_reversed_red_black_still_disjoint(self):
+        red_backwards = FootSeg(16 * 63, -16, 64, 8, False)
+        black = seg(8, 16, 64)
+        assert not segments_conflict(red_backwards, black)

@@ -1,0 +1,73 @@
+"""Differential check: static RC003 prediction vs measured SMP sharing.
+
+The static analyzer predicts cross-*bin* write sharing from capture
+execution; the SMP engine measures cross-*processor* write sharing at
+run time.  An assignment policy places whole bins on processors, so any
+L2 line two worker processors both wrote must have been written by two
+different bins — i.e. the measured set (away from processor 0, which
+also executes the serial fork/init phase) must be contained in the
+static prediction.  Capture and the SMP simulator build their address
+spaces identically (same base, same anti-conflict stagger), so the line
+numbers are directly comparable.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.capture import run_capture
+from repro.apps.sor import SorConfig, threaded
+from repro.exp.base import r8000
+from repro.smp.engine import SmpSimulator
+from repro.smp.machine import SmpMachine
+
+SCALE = 64
+PROCESSORS = 4
+
+
+def _predicted_shared_lines(capture, l2_line_bits: int) -> set[int]:
+    """L2 lines the static analysis sees written from more than one
+    bin — the same ledger RC003 reports, at L2 granularity."""
+    bins_writing: dict[int, set[int]] = {}
+    for package in capture.packages:
+        for run in package.runs:
+            for record in run.records:
+                for segment in record.footprint:
+                    if not segment.written:
+                        continue
+                    for line in segment.lines(l2_line_bits):
+                        bins_writing.setdefault(line, set()).add(
+                            record.bin_ref
+                        )
+    return {line for line, bins in bins_writing.items() if len(bins) > 1}
+
+
+def test_measured_smp_sharing_is_contained_in_static_prediction():
+    config = SorConfig.quick()
+    base = r8000(SCALE)
+
+    capture = run_capture(threaded(config), base)
+    predicted = _predicted_shared_lines(capture, base.l2.line_bits)
+    assert predicted, "SOR's column boundaries must predict some sharing"
+
+    result = SmpSimulator(SmpMachine(base, PROCESSORS)).run(
+        threaded(config), assignment="chunked"
+    )
+    assert result.write_shared_lines == len(result.write_shared_line_set)
+    assert result.write_sharers, "the SMP run must measure write sharing"
+
+    # Lines involving processor 0 may be shared with the serial
+    # fork/init phase rather than with another bin; every line shared
+    # purely between worker processors must have been predicted.
+    worker_shared = {
+        line for line, cpus in result.write_sharers.items() if 0 not in cpus
+    }
+    assert worker_shared, "chunk boundaries away from cpu 0 must share"
+    assert worker_shared <= predicted
+
+
+def test_sharer_map_names_real_processors():
+    result = SmpSimulator(SmpMachine(r8000(SCALE), PROCESSORS)).run(
+        threaded(SorConfig.quick()), assignment="chunked"
+    )
+    for line, cpus in result.write_sharers.items():
+        assert len(cpus) > 1
+        assert all(0 <= cpu < PROCESSORS for cpu in cpus)

@@ -1,0 +1,92 @@
+"""Target resolution: experiment hooks, files, and the error path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.targets import (
+    all_experiment_targets,
+    app_targets,
+    experiment_targets,
+    file_targets,
+    resolve_targets,
+)
+from repro.exp.registry import EXPERIMENTS
+from repro.resilience.errors import ConfigError
+
+
+def test_every_experiment_contributes_lint_targets():
+    """Each registered experiment exposes at least one program target
+    (extension_blocking's blocking variant is deliberately excluded but
+    its other versions are not)."""
+    for experiment_id in EXPERIMENTS:
+        targets = experiment_targets(experiment_id)
+        assert targets, f"{experiment_id} contributes no lint targets"
+        for target in targets:
+            assert target.kind == "program"
+            assert target.name.startswith(f"{experiment_id}:")
+            assert target.program is not None
+            assert target.machine is not None
+
+
+def test_all_experiment_targets_cover_registry():
+    names = {t.name.split(":", 1)[0] for t in all_experiment_targets()}
+    assert names == set(EXPERIMENTS)
+
+
+def test_aliases_resolve(tmp_path):
+    assert [t.name for t in experiment_targets("table6-sor")] == [
+        t.name for t in experiment_targets("table6")
+    ]
+
+
+def test_file_and_directory_targets(tmp_path):
+    script = tmp_path / "one.py"
+    script.write_text("x = 1\n")
+    (tmp_path / "two.py").write_text("y = 2\n")
+    (tmp_path / "notes.txt").write_text("not python\n")
+    assert [t.path for t in file_targets(str(script))] == [str(script)]
+    names = [t.path for t in file_targets(str(tmp_path))]
+    assert names == sorted(names)
+    assert len(names) == 2
+
+
+def test_resolve_mixed_arguments(tmp_path):
+    script = tmp_path / "prog.py"
+    script.write_text("x = 1\n")
+    targets = resolve_targets(["table2", str(script)])
+    kinds = {t.kind for t in targets}
+    assert kinds == {"program", "file"}
+
+
+def test_resolve_unknown_target_raises():
+    with pytest.raises(ConfigError, match="unknown lint target"):
+        resolve_targets(["no_such_thing"])
+
+
+def test_resolve_empty_means_all_experiments():
+    assert len(resolve_targets([])) == len(all_experiment_targets())
+
+
+class TestAppTargets:
+    def test_app_spec_resolves_every_lintable_version(self):
+        targets = app_targets("sor")
+        assert sorted(t.name for t in targets) == [
+            "sor:threaded",
+            "sor:threaded_exact",
+        ]
+        for target in targets:
+            assert target.kind == "program"
+            assert target.machine is not None
+
+    def test_app_version_spec_resolves_one(self):
+        (target,) = app_targets("matmul:threaded")
+        assert target.name == "matmul:threaded"
+
+    def test_unknown_version_names_the_choices(self):
+        with pytest.raises(ConfigError, match="threaded"):
+            app_targets("nbody:untiled")
+
+    def test_resolve_understands_app_specs(self):
+        names = {t.name for t in resolve_targets(["sor:threaded", "pde"])}
+        assert names == {"sor:threaded", "pde:threaded"}

@@ -1,0 +1,112 @@
+"""Structured validation of 'after' edges and cycle reporting.
+
+Companion to test_deps.py: these tests pin down the *messages* — bad
+edges are rejected at fork time with a ConfigError naming the offending
+id, and a stuck schedule names the blocked threads and their unmet
+predecessors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deps import DependencyCycleError, DependentThreadPackage
+from repro.resilience.errors import ConfigError
+
+L2 = 2 * 1024 * 1024
+
+
+def make(**kwargs):
+    return DependentThreadPackage(l2_size=L2, **kwargs)
+
+
+def null(a, b):
+    return None
+
+
+class TestAfterValidation:
+    def test_unknown_forward_id_names_the_id(self):
+        package = make()
+        package.th_fork(null, hint1=1)
+        with pytest.raises(ConfigError) as excinfo:
+            package.th_fork(null, hint1=2, after=[5])
+        message = str(excinfo.value)
+        assert "thread 1" in message
+        assert "5" in message
+        assert "backwards" in message
+        assert excinfo.value.field == "after"
+
+    def test_self_dependence_named(self):
+        package = make()
+        package.th_fork(null, hint1=1)
+        with pytest.raises(ConfigError, match="cannot depend on itself"):
+            package.th_fork(null, hint1=2, after=[1])
+
+    def test_negative_id_rejected(self):
+        package = make()
+        package.th_fork(null, hint1=1)
+        with pytest.raises(ConfigError, match="unknown thread id"):
+            package.th_fork(null, hint1=2, after=[-1])
+
+    def test_non_integer_id_rejected(self):
+        package = make()
+        package.th_fork(null, hint1=1)
+        with pytest.raises(ConfigError, match="thread ids returned by"):
+            package.th_fork(null, hint1=2, after=["0"])
+
+    def test_bool_is_not_a_thread_id(self):
+        package = make()
+        package.th_fork(null, hint1=1)
+        with pytest.raises(ConfigError, match="thread ids returned by"):
+            package.th_fork(null, hint1=2, after=[False])
+
+    def test_config_error_is_a_value_error(self):
+        """Callers catching the historical ValueError keep working."""
+        package = make()
+        package.th_fork(null, hint1=1)
+        with pytest.raises(ValueError, match="cannot depend"):
+            package.th_fork(null, hint1=2, after=[3])
+
+    def test_rejected_fork_leaves_no_partial_record(self):
+        package = make()
+        package.th_fork(null, hint1=1)
+        with pytest.raises(ConfigError):
+            package.th_fork(null, hint1=2, after=[9])
+        # The failed fork must not have been recorded: the next fork
+        # gets id 1 and the package still runs.
+        assert package.th_fork(null, hint1=2) == 1
+        assert package.th_run(0).threads == 2
+
+    def test_valid_edges_still_accepted(self):
+        package = make()
+        first = package.th_fork(null, hint1=1)
+        second = package.th_fork(null, hint1=1, after=[first])
+        assert (first, second) == (0, 1)
+        assert package.th_run(0).threads == 2
+
+
+class TestCycleReporting:
+    def _stuck_package(self):
+        """A cycle injected the way the scheduler could only see at
+        run time (fork-time validation forbids forward edges)."""
+        package = make()
+        a = package.th_fork(null, hint1=1)
+        b = package.th_fork(null, hint1=1, after=[a])
+        records = package._records
+        records[a].remaining += 1  # a now waits on b: a <-> b
+        records[b].dependents.append(a)
+        records[a].preds.append(b)
+        return package, a, b
+
+    def test_cycle_error_names_blocked_threads_and_predecessors(self):
+        package, a, b = self._stuck_package()
+        with pytest.raises(DependencyCycleError) as excinfo:
+            package.th_run(0)
+        message = str(excinfo.value)
+        assert f"thread {a}" in message
+        assert f"waiting on {b}" in message or f"waiting on thread {b}" in message
+
+    def test_cycle_error_counts_blocked_threads(self):
+        package, _, _ = self._stuck_package()
+        with pytest.raises(DependencyCycleError, match="blocked"):
+            package.th_run(0)

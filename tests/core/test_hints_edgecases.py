@@ -1,0 +1,78 @@
+"""HintVector edge cases: gaps, iterators, equality/hash semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hints import MAX_HINTS, HintVector, fold_symmetric
+from repro.resilience.errors import HintError
+
+
+class TestDimensionGaps:
+    def test_gap_after_hint1_rejected(self):
+        with pytest.raises(ValueError, match="hint2 must be set"):
+            HintVector(0x10000, 0, 0x20000)
+
+    def test_leading_gap_rejected(self):
+        with pytest.raises(ValueError, match="hint1 must be set"):
+            HintVector(0, 0x10000)
+        with pytest.raises(ValueError, match="hint1 must be set"):
+            HintVector(0, 0, 0x10000)
+
+    def test_dims_counts_leading_nonzero_hints(self):
+        assert HintVector(0).dims == 0
+        assert HintVector(7).dims == 1
+        assert HintVector(7, 8).dims == 2
+        assert HintVector(7, 8, 9).dims == 3
+
+    def test_negative_hint_rejected_in_any_slot(self):
+        for hints in ((-1,), (1, -2), (1, 2, -3)):
+            with pytest.raises(ValueError, match="non-negative"):
+                HintVector(*hints)
+
+
+class TestFromSequence:
+    def test_accepts_single_use_iterators(self):
+        """Generators and other one-shot iterables must work: th_fork
+        forwards whatever the caller built the hints with."""
+        vector = HintVector.from_sequence(h for h in (0x10000, 0x20000))
+        assert vector == HintVector(0x10000, 0x20000)
+        assert HintVector.from_sequence(iter([5])) == HintVector(5)
+        assert HintVector.from_sequence(map(int, "678")) == HintVector(6, 7, 8)
+
+    def test_empty_iterator_means_no_hints(self):
+        assert HintVector.from_sequence(iter(())).dims == 0
+
+    def test_overlong_sequence_raises_structured_error(self):
+        with pytest.raises(HintError, match="at most"):
+            HintVector.from_sequence(range(1, MAX_HINTS + 2))
+
+    def test_pads_with_zeros(self):
+        assert HintVector.from_sequence([3]).as_tuple() == (3, 0, 0)
+
+
+class TestEqualityAndHash:
+    def test_equal_vectors_hash_equal(self):
+        a = HintVector(1, 2, 3)
+        b = HintVector.from_sequence((1, 2, 3))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_padding_does_not_distinguish(self):
+        assert HintVector(4) == HintVector(4, 0, 0)
+        assert hash(HintVector(4)) == hash(HintVector(4, 0, 0))
+
+    def test_usable_as_dict_key(self):
+        bins = {HintVector(1, 2): "a", HintVector(2, 1): "b"}
+        assert bins[HintVector(1, 2)] == "a"
+        assert len({HintVector(9), HintVector(9, 0)}) == 1
+
+    def test_order_matters_without_folding(self):
+        assert HintVector(1, 2) != HintVector(2, 1)
+        assert fold_symmetric(HintVector(1, 2)) == fold_symmetric(
+            HintVector(2, 1)
+        )
+
+    def test_fold_keeps_zeros_trailing(self):
+        folded = fold_symmetric(HintVector(3, 0, 0))
+        assert folded.as_tuple() == (3, 0, 0)

@@ -117,3 +117,45 @@ class TestHandlerHygiene:
         with reporter:
             reporter.start_experiment("table2", 1, 3)
         assert not hasattr(reporter, "_start_time")
+
+class TestLintNarration:
+    """lint_findings routes diagnostics by severity (duck-typed: it
+    must not need repro.analysis imports)."""
+
+    class Fake:
+        def __init__(self, severity, text):
+            self.severity = severity
+            self._text = text
+
+        def render(self):
+            return self._text
+
+    def narrate(self, verbosity):
+        reporter, out, err = make_reporter(verbosity)
+        with reporter:
+            reporter.lint_findings(
+                [
+                    self.Fake("error", "a.py:1: RC001 error: race"),
+                    self.Fake("warning", "b.py:2: RL003 warning: one bin"),
+                    self.Fake("info", "c.py:3: RC003 info: advisory"),
+                ],
+                "1 error(s), 1 warning(s), 1 note(s)",
+            )
+        return out.getvalue(), err.getvalue()
+
+    def test_default_shows_warnings_hides_notes(self):
+        out, err = self.narrate(0)
+        assert "RC001" in err
+        assert "RL003" in out
+        assert "RC003" not in out
+        assert "1 error(s)" in out
+
+    def test_verbose_shows_notes(self):
+        out, _ = self.narrate(1)
+        assert "RC003" in out
+
+    def test_quiet_keeps_errors_and_summary(self):
+        out, err = self.narrate(-1)
+        assert "RC001" in err
+        assert "RL003" not in out
+        assert "1 error(s)" in out

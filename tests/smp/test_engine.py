@@ -89,6 +89,35 @@ class TestSwitchableRecorder:
         proxy.record(segment)
         assert proxy.written_lines == 0
 
+    def test_interleaved_marks_only_trailing_store_segments(self):
+        """The trace API's convention (shared with the capture layer):
+        the stores of a load/.../store loop body come last."""
+        proxy, _ = self.make()
+        load_a = RefSegment(0x10000, 8, 16, 8)
+        load_b = RefSegment(0x40000, 8, 16, 8)
+        store = RefSegment(0x80000, 8, 16, 8)
+        proxy.record_interleaved([load_a, load_b, store], writes=16)
+        proxy.switch_to(1)
+        proxy.record_interleaved([load_a, load_b, store], writes=16)
+        # Only the store segment's line is shared; the loads never
+        # entered the ledger.
+        assert proxy.written_lines == 1
+        assert proxy.write_shared_lines == 1
+        assert set(proxy.write_sharer_map) == {0x80000 >> proxy._l2_line_bits}
+
+    def test_record_lines_marks_only_trailing_writes(self):
+        proxy, _ = self.make()
+        l1_bits = proxy.target.hierarchy.l1d.config.line_bits
+        shift = proxy._l2_line_bits - l1_bits
+        lines = [0x10000 >> l1_bits, 0x40000 >> l1_bits, 0x80000 >> l1_bits]
+        proxy.record_lines(lines, [4, 4, 3], writes=3)
+        assert set(
+            line << shift for line in proxy.write_sharer_map
+        ) == set() and proxy.written_lines == 1
+        proxy.switch_to(1)
+        proxy.record_lines(lines, [4, 4, 3], writes=3)
+        assert proxy.write_shared_lines == 1
+
     def test_empty_recorder_list_rejected(self):
         with pytest.raises(ValueError):
             SwitchableRecorder([], 7)
