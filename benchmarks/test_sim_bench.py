@@ -16,8 +16,9 @@ committed in ``BENCH_sim.json``.
 **Campaign scaling.**  The same four-experiment quick campaign is run
 serially and with ``--jobs 4``.  On a runner with at least four CPUs
 the parallel campaign must finish at least ``CAMPAIGN_SPEEDUP_MIN``
-times faster; on smaller machines the ratio is recorded but not
-enforced (the workers just time-share).
+times faster; with two or three CPUs any speedup at all is still owed
+(``CAMPAIGN_SPEEDUP_MIN_SMALL``); only a single-CPU machine — where the
+workers purely time-share — records the ratio without enforcing it.
 
 Timing discipline: min-of-N wall clock (noise only ever adds time).
 """
@@ -44,6 +45,9 @@ RESULT_FILE = REPO_ROOT / "BENCH_sim.json"
 #: Acceptance floors (see ISSUE/DESIGN §10).
 KERNEL_SPEEDUP_MIN = 1.5
 CAMPAIGN_SPEEDUP_MIN = 2.0
+#: Floor applied when the runner has more than one CPU but fewer than
+#: CAMPAIGN_JOBS: parallel dispatch must still beat serial outright.
+CAMPAIGN_SPEEDUP_MIN_SMALL = 1.1
 #: A run may not lose more than 20% of the committed kernel speedup.
 REGRESSION_FRACTION = 0.8
 
@@ -127,6 +131,12 @@ def test_kernel_and_campaign_throughput():
     parallel_s = campaign_seconds(jobs=CAMPAIGN_JOBS)
     campaign_speedup = serial_s / parallel_s
     cpu_count = os.cpu_count() or 1
+    if cpu_count >= CAMPAIGN_JOBS:
+        campaign_floor = CAMPAIGN_SPEEDUP_MIN
+    elif cpu_count > 1:
+        campaign_floor = CAMPAIGN_SPEEDUP_MIN_SMALL
+    else:
+        campaign_floor = None  # pure time-sharing: record, don't enforce
 
     payload = {
         "benchmark": "simulator kernel throughput + campaign parallelism",
@@ -154,7 +164,9 @@ def test_kernel_and_campaign_throughput():
         "floors": {
             "kernel_speedup_min": KERNEL_SPEEDUP_MIN,
             "campaign_speedup_min": CAMPAIGN_SPEEDUP_MIN,
-            "campaign_floor_enforced": cpu_count >= CAMPAIGN_JOBS,
+            "campaign_speedup_min_small": CAMPAIGN_SPEEDUP_MIN_SMALL,
+            "campaign_floor_applied": campaign_floor,
+            "campaign_floor_enforced": campaign_floor is not None,
             "regression_fraction": REGRESSION_FRACTION,
         },
     }
@@ -171,9 +183,9 @@ def test_kernel_and_campaign_throughput():
             f"kernel speedup regressed: {kernel_speedup:.2f}x vs committed "
             f"{baseline_speedup:.2f}x (floor {floor:.2f}x)"
         )
-    if cpu_count >= CAMPAIGN_JOBS:
-        assert campaign_speedup >= CAMPAIGN_SPEEDUP_MIN, (
+    if campaign_floor is not None:
+        assert campaign_speedup >= campaign_floor, (
             f"--jobs {CAMPAIGN_JOBS} campaign speedup "
-            f"{campaign_speedup:.2f}x below the {CAMPAIGN_SPEEDUP_MIN}x "
+            f"{campaign_speedup:.2f}x below the {campaign_floor}x "
             f"floor on a {cpu_count}-CPU machine"
         )

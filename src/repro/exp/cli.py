@@ -177,6 +177,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stop at the first failed experiment instead of degrading",
     )
     tolerance.add_argument(
+        "--max-failures",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "circuit breaker: stop dispatching once N experiments ended "
+            "not-passed; the rest stay pending (default: 0 = unlimited)"
+        ),
+    )
+    tolerance.add_argument(
+        "--max-worker-crashes",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "with --jobs: quarantine an experiment after its worker dies N "
+            "times (recorded as worker-crash, retried by --resume; "
+            "default: %(default)s)"
+        ),
+    )
+    tolerance.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help=(
+            "with --jobs: kill and recover a worker whose heartbeat goes "
+            "stale for S seconds (0 = stall detection off)"
+        ),
+    )
+    tolerance.add_argument(
         "--inject-fault",
         action="append",
         default=[],
@@ -276,6 +307,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.max_failures < 0:
+        parser.error(f"--max-failures must be >= 0, got {args.max_failures}")
+    if args.max_worker_crashes < 1:
+        parser.error(
+            f"--max-worker-crashes must be >= 1, got {args.max_worker_crashes}"
+        )
+    if args.stall_timeout < 0:
+        parser.error(f"--stall-timeout must be >= 0, got {args.stall_timeout}")
 
     try:
         for spec in args.inject_fault:
@@ -306,6 +345,9 @@ def main(argv: list[str] | None = None) -> int:
         verbosity=1 if args.verbose else (-1 if args.quiet else 0),
         telemetry=args.telemetry,
         jobs=args.jobs,
+        max_failures=args.max_failures,
+        max_worker_crashes=args.max_worker_crashes,
+        stall_timeout_s=args.stall_timeout,
     )
     try:
         return run_campaign(config)

@@ -159,6 +159,35 @@ class CampaignReporter:
         self.always(summary)
 
     # ------------------------------------------------------------------
+    # Supervision (worker crash recovery, quarantine, circuit breaker)
+    # ------------------------------------------------------------------
+    def worker_crash(
+        self, experiment_id: str, crashes: int, limit: int, kind: str = "crash"
+    ) -> None:
+        """A worker process died (or stalled) mid-experiment; the
+        supervisor rebuilds the pool and retries or quarantines."""
+        what = "stalled and was killed" if kind == "stall" else "crashed"
+        self.error(
+            f"worker {what} running {experiment_id} "
+            f"(death {crashes}/{limit}); rebuilding the pool"
+        )
+
+    def quarantine(self, experiment_id: str, crashes: int) -> None:
+        """A poison job hit the crash bound and is being skipped."""
+        self.error(
+            f"{experiment_id} quarantined after {crashes} worker death(s); "
+            "recorded as worker-crash and skipped (--resume retries it)"
+        )
+
+    def circuit_breaker(self, failures: int, limit: int) -> None:
+        """--max-failures tripped; the campaign stops dispatching."""
+        self.error(
+            f"circuit breaker: {failures} experiment(s) failed "
+            f"(--max-failures {limit}); stopping — remaining experiments "
+            "stay pending"
+        )
+
+    # ------------------------------------------------------------------
     # Progress
     # ------------------------------------------------------------------
     def start_experiment(self, experiment_id: str, index: int, total: int) -> None:

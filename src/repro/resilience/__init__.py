@@ -13,7 +13,12 @@ This package provides the four pieces the experiment stack composes:
   watchdog timeout for wedged experiments;
 * :mod:`repro.resilience.faults` — a deterministic fault-injection
   harness that arms failures at named sites so the tests can prove the
-  retry/degradation/resume paths actually work.
+  retry/degradation/resume paths actually work, including process-level
+  chaos sites (``worker.crash``/``worker.stall``/``worker.slow``);
+* :mod:`repro.resilience.supervisor` — a supervised worker pool for
+  ``--jobs`` campaigns: crash detection with pool rebuild and orphan
+  resubmission, heartbeat-based stall detection, and poison-job
+  quarantine (``WorkerCrashError``, classified ``worker-crash``).
 
 The campaign driver that ties them together lives in
 :mod:`repro.resilience.campaign` (imported on demand by the CLI, not
@@ -30,10 +35,16 @@ from repro.resilience.errors import (
     FaultInjected,
     ReproError,
     SimulationError,
+    WorkerCrashError,
     classify_error,
 )
 from repro.resilience.faults import FAULTS, FaultInjector, fault_point
 from repro.resilience.retry import RetryPolicy, call_with_retry, watchdog
+from repro.resilience.supervisor import (
+    PoolSupervisor,
+    SupervisedJob,
+    SupervisorPolicy,
+)
 
 __all__ = [
     "CheckpointError",
@@ -44,11 +55,15 @@ __all__ = [
     "FAULTS",
     "FaultInjected",
     "FaultInjector",
+    "PoolSupervisor",
     "ReproError",
     "RetryPolicy",
     "RunManifest",
     "RunStore",
     "SimulationError",
+    "SupervisedJob",
+    "SupervisorPolicy",
+    "WorkerCrashError",
     "call_with_retry",
     "classify_error",
     "fault_point",

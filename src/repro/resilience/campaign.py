@@ -83,6 +83,18 @@ class CampaignConfig:
     #: workers via :mod:`repro.resilience.parallel`, with results merged
     #: back in plan order so manifests and summaries match serial runs.
     jobs: int = 1
+    #: Campaign circuit breaker (``--max-failures``): stop dispatching
+    #: once this many experiments ended not-passed this session; later
+    #: experiments stay pending.  0 disables the breaker.
+    max_failures: int = 0
+    #: Worker deaths one experiment may cause before the supervised
+    #: executor quarantines it (recorded as a ``worker-crash`` error and
+    #: skipped; ``--resume`` retries it).  Only meaningful with --jobs.
+    max_worker_crashes: int = 2
+    #: Heartbeat staleness (seconds) after which a worker is declared
+    #: stalled and SIGKILLed by the supervisor; 0 disables stall
+    #: detection.  Only meaningful with --jobs.
+    stall_timeout_s: float = 0.0
 
 
 @contextmanager
@@ -333,6 +345,7 @@ def _run_campaign(
                     persist,
                 )
             else:
+                failures = 0
                 for offset, experiment_id in enumerate(remaining):
                     index = done_before + offset + 1
                     reporter.start_experiment(experiment_id, index, total)
@@ -364,8 +377,19 @@ def _run_campaign(
                         index,
                         total,
                     )
-                    if config.fail_fast and record.status != "passed":
-                        break
+                    if record.status != "passed":
+                        failures += 1
+                        if config.fail_fast:
+                            break
+                        if config.max_failures and failures >= config.max_failures:
+                            # Circuit breaker: too much is going wrong to
+                            # keep burning compute; the rest stay pending.
+                            reporter.circuit_breaker(failures, config.max_failures)
+                            if obs.enabled:
+                                obs.instant(
+                                    "campaign.circuit_breaker", failures=failures
+                                )
+                            break
     finally:
         if writer is not None:
             obs.metrics.gauge("faults.fired_total").set(FAULTS.fired_total)

@@ -15,7 +15,11 @@ in a traceback.  The hierarchy:
     │       ├── ``ThreadBudgetError`` — a thread proc exceeded its budget
     │       └── ``ThreadProcError``   — a user thread proc raised
     ├── ``ExperimentError``   — an experiment failed outside the simulator
-    │       └── ``ExperimentTimeout`` — the watchdog fired
+    │       ├── ``ExperimentTimeout`` — the watchdog fired
+    │       └── ``WorkerCrashError``  — the worker process running the
+    │                                   experiment died (classified
+    │                                   ``worker-crash``; see
+    │                                   ``repro.resilience.supervisor``)
     └── ``CheckpointError``   — a run manifest could not be read or written
 
 ``ConfigError`` deliberately subclasses ``ValueError`` so the many
@@ -38,6 +42,7 @@ _CONTEXT_KEYS = (
     "invariant",
     "level",
     "thread",
+    "crashes",
 )
 
 
@@ -173,6 +178,25 @@ class ExperimentTimeout(ExperimentError):
         self.timeout_s = timeout_s
 
 
+class WorkerCrashError(ExperimentError):
+    """The worker process running an experiment died outright.
+
+    Raised (parent-side) by the supervised campaign executor when a
+    worker segfaults, is OOM-killed, exits via an injected
+    ``worker.crash``, or is SIGKILLed by the stall detector.  ``crashes``
+    counts how many times this experiment killed its worker; a job that
+    reaches the quarantine bound is recorded with this error (classified
+    ``worker-crash``) and skipped so the campaign can finish.  The
+    status is not final: ``--resume`` retries quarantined experiments.
+    """
+
+    def __init__(
+        self, message: str, *, crashes: int | None = None, **context: Any
+    ) -> None:
+        super().__init__(message, **context)
+        self.crashes = crashes
+
+
 class CheckpointError(ReproError):
     """A run manifest or result file could not be read or written."""
 
@@ -193,6 +217,8 @@ def classify_error(exc: BaseException) -> str:
         return "verification"
     if isinstance(exc, SimulationError):
         return "simulation"
+    if isinstance(exc, WorkerCrashError):
+        return "worker-crash"
     if isinstance(exc, ExperimentError):
         return "experiment"
     if isinstance(exc, CheckpointError):

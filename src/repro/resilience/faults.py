@@ -18,10 +18,32 @@ Modes
     Raise :class:`ExperimentTimeout`, simulating the watchdog firing.
 ``interrupt``
     Raise ``KeyboardInterrupt``, simulating Ctrl-C at that exact site.
+
+Process-level chaos sites
+-------------------------
+The ``worker.*`` sites are different in kind: instead of raising, they
+misbehave at the *process* level, exercising the supervised campaign
+executor (:mod:`repro.resilience.supervisor`).  They only fire inside
+``--jobs`` worker processes (serial campaigns never visit them), and
+the ``mode`` field is ignored — the site name determines the behaviour:
+
+``worker.crash``
+    ``os._exit`` the worker immediately (a segfault/OOM-kill stand-in);
+    the parent observes a broken pool, rebuilds it, and resubmits or
+    quarantines the job.
+``worker.stall``
+    Suppress the worker's heartbeat and sleep, wedged, until the
+    parent's stall detector SIGKILLs it (a bounded backstop exit keeps
+    detection-disabled runs from hanging forever).
+``worker.slow``
+    Sleep ``WORKER_SLOW_S`` and continue normally — latency injection
+    for backpressure and ETA behaviour, not a failure.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
@@ -37,7 +59,14 @@ KNOWN_SITES = (
     "checkpoint.write",   # checkpoint layer, after temp write / before rename
     "verify.oracle",      # verification oracles, on every oracle check
     "thread.proc",        # guarded execution, before each thread proc runs
+    "worker.crash",       # --jobs worker, before the experiment: die outright
+    "worker.stall",       # --jobs worker: wedge until the stall detector kills us
+    "worker.slow",        # --jobs worker: sleep, then continue (latency injection)
 )
+
+#: Injected ``worker.slow`` sleep; short enough for tests, long enough
+#: to reorder completions against healthy workers.
+WORKER_SLOW_S = 0.25
 
 MODES = ("fail", "fail-hard", "timeout", "interrupt")
 
@@ -54,6 +83,27 @@ class ArmedFault:
 
     def fire(self, **context: Any) -> None:
         message = self.message or f"injected {self.mode} at {self.site}"
+        if self.site == "worker.crash":
+            # Imported here: the supervisor imports nothing from this
+            # module, but keeping the constant there names the protocol.
+            from repro.resilience.supervisor import WORKER_CRASH_EXIT
+
+            os._exit(WORKER_CRASH_EXIT)
+        if self.site == "worker.stall":
+            from repro.resilience.supervisor import (
+                STALL_BACKSTOP_S,
+                WORKER_CRASH_EXIT,
+                suppress_heartbeat,
+            )
+
+            suppress_heartbeat()
+            deadline = time.monotonic() + STALL_BACKSTOP_S
+            while time.monotonic() < deadline:
+                time.sleep(0.05)  # wedged: waiting for the SIGKILL
+            os._exit(WORKER_CRASH_EXIT)  # backstop when detection is off
+        if self.site == "worker.slow":
+            time.sleep(WORKER_SLOW_S)
+            return
         if self.mode == "interrupt":
             raise KeyboardInterrupt(message)
         if self.mode == "timeout":

@@ -1,52 +1,61 @@
 """Parallel campaign execution: ``repro-experiments --jobs N``.
 
 Shards the remaining experiments of a campaign across worker processes
-(:class:`concurrent.futures.ProcessPoolExecutor`) while keeping every
-observable output — the run manifest, the per-experiment result files,
-the summary table, the exit code — byte-identical to a serial run
-(timestamps and ``elapsed_s`` aside).  The parent keeps sole ownership
-of everything stateful:
+while keeping every observable output — the run manifest, the
+per-experiment result files, the summary table, the exit code —
+byte-identical to a serial run (timestamps and ``elapsed_s`` aside).
+The parent keeps sole ownership of everything stateful:
 
+* **Supervision.**  Dispatch goes through
+  :class:`~repro.resilience.supervisor.PoolSupervisor`: a worker death
+  (segfault, OOM kill, injected ``worker.crash``) breaks the pool, and
+  the supervisor rebuilds it and resubmits the orphaned experiments
+  instead of losing them.  An experiment that kills its worker
+  ``max_worker_crashes`` times is *quarantined*: recorded in the
+  manifest as a :class:`~repro.resilience.errors.WorkerCrashError`
+  (classified ``worker-crash``) and skipped, so one poison job cannot
+  sink the campaign — and because quarantine is an ``error`` record,
+  ``--resume`` retries it.  With ``--stall-timeout`` the supervisor
+  also SIGKILLs workers whose heartbeat goes stale and recovers them
+  through the same path.
+* **Backpressure.**  At most ~2x ``--jobs`` experiments are in flight
+  at once; a huge campaign holds a bounded window of futures and
+  buffered results, not one future per planned experiment.
 * **Checkpointing** stays in the parent: worker results are merged in
   *plan order* (a reorder buffer over completion order) and each one
   goes through the same :func:`~repro.resilience.campaign._emit_record`
   path the serial loop uses, so ``checkpoint.write`` faults, atomic
   manifest updates, and ``--resume`` behave exactly as before.
 * **Fault injection** is budget-chained.  Faults armed at worker-side
-  sites (``exp.before``, ``sim.run``, ...) are exported to the workers;
-  while any budget remains, experiments are dispatched one at a time in
-  plan order with the full remaining budget, and each worker reports
-  back how many times each fault actually fired so the parent can
-  decrement.  Only when every budget is exhausted does dispatch fan out
-  to the full ``--jobs`` width.  A serial campaign consumes fault
-  budgets strictly in plan order; this reproduces that exactly.
-* **Verification and telemetry switches** are process-wide in the
-  worker too: each task carries the campaign's ``--verify`` choice and
-  telemetry flag, and the worker wraps the experiment in the same
-  ``verification(...)`` / ``telemetry_scope(...)`` context managers the
-  serial driver uses.
-* **Telemetry** streams back: each worker drains its private event bus
-  and metrics registry into the task result; the parent grafts the
-  events into its own bus under an ``exp.<id>`` span on fresh lanes
-  (worker lane *k* maps to a fresh parent ``tid``) and folds the
-  metrics in via :meth:`MetricsRegistry.merge_payload`, so
-  ``events.jsonl``, ``metrics.json``, and ``trace.json`` cover the whole
-  campaign with true span durations.
-* **Narration** from inside a worker (retry notes) is buffered and
-  replayed through the campaign reporter at merge time, so ``--verbose``
-  output reads in plan order, uninterleaved.
+  sites (``exp.before``, ``sim.run``, ``worker.crash``, ...) are
+  exported to the workers; while any budget remains, experiments are
+  dispatched one at a time in plan order with the full remaining
+  budget, and each worker reports back how many times each fault
+  actually fired so the parent can decrement.  A worker that dies
+  cannot report, so the parent charges the ``worker.crash`` /
+  ``worker.stall`` budget itself when it observes the death.  Only when
+  every budget is exhausted does dispatch fan out to the full window.
+* **Failure accounting.**  A worker task that raises without killing
+  its process is recorded with its classified error *and its
+  traceback* — never silently dropped.  ``--max-failures N`` arms a
+  campaign circuit breaker: once N experiments have ended not-passed,
+  dispatch stops (exactly where a serial run would have stopped) and
+  the rest stay pending.
+* **Verification, telemetry, and narration** behave as before: each
+  task carries the campaign's ``--verify`` choice and telemetry flag;
+  worker events and metrics stream back and are grafted into the parent
+  bus; worker narration is buffered and replayed in plan order.
 
 An ``interrupt``-mode fault (or a worker pressing the metaphorical
 Ctrl-C) reports back as ``interrupted``; the parent then flushes the
-manifest and exits 130 exactly like the serial path.  A worker process
-that dies outright (OOM kill, segfault) surfaces as an ``error`` record
-for its experiment — graceful degradation, not a crashed campaign.
+manifest and exits 130 exactly like the serial path.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+import time
+import traceback as traceback_module
 from contextlib import nullcontext
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -55,7 +64,14 @@ from repro.obs.exporters import RunTelemetryWriter
 from repro.obs.progress import CampaignReporter
 from repro.obs.telemetry import DISABLED, Telemetry
 from repro.resilience.checkpoint import ExperimentRecord, RunManifest, RunStore
-from repro.resilience.faults import FAULTS
+from repro.resilience.errors import WorkerCrashError, as_experiment_error
+from repro.resilience.faults import FAULTS, fault_point
+from repro.resilience.supervisor import (
+    PoolSupervisor,
+    SupervisedJob,
+    SupervisorPolicy,
+    worker_heartbeat,
+)
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
     from repro.resilience.campaign import CampaignConfig
@@ -63,6 +79,10 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
 #: Fault sites that fire in the parent process even under ``--jobs``:
 #: checkpoints are written by the parent, never by workers.
 PARENT_SITES = ("checkpoint.write",)
+
+#: Worker-process fault sites whose firing the parent must account for
+#: itself (a dead worker reports nothing back).
+CRASH_SITES = ("worker.crash", "worker.stall")
 
 
 class _BufferReporter:
@@ -93,12 +113,14 @@ def _execute_experiment(task: dict[str, Any]) -> dict[str, Any]:
     Reconstructs the campaign environment the serial driver would give
     the experiment — armed faults, the verify switch, a private
     telemetry handle — runs it through the usual fault-point/watchdog/
-    retry stack, and returns a picklable result: the experiment record,
-    buffered narration, drained telemetry, and per-site fault-fire
-    counts (for the parent's budget chaining).
+    retry stack under the supervisor's heartbeat protocol, and returns
+    a picklable result: the experiment record, buffered narration,
+    drained telemetry, and per-site fault-fire counts (for the parent's
+    budget chaining).
     """
     from repro.resilience.campaign import CampaignConfig, _run_one
 
+    experiment_id = task["experiment_id"]
     # The pool may fork us with the parent's armed faults (or a previous
     # task's leftovers) in module state; the task's spec is authoritative.
     FAULTS.reset()
@@ -113,7 +135,7 @@ def _execute_experiment(task: dict[str, Any]) -> dict[str, Any]:
     }
 
     config = CampaignConfig(
-        ids=[task["experiment_id"]],
+        ids=[experiment_id],
         quick=task["quick"],
         timeout_s=task["timeout_s"],
         retry=task["retry"],
@@ -127,16 +149,29 @@ def _execute_experiment(task: dict[str, Any]) -> dict[str, Any]:
 
         verify_scope = verification(task["verify"])
 
+    on_beat = None
+    if obs.enabled:
+        beat_tid = obs.bus.new_tid()  # own lane: the beat thread races lane 0
+
+        def on_beat() -> None:
+            obs.bus.instant(
+                "worker.heartbeat", tid=beat_tid, experiment=experiment_id
+            )
+
     reporter = _BufferReporter()
     record: ExperimentRecord | None = None
     interrupted = False
-    try:
-        with verify_scope, telemetry_scope(obs):
-            record = _run_one(
-                config, task["experiment_id"], task["runner"], reporter, obs
-            )
-    except KeyboardInterrupt:
-        interrupted = True
+    with worker_heartbeat(task, on_beat=on_beat):
+        # Process-level chaos sites fire before the experiment proper:
+        # a crash/stall here is what the supervisor must recover from.
+        fault_point("worker.slow", experiment_id=experiment_id)
+        fault_point("worker.stall", experiment_id=experiment_id)
+        fault_point("worker.crash", experiment_id=experiment_id)
+        try:
+            with verify_scope, telemetry_scope(obs):
+                record = _run_one(config, experiment_id, task["runner"], reporter, obs)
+        except KeyboardInterrupt:
+            interrupted = True
 
     events: list[dict[str, Any]] = []
     metrics: dict[str, Any] = {}
@@ -149,7 +184,7 @@ def _execute_experiment(task: dict[str, Any]) -> dict[str, Any]:
     }
     FAULTS.reset()
     return {
-        "experiment_id": task["experiment_id"],
+        "experiment_id": experiment_id,
         "record": record.to_dict() if record is not None else None,
         "messages": reporter.messages,
         "events": events,
@@ -240,8 +275,9 @@ def run_parallel(
     Returns ``True`` if the campaign was interrupted (worker-side
     ``interrupt`` fault or parent SIGINT); the caller turns that into
     the usual flush-and-exit-130 path.  Everything else — checkpoints,
-    narration, fail-fast — happens here through the same helpers the
-    serial loop uses, in plan order.
+    narration, fail-fast, crash recovery, quarantine, the circuit
+    breaker — happens here through the same helpers the serial loop
+    uses, in plan order.
     """
     from repro.resilience.campaign import _emit_record
 
@@ -276,27 +312,118 @@ def run_parallel(
             "runner": runner,
         }
 
+    def chained_payload(job: SupervisedJob) -> dict[str, Any]:
+        """Phase-1 payload: ships the live fault budgets of the moment."""
+        shipped = live_specs()
+        job.meta["shipped"] = [spec["site"] for spec in shipped]
+        job.meta.setdefault("started_at", time.perf_counter())
+        return make_task(job.experiment_id, shipped)
+
+    def plain_payload(job: SupervisedJob) -> dict[str, Any]:
+        """Phase-2 payload: every budget is spent, nothing to ship."""
+        job.meta["shipped"] = []
+        job.meta.setdefault("started_at", time.perf_counter())
+        return make_task(job.experiment_id, [])
+
     interrupted = False
     stop = False
+    failures = 0
 
-    def merge(result: dict[str, Any] | None, index: int) -> None:
-        """Fold one worker result into the campaign, serial-style."""
-        nonlocal interrupted, stop
-        experiment_id = remaining[index - done_before - 1]
+    def job_elapsed(job: SupervisedJob) -> float:
+        started = job.meta.get("started_at")
+        return time.perf_counter() - started if started is not None else 0.0
+
+    def on_crash(job: SupervisedJob, kind: str) -> None:
+        """A worker died mid-job (before quarantine is decided)."""
+        # The dead worker could not report its fault fires; if we shipped
+        # it a crash-site budget, the death *is* the fire — charge it.
+        site = "worker.stall" if kind == "stall" else "worker.crash"
+        if site in budgets and budgets[site] > 0 and site in job.meta.get("shipped", ()):
+            budgets[site] -= 1
+            FAULTS.fired_total += 1
+        reporter.worker_crash(
+            job.experiment_id, job.crashes, config.max_worker_crashes, kind
+        )
+        if obs.enabled:
+            obs.metrics.counter("supervisor.crashes").inc()
+            if kind == "stall":
+                obs.metrics.counter("supervisor.stalls").inc()
+            obs.instant(
+                "supervisor.crash",
+                experiment=job.experiment_id,
+                kind=kind,
+                crashes=job.crashes,
+            )
+
+    def record_failures(record: ExperimentRecord) -> None:
+        """Feed the circuit breaker; trips exactly at --max-failures."""
+        nonlocal failures, stop
+        if record.status == "passed":
+            return
+        failures += 1
+        if config.fail_fast:
+            stop = True
+        elif config.max_failures and failures >= config.max_failures:
+            reporter.circuit_breaker(failures, config.max_failures)
+            if obs.enabled:
+                obs.instant("campaign.circuit_breaker", failures=failures)
+            stop = True
+
+    def merge_one(job: SupervisedJob, kind: str, value: Any) -> None:
+        """Fold one terminal outcome into the campaign, serial-style."""
+        nonlocal interrupted
+        index = job.index
+        experiment_id = job.experiment_id
         reporter.start_experiment(experiment_id, index, total)
-        if result is None:  # worker process died (not a task exception)
+        if kind == "quarantined":
             record = ExperimentRecord.from_error(
                 experiment_id,
-                RuntimeError("worker process died before returning a result"),
-                0.0,
+                WorkerCrashError(
+                    f"worker process died {job.crashes} time(s) running this "
+                    "experiment; quarantined",
+                    experiment_id=experiment_id,
+                    crashes=job.crashes,
+                    kind=value,
+                ),
+                job_elapsed(job),
+                attempts=job.attempts,
             )
+            reporter.quarantine(experiment_id, job.crashes)
+            if obs.enabled:
+                obs.metrics.counter("supervisor.quarantined").inc()
+                obs.instant(
+                    "supervisor.quarantine",
+                    experiment=experiment_id,
+                    crashes=job.crashes,
+                    kind=value,
+                )
             _emit_record(
                 config, store, manifest, reporter, obs, writer, persist,
                 record, index, total,
             )
-            if config.fail_fast:
-                stop = True
+            record_failures(record)
             return
+        if kind == "failed":
+            # The task raised without killing its worker (result
+            # unpicklable, harness bug, ...): classify it and keep the
+            # traceback instead of dropping both on the floor.
+            exc = value
+            record = ExperimentRecord.from_error(
+                experiment_id,
+                as_experiment_error(exc, experiment_id),
+                job_elapsed(job),
+            )
+            if record.error is not None:
+                record.error["traceback"] = "".join(
+                    traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+                ).strip()
+            _emit_record(
+                config, store, manifest, reporter, obs, writer, persist,
+                record, index, total,
+            )
+            record_failures(record)
+            return
+        result = value
         for site, count in result["fired"].items():
             if site in budgets:
                 budgets[site] = max(0, budgets[site] - count)
@@ -322,11 +449,34 @@ def run_parallel(
             config, store, manifest, reporter, obs, writer, persist,
             record, index, total,
         )
-        if config.fail_fast and record.status != "passed":
-            stop = True
+        record_failures(record)
 
+    # Reorder buffer: outcomes arrive in completion order and merge
+    # strictly in plan order, exactly as a serial run would emit them.
+    buffered: dict[int, tuple[SupervisedJob, str, Any]] = {}
+    next_index = done_before + 1
+
+    def on_outcome(job: SupervisedJob, kind: str, value: Any) -> None:
+        nonlocal next_index
+        buffered[job.index] = (job, kind, value)
+        while next_index in buffered and not (interrupted or stop):
+            merge_one(*buffered.pop(next_index))
+            next_index += 1
+
+    def should_abort() -> bool:
+        return interrupted or stop
+
+    supervisor = PoolSupervisor(
+        _execute_experiment,
+        SupervisorPolicy(
+            jobs=config.jobs,
+            max_worker_crashes=config.max_worker_crashes,
+            stall_timeout_s=config.stall_timeout_s,
+        ),
+        mp_context=_pool_context(),
+        on_crash=on_crash,
+    )
     position = 0  # next entry of ``remaining`` to dispatch
-    pool = ProcessPoolExecutor(max_workers=config.jobs, mp_context=_pool_context())
     try:
         # Phase 1 — solo dispatch while worker-side fault budget
         # remains, so budgets drain in plan order exactly as serial.
@@ -335,48 +485,38 @@ def run_parallel(
             and any(budgets.values())
             and not (interrupted or stop)
         ):
-            experiment_id = remaining[position]
-            future = pool.submit(
-                _execute_experiment, make_task(experiment_id, live_specs())
+            job = SupervisedJob(
+                index=done_before + position + 1,
+                experiment_id=remaining[position],
             )
             position += 1
-            try:
-                result = future.result()
-            except Exception:
-                result = None
-            merge(result, done_before + position)
+            supervisor.run(
+                [job], chained_payload, on_outcome,
+                window=1, should_abort=should_abort,
+            )
 
-        # Phase 2 — full fan-out for everything left.  Completion order
-        # is arbitrary; a reorder buffer merges strictly in plan order.
-        futures: dict[Future, int] = {}
-        if not (interrupted or stop):
-            for offset in range(position, len(remaining)):
-                future = pool.submit(
-                    _execute_experiment, make_task(remaining[offset], [])
-                )
-                futures[future] = done_before + offset + 1
-        results: dict[int, dict[str, Any] | None] = {}
-        next_index = min(futures.values()) if futures else 0
-        pending = set(futures)
-        while pending and not (interrupted or stop):
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                try:
-                    results[futures[future]] = future.result()
-                except Exception:
-                    results[futures[future]] = None
-            while next_index in results and not (interrupted or stop):
-                merge(results.pop(next_index), next_index)
-                next_index += 1
-        if stop:
-            for future in pending:
-                future.cancel()
+        # Phase 2 — fan out over a bounded in-flight window (~2x jobs);
+        # the reorder buffer still merges strictly in plan order.
+        fanout = [
+            SupervisedJob(
+                index=done_before + offset + 1, experiment_id=remaining[offset]
+            )
+            for offset in range(position, len(remaining))
+        ]
+        if fanout and not (interrupted or stop):
+            supervisor.run(
+                fanout, plain_payload, on_outcome, should_abort=should_abort
+            )
     except KeyboardInterrupt:
         interrupted = True
         manifest.interrupted = True
         if persist:
             store.save(manifest)
-        pool.shutdown(wait=False, cancel_futures=True)
+        supervisor.shutdown(wait_for_workers=False)
         return interrupted
-    pool.shutdown(wait=True, cancel_futures=True)
+    finally:
+        if obs.enabled and supervisor.crashes:
+            obs.metrics.gauge("supervisor.rebuilds").set(supervisor.rebuilds)
+            obs.metrics.gauge("supervisor.crashes_total").set(supervisor.crashes)
+    supervisor.shutdown(wait_for_workers=True)
     return interrupted

@@ -1,0 +1,463 @@
+"""Supervised worker pools: crash recovery, stall detection, quarantine.
+
+:class:`~concurrent.futures.ProcessPoolExecutor` has a brutal failure
+mode: one worker dying (segfault, OOM kill, ``os._exit``) breaks the
+whole pool, every in-flight future raises ``BrokenProcessPool``, and the
+executor refuses further work.  Before this module the parallel campaign
+path swallowed that as a ``None`` result — the traceback vanished, the
+pool stayed broken, and every experiment still in flight was lost.
+
+:class:`PoolSupervisor` wraps the executor in a supervision loop:
+
+* **Crash detection and recovery.**  When the pool breaks, the
+  supervisor drains the doomed futures, attributes the crash to the
+  job(s) that had actually *started* (workers write a heartbeat file at
+  task start, so queued-but-unstarted jobs are requeued without
+  penalty), rebuilds the pool, and resubmits every orphaned job.
+* **Poison-job quarantine.**  A job whose worker dies
+  ``max_worker_crashes`` times is reported as *quarantined* instead of
+  being resubmitted forever — one reliably-crashing experiment cannot
+  sink the campaign, and the bound also caps total pool rebuilds (every
+  break charges at least one job).
+* **Stall detection.**  Workers touch their heartbeat file every
+  ``heartbeat_interval_s``; if a started job's heartbeat goes stale for
+  longer than ``stall_timeout_s`` the supervisor SIGKILLs the recorded
+  worker pid.  The kill surfaces as a pool break, so recovery and
+  quarantine reuse the crash path — a wedged worker costs one stall
+  timeout, not the campaign.
+* **Backpressure.**  At most ``window`` jobs are in flight at once
+  (the campaign driver uses ~2x the worker count), so a
+  million-experiment campaign holds a bounded set of futures and
+  pending results instead of materialising every future up front.
+
+The supervisor is deliberately policy-free about *what* a job outcome
+means: it reports terminal outcomes (``ok`` / ``failed`` /
+``quarantined``) and per-crash notifications through callbacks, and the
+campaign layer (:mod:`repro.resilience.parallel`) turns those into
+manifest records, fault-budget accounting, and narration.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import tempfile
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+#: Exit code a worker uses when an injected ``worker.crash`` fires, and
+#: the stall backstop uses when a stalled worker gives up waiting to be
+#: killed.  Chosen to be recognisable in ``wait()`` status decoding.
+WORKER_CRASH_EXIT = 113
+
+#: How long an injected ``worker.stall`` sleeps (heartbeats suppressed)
+#: before exiting on its own.  The parent's stall detector is expected to
+#: SIGKILL the worker long before this; the backstop only bounds test and
+#: CI hangs when stall detection is disabled.
+STALL_BACKSTOP_S = 30.0
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Tunables for one supervised pool."""
+
+    jobs: int = 1
+    #: Worker deaths one job may cause before it is quarantined.
+    max_worker_crashes: int = 2
+    #: Heartbeat staleness that declares a started job stalled; 0
+    #: disables stall detection (crash recovery still works).
+    stall_timeout_s: float = 0.0
+
+    @property
+    def heartbeat_interval_s(self) -> float:
+        """How often workers touch their heartbeat file (and how often
+        the parent scans): a quarter of the stall timeout, clamped."""
+        if self.stall_timeout_s <= 0:
+            return 0.0
+        return min(1.0, max(0.05, self.stall_timeout_s / 4))
+
+    @property
+    def window(self) -> int:
+        """Default in-flight bound: ~2x the worker count."""
+        return max(2, 2 * self.jobs)
+
+
+@dataclass
+class SupervisedJob:
+    """One unit of work under supervision.
+
+    ``index`` is the caller's plan-order position (used for heartbeat
+    file naming and for the caller's reorder buffer); ``meta`` is free
+    space for the caller (the campaign layer stashes the fault specs it
+    shipped with the latest attempt there).
+    """
+
+    index: int
+    experiment_id: str
+    attempts: int = 0
+    crashes: int = 0
+    stall_killed: bool = False
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def token(self) -> str:
+        return str(self.index)
+
+
+# ----------------------------------------------------------------------
+# Worker-side heartbeat protocol
+# ----------------------------------------------------------------------
+#: The heartbeat active in this worker process, if any; an injected
+#: ``worker.stall`` suppresses it via :func:`suppress_heartbeat`.
+_current_heartbeat: "WorkerHeartbeat | None" = None
+
+
+class WorkerHeartbeat:
+    """Worker half of the liveness protocol.
+
+    On ``start()`` the worker writes ``<dir>/<token>.hb`` containing its
+    pid — the supervisor reads existence as "this job started" (crash
+    attribution) and the pid as the kill target for stalls.  When an
+    interval is configured, a daemon thread touches the file until
+    ``stop()`` (or until suppressed by an injected stall).
+    """
+
+    def __init__(
+        self,
+        spec: dict[str, Any] | None,
+        on_beat: Callable[[], None] | None = None,
+    ) -> None:
+        self._path: Path | None = None
+        self._interval = 0.0
+        self._on_beat = on_beat
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        if spec:
+            self._path = Path(spec["dir"]) / f"{spec['token']}.hb"
+            self._interval = float(spec.get("interval", 0.0))
+
+    def start(self) -> None:
+        global _current_heartbeat
+        if self._path is None:
+            return
+        try:
+            self._path.write_text(str(os.getpid()), encoding="utf-8")
+        except OSError:
+            self._path = None
+            return
+        _current_heartbeat = self
+        if self._interval > 0:
+            self._thread = threading.Thread(
+                target=self._beat, name="repro-heartbeat", daemon=True
+            )
+            self._thread.start()
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._interval):
+            if self._path is None:
+                return
+            try:
+                self._path.touch()
+            except OSError:
+                return
+            if self._on_beat is not None:
+                self._on_beat()
+
+    def suppress(self) -> None:
+        """Stop beating without removing the file: the parent sees the
+        heartbeat go stale, exactly like a truly wedged worker."""
+        self._stop.set()
+
+    def stop(self) -> None:
+        """Normal task completion: stop beating and remove the file."""
+        global _current_heartbeat
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+        if self._path is not None:
+            try:
+                self._path.unlink(missing_ok=True)
+            except OSError:
+                pass
+        if _current_heartbeat is self:
+            _current_heartbeat = None
+
+
+def suppress_heartbeat() -> None:
+    """Called by an injected ``worker.stall``: make this worker look
+    wedged to the supervisor without actually dying."""
+    if _current_heartbeat is not None:
+        _current_heartbeat.suppress()
+
+
+@contextmanager
+def worker_heartbeat(
+    payload: dict[str, Any], on_beat: Callable[[], None] | None = None
+) -> Iterator[None]:
+    """Run a supervised task under the heartbeat protocol.
+
+    Workers wrap their task body in this; payloads dispatched outside a
+    supervisor (no ``supervise`` key) make it a no-op.
+    """
+    heartbeat = WorkerHeartbeat(payload.get("supervise"), on_beat=on_beat)
+    heartbeat.start()
+    try:
+        yield
+    finally:
+        heartbeat.stop()
+
+
+# ----------------------------------------------------------------------
+# The supervisor proper
+# ----------------------------------------------------------------------
+class PoolSupervisor:
+    """Owns a worker pool and keeps it alive across worker deaths.
+
+    ``worker_fn`` is the picklable callable executed in workers; it must
+    honour the heartbeat protocol (wrap its body in
+    :func:`worker_heartbeat`).  Outcomes are delivered through
+    callbacks passed to :meth:`run`; the supervisor itself never
+    interprets results.
+    """
+
+    def __init__(
+        self,
+        worker_fn: Callable[[dict[str, Any]], Any],
+        policy: SupervisorPolicy,
+        mp_context: Any = None,
+        on_crash: Callable[[SupervisedJob, str], None] | None = None,
+    ) -> None:
+        self.worker_fn = worker_fn
+        self.policy = policy
+        self._mp_context = mp_context
+        self._on_crash = on_crash or (lambda job, kind: None)
+        self._pool: ProcessPoolExecutor | None = None
+        self._hb_dir = Path(tempfile.mkdtemp(prefix="repro-supervise-"))
+        #: Lifetime counters, exported into campaign metrics.
+        self.crashes = 0
+        self.stalls = 0
+        self.rebuilds = 0
+        self.quarantined = 0
+        #: High-water mark of concurrently in-flight jobs (window proof).
+        self.max_inflight = 0
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.policy.jobs, mp_context=self._mp_context
+            )
+        return self._pool
+
+    def _rebuild_pool(self) -> None:
+        """Discard a broken executor and start a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
+        self.rebuilds += 1
+        self._ensure_pool()
+
+    def shutdown(self, wait_for_workers: bool = True) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait_for_workers, cancel_futures=True)
+            self._pool = None
+        shutil.rmtree(self._hb_dir, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # Heartbeat bookkeeping (parent side)
+    # ------------------------------------------------------------------
+    def _hb_path(self, job: SupervisedJob) -> Path:
+        return self._hb_dir / f"{job.token}.hb"
+
+    def _started(self, job: SupervisedJob) -> bool:
+        return self._hb_path(job).exists()
+
+    def _clear_heartbeat(self, job: SupervisedJob) -> None:
+        try:
+            self._hb_path(job).unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    def _scan_stalls(self, inflight: dict[Future, SupervisedJob]) -> None:
+        """SIGKILL workers whose heartbeat went stale.
+
+        The kill breaks the pool; the crash path then attributes the
+        break to the killed job (``stall_killed`` marks the kind).
+        """
+        timeout = self.policy.stall_timeout_s
+        if timeout <= 0:
+            return
+        now = time.time()
+        for job in inflight.values():
+            if job.stall_killed:
+                continue
+            path = self._hb_path(job)
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # not started (or already cleaned up)
+            if now - stat.st_mtime <= timeout:
+                continue
+            try:
+                pid = int(path.read_text(encoding="utf-8").strip())
+            except (OSError, ValueError):
+                continue
+            job.stall_killed = True
+            self.stalls += 1
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                pass  # already dead; the break is in flight anyway
+
+    # ------------------------------------------------------------------
+    # Supervised execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        jobs: list[SupervisedJob],
+        make_payload: Callable[[SupervisedJob], dict[str, Any]],
+        on_outcome: Callable[[SupervisedJob, str, Any], None],
+        window: int | None = None,
+        should_abort: Callable[[], bool] | None = None,
+    ) -> None:
+        """Run ``jobs`` to terminal outcomes under supervision.
+
+        ``make_payload`` is called for every submission *attempt* (so
+        the campaign layer can recompute live fault budgets after a
+        crash).  ``on_outcome(job, kind, value)`` fires exactly once per
+        job in completion order with ``kind`` one of:
+
+        * ``"ok"`` — ``value`` is the worker's return value;
+        * ``"failed"`` — the task raised (or its result could not be
+          returned) without killing the worker; ``value`` is the
+          exception, traceback intact;
+        * ``"quarantined"`` — the job killed the pool
+          ``max_worker_crashes`` times; ``value`` is ``"stall"`` or
+          ``"crash"``.
+
+        ``should_abort`` is polled between dispatches; when it returns
+        true the supervisor stops submitting and abandons in-flight work
+        (the campaign layer uses it for fail-fast, the circuit breaker,
+        and interrupts).
+        """
+        window = window if window is not None else self.policy.window
+        should_abort = should_abort or (lambda: False)
+        queue: deque[SupervisedJob] = deque(jobs)
+        requeue: deque[SupervisedJob] = deque()
+        inflight: dict[Future, SupervisedJob] = {}
+        interval = self.policy.heartbeat_interval_s
+
+        def submit(job: SupervisedJob) -> bool:
+            job.attempts += 1
+            self._clear_heartbeat(job)
+            payload = make_payload(job)
+            payload["supervise"] = {
+                "dir": str(self._hb_dir),
+                "token": job.token,
+                "interval": interval,
+            }
+            try:
+                future = self._ensure_pool().submit(self.worker_fn, payload)
+            except (BrokenProcessPool, RuntimeError):
+                # Pool broke between our last drain and this submit;
+                # rebuild and let the caller's attempt stand un-counted.
+                job.attempts -= 1
+                requeue.appendleft(job)
+                self._rebuild_pool()
+                return False
+            inflight[future] = job
+            self.max_inflight = max(self.max_inflight, len(inflight))
+            return True
+
+        def handle_break(first_casualties: list[SupervisedJob]) -> None:
+            """The pool broke: drain it, attribute, requeue, rebuild."""
+            casualties = list(first_casualties)
+            # Every other in-flight future is doomed too; collect them.
+            for future, job in list(inflight.items()):
+                del inflight[future]
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    casualties.append(job)
+                except BaseException as exc:  # noqa: B036 — report, don't die
+                    # Completed with a real exception before the break.
+                    self._clear_heartbeat(job)
+                    on_outcome(job, "failed", exc)
+                else:
+                    # Completed with a real result before the break.
+                    self._clear_heartbeat(job)
+                    on_outcome(job, "ok", result)
+            started = [job for job in casualties if self._started(job)]
+            # With no heartbeat evidence at all, blame everyone rather
+            # than requeueing blindly forever (a worker that dies before
+            # its first heartbeat write must still be chargeable).
+            culprits = started if started else list(casualties)
+            for job in casualties:
+                self._clear_heartbeat(job)
+                if job not in culprits:
+                    requeue.append(job)
+                    continue
+                job.crashes += 1
+                self.crashes += 1
+                kind = "stall" if job.stall_killed else "crash"
+                job.stall_killed = False
+                self._on_crash(job, kind)
+                if job.crashes >= self.policy.max_worker_crashes:
+                    self.quarantined += 1
+                    on_outcome(job, "quarantined", kind)
+                else:
+                    requeue.append(job)
+            # Plan-order dispatch for whatever survived.
+            ordered = sorted(requeue, key=lambda job: job.index)
+            requeue.clear()
+            requeue.extend(ordered)
+            self._rebuild_pool()
+
+        try:
+            while queue or requeue or inflight:
+                if should_abort():
+                    for future in inflight:
+                        future.cancel()
+                    return
+                while (requeue or queue) and len(inflight) < window:
+                    submit(requeue.popleft() if requeue else queue.popleft())
+                if not inflight:
+                    continue
+                done, _ = wait(
+                    set(inflight),
+                    timeout=interval if interval > 0 else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    self._scan_stalls(inflight)
+                    continue
+                broken: list[SupervisedJob] = []
+                for future in done:
+                    job = inflight.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        broken.append(job)
+                    except BaseException as exc:  # noqa: B036 — report, don't die
+                        self._clear_heartbeat(job)
+                        on_outcome(job, "failed", exc)
+                    else:
+                        self._clear_heartbeat(job)
+                        on_outcome(job, "ok", result)
+                if broken:
+                    handle_break(broken)
+        finally:
+            # Leftover heartbeat files from abandoned jobs are harmless
+            # (the directory is removed on shutdown) but tidy anyway.
+            for job in list(queue) + list(requeue):
+                self._clear_heartbeat(job)

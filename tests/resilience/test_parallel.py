@@ -270,6 +270,75 @@ class TestFailFast:
 
 
 # ----------------------------------------------------------------------
+# Circuit breaker (--max-failures) parity
+# ----------------------------------------------------------------------
+def _failing_prefix_runner(experiment_id, quick=False):
+    if experiment_id.startswith("bad"):
+        raise RuntimeError("numerical blow-up")
+    return make_result(experiment_id)
+
+
+class TestCircuitBreaker:
+    def test_max_failures_stops_dispatch_with_serial_parity(self, tmp_path):
+        ids = ["bad1", "bad2", "bad3", "ok1", "ok2"]
+        for run_id, jobs in (("serial", 1), ("parallel", 3)):
+            FAULTS.reset()
+            config = CampaignConfig(
+                ids=list(ids),
+                runs_dir=str(tmp_path),
+                run_id=run_id,
+                jobs=jobs,
+                max_failures=2,
+            )
+            code, _, err = run(config, _failing_prefix_runner)
+            assert code == EXIT_FAILED
+            assert "circuit breaker" in err
+        # Both modes stop at the same plan index: bad1 and bad2 recorded,
+        # everything after the trip left pending for --resume.
+        assert manifest_payload(tmp_path, "serial") == manifest_payload(
+            tmp_path, "parallel"
+        )
+        payload = manifest_payload(tmp_path, "parallel")
+        assert sorted(payload["records"]) == ["bad1", "bad2"]
+
+    def test_under_limit_campaign_unaffected(self, tmp_path):
+        FAULTS.reset()
+        config = CampaignConfig(
+            ids=["bad", "x", "y"],
+            runs_dir=str(tmp_path),
+            run_id="r",
+            jobs=2,
+            max_failures=5,
+        )
+        code, _, err = run(config, bad_runner)
+        assert code == EXIT_FAILED
+        assert "circuit breaker" not in err
+        assert sorted(manifest_payload(tmp_path, "r")["records"]) == ["bad", "x", "y"]
+
+
+# ----------------------------------------------------------------------
+# Worker-side failures are captured, classified, and tracebacked
+# ----------------------------------------------------------------------
+class TestWorkerFailureCapture:
+    def test_undispatchable_task_classified_with_traceback(self, tmp_path):
+        # A lambda runner cannot be pickled into the worker; the dispatch
+        # failure used to be swallowed as a silent None result.  It must
+        # surface as a classified record carrying the real traceback.
+        config = CampaignConfig(
+            ids=["a", "b"], runs_dir=str(tmp_path), run_id="r", jobs=2
+        )
+        code, _, err = run(config, runner=lambda experiment_id, quick=False: None)
+        assert code == EXIT_FAILED
+        payload = manifest_payload(tmp_path, "r")
+        assert sorted(payload["records"]) == ["a", "b"]
+        for record in payload["records"].values():
+            assert record["status"] == "error"
+            assert record["error"]["category"] == "experiment"
+            assert "Traceback" in record["error"]["traceback"]
+        assert "Errors in: a, b" in err
+
+
+# ----------------------------------------------------------------------
 # Worker telemetry streams back into the campaign artifacts
 # ----------------------------------------------------------------------
 class TestTelemetryMerge:
@@ -344,3 +413,52 @@ class TestCli:
         finally:
             cli.run_campaign = original
         assert captured["jobs"] == 4
+
+    def test_supervision_flags_reach_config(self):
+        from repro.exp import cli
+
+        captured = {}
+
+        def fake_run_campaign(config):
+            captured["max_failures"] = config.max_failures
+            captured["max_worker_crashes"] = config.max_worker_crashes
+            captured["stall_timeout_s"] = config.stall_timeout_s
+            return 0
+
+        original = cli.run_campaign
+        cli.run_campaign = fake_run_campaign
+        try:
+            assert (
+                cli.main(
+                    [
+                        "--max-failures", "3",
+                        "--max-worker-crashes", "5",
+                        "--stall-timeout", "1.5",
+                        "--no-save", "table1",
+                    ]
+                )
+                == 0
+            )
+        finally:
+            cli.run_campaign = original
+        assert captured == {
+            "max_failures": 3,
+            "max_worker_crashes": 5,
+            "stall_timeout_s": 1.5,
+        }
+
+    @pytest.mark.parametrize(
+        "argv, complaint",
+        [
+            (["--max-failures", "-1"], "--max-failures must be >= 0"),
+            (["--max-worker-crashes", "0"], "--max-worker-crashes must be >= 1"),
+            (["--stall-timeout", "-0.5"], "--stall-timeout must be >= 0"),
+        ],
+    )
+    def test_supervision_flags_validated(self, capsys, argv, complaint):
+        from repro.exp.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([*argv, "table1"])
+        assert excinfo.value.code == 2
+        assert complaint in capsys.readouterr().err
