@@ -23,7 +23,11 @@ from repro.exp.registry import (
     resolve_experiment_id,
 )
 from repro.resilience.campaign import CampaignConfig, run_campaign
-from repro.resilience.errors import CheckpointError, ConfigError
+from repro.resilience.errors import (
+    CheckpointError,
+    ConfigError,
+    StoreCorruptionError,
+)
 from repro.resilience.faults import FAULTS
 from repro.resilience.retry import RetryPolicy
 
@@ -142,7 +146,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--resume",
         default=None,
         metavar="RUN",
-        help="finish an earlier run, replaying its completed experiments",
+        help=(
+            "finish an earlier run, replaying its completed experiments "
+            "(salvages a damaged manifest from the journal; see "
+            "repro-doctor for offline audit/repair)"
+        ),
     )
     durability.add_argument(
         "--no-save",
@@ -351,6 +359,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     try:
         return run_campaign(config)
+    except StoreCorruptionError as exc:
+        print(f"repro-experiments: corrupt run store: {exc}", file=sys.stderr)
+        print(
+            "repro-experiments: hint: `repro-doctor --repair` audits and "
+            "rebuilds damaged runs",
+            file=sys.stderr,
+        )
+        return 2
     except CheckpointError as exc:
         print(f"repro-experiments: error: {exc}", file=sys.stderr)
         return 2

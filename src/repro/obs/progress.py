@@ -159,6 +159,18 @@ class CampaignReporter:
         self.always(summary)
 
     # ------------------------------------------------------------------
+    # Doctor narration (run-store audit and repair)
+    # ------------------------------------------------------------------
+    def doctor_findings(self, findings, summary: str) -> None:
+        """Narrate a ``repro-doctor`` audit through the campaign logger.
+
+        Same duck-typed contract as :meth:`lint_findings` — objects with
+        ``severity`` and ``render()`` — so ``repro.obs`` does not import
+        ``repro.resilience.doctor``.
+        """
+        self.lint_findings(findings, summary)
+
+    # ------------------------------------------------------------------
     # Supervision (worker crash recovery, quarantine, circuit breaker)
     # ------------------------------------------------------------------
     def worker_crash(

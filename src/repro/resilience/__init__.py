@@ -8,7 +8,11 @@ This package provides the four pieces the experiment stack composes:
 * :mod:`repro.resilience.errors` — the ``ReproError`` hierarchy carrying
   experiment/machine/program context instead of bare tracebacks;
 * :mod:`repro.resilience.checkpoint` — atomic per-run manifests under
-  ``runs/<run-id>/`` enabling ``repro-experiments --resume``;
+  ``runs/<run-id>/`` enabling ``repro-experiments --resume``, backed by
+  the checksummed append-only journal in
+  :mod:`repro.resilience.journal` (torn or corrupt manifests are
+  *salvaged*, not fatal) and audited/repaired offline by
+  :mod:`repro.resilience.doctor` (``repro-doctor``);
 * :mod:`repro.resilience.retry` — bounded retry-with-backoff and a
   watchdog timeout for wedged experiments;
 * :mod:`repro.resilience.faults` — a deterministic fault-injection
@@ -35,6 +39,7 @@ from repro.resilience.errors import (
     FaultInjected,
     ReproError,
     SimulationError,
+    StoreCorruptionError,
     WorkerCrashError,
     classify_error,
 )
@@ -61,6 +66,7 @@ __all__ = [
     "RunManifest",
     "RunStore",
     "SimulationError",
+    "StoreCorruptionError",
     "SupervisedJob",
     "SupervisorPolicy",
     "WorkerCrashError",

@@ -117,6 +117,18 @@ def _prepare_manifest(
     """Create a fresh manifest, or reload and replay a resumed one."""
     if config.resume:
         manifest = store.load(config.resume)
+        if manifest.salvaged:
+            # The manifest on disk was torn, stale, or corrupt and was
+            # rebuilt from the journal and result files; heal it now so
+            # the rest of the resume runs against a clean store.
+            reporter.error(
+                f"Manifest for run {manifest.run_id} was damaged; salvaged "
+                f"{len(manifest.records)} recorded experiment(s) from the "
+                "journal and result files."
+            )
+            for note in manifest.salvage_notes:
+                reporter.detail(f"  salvage: {note}")
+            store.save(manifest)
         if manifest.quick != config.quick:
             raise CheckpointError(
                 f"run {manifest.run_id!r} was recorded with "

@@ -1,40 +1,72 @@
-"""Crash-safe run artifacts: per-run manifests and per-experiment results.
+"""Crash-safe run artifacts: manifests, result files, and the journal.
 
 A campaign writes everything it learns under ``runs/<run-id>/``::
 
     runs/20260806-141503-1234/
         manifest.json      # plan, status and outcome of every experiment
+        records.jsonl      # append-only checksummed journal (the WAL)
         table1.json        # one file per completed experiment: rendered
         table2.json        #   table, shape checks, error (if any), timing
 
-Every write is temp-file-then-``os.replace`` into place, so a crash (or
-an armed ``checkpoint.write`` fault) at any instant leaves the previous
-manifest intact — there is never a half-written JSON file at the final
-path.  Because the simulator is deterministic, ``--resume <run-id>``
-can skip completed experiments and replay their stored rendering
-byte-for-byte while re-running only what is missing.
+Every JSON write is temp-file-then-``os.replace`` into place, so a
+crash (or an armed ``checkpoint.write``/``io.*`` fault) at any instant
+leaves the previous manifest intact.  On top of that, the store is
+*journaled*: each experiment record is appended to ``records.jsonl``
+(one sha256-checksummed line) **before** the manifest flush that will
+contain it, and each successful flush appends the manifest's digest.
+A torn, missing, or silently corrupted ``manifest.json`` is therefore
+*salvaged* on load — the run header and records are rebuilt from the
+journal and the intact per-experiment result files — instead of
+dead-ending the resume.  ``repro-doctor`` audits and repairs the same
+state offline (:mod:`repro.resilience.doctor`).
+
+Because the simulator is deterministic, ``--resume <run-id>`` can skip
+completed experiments and replay their stored rendering byte-for-byte
+while re-running only what is missing — including after a salvage.
+
+Manifest versioning: ``MANIFEST_VERSION`` mismatches from older runs go
+through the :data:`MIGRATIONS` chain at load time instead of
+hard-failing; only *newer*-than-supported versions are rejected.
 """
 
 from __future__ import annotations
 
+import errno as errno_module
 import json
 import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
-from repro.resilience.errors import CheckpointError, ReproError, classify_error
+from repro.resilience.errors import (
+    CheckpointError,
+    FaultInjected,
+    ReproError,
+    StoreCorruptionError,
+    classify_error,
+)
 from repro.resilience.faults import fault_point
+from repro.resilience.journal import (
+    JOURNAL_NAME,
+    JOURNAL_VERSION,
+    JournalReplay,
+    append_entry,
+    file_checksum,
+    read_journal,
+)
 
 if TYPE_CHECKING:  # keep this module import-light: no experiment stack
     from repro.exp.base import ExperimentResult
 
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
 
 #: Statuses that mean "this experiment ran to a verdict" — resume skips
 #: them.  ``error`` is *not* final: a resumed campaign retries it.
 FINAL_STATUSES = ("passed", "failed")
+
+#: Files in a run directory that are *not* per-experiment results.
+NON_RESULT_FILES = frozenset({"manifest.json", "metrics.json", "trace.json"})
 
 
 @dataclass
@@ -126,6 +158,13 @@ class RunManifest:
     interrupted: bool = False
     created_at: str = ""
     records: dict[str, ExperimentRecord] = field(default_factory=dict)
+    #: Set by the store when this manifest was rebuilt from the journal
+    #: and result files rather than read straight off ``manifest.json``.
+    #: Not serialized; ``salvage_notes`` says what was recovered.
+    salvaged: bool = field(default=False, compare=False, repr=False)
+    salvage_notes: list[str] = field(
+        default_factory=list, compare=False, repr=False
+    )
 
     def remaining(self) -> list[str]:
         """Planned experiments not yet run to a verdict, in plan order."""
@@ -147,6 +186,7 @@ class RunManifest:
     def to_dict(self) -> dict[str, Any]:
         return {
             "version": MANIFEST_VERSION,
+            "journal": JOURNAL_NAME,
             "run_id": self.run_id,
             "ids": self.ids,
             "quick": self.quick,
@@ -156,6 +196,17 @@ class RunManifest:
                 experiment_id: record.to_dict()
                 for experiment_id, record in self.records.items()
             },
+        }
+
+    def plan_payload(self) -> dict[str, Any]:
+        """The journal ``plan`` entry: the run header, never the records."""
+        return {
+            "version": MANIFEST_VERSION,
+            "journal_version": JOURNAL_VERSION,
+            "run_id": self.run_id,
+            "ids": self.ids,
+            "quick": self.quick,
+            "created_at": self.created_at,
         }
 
     @classmethod
@@ -173,26 +224,230 @@ class RunManifest:
         )
 
 
-def atomic_write_json(path: Path, payload: dict[str, Any]) -> None:
-    """Write JSON via temp-file-then-rename so readers never see a torn file."""
+# ----------------------------------------------------------------------
+# Manifest schema migration
+# ----------------------------------------------------------------------
+def _migrate_v0(payload: dict[str, Any]) -> dict[str, Any]:
+    """v0 (unversioned prototype) -> v1: records was a *list*; key it by
+    experiment id and fill in the header fields v1 made mandatory."""
+    records = payload.get("records", [])
+    if isinstance(records, list):
+        payload["records"] = {
+            record["experiment_id"]: record
+            for record in records
+            if isinstance(record, dict) and "experiment_id" in record
+        }
+    payload.setdefault("quick", False)
+    payload.setdefault("interrupted", False)
+    payload.setdefault("created_at", "")
+    payload["version"] = 1
+    return payload
+
+
+def _migrate_v1(payload: dict[str, Any]) -> dict[str, Any]:
+    """v1 -> v2: the store gained its journal; manifests self-describe it."""
+    payload["journal"] = JOURNAL_NAME
+    payload["version"] = 2
+    return payload
+
+
+#: Migration chain: ``MIGRATIONS[n]`` lifts a version-``n`` payload to
+#: ``n + 1``.  Every historical version is pinned by a test fixture.
+MIGRATIONS: dict[int, Callable[[dict[str, Any]], dict[str, Any]]] = {
+    0: _migrate_v0,
+    1: _migrate_v1,
+}
+
+
+def migrate_payload(
+    payload: dict[str, Any], path: Path | None = None
+) -> tuple[dict[str, Any], int]:
+    """Lift an old manifest payload to ``MANIFEST_VERSION``.
+
+    Returns ``(payload, original_version)``.  Unknown or *newer*
+    versions raise — forward migration is the tool's job, not ours.
+    """
+    version = payload.get("version", 0)
+    original = version
+    if not isinstance(version, int) or version < 0:
+        raise StoreCorruptionError(
+            f"manifest version {version!r} is not a known schema version",
+            path=str(path) if path else None,
+        )
+    if version > MANIFEST_VERSION:
+        raise CheckpointError(
+            f"manifest version {version} is newer than this tool supports "
+            f"(expected <= {MANIFEST_VERSION}); upgrade repro to read it",
+            path=str(path) if path else None,
+        )
+    while version < MANIFEST_VERSION:
+        payload = MIGRATIONS[version](payload)
+        version = payload["version"]
+    return payload, original
+
+
+# ----------------------------------------------------------------------
+# The shared disk-write primitive
+# ----------------------------------------------------------------------
+def _flip_byte(path: Path) -> None:
+    """Injected ``io.corrupt``: silent bit rot in the published file."""
+    data = bytearray(path.read_bytes())
+    if not data:
+        return
+    data[len(data) // 2] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+def atomic_write_json(path: Path, payload: dict[str, Any]) -> str:
+    """Write JSON via temp-file-then-rename; returns the sha256 of the
+    published bytes (the journal records it in ``flush`` entries).
+
+    Readers never see a torn file — unless the ``io.torn-write`` fault
+    is armed, which deliberately leaves a prefix of the new content at
+    the final path (simulating a crash on a non-atomic filesystem)
+    before raising.  ``io.enospc`` and ``io.fsync-fail`` raise
+    ``OSError`` inside the write; ``io.corrupt`` flips a byte of the
+    published file *silently* after a successful rename.
+    """
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     tmp = path.with_name(path.name + ".tmp")
     try:
         with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+            fault_point("io.enospc", path=str(path))
+            handle.write(text)
             handle.flush()
+            fault_point("io.fsync-fail", path=str(path))
             os.fsync(handle.fileno())
         # A fault here simulates a crash after writing but before
         # publishing: the final path must still hold the previous version.
         fault_point("checkpoint.write", path=str(path))
+        try:
+            fault_point("io.torn-write", path=str(path))
+        except FaultInjected as exc:
+            with open(path, "w", encoding="utf-8") as torn:
+                torn.write(text[: max(1, len(text) // 2)])
+            raise CheckpointError(
+                f"injected torn write publishing {path.name}", path=str(path)
+            ) from exc
         os.replace(tmp, path)
+        try:
+            fault_point("io.corrupt", path=str(path))
+        except FaultInjected:
+            _flip_byte(path)  # the caller believes the write succeeded
     except OSError as exc:
+        hint = " (disk full)" if exc.errno == errno_module.ENOSPC else ""
         raise CheckpointError(
-            f"cannot write {path.name}: {exc}", path=str(path)
+            f"cannot write {path.name}: {exc}{hint}",
+            path=str(path),
+            transient=True,
         ) from exc
     finally:
         if tmp.exists():
             tmp.unlink(missing_ok=True)
+    return file_checksum(text.encode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Salvage: rebuild a manifest from whatever survived
+# ----------------------------------------------------------------------
+def _header_matches(manifest: RunManifest, plan: dict[str, Any]) -> bool:
+    return (
+        manifest.run_id == plan.get("run_id", manifest.run_id)
+        and manifest.ids == list(plan.get("ids", manifest.ids))
+        and manifest.quick == plan.get("quick", manifest.quick)
+        and manifest.created_at == plan.get("created_at", manifest.created_at)
+    )
+
+
+def _manifest_covers(manifest: RunManifest, replay: JournalReplay) -> bool:
+    """Does the manifest already contain everything the journal knows?
+
+    True means the manifest is consistent with (or ahead of) the
+    journal — e.g. a crash landed between the manifest rename and the
+    journal's ``flush`` entry — and can be trusted as-is.
+    """
+    plan = replay.plan
+    if plan is not None and not _header_matches(manifest, plan):
+        return False
+    for experiment_id, payload in replay.records.items():
+        record = manifest.records.get(experiment_id)
+        if record is None or record.to_dict() != payload:
+            return False
+    return True
+
+
+def reconcile_sources(
+    run_id: str,
+    manifest: RunManifest | None,
+    replay: JournalReplay | None,
+    results: dict[str, dict[str, Any]],
+) -> tuple[RunManifest | None, list[str]]:
+    """Rebuild the best-supported manifest from the surviving sources.
+
+    Precedence: the journal's checksummed entries override the (possibly
+    corrupt or stale) manifest; intact per-experiment result files fill
+    records missing from both.  Returns ``(manifest, notes)`` —
+    ``None`` when no source can even name the run's plan.
+    """
+    notes: list[str] = []
+    plan = replay.plan if replay is not None else None
+    if manifest is not None:
+        base = manifest
+        if plan is not None and not _header_matches(manifest, plan):
+            base = RunManifest(
+                run_id=plan.get("run_id", run_id),
+                ids=list(plan.get("ids", [])),
+                quick=bool(plan.get("quick", False)),
+                created_at=plan.get("created_at", ""),
+                records=dict(manifest.records),
+            )
+            notes.append("run header restored from the journal plan entry")
+    elif plan is not None:
+        base = RunManifest(
+            run_id=plan.get("run_id", run_id),
+            ids=list(plan.get("ids", [])),
+            quick=bool(plan.get("quick", False)),
+            created_at=plan.get("created_at", ""),
+        )
+        notes.append("run header rebuilt from the journal plan entry")
+    elif results:
+        # Last resort: the plan is gone; at least preserve the outcomes.
+        base = RunManifest(run_id=run_id, ids=sorted(results))
+        notes.append(
+            "run header rebuilt from result files alone "
+            "(plan order lost; ids sorted)"
+        )
+    else:
+        return None, ["no surviving source for the run header"]
+
+    if replay is not None:
+        for experiment_id, payload in replay.records.items():
+            current = base.records.get(experiment_id)
+            if current is not None and current.to_dict() == payload:
+                continue
+            try:
+                base.records[experiment_id] = ExperimentRecord.from_dict(payload)
+            except (KeyError, TypeError):
+                continue
+            notes.append(f"record {experiment_id!r} restored from the journal")
+    for experiment_id, payload in results.items():
+        if experiment_id in base.records:
+            continue
+        try:
+            base.records[experiment_id] = ExperimentRecord.from_dict(payload)
+        except (KeyError, TypeError):
+            continue
+        notes.append(
+            f"record {experiment_id!r} restored from its result file"
+        )
+    for experiment_id in [e for e in base.records if e not in base.ids]:
+        del base.records[experiment_id]
+        notes.append(f"dropped record {experiment_id!r}: not in the plan")
+    # A salvaged run is by definition not a cleanly-interrupted one;
+    # resume clears the flag anyway, and repair must converge to the
+    # manifest an uninterrupted run would have written.
+    base.interrupted = False
+    return base, notes
 
 
 class RunStore:
@@ -207,6 +462,9 @@ class RunStore:
     def manifest_path(self, run_id: str) -> Path:
         return self.run_dir(run_id) / "manifest.json"
 
+    def journal_path(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / JOURNAL_NAME
+
     def result_path(self, run_id: str, experiment_id: str) -> Path:
         return self.run_dir(run_id) / f"{experiment_id}.json"
 
@@ -215,6 +473,42 @@ class RunStore:
         """Timestamp + pid: sortable, unique per process launch."""
         return time.strftime("%Y%m%d-%H%M%S") + f"-{os.getpid()}"
 
+    # ------------------------------------------------------------------
+    # Hygiene
+    # ------------------------------------------------------------------
+    def sweep_tmp(self, run_id: str) -> list[Path]:
+        """Remove stray ``*.tmp`` files a hard kill left mid-write.
+
+        The store is single-writer per run, so any ``.tmp`` present when
+        a run is opened is an orphan from a previous process — without
+        this sweep they accumulate forever.  Returns what was removed.
+        """
+        run_dir = self.run_dir(run_id)
+        swept: list[Path] = []
+        if not run_dir.is_dir():
+            return swept
+        for tmp in sorted(run_dir.glob("*.tmp")):
+            try:
+                tmp.unlink()
+            except OSError:
+                continue
+            swept.append(tmp)
+        return swept
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+    def _ensure_journal(self, manifest: RunManifest) -> None:
+        """Guarantee the journal exists and opens with a plan entry
+        (runs recorded before the journal existed gain one on first
+        write after migration)."""
+        path = self.journal_path(manifest.run_id)
+        if not path.exists():
+            append_entry(path, "plan", manifest.plan_payload())
+
+    # ------------------------------------------------------------------
+    # Creating and writing
+    # ------------------------------------------------------------------
     def new_run(
         self, ids: list[str], quick: bool = False, run_id: str | None = None
     ) -> RunManifest:
@@ -227,6 +521,7 @@ class RunStore:
                 path=str(run_dir),
             )
         run_dir.mkdir(parents=True, exist_ok=True)
+        self.sweep_tmp(run_id)
         manifest = RunManifest(
             run_id=run_id,
             ids=list(ids),
@@ -236,9 +531,121 @@ class RunStore:
         self.save(manifest)
         return manifest
 
+    def save(self, manifest: RunManifest) -> None:
+        """Flush the manifest atomically (called after every experiment).
+
+        The journal then records the digest of the published bytes, so
+        a later load can tell a silently-corrupted manifest from the
+        one that was actually written.
+        """
+        self._ensure_journal(manifest)
+        digest = atomic_write_json(
+            self.manifest_path(manifest.run_id), manifest.to_dict()
+        )
+        append_entry(
+            self.journal_path(manifest.run_id), "flush", {"sha256": digest}
+        )
+
+    def record(self, manifest: RunManifest, record: ExperimentRecord) -> None:
+        """Attach one experiment's outcome and persist all three artifacts.
+
+        Write order is the durability contract: journal first (the
+        record survives any later crash), then the result file, then
+        the manifest flush.  A crash in any window loses nothing that
+        was journaled — load and ``repro-doctor`` replay it.
+        """
+        manifest.records[record.experiment_id] = record
+        self._ensure_journal(manifest)
+        append_entry(
+            self.journal_path(manifest.run_id), "record", record.to_dict()
+        )
+        atomic_write_json(
+            self.result_path(manifest.run_id, record.experiment_id),
+            record.to_dict(),
+        )
+        self.save(manifest)
+
+    # ------------------------------------------------------------------
+    # Loading (and salvaging)
+    # ------------------------------------------------------------------
+    def result_files(self, run_id: str) -> dict[str, dict[str, Any]]:
+        """Intact per-experiment result payloads, keyed by experiment id.
+
+        Result files are written atomically, so any one that parses and
+        self-identifies is trustworthy; torn or flipped ones are
+        skipped (the journal usually still has their record).
+        """
+        results: dict[str, dict[str, Any]] = {}
+        run_dir = self.run_dir(run_id)
+        if not run_dir.is_dir():
+            return results
+        for path in sorted(run_dir.glob("*.json")):
+            if path.name in NON_RESULT_FILES:
+                continue
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+                continue
+            if (
+                isinstance(payload, dict)
+                and payload.get("experiment_id") == path.stem
+                and "status" in payload
+            ):
+                results[path.stem] = payload
+        return results
+
+    def _parse_manifest_quietly(self, run_id: str) -> RunManifest | None:
+        """The manifest if it reads, parses, and migrates; else None."""
+        try:
+            payload = json.loads(
+                self.manifest_path(run_id).read_text(encoding="utf-8")
+            )
+            if not isinstance(payload, dict):
+                return None
+            payload, _ = migrate_payload(payload, self.manifest_path(run_id))
+            return RunManifest.from_dict(payload)
+        except Exception:
+            return None
+
+    def salvage(self, run_id: str, reason: str) -> RunManifest:
+        """Rebuild the run's manifest from every surviving source.
+
+        Raises :class:`StoreCorruptionError` when nothing survives to
+        rebuild from (no readable journal plan, manifest, or results).
+        """
+        replay: JournalReplay | None = None
+        if self.journal_path(run_id).exists():
+            replay = read_journal(self.journal_path(run_id))
+        manifest = self._parse_manifest_quietly(run_id)
+        results = self.result_files(run_id)
+        rebuilt, notes = reconcile_sources(run_id, manifest, replay, results)
+        if rebuilt is None or not rebuilt.ids:
+            raise StoreCorruptionError(
+                f"run {run_id!r}: {reason}, and neither the journal nor any "
+                "result file survives to salvage from; run "
+                f"`repro-doctor --runs-dir {self.root} --repair` to audit "
+                "the store",
+                path=str(self.manifest_path(run_id)),
+            )
+        rebuilt.salvaged = True
+        rebuilt.salvage_notes = [reason, *notes]
+        return rebuilt
+
     def load(self, run_id: str) -> RunManifest:
+        """Load a run, salvaging from the journal when the manifest is
+        torn, missing, stale, or silently corrupt.
+
+        The result's ``salvaged`` flag tells the caller the on-disk
+        manifest did not supply it verbatim (re-``save()`` to heal).
+        Read errors (``OSError``) are reported as transient I/O
+        problems, never as corruption.
+        """
         path = self.manifest_path(run_id)
+        self.sweep_tmp(run_id)
+        journal_exists = self.journal_path(run_id).exists()
         if not path.exists():
+            if journal_exists or self.result_files(run_id):
+                return self.salvage(run_id, "manifest missing")
             known = sorted(
                 p.parent.name for p in self.root.glob("*/manifest.json")
             )
@@ -248,29 +655,43 @@ class RunStore:
                 path=str(path),
             )
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError) as exc:
+            data = path.read_bytes()
+        except OSError as exc:
             raise CheckpointError(
-                f"corrupt manifest for run {run_id!r}: {exc}", path=str(path)
-            ) from exc
-        version = payload.get("version")
-        if version != MANIFEST_VERSION:
-            raise CheckpointError(
-                f"manifest version {version!r} unsupported "
-                f"(expected {MANIFEST_VERSION})",
+                f"cannot read manifest for run {run_id!r}: {exc} "
+                "(transient I/O error, not corruption — retry, or check "
+                "permissions)",
                 path=str(path),
-            )
-        return RunManifest.from_dict(payload)
-
-    def save(self, manifest: RunManifest) -> None:
-        """Flush the manifest atomically (called after every experiment)."""
-        atomic_write_json(self.manifest_path(manifest.run_id), manifest.to_dict())
-
-    def record(self, manifest: RunManifest, record: ExperimentRecord) -> None:
-        """Attach one experiment's outcome and persist both artifacts."""
-        manifest.records[record.experiment_id] = record
-        atomic_write_json(
-            self.result_path(manifest.run_id, record.experiment_id),
-            record.to_dict(),
-        )
-        self.save(manifest)
+                transient=True,
+            ) from exc
+        try:
+            payload = json.loads(data.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise json.JSONDecodeError("not a JSON object", "", 0)
+            payload, _ = migrate_payload(payload, path)
+            manifest = RunManifest.from_dict(payload)
+        except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            if journal_exists or self.result_files(run_id):
+                return self.salvage(
+                    run_id, f"corrupt manifest ({type(exc).__name__}: {exc})"
+                )
+            raise StoreCorruptionError(
+                f"corrupt manifest for run {run_id!r}: {exc}; no journal "
+                "survives to salvage from — run "
+                f"`repro-doctor --runs-dir {self.root} --repair`",
+                path=str(path),
+            ) from exc
+        if journal_exists:
+            replay = read_journal(self.journal_path(run_id))
+            if not _manifest_covers(manifest, replay):
+                digest_ok = replay.last_flush_digest in (
+                    None,
+                    file_checksum(data),
+                )
+                reason = (
+                    "manifest behind the journal"
+                    if digest_ok
+                    else "manifest checksum mismatch against the journal"
+                )
+                return self.salvage(run_id, reason)
+        return manifest

@@ -1,0 +1,622 @@
+"""``repro-doctor``: audit and repair a runs root.
+
+A long campaign's ``--resume`` is only as trustworthy as the bytes under
+``runs/``.  The doctor walks every run directory and reports what a
+crash, a full disk, or plain bit rot left behind::
+
+    repro-doctor                       # audit ./runs
+    repro-doctor --runs-dir /data/runs r1 r2
+    repro-doctor --repair              # rebuild what can be rebuilt
+
+Each finding carries a ``D``-code (mirroring the lint code table in
+DESIGN.md §11) and a severity; ``--repair`` then rebuilds a loadable
+manifest from the surviving sources — the checksummed journal first,
+intact per-experiment result files second — rewrites the journal
+wholesale, restores missing result files, and sweeps the debris
+(orphaned ``*.tmp`` writes, stale supervisor ``.hb`` heartbeats).
+After a successful repair, ``repro-experiments --resume <run-id>``
+converges to the same manifest an uninterrupted run would have written.
+
+Findings are narrated through :class:`repro.obs.progress.CampaignReporter`
+and published as ``doctor.finding`` instants on the event bus when
+telemetry is live, exactly like lint findings.
+
+Exit status: 0 when the store is healthy (or every problem was
+repaired), 1 when error-severity findings remain, 2 for usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.resilience.checkpoint import (
+    MANIFEST_VERSION,
+    NON_RESULT_FILES,
+    RunManifest,
+    RunStore,
+    atomic_write_json,
+    migrate_payload,
+)
+from repro.resilience.errors import CheckpointError, StoreCorruptionError
+from repro.resilience.journal import file_checksum, read_journal, rewrite
+
+#: The doctor's diagnostic codes (DESIGN.md §13).
+CODES: dict[str, str] = {
+    "D001": "manifest missing (journal or result files survive)",
+    "D002": "manifest unreadable (transient I/O error)",
+    "D003": "manifest corrupt (does not parse or migrate)",
+    "D004": "manifest checksum mismatch against the journal flush digest",
+    "D005": "manifest behind the journal (missing journaled records)",
+    "D006": "manifest schema version drift (migratable)",
+    "D007": "manifest schema version newer than this tool supports",
+    "D008": "journal missing (rebuildable from the manifest)",
+    "D009": "journal line corrupt (checksum or parse failure)",
+    "D010": "journal torn tail (interrupted append)",
+    "D011": "orphaned .tmp file from an interrupted atomic write",
+    "D012": "result file has no manifest record",
+    "D013": "manifest record has no result file",
+    "D014": "stale supervisor heartbeat files",
+    "D015": "nothing survives to rebuild the run from",
+}
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass
+class Finding:
+    """One problem the audit found in one run directory."""
+
+    code: str
+    severity: str  # "error" | "warning" | "info"
+    run_id: str
+    message: str
+    repairable: bool = True
+    context: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown doctor code {self.code!r}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def render(self) -> str:
+        """One human-readable report line."""
+        fix = "" if self.repairable else " (not auto-repairable)"
+        return f"{self.run_id}: {self.code} {self.severity}: {self.message}{fix}"
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "run_id": self.run_id,
+            "message": self.message,
+            "repairable": self.repairable,
+        }
+        if self.context:
+            payload["context"] = self.context
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Audit
+# ----------------------------------------------------------------------
+def _manifest_findings(
+    store: RunStore, run_id: str, findings: list[Finding]
+) -> RunManifest | None:
+    """Audit ``manifest.json``; returns the parsed manifest if readable."""
+    path = store.manifest_path(run_id)
+    if not path.exists():
+        journal = store.journal_path(run_id).exists()
+        results = store.result_files(run_id)
+        if journal or results:
+            findings.append(
+                Finding(
+                    "D001",
+                    "error",
+                    run_id,
+                    "manifest.json is missing; "
+                    + ("the journal survives" if journal else "")
+                    + (" and " if journal and results else "")
+                    + (f"{len(results)} result file(s) survive" if results else ""),
+                )
+            )
+        else:
+            findings.append(
+                Finding(
+                    "D015",
+                    "error",
+                    run_id,
+                    "no manifest, journal, or result files survive",
+                    repairable=False,
+                )
+            )
+        return None
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        findings.append(
+            Finding(
+                "D002",
+                "error",
+                run_id,
+                f"manifest.json cannot be read: {exc} (transient I/O, "
+                "not corruption — retry or check permissions)",
+                repairable=False,
+            )
+        )
+        return None
+    try:
+        payload = json.loads(data.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise json.JSONDecodeError("not a JSON object", "", 0)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        findings.append(
+            Finding("D003", "error", run_id, f"manifest.json is corrupt: {exc}")
+        )
+        return None
+    version = payload.get("version", 0)
+    if isinstance(version, int) and version > MANIFEST_VERSION:
+        findings.append(
+            Finding(
+                "D007",
+                "error",
+                run_id,
+                f"manifest version {version} is newer than supported "
+                f"({MANIFEST_VERSION}); upgrade repro instead of repairing",
+                repairable=False,
+            )
+        )
+        return None
+    try:
+        payload, original = migrate_payload(payload, path)
+        manifest = RunManifest.from_dict(payload)
+    except (CheckpointError, KeyError, TypeError) as exc:
+        findings.append(
+            Finding("D003", "error", run_id, f"manifest.json is corrupt: {exc}")
+        )
+        return None
+    if original != MANIFEST_VERSION:
+        findings.append(
+            Finding(
+                "D006",
+                "warning",
+                run_id,
+                f"manifest schema v{original} (current v{MANIFEST_VERSION}); "
+                "loads through the migration chain; repair rewrites it current",
+                context={"version": original},
+            )
+        )
+    return manifest
+
+
+def _journal_findings(
+    store: RunStore,
+    run_id: str,
+    manifest: RunManifest | None,
+    manifest_bytes: bytes | None,
+    findings: list[Finding],
+) -> None:
+    path = store.journal_path(run_id)
+    if not path.exists():
+        if manifest is not None:
+            findings.append(
+                Finding(
+                    "D008",
+                    "warning",
+                    run_id,
+                    "records.jsonl is missing (pre-journal run or deleted); "
+                    "repair rebuilds it from the manifest",
+                )
+            )
+        return
+    replay = read_journal(path)
+    if replay.torn_tail:
+        findings.append(
+            Finding(
+                "D010",
+                "info",
+                run_id,
+                "journal ends in a torn line (interrupted append); the "
+                "surviving entries replay cleanly",
+            )
+        )
+    for bad in replay.corrupt_lines:
+        findings.append(
+            Finding(
+                "D009",
+                "warning",
+                run_id,
+                f"journal line {bad.lineno} untrustworthy ({bad.reason})",
+                context={"lineno": bad.lineno, "reason": bad.reason},
+            )
+        )
+    if manifest is None:
+        return
+    digest = replay.last_flush_digest
+    if (
+        digest is not None
+        and manifest_bytes is not None
+        and digest != file_checksum(manifest_bytes)
+    ):
+        missing = [
+            experiment_id
+            for experiment_id, payload in replay.records.items()
+            if (record := manifest.records.get(experiment_id)) is None
+            or record.to_dict() != payload
+        ]
+        if missing:
+            findings.append(
+                Finding(
+                    "D005",
+                    "error",
+                    run_id,
+                    "manifest is behind the journal: record(s) "
+                    f"{', '.join(sorted(missing))} are journaled but not "
+                    "in the manifest",
+                    context={"records": sorted(missing)},
+                )
+            )
+        else:
+            findings.append(
+                Finding(
+                    "D004",
+                    "error",
+                    run_id,
+                    "manifest bytes do not match the digest the journal "
+                    "recorded at the last flush (silent corruption?)",
+                )
+            )
+    else:
+        stale = [
+            experiment_id
+            for experiment_id, payload in replay.records.items()
+            if (record := manifest.records.get(experiment_id)) is None
+            or record.to_dict() != payload
+        ]
+        if stale:
+            findings.append(
+                Finding(
+                    "D005",
+                    "error",
+                    run_id,
+                    "manifest is behind the journal: record(s) "
+                    f"{', '.join(sorted(stale))} are journaled but not "
+                    "in the manifest",
+                    context={"records": sorted(stale)},
+                )
+            )
+
+
+def _debris_findings(
+    store: RunStore,
+    run_id: str,
+    manifest: RunManifest | None,
+    findings: list[Finding],
+) -> None:
+    run_dir = store.run_dir(run_id)
+    tmp_files = sorted(p.name for p in run_dir.glob("*.tmp"))
+    if tmp_files:
+        findings.append(
+            Finding(
+                "D011",
+                "warning",
+                run_id,
+                f"orphaned tmp file(s) from interrupted writes: "
+                f"{', '.join(tmp_files)}",
+                context={"files": tmp_files},
+            )
+        )
+    heartbeats = sorted(p.name for p in run_dir.glob(".hb/*.hb"))
+    if heartbeats:
+        findings.append(
+            Finding(
+                "D014",
+                "warning",
+                run_id,
+                f"{len(heartbeats)} stale supervisor heartbeat file(s) "
+                "(the campaign process died without cleanup)",
+                context={"files": heartbeats},
+            )
+        )
+    if manifest is None:
+        return
+    results = store.result_files(run_id)
+    for experiment_id in sorted(set(results) - set(manifest.records)):
+        planned = experiment_id in manifest.ids
+        findings.append(
+            Finding(
+                "D012",
+                "warning" if planned else "info",
+                run_id,
+                f"result file {experiment_id}.json has no manifest record"
+                + (
+                    "" if planned
+                    else " and is not in the plan (left untouched)"
+                ),
+                repairable=planned,
+                context={"experiment_id": experiment_id},
+            )
+        )
+    for experiment_id in sorted(set(manifest.records) - set(results)):
+        findings.append(
+            Finding(
+                "D013",
+                "warning",
+                run_id,
+                f"record {experiment_id} has no intact result file; "
+                "repair regenerates it from the manifest",
+                context={"experiment_id": experiment_id},
+            )
+        )
+
+
+def audit_run(store: RunStore, run_id: str) -> list[Finding]:
+    """Every problem the doctor can see in one run directory."""
+    findings: list[Finding] = []
+    manifest = _manifest_findings(store, run_id, findings)
+    manifest_bytes: bytes | None = None
+    if manifest is not None:
+        try:
+            manifest_bytes = store.manifest_path(run_id).read_bytes()
+        except OSError:
+            manifest_bytes = None
+    _journal_findings(store, run_id, manifest, manifest_bytes, findings)
+    _debris_findings(store, run_id, manifest, findings)
+    return findings
+
+
+def discover_runs(root: Path) -> list[str]:
+    """Run directories under ``root``: anything holding store artifacts."""
+    if not root.is_dir():
+        return []
+    runs = []
+    for child in sorted(root.iterdir()):
+        if not child.is_dir():
+            continue
+        has_artifacts = (
+            (child / "manifest.json").exists()
+            or (child / "records.jsonl").exists()
+            or any(
+                p.name not in NON_RESULT_FILES for p in child.glob("*.json")
+            )
+            or any(child.glob("*.tmp"))
+        )
+        if has_artifacts:
+            runs.append(child.name)
+    return runs
+
+
+# ----------------------------------------------------------------------
+# Repair
+# ----------------------------------------------------------------------
+def repair_run(store: RunStore, run_id: str) -> list[str]:
+    """Rebuild one run to a clean, loadable, journal-consistent state.
+
+    Returns the actions taken.  Raises :class:`StoreCorruptionError`
+    when nothing survives to rebuild from (finding D015).
+    """
+    actions: list[str] = []
+    swept = store.sweep_tmp(run_id)
+    if swept:
+        actions.append(
+            f"removed {len(swept)} orphaned tmp file(s): "
+            + ", ".join(p.name for p in swept)
+        )
+    hb_dir = store.run_dir(run_id) / ".hb"
+    if hb_dir.is_dir():
+        stale = list(hb_dir.glob("*.hb"))
+        for hb in stale:
+            hb.unlink(missing_ok=True)
+        try:
+            hb_dir.rmdir()
+        except OSError:
+            pass
+        if stale:
+            actions.append(
+                f"removed {len(stale)} stale heartbeat file(s)"
+            )
+
+    # Salvage unconditionally: reconcile journal + manifest + results
+    # into the best-supported manifest, whatever state the files are in.
+    manifest = store.salvage(run_id, "doctor repair")
+    for note in manifest.salvage_notes[1:]:
+        actions.append(note)
+
+    # Restore result files the manifest has records for.
+    results = store.result_files(run_id)
+    for experiment_id, record in manifest.records.items():
+        if results.get(experiment_id) != record.to_dict():
+            atomic_write_json(
+                store.result_path(run_id, experiment_id), record.to_dict()
+            )
+            actions.append(f"rewrote result file {experiment_id}.json")
+
+    # Rebuild the journal wholesale: one plan entry, one record entry
+    # per recorded experiment (plan order), then let save() publish the
+    # manifest and append the flush digest.
+    entries: list[tuple[str, dict[str, Any]]] = [
+        ("plan", manifest.plan_payload())
+    ]
+    for experiment_id in manifest.ids:
+        record = manifest.records.get(experiment_id)
+        if record is not None:
+            entries.append(("record", record.to_dict()))
+    rewrite(store.journal_path(run_id), entries)
+    actions.append(f"rebuilt journal with {len(entries)} entries")
+    store.save(manifest)
+    actions.append(f"rewrote manifest.json (schema v{MANIFEST_VERSION})")
+    # sweep_tmp again: atomic_write_json cleans after itself, but a
+    # fault injected during repair must not leave new debris behind.
+    store.sweep_tmp(run_id)
+    return actions
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-doctor",
+        description=(
+            "Audit (and with --repair, rebuild) the campaign run store: "
+            "torn or corrupt manifests, journal damage, version drift, "
+            "orphaned tmp files, and stale supervisor heartbeats."
+        ),
+    )
+    parser.add_argument(
+        "run_ids",
+        nargs="*",
+        metavar="RUN_ID",
+        help="specific runs to audit (default: every run under --runs-dir)",
+    )
+    parser.add_argument(
+        "--runs-dir",
+        default="runs",
+        metavar="DIR",
+        help="runs root to audit (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repair",
+        action="store_true",
+        help=(
+            "rebuild damaged runs from the journal and surviving result "
+            "files, rewrite their manifests, and sweep debris"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--list-codes",
+        action="store_true",
+        help="print the diagnostic code table and exit",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print only the summary line (text format)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="narrate info-severity findings too",
+    )
+    return parser
+
+
+def render_codes() -> str:
+    width = max(len(code) for code in CODES)
+    return "\n".join(f"{code:<{width}}  {text}" for code, text in CODES.items())
+
+
+def _emit_findings(findings: list[Finding]) -> None:
+    """Publish findings on the event bus when telemetry is live."""
+    from repro.obs.config import current_telemetry
+
+    telemetry = current_telemetry()
+    if not telemetry.enabled:
+        return
+    for finding in findings:
+        telemetry.bus.instant(
+            "doctor.finding",
+            code=finding.code,
+            severity=finding.severity,
+            run_id=finding.run_id,
+            message=finding.message,
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_codes:
+        print(render_codes())
+        return 0
+    store = RunStore(args.runs_dir)
+    root = Path(args.runs_dir)
+    run_ids = list(args.run_ids) or discover_runs(root)
+    if not run_ids:
+        print(f"doctor: no runs found under {root}")
+        return 0
+
+    all_findings: list[Finding] = []
+    repaired: dict[str, list[str]] = {}
+    failed_repairs: dict[str, str] = {}
+    for run_id in run_ids:
+        findings = audit_run(store, run_id)
+        all_findings.extend(findings)
+        needs_repair = any(f.repairable for f in findings)
+        if args.repair and needs_repair:
+            try:
+                repaired[run_id] = repair_run(store, run_id)
+            except (StoreCorruptionError, CheckpointError) as exc:
+                failed_repairs[run_id] = str(exc)
+
+    _emit_findings(all_findings)
+
+    errors = [f for f in all_findings if f.severity == "error"]
+    unrepaired_errors = [
+        f
+        for f in errors
+        if f.run_id not in repaired or not f.repairable
+    ]
+    healthy = not all_findings
+    if args.repair:
+        status = 1 if (unrepaired_errors or failed_repairs) else 0
+    else:
+        status = 1 if errors else 0
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "runs": run_ids,
+                    "findings": [f.to_dict() for f in all_findings],
+                    "repaired": repaired,
+                    "failed_repairs": failed_repairs,
+                    "healthy": healthy,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return status
+
+    from repro.obs.progress import CampaignReporter
+
+    verbosity = -1 if args.quiet else (1 if args.verbose else 0)
+    counts = {s: 0 for s in SEVERITIES}
+    for finding in all_findings:
+        counts[finding.severity] += 1
+    summary = (
+        f"doctor: {len(run_ids)} run(s) audited — "
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['info']} note(s)"
+        + (f"; {len(repaired)} run(s) repaired" if repaired else "")
+        + (
+            f"; {len(failed_repairs)} repair(s) FAILED"
+            if failed_repairs
+            else ""
+        )
+    )
+    with CampaignReporter(sys.stdout, sys.stderr, verbosity) as reporter:
+        reporter.doctor_findings(all_findings, summary)
+        for run_id, actions in repaired.items():
+            for action in actions:
+                reporter.info(f"  repaired {run_id}: {action}")
+        for run_id, error in failed_repairs.items():
+            reporter.error(f"  repair failed for {run_id}: {error}")
+    return status
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

@@ -21,6 +21,11 @@ in a traceback.  The hierarchy:
     │                                   ``worker-crash``; see
     │                                   ``repro.resilience.supervisor``)
     └── ``CheckpointError``   — a run manifest could not be read or written
+            └── ``StoreCorruptionError`` — run-store bytes are provably
+                                  bad (torn/corrupt manifest, checksum
+                                  mismatch) and salvage found nothing
+                                  to rebuild from (classified
+                                  ``corruption``; see ``repro-doctor``)
 
 ``ConfigError`` deliberately subclasses ``ValueError`` so the many
 call sites (and tests) written against ``ValueError`` keep working while
@@ -198,11 +203,29 @@ class WorkerCrashError(ExperimentError):
 
 
 class CheckpointError(ReproError):
-    """A run manifest or result file could not be read or written."""
+    """A run manifest or result file could not be read or written.
+
+    A *read* failure (``OSError`` underneath) is transient — the disk
+    hiccuped, the file may be fine — and is reported as such; it is
+    never conflated with corruption (see
+    :class:`StoreCorruptionError`).
+    """
 
     def __init__(self, message: str, *, path: str | None = None, **context: Any) -> None:
         super().__init__(message, **context)
         self.path = path
+
+
+class StoreCorruptionError(CheckpointError):
+    """Run-store content is provably damaged and could not be salvaged.
+
+    Raised only after the salvage path (journal replay plus intact
+    per-experiment result files) found nothing to rebuild from: a torn
+    or corrupt ``manifest.json`` with no surviving journal.  The
+    message carries the repair hint (``repro-doctor --repair``);
+    classified ``corruption`` so campaign summaries distinguish bad
+    bytes from bad I/O.
+    """
 
 
 def classify_error(exc: BaseException) -> str:
@@ -221,6 +244,8 @@ def classify_error(exc: BaseException) -> str:
         return "worker-crash"
     if isinstance(exc, ExperimentError):
         return "experiment"
+    if isinstance(exc, StoreCorruptionError):
+        return "corruption"
     if isinstance(exc, CheckpointError):
         return "checkpoint"
     if isinstance(exc, KeyboardInterrupt):

@@ -38,10 +38,33 @@ the ``mode`` field is ignored — the site name determines the behaviour:
 ``worker.slow``
     Sleep ``WORKER_SLOW_S`` and continue normally — latency injection
     for backpressure and ETA behaviour, not a failure.
+
+Disk fault sites
+----------------
+The ``io.*`` sites exercise the durable run store
+(:mod:`repro.resilience.checkpoint` and
+:mod:`repro.resilience.journal`); like the ``worker.*`` sites, the site
+name determines the behaviour and ``mode`` is ignored:
+
+``io.enospc``
+    Raise ``OSError(ENOSPC)`` inside the write, simulating a full disk;
+    the store reports it as a transient ``CheckpointError``.
+``io.fsync-fail``
+    Raise ``OSError(EIO)`` at the fsync point — the write appeared to
+    succeed but durability could not be confirmed.
+``io.torn-write``
+    The writer leaves a *torn* file (a prefix of the new content) at
+    the final path and raises, simulating a crash mid-write on a
+    non-atomic filesystem.  Salvage and ``repro-doctor`` must recover.
+``io.corrupt``
+    A byte of the just-published file is flipped *silently* — the
+    writer believes the write succeeded.  Bit rot; only checksums can
+    catch it later.
 """
 
 from __future__ import annotations
 
+import errno
 import os
 import time
 from contextlib import contextmanager
@@ -62,6 +85,10 @@ KNOWN_SITES = (
     "worker.crash",       # --jobs worker, before the experiment: die outright
     "worker.stall",       # --jobs worker: wedge until the stall detector kills us
     "worker.slow",        # --jobs worker: sleep, then continue (latency injection)
+    "io.enospc",          # run store writes: OSError(ENOSPC), disk full
+    "io.fsync-fail",      # run store writes: OSError(EIO) at the fsync point
+    "io.torn-write",      # run store writes: torn file at the final path, then raise
+    "io.corrupt",         # run store writes: silent byte flip after publishing
 )
 
 #: Injected ``worker.slow`` sleep; short enough for tests, long enough
@@ -104,6 +131,12 @@ class ArmedFault:
         if self.site == "worker.slow":
             time.sleep(WORKER_SLOW_S)
             return
+        if self.site == "io.enospc":
+            raise OSError(
+                errno.ENOSPC, self.message or "injected: no space left on device"
+            )
+        if self.site == "io.fsync-fail":
+            raise OSError(errno.EIO, self.message or "injected: fsync failed")
         if self.mode == "interrupt":
             raise KeyboardInterrupt(message)
         if self.mode == "timeout":

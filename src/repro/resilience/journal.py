@@ -1,0 +1,231 @@
+"""Append-only, per-line-checksummed journal beside each run manifest.
+
+``runs/<run-id>/records.jsonl`` is the write-ahead log of the run
+store.  ``manifest.json`` is a convenience snapshot — readable at a
+glance, cheap to load — but a snapshot is only as durable as its last
+atomic rename.  The journal is the recovery backbone behind it:
+
+* every entry is one JSON line carrying its own sha256, so corruption
+  is *detected per line* — one flipped byte loses one line, never the
+  file;
+* entries are append-only, so a crash (or ``kill -9``) at any instant
+  leaves at worst a torn final line, which replay recognises and skips;
+* record entries are appended *before* the manifest is flushed, so a
+  manifest that dies between ``record()`` and ``save()`` can be rebuilt
+  from the journal instead of losing the experiment;
+* after each successful manifest flush a ``flush`` entry records the
+  sha256 of the manifest bytes just published, so a *silently* corrupt
+  manifest (valid JSON, flipped content) is detectable too.
+
+Entry kinds
+-----------
+``plan``
+    The run header: version, run id, planned ids, quick flag,
+    creation timestamp.  Written once when the run is created.
+``record``
+    One experiment's outcome (``ExperimentRecord.to_dict()``),
+    appended before the manifest flush that will contain it.
+``flush``
+    ``{"sha256": <digest of manifest.json bytes>}`` appended after each
+    successful manifest publish.
+
+Replay (:func:`read_journal`) is deliberately forgiving: lines that
+fail to parse or whose checksum does not match are reported, not
+fatal, and the surviving entries still reconstruct the run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.resilience.errors import CheckpointError, FaultInjected
+from repro.resilience.faults import fault_point
+
+#: Journal file name inside a run directory.
+JOURNAL_NAME = "records.jsonl"
+
+#: Bumped when the line format changes; recorded in every plan entry.
+JOURNAL_VERSION = 1
+
+ENTRY_KINDS = ("plan", "record", "flush")
+
+
+def _canonical(payload: dict[str, Any]) -> str:
+    """The canonical serialization the checksum is computed over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def entry_checksum(payload: dict[str, Any]) -> str:
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def file_checksum(data: bytes) -> str:
+    """Digest of a whole file's bytes (used for manifest flush entries)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def format_entry(kind: str, payload: dict[str, Any]) -> str:
+    """One journal line (newline-terminated) for ``kind``/``payload``."""
+    if kind not in ENTRY_KINDS:
+        raise ValueError(f"unknown journal entry kind {kind!r}")
+    line = {"kind": kind, "payload": payload, "sha256": entry_checksum(payload)}
+    return json.dumps(line, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def append_entry(path: Path, kind: str, payload: dict[str, Any]) -> None:
+    """Append one checksummed entry, flushed and fsynced.
+
+    Instruments the ``io.enospc``/``io.fsync-fail`` disk fault sites
+    (they raise ``OSError``, folded into the ``CheckpointError`` below)
+    and ``io.torn-write`` (leaves a torn, checksum-failing final line —
+    exactly what a mid-append crash leaves — then raises).
+    """
+    text = format_entry(kind, payload)
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            fault_point("io.enospc", path=str(path))
+            try:
+                fault_point("io.torn-write", path=str(path))
+            except FaultInjected as exc:
+                handle.write(text[: max(1, len(text) // 2)])
+                handle.flush()
+                raise CheckpointError(
+                    f"injected torn write appending to {path.name}",
+                    path=str(path),
+                ) from exc
+            handle.write(text)
+            handle.flush()
+            fault_point("io.fsync-fail", path=str(path))
+            os.fsync(handle.fileno())
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot append to journal {path.name}: {exc}", path=str(path)
+        ) from exc
+
+
+def rewrite(path: Path, entries: list[tuple[str, dict[str, Any]]]) -> None:
+    """Replace the journal wholesale (doctor --repair, journal rebuild).
+
+    Temp-file-then-rename like every other store write, so a crash
+    mid-rewrite leaves the previous journal intact.
+    """
+    text = "".join(format_entry(kind, payload) for kind, payload in entries)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot rewrite journal {path.name}: {exc}", path=str(path)
+        ) from exc
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+@dataclass
+class BadLine:
+    """One journal line that could not be trusted."""
+
+    lineno: int  # 1-based
+    reason: str  # "unparseable" | "checksum mismatch" | "malformed entry"
+    torn: bool = False  # final line with no trailing newline: a torn append
+
+
+@dataclass
+class JournalReplay:
+    """Everything replaying a journal recovered (and failed to)."""
+
+    entries: list[tuple[str, dict[str, Any]]] = field(default_factory=list)
+    bad_lines: list[BadLine] = field(default_factory=list)
+
+    @property
+    def plan(self) -> dict[str, Any] | None:
+        """The run header, if any plan entry survived (last one wins)."""
+        plans = [p for kind, p in self.entries if kind == "plan"]
+        return plans[-1] if plans else None
+
+    @property
+    def records(self) -> dict[str, dict[str, Any]]:
+        """Surviving experiment records in append order; later entries
+        for the same experiment win (a retried experiment re-journals)."""
+        records: dict[str, dict[str, Any]] = {}
+        for kind, payload in self.entries:
+            if kind == "record" and "experiment_id" in payload:
+                records[payload["experiment_id"]] = payload
+        return records
+
+    @property
+    def last_flush_digest(self) -> str | None:
+        """sha256 the last flush entry recorded for manifest.json."""
+        digests = [
+            p.get("sha256") for kind, p in self.entries if kind == "flush"
+        ]
+        return digests[-1] if digests else None
+
+    @property
+    def torn_tail(self) -> bool:
+        return any(bad.torn for bad in self.bad_lines)
+
+    @property
+    def corrupt_lines(self) -> list[BadLine]:
+        """Bad lines that are *not* the expected torn tail."""
+        return [bad for bad in self.bad_lines if not bad.torn]
+
+
+def read_journal(path: Path) -> JournalReplay:
+    """Replay a journal, skipping (and reporting) untrustworthy lines.
+
+    Never raises on content: a torn tail, flipped bytes, or garbage
+    lines degrade into :class:`BadLine` reports while every intact
+    entry is recovered.  ``OSError`` (the file cannot be *read* at all)
+    still propagates as :class:`CheckpointError` — that is an I/O
+    problem, not corruption.
+    """
+    try:
+        data = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read journal {path.name}: {exc}", path=str(path)
+        ) from exc
+    replay = JournalReplay()
+    lines = data.split("\n")
+    # A well-formed journal ends with a newline, so the final split
+    # element is empty; anything else is a torn trailing append.
+    tail_torn = lines and lines[-1] != ""
+    if lines and lines[-1] == "":
+        lines.pop()
+    for lineno, line in enumerate(lines, start=1):
+        is_tail = tail_torn and lineno == len(lines)
+        if not line.strip():
+            continue
+        try:
+            parsed = json.loads(line)
+        except json.JSONDecodeError:
+            replay.bad_lines.append(
+                BadLine(lineno, "unparseable", torn=is_tail)
+            )
+            continue
+        if not (
+            isinstance(parsed, dict)
+            and parsed.get("kind") in ENTRY_KINDS
+            and isinstance(parsed.get("payload"), dict)
+        ):
+            replay.bad_lines.append(
+                BadLine(lineno, "malformed entry", torn=is_tail)
+            )
+            continue
+        if parsed.get("sha256") != entry_checksum(parsed["payload"]):
+            replay.bad_lines.append(
+                BadLine(lineno, "checksum mismatch", torn=is_tail)
+            )
+            continue
+        replay.entries.append((parsed["kind"], parsed["payload"]))
+    return replay

@@ -77,8 +77,16 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
     from repro.resilience.campaign import CampaignConfig
 
 #: Fault sites that fire in the parent process even under ``--jobs``:
-#: checkpoints are written by the parent, never by workers.
-PARENT_SITES = ("checkpoint.write",)
+#: checkpoints (and every other run-store write) are written by the
+#: parent, never by workers — so the io.* budgets chain in the parent
+#: exactly as they would in a serial campaign.
+PARENT_SITES = (
+    "checkpoint.write",
+    "io.enospc",
+    "io.fsync-fail",
+    "io.torn-write",
+    "io.corrupt",
+)
 
 #: Worker-process fault sites whose firing the parent must account for
 #: itself (a dead worker reports nothing back).
@@ -475,6 +483,7 @@ def run_parallel(
         ),
         mp_context=_pool_context(),
         on_crash=on_crash,
+        hb_dir=store.run_dir(manifest.run_id) / ".hb" if persist else None,
     )
     position = 0  # next entry of ``remaining`` to dispatch
     try:

@@ -234,13 +234,22 @@ class PoolSupervisor:
         policy: SupervisorPolicy,
         mp_context: Any = None,
         on_crash: Callable[[SupervisedJob, str], None] | None = None,
+        hb_dir: Path | None = None,
     ) -> None:
         self.worker_fn = worker_fn
         self.policy = policy
         self._mp_context = mp_context
         self._on_crash = on_crash or (lambda job, kind: None)
         self._pool: ProcessPoolExecutor | None = None
-        self._hb_dir = Path(tempfile.mkdtemp(prefix="repro-supervise-"))
+        # Heartbeats live in the run directory when the campaign
+        # persists (``hb_dir``): a kill -9 mid-campaign then leaves
+        # auditable stale ``.hb`` files for ``repro-doctor``, instead
+        # of an anonymous tmpdir nobody can associate with the run.
+        if hb_dir is not None:
+            hb_dir.mkdir(parents=True, exist_ok=True)
+            self._hb_dir = hb_dir
+        else:
+            self._hb_dir = Path(tempfile.mkdtemp(prefix="repro-supervise-"))
         #: Lifetime counters, exported into campaign metrics.
         self.crashes = 0
         self.stalls = 0

@@ -11,7 +11,12 @@ from repro.resilience.checkpoint import (
     RunStore,
     atomic_write_json,
 )
-from repro.resilience.errors import CheckpointError, FaultInjected, SimulationError
+from repro.resilience.errors import (
+    CheckpointError,
+    FaultInjected,
+    SimulationError,
+    StoreCorruptionError,
+)
 from repro.resilience.faults import FAULTS
 from repro.util.tables import TextTable
 
@@ -121,11 +126,20 @@ class TestRunStore:
         with pytest.raises(CheckpointError, match="seen"):
             store.load("never-created")
 
-    def test_load_corrupt_manifest(self, tmp_path):
+    def test_load_corrupt_manifest_salvages_from_journal(self, tmp_path):
         store = RunStore(tmp_path)
         store.new_run(["a"], run_id="r1")
         store.manifest_path("r1").write_text("{ not json")
-        with pytest.raises(CheckpointError, match="corrupt"):
+        loaded = store.load("r1")
+        assert loaded.salvaged
+        assert loaded.ids == ["a"]
+
+    def test_load_corrupt_manifest_without_journal_raises(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.new_run(["a"], run_id="r1")
+        store.manifest_path("r1").write_text("{ not json")
+        store.journal_path("r1").unlink()
+        with pytest.raises(StoreCorruptionError, match="corrupt"):
             store.load("r1")
 
     def test_load_wrong_version(self, tmp_path):

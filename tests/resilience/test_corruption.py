@@ -1,0 +1,353 @@
+"""Seeded corruption suite: the durable store under disk damage.
+
+The tentpole contract of the journaled run store: for every way the
+bytes under ``runs/<run-id>/`` can be damaged — torn manifest,
+bit-flipped manifest, missing manifest with an intact journal, the
+result-without-manifest-record crash window, ENOSPC mid-campaign —
+``repro-doctor --repair`` followed by ``--resume`` converges to a
+manifest byte-identical (modulo run identity and timing, the chaos
+suite's convention) to an uninterrupted serial run.  Plus: the
+every-byte-offset torn-write property test, the manifest migration
+chain pinned at every historical version, and the ``io.*`` fault
+sites' observable behaviour.
+"""
+
+import json
+
+import pytest
+
+from repro.resilience.campaign import CampaignConfig
+from repro.resilience.checkpoint import (
+    MANIFEST_VERSION,
+    ExperimentRecord,
+    RunManifest,
+    RunStore,
+    atomic_write_json,
+    migrate_payload,
+)
+from repro.resilience.doctor import main as doctor_main
+from repro.resilience.errors import (
+    CheckpointError,
+    ConfigError,
+    FaultInjected,
+    StoreCorruptionError,
+)
+from repro.resilience.faults import FAULTS
+from repro.resilience.journal import read_journal
+from tests.resilience.test_chaos import manifest_payload, ok_runner, run
+
+IDS = ["e0", "e1", "e2", "e3", "e4", "e5"]
+
+
+def serial_config(tmp_path, run_id, **kwargs):
+    kwargs.setdefault("ids", list(IDS))
+    return CampaignConfig(runs_dir=str(tmp_path), run_id=run_id, **kwargs)
+
+
+def completed_run(tmp_path, run_id):
+    code, _, _ = run(serial_config(tmp_path, run_id))
+    assert code == 0
+    return RunStore(tmp_path)
+
+
+def arming_runner(arm_at, site):
+    """A runner that arms ``site`` right before ``arm_at`` is recorded,
+    so the fault lands on the store writes of that experiment —
+    mid-campaign, after earlier experiments persisted cleanly."""
+
+    def runner(experiment_id, quick=False):
+        result = ok_runner(experiment_id, quick=quick)
+        if experiment_id == arm_at:
+            FAULTS.arm(site)
+        return result
+
+    return runner
+
+
+def repair_then_resume(tmp_path, run_id):
+    assert doctor_main(["--runs-dir", str(tmp_path), run_id, "--repair"]) == 0
+    code, _, _ = run(serial_config(tmp_path, None, resume=run_id))
+    assert code == 0
+
+
+class TestSeededCorruptionConvergence:
+    """Each scenario: damage, ``--repair``, ``--resume``, byte-identity."""
+
+    def assert_converges(self, tmp_path, run_id="hurt"):
+        repair_then_resume(tmp_path, run_id)
+        assert manifest_payload(tmp_path, run_id) == manifest_payload(
+            tmp_path, "base"
+        )
+
+    def test_torn_manifest(self, tmp_path):
+        completed_run(tmp_path, "base")
+        store = completed_run(tmp_path, "hurt")
+        data = store.manifest_path("hurt").read_bytes()
+        store.manifest_path("hurt").write_bytes(data[: int(len(data) * 0.6)])
+        self.assert_converges(tmp_path)
+
+    def test_bit_flipped_manifest(self, tmp_path):
+        completed_run(tmp_path, "base")
+        store = completed_run(tmp_path, "hurt")
+        data = bytearray(store.manifest_path("hurt").read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        store.manifest_path("hurt").write_bytes(bytes(data))
+        self.assert_converges(tmp_path)
+
+    def test_missing_manifest_intact_journal(self, tmp_path):
+        completed_run(tmp_path, "base")
+        store = completed_run(tmp_path, "hurt")
+        store.manifest_path("hurt").unlink()
+        self.assert_converges(tmp_path)
+
+    def test_result_without_manifest_record_window(self, tmp_path):
+        # A checkpoint.write fault during e2's writes crashes the
+        # campaign after e2 was journaled but before the manifest knew:
+        # the exact record()-before-save() window.
+        completed_run(tmp_path, "base")
+        with pytest.raises(FaultInjected):
+            run(
+                serial_config(tmp_path, "hurt"),
+                runner=arming_runner("e2", "checkpoint.write"),
+            )
+        store = RunStore(tmp_path)
+        journaled = read_journal(store.journal_path("hurt")).records
+        manifested = json.loads(store.manifest_path("hurt").read_text())
+        assert "e2" in journaled
+        assert "e2" not in manifested["records"]
+        self.assert_converges(tmp_path)
+
+    def test_enospc_mid_campaign(self, tmp_path):
+        completed_run(tmp_path, "base")
+        with pytest.raises(CheckpointError, match="space"):
+            run(
+                serial_config(tmp_path, "hurt"),
+                runner=arming_runner("e2", "io.enospc"),
+            )
+        manifested = json.loads(store_path(tmp_path, "hurt").read_text())
+        assert "e2" not in manifested["records"]  # its writes never landed
+        self.assert_converges(tmp_path)
+
+
+def store_path(tmp_path, run_id):
+    return RunStore(tmp_path).manifest_path(run_id)
+
+
+class TestTornWriteProperty:
+    """Truncate the manifest at *every* byte offset: load-or-salvage
+    never raises anything outside the classified store errors."""
+
+    def make_run(self, tmp_path):
+        store = RunStore(tmp_path)
+        manifest = store.new_run(["a", "b"], run_id="r1")
+        store.record(
+            manifest,
+            ExperimentRecord(experiment_id="a", status="passed", rendered="ok"),
+        )
+        return store, store.manifest_path("r1").read_bytes()
+
+    def test_every_truncation_salvages_with_journal(self, tmp_path):
+        store, data = self.make_run(tmp_path)
+        for offset in range(len(data)):
+            store.manifest_path("r1").write_bytes(data[:offset])
+            loaded = store.load("r1")  # must never raise: journal survives
+            assert loaded.ids == ["a", "b"]
+            assert loaded.records["a"].status == "passed"
+
+    def test_every_truncation_classified_without_journal(self, tmp_path):
+        store, data = self.make_run(tmp_path)
+        store.journal_path("r1").unlink()
+        for experiment_id in ("a",):
+            store.result_path("r1", experiment_id).unlink()
+        for offset in range(len(data)):
+            store.manifest_path("r1").write_bytes(data[:offset])
+            try:
+                store.load("r1")
+            except CheckpointError:
+                continue  # classified: corrupt (or unreadable) store
+            # Only a truncation that leaves valid JSON may succeed.
+            json.loads(data[:offset].decode("utf-8"))
+
+
+class TestMigrationChain:
+    """Every historical manifest schema version is pinned and loadable."""
+
+    V0 = {  # unversioned prototype: records was a list
+        "run_id": "old",
+        "ids": ["a", "b"],
+        "records": [
+            {"experiment_id": "a", "status": "passed", "rendered": "ok"}
+        ],
+    }
+    V1 = {  # v1: records keyed by id; no journal field yet
+        "version": 1,
+        "run_id": "old",
+        "ids": ["a", "b"],
+        "quick": False,
+        "interrupted": False,
+        "created_at": "2026-01-01T00:00:00",
+        "records": {
+            "a": {"experiment_id": "a", "status": "passed", "rendered": "ok"}
+        },
+    }
+
+    @pytest.mark.parametrize("payload", [V0, V1], ids=["v0", "v1"])
+    def test_historical_versions_migrate(self, payload):
+        migrated, original = migrate_payload(dict(payload))
+        assert original == payload.get("version", 0)
+        assert migrated["version"] == MANIFEST_VERSION
+        assert migrated["journal"] == "records.jsonl"
+        manifest = RunManifest.from_dict(migrated)
+        assert manifest.records["a"].status == "passed"
+        assert manifest.remaining() == ["b"]
+
+    def test_old_run_loads_and_heals_forward(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_dir = store.run_dir("old")
+        run_dir.mkdir(parents=True)
+        (run_dir / "manifest.json").write_text(json.dumps(self.V1))
+        loaded = store.load("old")  # pre-journal run: no salvage needed
+        assert not loaded.salvaged
+        store.save(loaded)  # first write upgrades schema and starts a journal
+        payload = json.loads(store.manifest_path("old").read_text())
+        assert payload["version"] == MANIFEST_VERSION
+        replay = read_journal(store.journal_path("old"))
+        assert replay.plan["run_id"] == "old"
+
+    def test_newer_version_refused_with_version_message(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.new_run(["a"], run_id="r1")
+        payload = json.loads(store.manifest_path("r1").read_text())
+        payload["version"] = MANIFEST_VERSION + 1
+        atomic_write_json(store.manifest_path("r1"), payload)
+        with pytest.raises(CheckpointError, match="version"):
+            store.load("r1")
+
+    def test_garbage_version_is_corruption(self, tmp_path):
+        with pytest.raises(StoreCorruptionError, match="version"):
+            migrate_payload({"version": "fish", "run_id": "x", "ids": []})
+
+
+class TestIoFaultSites:
+    def test_enospc_keeps_previous_manifest(self, tmp_path):
+        store = RunStore(tmp_path)
+        manifest = store.new_run(["a"], run_id="r1")
+        before = store.manifest_path("r1").read_bytes()
+        FAULTS.arm("io.enospc")
+        with pytest.raises(CheckpointError, match="disk full"):
+            store.save(manifest)
+        assert store.manifest_path("r1").read_bytes() == before
+        assert not list(store.run_dir("r1").glob("*.tmp"))
+
+    def test_fsync_fail_keeps_previous_manifest(self, tmp_path):
+        store = RunStore(tmp_path)
+        manifest = store.new_run(["a"], run_id="r1")
+        before = store.manifest_path("r1").read_bytes()
+        FAULTS.arm("io.fsync-fail")
+        with pytest.raises(CheckpointError):
+            store.save(manifest)
+        assert store.manifest_path("r1").read_bytes() == before
+
+    def test_torn_write_leaves_salvageable_prefix(self, tmp_path):
+        store = RunStore(tmp_path)
+        manifest = store.new_run(["a"], run_id="r1")
+        manifest.records["a"] = ExperimentRecord(
+            experiment_id="a", status="passed", rendered="ok"
+        )
+        FAULTS.arm("io.torn-write", times=2)  # journal append + manifest
+        with pytest.raises(CheckpointError, match="torn"):
+            store.record(manifest, manifest.records["a"])
+        loaded = store.load("r1")
+        assert loaded.salvaged or loaded.records == {}
+
+    def test_silent_corruption_caught_on_next_load(self, tmp_path):
+        store = RunStore(tmp_path)
+        manifest = store.new_run(["a"], run_id="r1")
+        store.record(
+            manifest,
+            ExperimentRecord(experiment_id="a", status="passed", rendered="ok"),
+        )
+        FAULTS.arm("io.corrupt")
+        store.save(manifest)  # "succeeds": the writer never sees the flip
+        loaded = store.load("r1")
+        assert loaded.salvaged  # the journal exposed the flip
+        assert loaded.records["a"].status == "passed"
+
+    def test_unknown_io_site_lists_valid_sites(self):
+        with pytest.raises(ConfigError, match="io.enospc"):
+            FAULTS.arm_from_spec("io.bogus")
+
+    def test_io_spec_arms_through_cli_grammar(self):
+        fault = FAULTS.arm_from_spec("io.torn-write::2")
+        assert fault.site == "io.torn-write"
+        assert fault.times == 2
+        FAULTS.reset()
+
+    def test_io_sites_fire_in_parent_under_jobs(self):
+        from repro.resilience.parallel import PARENT_SITES
+
+        assert {
+            "io.enospc", "io.fsync-fail", "io.torn-write", "io.corrupt",
+        } <= set(PARENT_SITES)
+
+
+class TestTmpSweep:
+    def test_stray_tmp_removed_on_load(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.new_run(["a"], run_id="r1")
+        stray = store.run_dir("r1") / "manifest.json.tmp"
+        stray.write_text("half-written")
+        store.load("r1")
+        assert not stray.exists()
+
+    def test_stray_tmp_removed_on_new_run(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_dir = store.run_dir("r1")
+        run_dir.mkdir(parents=True)
+        stray = run_dir / "e1.json.tmp"
+        stray.write_text("half-written")
+        store.new_run(["a"], run_id="r1")
+        assert not stray.exists()
+
+
+class TestSupervisorHeartbeatDir:
+    def test_explicit_hb_dir_is_used_and_cleaned(self, tmp_path):
+        from repro.resilience.supervisor import PoolSupervisor, SupervisorPolicy
+
+        hb_dir = tmp_path / "runs" / "r1" / ".hb"
+        supervisor = PoolSupervisor(
+            ok_runner, SupervisorPolicy(jobs=1), hb_dir=hb_dir
+        )
+        assert hb_dir.is_dir()
+        supervisor.shutdown()
+        assert not hb_dir.exists()
+
+    def test_parallel_campaign_leaves_no_heartbeat_dir(self, tmp_path):
+        config = CampaignConfig(
+            ids=["e0", "e1"],
+            runs_dir=str(tmp_path),
+            run_id="par",
+            jobs=2,
+        )
+        code, _, _ = run(config)
+        assert code == 0
+        assert not (tmp_path / "par" / ".hb").exists()
+
+
+class TestTransientReadClassification:
+    def test_unreadable_manifest_is_transient_not_corrupt(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.new_run(["a"], run_id="r1")
+        path = store.manifest_path("r1")
+        # Make the read itself fail (IsADirectoryError is an OSError);
+        # chmod tricks don't work when the tests run as root.
+        path.unlink()
+        path.mkdir()
+        try:
+            with pytest.raises(CheckpointError) as excinfo:
+                store.load("r1")
+        finally:
+            path.rmdir()
+        assert excinfo.value.transient
+        assert not isinstance(excinfo.value, StoreCorruptionError)
+        assert "transient" in str(excinfo.value)

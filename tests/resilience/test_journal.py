@@ -1,0 +1,150 @@
+"""The append-only checksummed journal (``records.jsonl``)."""
+
+import json
+
+import pytest
+
+from repro.resilience.errors import CheckpointError
+from repro.resilience.faults import FAULTS
+from repro.resilience.journal import (
+    JOURNAL_VERSION,
+    append_entry,
+    entry_checksum,
+    file_checksum,
+    format_entry,
+    read_journal,
+    rewrite,
+)
+
+
+def record_payload(experiment_id, status="passed"):
+    return {"experiment_id": experiment_id, "status": status}
+
+
+class TestFormat:
+    def test_entry_is_one_checksummed_json_line(self):
+        line = format_entry("record", record_payload("e1"))
+        assert line.endswith("\n")
+        parsed = json.loads(line)
+        assert parsed["kind"] == "record"
+        assert parsed["sha256"] == entry_checksum(parsed["payload"])
+
+    def test_checksum_is_canonical_over_key_order(self):
+        assert entry_checksum({"a": 1, "b": 2}) == entry_checksum(
+            {"b": 2, "a": 1}
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            format_entry("snapshot", {})
+
+    def test_journal_version_is_pinned(self):
+        # Bumping the line format requires a migration story; this test
+        # is the tripwire.
+        assert JOURNAL_VERSION == 1
+
+
+class TestAppendAndReplay:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        append_entry(path, "plan", {"run_id": "r1", "ids": ["e1"]})
+        append_entry(path, "record", record_payload("e1"))
+        append_entry(path, "flush", {"sha256": "abc"})
+        replay = read_journal(path)
+        assert [kind for kind, _ in replay.entries] == [
+            "plan", "record", "flush",
+        ]
+        assert replay.plan == {"run_id": "r1", "ids": ["e1"]}
+        assert replay.records == {"e1": record_payload("e1")}
+        assert replay.last_flush_digest == "abc"
+        assert not replay.bad_lines
+
+    def test_later_record_for_same_experiment_wins(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        append_entry(path, "record", record_payload("e1", "error"))
+        append_entry(path, "record", record_payload("e1", "passed"))
+        assert read_journal(path).records["e1"]["status"] == "passed"
+
+    def test_torn_tail_is_reported_not_fatal(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        append_entry(path, "record", record_payload("e1"))
+        tail = format_entry("record", record_payload("e2"))
+        with open(path, "a") as handle:
+            handle.write(tail[: len(tail) // 2])  # crash mid-append
+        replay = read_journal(path)
+        assert replay.records == {"e1": record_payload("e1")}
+        assert replay.torn_tail
+        assert not replay.corrupt_lines
+
+    def test_flipped_byte_loses_one_line_only(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        append_entry(path, "record", record_payload("e1"))
+        append_entry(path, "record", record_payload("e2"))
+        text = path.read_text().splitlines(keepends=True)
+        # Corrupt a byte inside e1's payload (keeps the line valid JSON).
+        text[0] = text[0].replace('"passed"', '"p4ssed"')
+        path.write_text("".join(text))
+        replay = read_journal(path)
+        assert list(replay.records) == ["e2"]
+        assert [bad.reason for bad in replay.corrupt_lines] == [
+            "checksum mismatch"
+        ]
+
+    def test_garbage_line_reported(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        path.write_text("not json at all\n")
+        replay = read_journal(path)
+        assert not replay.entries
+        assert replay.bad_lines[0].reason == "unparseable"
+
+    def test_wrong_shape_reported(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        path.write_text(json.dumps({"kind": "nope", "payload": {}}) + "\n")
+        assert read_journal(path).bad_lines[0].reason == "malformed entry"
+
+    def test_missing_file_raises_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="read"):
+            read_journal(tmp_path / "absent.jsonl")
+
+
+class TestRewrite:
+    def test_rewrite_replaces_wholesale(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        append_entry(path, "record", record_payload("old"))
+        rewrite(path, [("plan", {"run_id": "r1"}),
+                       ("record", record_payload("new"))])
+        replay = read_journal(path)
+        assert replay.plan == {"run_id": "r1"}
+        assert list(replay.records) == ["new"]
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestFaultSites:
+    def test_enospc_fault_becomes_checkpoint_error(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        FAULTS.arm("io.enospc")
+        with pytest.raises(CheckpointError, match="No space|no space"):
+            append_entry(path, "record", record_payload("e1"))
+        # Nothing was written; the next append works.
+        append_entry(path, "record", record_payload("e1"))
+        assert read_journal(path).records == {"e1": record_payload("e1")}
+
+    def test_fsync_fault_becomes_checkpoint_error(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        FAULTS.arm("io.fsync-fail")
+        with pytest.raises(CheckpointError):
+            append_entry(path, "record", record_payload("e1"))
+
+    def test_torn_write_fault_leaves_checksummed_torn_line(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        append_entry(path, "record", record_payload("e1"))
+        FAULTS.arm("io.torn-write")
+        with pytest.raises(CheckpointError, match="torn"):
+            append_entry(path, "record", record_payload("e2"))
+        replay = read_journal(path)
+        assert list(replay.records) == ["e1"]  # e2's line fails its checksum
+        assert replay.torn_tail
+
+    def test_checksum_survives_file_checksum_identity(self):
+        assert file_checksum(b"abc") == file_checksum(b"abc")
+        assert file_checksum(b"abc") != file_checksum(b"abd")
