@@ -52,6 +52,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--profiles",
+        default=None,
+        metavar="RUN_DIR",
+        help=(
+            "attach measured locality evidence from a profiled run's "
+            "*.profile.json artifacts (info severity; see "
+            "repro.analysis.profile_evidence)"
+        ),
+    )
+    parser.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
@@ -82,6 +92,14 @@ def main(argv: list[str] | None = None) -> int:
     except ConfigError as exc:
         parser.error(str(exc))
     report = run_lint(targets)
+    if args.profiles is not None:
+        from repro.analysis.profile_evidence import load_run_evidence
+
+        try:
+            report.diagnostics.extend(load_run_evidence(args.profiles))
+        except (OSError, ValueError) as exc:
+            print(f"repro-lint: error: --profiles: {exc}", file=sys.stderr)
+            return 2
 
     # Findings also go over the event bus when telemetry is live, so
     # they appear alongside campaign narration.

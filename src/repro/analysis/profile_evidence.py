@@ -1,0 +1,138 @@
+"""Measured locality evidence: profiles sharpening the static lint.
+
+``repro-lint`` predicts locality problems from capture geometry alone
+(RL003 "all threads collapsed into one bin", RL005 "per-bin footprint
+exceeds the L2").  A ``repro-experiments --profile`` campaign *measures*
+the same phenomena: the profiler records which bin every dispatched
+reference actually ran in and how many of each bin's L1 misses the L2
+also failed to hold.  This module turns those artifacts into
+info-severity diagnostics under the same stable codes, so a static
+warning can be confronted with — or corroborated by — the measured run::
+
+    repro-lint table6 --profiles runs/<run-id>
+
+Evidence findings never fail the lint gate: they are measurements
+attached to existing codes, not new verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.diagnostics import Diagnostic, Severity, make_diagnostic
+from repro.obs.profile import NO_BIN, check_schema
+
+#: Entries with fewer dispatched references than this are too small to
+#: argue about (quick configs still clear it comfortably).
+EVIDENCE_MIN_DISPATCH_REFS = 4096
+
+#: A bin must absorb at least this many L1 misses before its L2 local
+#: miss rate is meaningful.
+THRASH_MIN_L1_MISSES = 256
+
+#: Measured RL005 evidence: a bin whose L2 misses exceed this fraction
+#: of its L1 misses is not holding its own working set in the L2.
+THRASH_L2_LOCAL_RATE = 0.5
+
+
+def bin_miss_stats(entry: dict[str, Any]) -> dict[str, list[int]]:
+    """Per-bin ``[refs, l1_misses, l2_misses]`` summed over fork sites.
+
+    References outside any bin sweep (the ``-`` pseudo-bin: program
+    setup, unthreaded phases) are excluded — the bins are the paper's
+    unit of locality, and the evidence should speak about them only.
+    """
+    stats: dict[str, list[int]] = {}
+    for context in entry["contexts"]:
+        bin_key = context["bin"]
+        if bin_key == NO_BIN:
+            continue
+        slot = stats.get(bin_key)
+        if slot is None:
+            slot = stats[bin_key] = [0, 0, 0]
+        slot[0] += context["refs"]
+        slot[1] += context["l1_misses"]
+        slot[2] += context["l2_misses"]
+    return stats
+
+
+def entry_evidence(experiment_id: str, entry: dict[str, Any]) -> list[Diagnostic]:
+    """Measured RL003/RL005 evidence from one simulated run's profile."""
+    diagnostics: list[Diagnostic] = []
+    program = f"{experiment_id}:{entry['program']}"
+    machine = entry["machine"]
+    totals = entry["totals"]
+    dispatch_refs = totals["dispatch_refs"]
+    if dispatch_refs < EVIDENCE_MIN_DISPATCH_REFS:
+        return diagnostics
+    bins = bin_miss_stats(entry)
+
+    # -- RL003, measured: every dispatched reference ran in one bin ----
+    if len(bins) == 1:
+        (bin_key, slot), = bins.items()
+        diagnostics.append(
+            make_diagnostic(
+                "RL003",
+                f"measured on {machine}: all {slot[0]} binned references "
+                f"executed in the single bin {bin_key} — the profiler "
+                "observed the serial schedule the static lint predicts",
+                severity=Severity.INFO,
+                program=program,
+                bin=bin_key,
+                binned_refs=slot[0],
+            )
+        )
+
+    # -- RL005, measured: a bin re-missing its L1 misses in the L2 -----
+    worst_key: str | None = None
+    worst_rate = 0.0
+    thrashing = 0
+    for bin_key, slot in bins.items():
+        if slot[1] < THRASH_MIN_L1_MISSES:
+            continue
+        rate = slot[2] / slot[1]
+        if rate > THRASH_L2_LOCAL_RATE:
+            thrashing += 1
+            if rate > worst_rate:
+                worst_rate = rate
+                worst_key = bin_key
+    if worst_key is not None:
+        slot = bins[worst_key]
+        diagnostics.append(
+            make_diagnostic(
+                "RL005",
+                f"measured on {machine}: {thrashing} bin(s) missed the "
+                f"L2 on over {THRASH_L2_LOCAL_RATE:.0%} of their L1 "
+                f"misses; worst bin {worst_key} took {slot[2]} L2 misses "
+                f"on {slot[1]} L1 misses ({worst_rate:.0%}) — its "
+                "working set does not fit the L2 it was scheduled for",
+                severity=Severity.INFO,
+                program=program,
+                bin=worst_key,
+                l1_misses=slot[1],
+                l2_misses=slot[2],
+                thrashing_bins=thrashing,
+            )
+        )
+    return diagnostics
+
+
+def payload_evidence(payload: dict[str, Any]) -> list[Diagnostic]:
+    """Evidence diagnostics from one experiment's profile payload."""
+    check_schema(payload, source=f"profile {payload.get('experiment_id')}")
+    diagnostics: list[Diagnostic] = []
+    experiment_id = payload["experiment_id"]
+    for entry in payload["entries"]:
+        diagnostics.extend(entry_evidence(experiment_id, entry))
+    return diagnostics
+
+
+def load_run_evidence(run_dir: str | Path) -> list[Diagnostic]:
+    """Evidence from every profile artifact under one run directory."""
+    diagnostics: list[Diagnostic] = []
+    for path in sorted(Path(run_dir).glob("*.profile.json")):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        diagnostics.extend(payload_evidence(payload))
+    return diagnostics

@@ -77,15 +77,69 @@ class CacheHierarchy:
         self._data_writes = 0
         self._l1i_compulsory = 0
         self._l2_code_lines = 0
-        #: Optional :class:`repro.verify.cache_oracle.CacheOracle`,
-        #: consulted after every access batch.  ``None`` (the default)
-        #: keeps the hot path free of verification work.
-        self.oracle = None
-        #: Optional telemetry observer (``repro.obs.sampler.CacheSampler``)
-        #: with an ``on_batch(hierarchy)`` method, called after every
-        #: access batch.  Same contract as ``oracle``: ``None`` keeps the
-        #: hot path to one attribute test.
-        self.observer = None
+        self._oracle = None
+        self._observer = None
+        self._profiler = None
+
+    # ------------------------------------------------------------------
+    # Sidecars
+    # ------------------------------------------------------------------
+    # The sidecar slots rebind ``access_data`` per instance: with no
+    # sidecar attached, the *class* method — the uninstrumented kernel
+    # path, no sidecar code at all — handles every batch, so disabled
+    # verification/telemetry/profiling is structurally free (the
+    # benchmark asserts this binding rather than trying to time a
+    # zero-cost delta).  Attaching any sidecar installs
+    # ``_access_data_instrumented`` as an instance attribute, which
+    # shadows the class method until the last sidecar detaches.
+
+    def _rebind_access_data(self) -> None:
+        if (
+            self._oracle is not None
+            or self._observer is not None
+            or self._profiler is not None
+        ):
+            self.access_data = self._access_data_instrumented
+        else:
+            self.__dict__.pop("access_data", None)
+
+    @property
+    def oracle(self):
+        """Optional :class:`repro.verify.cache_oracle.CacheOracle`,
+        consulted after every access batch.  ``None`` (the default)
+        keeps the hot path free of verification work."""
+        return self._oracle
+
+    @oracle.setter
+    def oracle(self, value) -> None:
+        self._oracle = value
+        self._rebind_access_data()
+
+    @property
+    def observer(self):
+        """Optional telemetry observer (``repro.obs.sampler.CacheSampler``)
+        with an ``on_batch(hierarchy)`` method, called after every access
+        batch.  Same contract as ``oracle``: ``None`` means off."""
+        return self._observer
+
+    @observer.setter
+    def observer(self, value) -> None:
+        self._observer = value
+        self._rebind_access_data()
+
+    @property
+    def profiler(self):
+        """Optional :class:`repro.obs.profile.LocalityProfiler` charged
+        with per-(fork site, bin, object) miss attribution after every
+        access batch.  Same sidecar contract: ``None`` means off, and the
+        off path runs no profiler code at all — which is how the batched
+        kernel's speedup survives profiling being compiled in."""
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, value) -> None:
+        self._profiler = value
+        self._rebind_access_data()
 
     # ------------------------------------------------------------------
     # Reference streams
@@ -130,10 +184,56 @@ class CacheHierarchy:
                     mapper.translate_line(line, bits) for line in l2_lines
                 ]
             self.l2.process(l2_lines)
-        if self.oracle is not None:
-            self.oracle.after_batch(self)
-        if self.observer is not None:
-            self.observer.on_batch(self)
+
+    def _access_data_instrumented(
+        self,
+        lines: list[int],
+        counts: list[int] | None = None,
+        writes: int = 0,
+    ) -> None:
+        """:meth:`access_data` plus the sidecar hooks.
+
+        Installed as the instance's ``access_data`` while any sidecar is
+        attached (see :meth:`_rebind_access_data`).  The cache work must
+        stay line-for-line identical to the plain method — a test pins
+        the two variants to the same statistics — so that attaching a
+        sidecar changes *observation*, never *simulation*.
+        """
+        total = sum(counts) if counts is not None else len(lines)
+        if writes > total:
+            raise ValueError(f"writes={writes} exceeds total references {total}")
+        self._data_reads += total - writes
+        self._data_writes += writes
+        l1_misses = self.l1d.process(lines, counts)
+        if l1_misses:
+            shift = self._l2_shift
+            if shift:
+                l2_lines = [line >> shift for line in l1_misses]
+            else:
+                l2_lines = l1_misses
+            mapper = self.l2_page_mapper
+            if mapper is not None:
+                bits = self.l2.config.line_bits
+                l2_lines = [
+                    mapper.translate_line(line, bits) for line in l2_lines
+                ]
+            l2_misses = self.l2.process(l2_lines)
+        if self._oracle is not None:
+            self._oracle.after_batch(self)
+        if self._observer is not None:
+            self._observer.on_batch(self)
+        if self._profiler is not None:
+            # ``l2_misses`` is only bound when L1 missed; the conditional
+            # expression never evaluates it on the all-hits path.
+            self._profiler.on_batch(
+                self,
+                lines,
+                counts,
+                writes,
+                total,
+                l1_misses,
+                l2_misses if l1_misses else [],
+            )
 
     def fetch_instructions(self, count: int) -> None:
         """Record ``count`` instruction fetches (counted, not simulated)."""

@@ -140,6 +140,9 @@ class _BlockingThread:
     group: Any
     index: int
     bin_id: int
+    #: The forked body, kept so the locality profiler can attribute the
+    #: thread's references to its fork site across park/resume cycles.
+    func: Callable | None = None
     blocked_on: Waitable | None = None
     done: bool = False
     send_value: Any = None
@@ -212,7 +215,11 @@ class BlockingThreadPackage(ThreadPackage):
             body = _call_deferred(func, arg1, arg2)
         self._threads.append(
             _BlockingThread(
-                generator=body, group=group, index=index, bin_id=id(bin_)
+                generator=body,
+                group=group,
+                index=index,
+                bin_id=id(bin_),
+                func=func,
             )
         )
         members = self._bin_members.get(id(bin_))
@@ -269,29 +276,46 @@ class BlockingThreadPackage(ThreadPackage):
         """Advance every runnable thread of one bin; True if any moved."""
         recorder = self.recorder
         members = self._bin_members[id(bin_)]
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.enter_bin(str(bin_.key))
         advanced = False
-        progress = True
-        while progress:
-            progress = False
-            for thread_id in members:
-                thread = self._threads[thread_id]
-                if thread.done:
-                    continue
-                if thread.blocked_on is not None:
-                    if not thread.blocked_on._ready():
+        try:
+            progress = True
+            while progress:
+                progress = False
+                for thread_id in members:
+                    thread = self._threads[thread_id]
+                    if thread.done:
                         continue
-                    # The waitable became ready while we were parked.
-                    self._resume_bookkeeping(thread)
-                if self._advance(thread):
-                    counts[bin_index] += 1
-                advanced = True
-                progress = True
-        if advanced and recorder is not None and bin_.header_address is not None:
-            recorder.record(RefSegment(bin_.header_address, 8, 1, 8))
+                    if thread.blocked_on is not None:
+                        if not thread.blocked_on._ready():
+                            continue
+                        # The waitable became ready while we were parked.
+                        self._resume_bookkeeping(thread)
+                    if self._advance(thread):
+                        counts[bin_index] += 1
+                    advanced = True
+                    progress = True
+            if advanced and recorder is not None and bin_.header_address is not None:
+                recorder.record(RefSegment(bin_.header_address, 8, 1, 8))
+        finally:
+            if profiler is not None:
+                profiler.exit_bin()
         return advanced
 
     def _advance(self, thread: _BlockingThread) -> bool:
         """Step one thread until it parks or finishes; True if finished."""
+        profiler = self.profiler
+        if profiler is None:
+            return self._advance_inner(thread)
+        profiler.enter_site(thread.func)
+        try:
+            return self._advance_inner(thread)
+        finally:
+            profiler.exit_site()
+
+    def _advance_inner(self, thread: _BlockingThread) -> bool:
         recorder = self.recorder
         if recorder is not None:
             costs = self.costs

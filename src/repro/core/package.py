@@ -111,6 +111,12 @@ class ThreadPackage:
         #: attach with :meth:`attach_oracle`.  ``None`` keeps every hook a
         #: single attribute test.
         self.oracle = None
+        #: Optional :class:`repro.obs.profile.LocalityProfiler`; attached
+        #: by ``SimContext`` when profiling is on.  The package only tells
+        #: it which bin sweep and fork site are dispatching — the cache
+        #: hierarchy does the actual charging.  ``None`` keeps dispatch at
+        #: one attribute test.
+        self.profiler = None
         self.run_history: list[SchedulingStats] = []
         self._hash_base: int | None = None
         self.scheduler: LocalityScheduler
@@ -213,7 +219,20 @@ class ThreadPackage:
         if self.oracle is not None:
             self.oracle.on_fork(bin_, group, index, spec)
         if self.recorder is not None:
-            self._trace_fork(slot, bin_.header_address, group, index)
+            profiler = self.profiler
+            if profiler is not None:
+                # Fork-time package traffic (hash probe, thread record,
+                # bin header) is locality cost *of the forked thread*:
+                # charge it to the thread's own (site, bin) pair.
+                profiler.enter_site(func)
+                profiler.enter_bin(str(bin_.key))
+                try:
+                    self._trace_fork(slot, bin_.header_address, group, index)
+                finally:
+                    profiler.exit_bin()
+                    profiler.exit_site()
+            else:
+                self._trace_fork(slot, bin_.header_address, group, index)
         return bin_, group, index
 
     # ------------------------------------------------------------------
@@ -302,6 +321,7 @@ class ThreadPackage:
         oracle = self.oracle
         obs = self.obs
         bus = obs.bus if obs.enabled else None
+        profiler = self.profiler
         self._running = True
         try:
             for bin_ in bins:
@@ -320,6 +340,8 @@ class ThreadPackage:
                         key=str(bin_.key),
                         threads=bin_.thread_count,
                     )
+                if profiler is not None:
+                    profiler.enter_bin(str(bin_.key))
                 try:
                     if recorder is not None and bin_.header_address is not None:
                         recorder.record(
@@ -337,36 +359,47 @@ class ThreadPackage:
                 finally:
                     if bus is not None:
                         bus.end(tid=self._obs_tid)
+                    if profiler is not None:
+                        profiler.exit_bin()
         finally:
             self._running = False
         return counts
 
     def _dispatch(self, group: ThreadGroup, index: int, spec: ThreadSpec) -> None:
         """Run one thread with its dispatch-cost trace accounting."""
-        recorder = self.recorder
-        if recorder is not None:
-            costs = self.costs
-            recorder.count_thread_instructions(costs.run_instructions)
-            if group.base_address is not None:
-                # Dispatch reads the thread record itself.
-                recorder.record(
-                    RefSegment(
-                        group.slot_address(index, costs.slot_size),
-                        8,
-                        max(1, costs.slot_size // 8),
-                        8,
+        profiler = self.profiler
+        if profiler is not None:
+            # The thread-record read below is dispatch cost *of this
+            # thread*, so the site scope opens before it.
+            profiler.enter_site(spec.func)
+        try:
+            recorder = self.recorder
+            if recorder is not None:
+                costs = self.costs
+                recorder.count_thread_instructions(costs.run_instructions)
+                if group.base_address is not None:
+                    # Dispatch reads the thread record itself.
+                    recorder.record(
+                        RefSegment(
+                            group.slot_address(index, costs.slot_size),
+                            8,
+                            max(1, costs.slot_size // 8),
+                            8,
+                        )
                     )
-                )
-        oracle = self.oracle
-        if oracle is not None:
-            oracle.on_dispatch_start(spec)
-            try:
+            oracle = self.oracle
+            if oracle is not None:
+                oracle.on_dispatch_start(spec)
+                try:
+                    self._invoke(group, index, spec)
+                finally:
+                    oracle.on_dispatch_end(spec)
+            else:
                 self._invoke(group, index, spec)
-            finally:
-                oracle.on_dispatch_end(spec)
-        else:
-            self._invoke(group, index, spec)
-        self._total_dispatches += 1
+            self._total_dispatches += 1
+        finally:
+            if profiler is not None:
+                profiler.exit_site()
 
     def _invoke(self, group: ThreadGroup, index: int, spec: ThreadSpec):
         """Actually run one thread proc.

@@ -118,6 +118,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="force telemetry off even when saving run artifacts",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "collect a cache-locality profile for every experiment "
+            "(per-fork-site/per-bin miss attribution, occupancy "
+            "timelines) and save it as <id>.profile.json beside the "
+            "result file; render with repro-profile"
+        ),
+    )
+    parser.add_argument(
         "-j",
         "--jobs",
         type=int,
@@ -352,6 +362,7 @@ def main(argv: list[str] | None = None) -> int:
         verify=args.verify,
         verbosity=1 if args.verbose else (-1 if args.quiet else 0),
         telemetry=args.telemetry,
+        profile=args.profile,
         jobs=args.jobs,
         max_failures=args.max_failures,
         max_worker_crashes=args.max_worker_crashes,

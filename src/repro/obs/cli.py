@@ -14,7 +14,14 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.obs.exporters import EVENTS_FILE, METRICS_FILE, load_run
+from repro.obs.exporters import (
+    COUNTERS_FILE,
+    EVENTS_FILE,
+    METRICS_FILE,
+    counter_track_events,
+    load_run,
+    write_chrome_trace,
+)
 from repro.obs.report import (
     miss_timeline_table,
     render_flamegraph,
@@ -64,6 +71,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default="all",
         help="print only one section (default: %(default)s)",
     )
+    parser.add_argument(
+        "--counters",
+        action="store_true",
+        help=(
+            "export the metrics registry's gauges and time series as "
+            f"Chrome counter tracks ({COUNTERS_FILE} beside trace.json) "
+            "and print the track list instead of the text sections"
+        ),
+    )
     return parser
 
 
@@ -88,6 +104,28 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+
+    if args.counters:
+        if metrics is None:
+            print(
+                f"repro-trace: error: no {METRICS_FILE} under {run_dir}; "
+                "counter tracks need the metrics registry",
+                file=sys.stderr,
+            )
+            return 2
+        events = counter_track_events(metrics)
+        out_path = run_dir / COUNTERS_FILE
+        write_chrome_trace(
+            out_path, events, metadata={"source": "repro-trace --counters"}
+        )
+        tracks: dict[str, int] = {}
+        for event in events:
+            tracks[event["name"]] = tracks.get(event["name"], 0) + 1
+        print(f"{out_path}: {len(events)} counter sample(s) on "
+              f"{len(tracks)} track(s)")
+        for name in sorted(tracks):
+            print(f"  {name}  ({tracks[name]} sample(s))")
+        return 0
 
     sections = []
     if args.section in ("summary", "all"):

@@ -33,6 +33,7 @@ from repro.resilience.errors import CheckpointError
 EVENTS_FILE = "events.jsonl"
 METRICS_FILE = "metrics.json"
 TRACE_FILE = "trace.json"
+COUNTERS_FILE = "trace.counters.json"
 
 #: ``pid`` stamped on every Chrome trace event: the simulation is one
 #: logical process; lanes (bus ``tid``) map to Chrome ``tid``.
@@ -78,6 +79,40 @@ def chrome_trace_event(event: dict[str, Any]) -> dict[str, Any]:
     if "args" in event:
         out["args"] = event["args"]
     return out
+
+
+def counter_track_events(metrics: MetricsRegistry) -> list[dict[str, Any]]:
+    """The metrics registry as Chrome counter-track (``ph: "C"``) events.
+
+    Every time series renders one counter sample per retained point at
+    its recorded timestamp; gauges carry no history, so each becomes a
+    single sample at t=0.  Counter tracks plot numbers — non-numeric
+    values (and booleans, which Perfetto would plot as 0/1 noise) are
+    dropped.  This is the same event shape the live profiler emits for
+    its occupancy/miss-rate timelines (``EventBus.counter``), so both
+    paths land in one trace viewer idiom.
+    """
+    events: list[dict[str, Any]] = []
+
+    def numeric(values: dict[str, Any]) -> dict[str, Any]:
+        return {
+            key: value
+            for key, value in values.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+
+    for name, gauge in sorted(metrics.gauges.items()):
+        args = numeric({"value": gauge.value})
+        if args:
+            events.append({"ph": "C", "name": name, "ts": 0, "args": args})
+    for name, series in sorted(metrics.series_.items()):
+        for sample in series.samples:
+            args = numeric({k: v for k, v in sample.items() if k != "t"})
+            if args:
+                events.append(
+                    {"ph": "C", "name": name, "ts": sample["t"], "args": args}
+                )
+    return events
 
 
 def write_chrome_trace(

@@ -1,0 +1,629 @@
+"""``repro-profile``: render and compare cache-locality profiles.
+
+Reads the ``<experiment>.profile.json`` artifacts a
+``repro-experiments --profile`` campaign stored beside its result files
+(see :mod:`repro.obs.profile`) — no re-simulation::
+
+    repro-profile runs/<run-id>                 # every profiled experiment
+    repro-profile runs/<run-id> table3          # one experiment
+    repro-profile diff runs/a runs/b            # per-site miss deltas
+    repro-profile versus runs/r table3 sor_hinted sor_unhinted
+
+``diff`` matches experiments by id and entries by (program, machine),
+then reports per-(site, bin) deltas of the chosen metric.  The
+simulator is deterministic, so two runs of the same configuration
+produce *exactly* equal profiles; the significance thresholds
+(``--abs-floor``, ``--threshold``) therefore separate real
+configuration changes from trivial drift, not measurement noise —
+a delta must clear both to count.  Exit status: 0 when no significant
+deltas, 1 when some exist, 2 for usage errors (mirroring ``diff(1)``).
+
+``versus`` is the hinted-vs-unhinted convenience: it compares two
+*program variants inside one run* (same experiment, same machine),
+side by side, down to the object segments they missed on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.obs.profile import check_schema
+from repro.util.tables import TextTable
+
+#: A context delta below this many references/misses is never
+#: significant, whatever its relative size (guards tiny denominators).
+ABS_FLOOR = 64
+
+#: ... and it must also move the metric by at least this fraction.
+REL_THRESHOLD = 0.02
+
+#: Metric name -> context/object field charged with it.
+METRICS = {
+    "l2": "l2_misses",
+    "l1": "l1_misses",
+    "refs": "refs",
+}
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def load_profiles(
+    run_dir: Path, ids: list[str] | None = None
+) -> dict[str, dict[str, Any]]:
+    """Profile payloads under a run directory, keyed by experiment id.
+
+    ``ids`` filters to specific experiments; unknown ids raise so typos
+    fail loudly instead of silently rendering nothing.
+    """
+    profiles: dict[str, dict[str, Any]] = {}
+    for path in sorted(run_dir.glob("*.profile.json")):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        check_schema(payload, source=path.name)
+        profiles[payload["experiment_id"]] = payload
+    if ids:
+        missing = [i for i in ids if i not in profiles]
+        if missing:
+            raise FileNotFoundError(
+                f"no profile artifact for {', '.join(missing)} under "
+                f"{run_dir} (profiled experiments: "
+                f"{', '.join(sorted(profiles)) or 'none'})"
+            )
+        profiles = {i: profiles[i] for i in ids}
+    return profiles
+
+
+def _context_key(context: dict[str, Any]) -> tuple[str, str]:
+    return (context["site"], context["bin"])
+
+
+def _entry_key(entry: dict[str, Any]) -> tuple[str, str]:
+    return (entry["program"], entry["machine"])
+
+
+def _pct(part: int, whole: int) -> str:
+    return f"{100.0 * part / whole:.1f}%" if whole else "-"
+
+
+# ----------------------------------------------------------------------
+# Show
+# ----------------------------------------------------------------------
+def _summary_table(experiment_id: str, payload: dict[str, Any]) -> TextTable:
+    table = TextTable(
+        [
+            "Program",
+            "Machine",
+            "Refs",
+            "L1miss%",
+            "L2miss%",
+            "Dispatch%",
+            "Attributed%",
+            "Contexts",
+        ],
+        title=f"Profile {experiment_id}",
+    )
+    for entry in payload["entries"]:
+        totals = entry["totals"]
+        table.add_row(
+            [
+                entry["program"],
+                entry["machine"],
+                totals["refs"],
+                _pct(totals["l1_misses"], totals["refs"]),
+                _pct(totals["l2_misses"], totals["refs"]),
+                _pct(totals["dispatch_refs"], totals["refs"]),
+                _pct(totals["attributed_refs"], totals["refs"]),
+                len(entry["contexts"]),
+            ]
+        )
+    return table
+
+
+def _heatmap_table(
+    entry: dict[str, Any], field: str, max_bins: int
+) -> TextTable | None:
+    """Sites x bins of one metric; the profiler's heatmap view.
+
+    Bins beyond the ``max_bins`` heaviest fold into one overflow
+    column so a 46-bin SOR run still fits a terminal.
+    """
+    contexts = entry["contexts"]
+    if len(contexts) < 2:
+        return None
+    bin_weight: dict[str, int] = {}
+    site_weight: dict[str, int] = {}
+    for context in contexts:
+        bin_weight[context["bin"]] = (
+            bin_weight.get(context["bin"], 0) + context[field]
+        )
+        site_weight[context["site"]] = (
+            site_weight.get(context["site"], 0) + context[field]
+        )
+    bins = sorted(bin_weight, key=lambda b: (-bin_weight[b], b))
+    shown = bins[:max_bins]
+    folded = bins[max_bins:]
+    cells: dict[tuple[str, str], int] = {}
+    for context in contexts:
+        bin_key = context["bin"] if context["bin"] in shown else "(other)"
+        key = (context["site"], bin_key)
+        cells[key] = cells.get(key, 0) + context[field]
+    columns = shown + (["(other)"] if folded else [])
+    table = TextTable(
+        ["Site \\ Bin", *columns, "Total"],
+        title=(
+            f"{entry['program']} @ {entry['machine']} — {field} by "
+            "(fork site, bin)"
+        ),
+    )
+    for site in sorted(site_weight, key=lambda s: (-site_weight[s], s)):
+        row: list[Any] = [site]
+        for column in columns:
+            row.append(cells.get((site, column), 0))
+        row.append(site_weight[site])
+        table.add_row(row)
+    return table
+
+
+def _top_contexts_table(
+    entry: dict[str, Any], field: str, top: int
+) -> TextTable:
+    table = TextTable(
+        ["Site", "Bin", "Refs", "L1", "L2", "Comp", "Cap", "Conf"],
+        title=(
+            f"{entry['program']} @ {entry['machine']} — top {top} "
+            f"contexts by {field}"
+        ),
+    )
+    ranked = sorted(
+        entry["contexts"], key=lambda c: (-c[field], c["site"], c["bin"])
+    )
+    for context in ranked[:top]:
+        table.add_row(
+            [
+                context["site"],
+                context["bin"],
+                context["refs"],
+                context["l1_misses"],
+                context["l2_misses"],
+                context["l1_compulsory"],
+                context["l1_capacity"],
+                context["l1_conflict"],
+            ]
+        )
+    return table
+
+
+def _objects_table(entry: dict[str, Any], field: str, top: int) -> TextTable:
+    table = TextTable(
+        ["Object", "Refs", "L1 misses", "L2 misses"],
+        title=(
+            f"{entry['program']} @ {entry['machine']} — top {top} "
+            f"objects by {field}"
+        ),
+    )
+    ranked = sorted(
+        entry["objects"], key=lambda o: (-o[field], o["object"])
+    )
+    for obj in ranked[:top]:
+        table.add_row(
+            [obj["object"], obj["refs"], obj["l1_misses"], obj["l2_misses"]]
+        )
+    return table
+
+
+def _timeline_lines(entry: dict[str, Any]) -> list[str]:
+    """A compact occupancy/miss-rate digest: first, peak, and last sample."""
+    timeline = entry["timeline"]
+    if not timeline:
+        return []
+
+    def digest(sample: dict[str, Any], label: str) -> str:
+        parts = []
+        for level in ("l1", "l2"):
+            occupancy = sample[level]["occupancy"]
+            top = sorted(occupancy.items(), key=lambda kv: -kv[1])[:3]
+            held = ", ".join(f"{name} {frac:.0%}" for name, frac in top)
+            parts.append(
+                f"{level} miss {sample[level]['miss_rate']:.1%}"
+                + (f" [{held}]" if held else "")
+            )
+        return f"  {label:<6} batch {sample['batch']:>8}: " + "; ".join(parts)
+
+    peak = max(timeline, key=lambda s: s["l2"]["miss_rate"])
+    lines = [
+        f"{entry['program']} @ {entry['machine']} — "
+        f"{len(timeline)} timeline sample(s)",
+        digest(timeline[0], "first"),
+        digest(peak, "peak"),
+        digest(timeline[-1], "last"),
+    ]
+    return lines
+
+
+def show_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-profile",
+        description=(
+            "Render cache-locality profiles recorded by "
+            "repro-experiments --profile.  Subcommands: "
+            "`repro-profile diff RUN_A RUN_B` compares two runs; "
+            "`repro-profile versus RUN ID PROG_A PROG_B` compares two "
+            "program variants inside one run."
+        ),
+    )
+    parser.add_argument(
+        "run_dir", metavar="RUN_DIR", help="a run directory, e.g. runs/r1"
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiments to render (default: every profiled one)",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=sorted(METRICS),
+        default="l2",
+        help="ranking metric for heatmaps/tops (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=8,
+        metavar="N",
+        help="rows in top-k tables (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--bins",
+        type=int,
+        default=8,
+        metavar="N",
+        help="heatmap columns before folding (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--program",
+        default=None,
+        metavar="P",
+        help="only render entries whose program name contains P",
+    )
+    parser.add_argument(
+        "--section",
+        choices=["summary", "heatmap", "top", "objects", "timeline", "all"],
+        default="all",
+        help="print only one section (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    run_dir = Path(args.run_dir)
+    if not run_dir.is_dir():
+        print(
+            f"repro-profile: error: {run_dir} is not a directory",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        profiles = load_profiles(run_dir, args.ids or None)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"repro-profile: error: {exc}", file=sys.stderr)
+        return 2
+    if not profiles:
+        print(
+            f"repro-profile: error: no *.profile.json under {run_dir} "
+            "(was the run recorded with --profile?)",
+            file=sys.stderr,
+        )
+        return 2
+
+    field = METRICS[args.metric]
+    sections: list[str] = []
+    for experiment_id, payload in profiles.items():
+        entries = [
+            e
+            for e in payload["entries"]
+            if args.program is None or args.program in e["program"]
+        ]
+        if args.section in ("summary", "all"):
+            sections.append(_summary_table(experiment_id, payload).render())
+        for entry in entries:
+            if args.section in ("heatmap", "all"):
+                heatmap = _heatmap_table(entry, field, args.bins)
+                if heatmap is not None:
+                    sections.append(heatmap.render())
+            if args.section in ("top", "all") and len(entry["contexts"]) > 1:
+                sections.append(
+                    _top_contexts_table(entry, field, args.top).render()
+                )
+            if args.section in ("objects", "all") and entry["objects"]:
+                sections.append(
+                    _objects_table(entry, field, args.top).render()
+                )
+            if args.section == "timeline":
+                sections.append("\n".join(_timeline_lines(entry)))
+    print("\n\n".join(s for s in sections if s))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Diff
+# ----------------------------------------------------------------------
+def significant(delta: int, base: int, abs_floor: int, threshold: float) -> bool:
+    """A delta counts only if it clears both thresholds (see module doc)."""
+    if abs(delta) <= abs_floor:
+        return False
+    return abs(delta) > threshold * max(base, 1)
+
+
+def diff_payloads(
+    a: dict[str, Any],
+    b: dict[str, Any],
+    field: str,
+    abs_floor: int,
+    threshold: float,
+) -> list[dict[str, Any]]:
+    """Significant per-(program, machine, site, bin) deltas of ``field``."""
+    entries_a = {_entry_key(e): e for e in a["entries"]}
+    entries_b = {_entry_key(e): e for e in b["entries"]}
+    deltas: list[dict[str, Any]] = []
+    for key in sorted(set(entries_a) | set(entries_b)):
+        entry_a = entries_a.get(key)
+        entry_b = entries_b.get(key)
+        if entry_a is None or entry_b is None:
+            deltas.append(
+                {
+                    "program": key[0],
+                    "machine": key[1],
+                    "site": "(entry)",
+                    "bin": "-",
+                    "before": None if entry_a is None else entry_a["totals"][field],
+                    "after": None if entry_b is None else entry_b["totals"][field],
+                    "delta": None,
+                    "note": "only in A" if entry_b is None else "only in B",
+                }
+            )
+            continue
+        contexts_a = {_context_key(c): c[field] for c in entry_a["contexts"]}
+        contexts_b = {_context_key(c): c[field] for c in entry_b["contexts"]}
+        for context_key in sorted(set(contexts_a) | set(contexts_b)):
+            before = contexts_a.get(context_key, 0)
+            after = contexts_b.get(context_key, 0)
+            delta = after - before
+            if significant(delta, before, abs_floor, threshold):
+                deltas.append(
+                    {
+                        "program": key[0],
+                        "machine": key[1],
+                        "site": context_key[0],
+                        "bin": context_key[1],
+                        "before": before,
+                        "after": after,
+                        "delta": delta,
+                        "note": "",
+                    }
+                )
+    return deltas
+
+
+def diff_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-profile diff",
+        description=(
+            "Compare the locality profiles of two runs: per-(site, bin) "
+            "deltas of one metric, with noise-aware significance "
+            "thresholds.  Exit 0: no significant deltas; 1: some; 2: error."
+        ),
+    )
+    parser.add_argument("run_a", metavar="RUN_A")
+    parser.add_argument("run_b", metavar="RUN_B")
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiments to compare (default: those profiled in both)",
+    )
+    parser.add_argument(
+        "--metric", choices=sorted(METRICS), default="l2",
+        help="compared metric (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--abs-floor", type=int, default=ABS_FLOOR, metavar="N",
+        help="ignore deltas of at most N (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=REL_THRESHOLD, metavar="F",
+        help=(
+            "ignore deltas under this fraction of the before-value "
+            "(default: %(default)s)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    field = METRICS[args.metric]
+    try:
+        profiles_a = load_profiles(Path(args.run_a), args.ids or None)
+        profiles_b = load_profiles(Path(args.run_b), args.ids or None)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"repro-profile diff: error: {exc}", file=sys.stderr)
+        return 2
+    shared = sorted(set(profiles_a) & set(profiles_b))
+    if not shared:
+        print(
+            "repro-profile diff: error: the two runs share no profiled "
+            f"experiments (A: {', '.join(sorted(profiles_a)) or 'none'}; "
+            f"B: {', '.join(sorted(profiles_b)) or 'none'})",
+            file=sys.stderr,
+        )
+        return 2
+
+    any_significant = False
+    for experiment_id in shared:
+        deltas = diff_payloads(
+            profiles_a[experiment_id],
+            profiles_b[experiment_id],
+            field,
+            args.abs_floor,
+            args.threshold,
+        )
+        if not deltas:
+            print(
+                f"{experiment_id}: no significant {args.metric} deltas "
+                f"(|delta| > {args.abs_floor} and > "
+                f"{args.threshold:.0%} of before)"
+            )
+            continue
+        any_significant = True
+        table = TextTable(
+            ["Program", "Machine", "Site", "Bin", "Before", "After", "Delta"],
+            title=f"{experiment_id}: significant {args.metric} deltas",
+        )
+        ranked = sorted(
+            deltas,
+            key=lambda d: -(abs(d["delta"]) if d["delta"] is not None else 1 << 62),
+        )
+        for delta in ranked:
+            table.add_row(
+                [
+                    delta["program"],
+                    delta["machine"],
+                    delta["site"],
+                    delta["bin"],
+                    "-" if delta["before"] is None else delta["before"],
+                    "-" if delta["after"] is None else delta["after"],
+                    delta["note"]
+                    if delta["delta"] is None
+                    else f"{delta['delta']:+d}",
+                ]
+            )
+        print(table.render())
+    return 1 if any_significant else 0
+
+
+# ----------------------------------------------------------------------
+# Versus (hinted-vs-unhinted inside one run)
+# ----------------------------------------------------------------------
+def versus_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-profile versus",
+        description=(
+            "Compare two program variants recorded in one experiment's "
+            "profile (the hinted-vs-unhinted view): totals, contexts, "
+            "and the object segments each variant missed on."
+        ),
+    )
+    parser.add_argument("run_dir", metavar="RUN_DIR")
+    parser.add_argument("experiment_id", metavar="EXPERIMENT")
+    parser.add_argument("program_a", metavar="PROG_A")
+    parser.add_argument("program_b", metavar="PROG_B")
+    parser.add_argument(
+        "--machine", default=None, metavar="M",
+        help="machine to compare on (default: first shared machine)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        profiles = load_profiles(Path(args.run_dir), [args.experiment_id])
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"repro-profile versus: error: {exc}", file=sys.stderr)
+        return 2
+    payload = profiles[args.experiment_id]
+
+    def pick(program: str) -> dict[str, Any] | None:
+        for entry in payload["entries"]:
+            if entry["program"] == program and (
+                args.machine is None or entry["machine"] == args.machine
+            ):
+                return entry
+        return None
+
+    entry_a = pick(args.program_a)
+    # Hold B to A's machine so the comparison is like-for-like even
+    # when --machine is not given and the run covers several machines.
+    machine = args.machine or (entry_a and entry_a["machine"])
+    entry_b = None
+    if entry_a is not None:
+        for entry in payload["entries"]:
+            if entry["program"] == args.program_b and entry["machine"] == machine:
+                entry_b = entry
+                break
+    if entry_a is None or entry_b is None:
+        known = sorted(
+            {f"{e['program']} @ {e['machine']}" for e in payload["entries"]}
+        )
+        print(
+            "repro-profile versus: error: program(s) not found in "
+            f"{args.experiment_id}'s profile; recorded entries: "
+            + ", ".join(known),
+            file=sys.stderr,
+        )
+        return 2
+
+    totals = TextTable(
+        ["Metric", args.program_a, args.program_b, "Delta"],
+        title=f"{args.experiment_id} @ {machine}",
+    )
+    for label, key in (
+        ("refs", "refs"),
+        ("L1 misses", "l1_misses"),
+        ("L2 misses", "l2_misses"),
+        ("dispatch refs", "dispatch_refs"),
+        ("binned refs", "binned_refs"),
+        ("contexts", None),
+    ):
+        if key is None:
+            a_val: int = len(entry_a["contexts"])
+            b_val: int = len(entry_b["contexts"])
+        else:
+            a_val = entry_a["totals"][key]
+            b_val = entry_b["totals"][key]
+        totals.add_row([label, a_val, b_val, f"{b_val - a_val:+d}"])
+    print(totals.render())
+
+    objects_a = {o["object"]: o for o in entry_a["objects"]}
+    objects_b = {o["object"]: o for o in entry_b["objects"]}
+    table = TextTable(
+        [
+            "Object",
+            f"L2({args.program_a})",
+            f"L2({args.program_b})",
+            "Delta",
+        ],
+        title="L2 misses by object segment",
+    )
+    names = sorted(
+        set(objects_a) | set(objects_b),
+        key=lambda n: -(
+            objects_a.get(n, {}).get("l2_misses", 0)
+            + objects_b.get(n, {}).get("l2_misses", 0)
+        ),
+    )
+    for name in names:
+        a_l2 = objects_a.get(name, {}).get("l2_misses", 0)
+        b_l2 = objects_b.get(name, {}).get("l2_misses", 0)
+        table.add_row([name, a_l2, b_l2, f"{b_l2 - a_l2:+d}"])
+    print()
+    print(table.render())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Manual subcommand dispatch so the common case stays bare:
+    # `repro-profile runs/<run-id>` needs no `show` verb.
+    if argv and argv[0] == "diff":
+        return diff_main(argv[1:])
+    if argv and argv[0] == "versus":
+        return versus_main(argv[1:])
+    return show_main(argv)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)  # e.g. `repro-profile runs/r1 | head`

@@ -11,8 +11,11 @@ snapshots the per-class miss deltas every ``interval`` access batches:
 * onto the event bus as ``C`` counter samples, which Perfetto renders as
   counter tracks alongside the bin-sweep spans.
 
-The hierarchy's hot path pays one attribute test per *batch* (not per
-reference) when no sampler is attached, and one modulo when one is.
+With no sampler attached the hierarchy runs its uninstrumented
+``access_data`` (attaching one rebinds the instance to the instrumented
+variant — see :class:`~repro.cache.hierarchy.CacheHierarchy`), so the
+un-observed hot path pays nothing; an attached sampler costs one modulo
+per batch.
 """
 
 from __future__ import annotations

@@ -78,6 +78,13 @@ class CampaignConfig:
     #: ``None`` enables it exactly when run artifacts are being saved —
     #: the exporters need a run directory to write into.
     telemetry: bool | None = None
+    #: Locality profiling (``--profile``): attach a
+    #: :class:`repro.obs.profile.LocalityProfiler` to every simulation
+    #: the experiment runs and persist the merged payload as a
+    #: ``<id>.profile.json`` artifact beside the result file.  Off by
+    #: default — with no sidecar attached the cache kernel runs its
+    #: uninstrumented ``access_data``, so disabled profiling is free.
+    profile: bool = False
     #: Worker processes for the campaign (``--jobs``): 1 runs everything
     #: in-process; N > 1 shards the remaining experiments across N
     #: workers via :mod:`repro.resilience.parallel`, with results merged
@@ -192,18 +199,35 @@ def _run_one(
                 error=classify_error(exc),
             )
 
+    collector = None
+    profile_scope = nullcontext()
+    if config.profile:
+        from repro.obs.profile import ProfileCollector, collector_scope
+
+        collector = ProfileCollector()
+        profile_scope = collector_scope(collector)
+
     def _attempt():
         fault_point("exp.before", experiment_id=experiment_id)
+        if collector is not None:
+            # A retried attempt re-simulates from scratch; its profile
+            # must not accumulate the aborted attempt's counts.
+            collector.reset()
         return runner(experiment_id, quick=config.quick)
 
     try:
-        with watchdog(config.timeout_s, experiment_id=experiment_id):
+        with profile_scope, watchdog(
+            config.timeout_s, experiment_id=experiment_id
+        ):
             result, attempts = call_with_retry(
                 _attempt, config.retry, on_retry=_on_retry
             )
-        return ExperimentRecord.from_result(
+        record = ExperimentRecord.from_result(
             result, time.perf_counter() - started, attempts
         )
+        if collector is not None:
+            record.profile = collector.payload(experiment_id)
+        return record
     except (KeyboardInterrupt, SystemExit):
         raise
     except BaseException as exc:
@@ -243,6 +267,12 @@ def _emit_record(
             f"checkpoint {record.experiment_id} written in "
             f"{checkpoint_s * 1000:.1f}ms"
         )
+        if record.profile is not None:
+            from repro.obs.profile import profile_artifact_name
+
+            name = profile_artifact_name(record.experiment_id)
+            store.record_artifact(manifest, name, record.profile)
+            reporter.detail(f"profile artifact {name}.json written")
     else:
         manifest.records[record.experiment_id] = record
     if writer is not None:

@@ -80,6 +80,13 @@ class ExperimentRecord:
     error: dict[str, Any] | None = None
     elapsed_s: float = 0.0
     attempts: int = 1
+    #: The experiment's locality profile (``repro.obs.profile`` payload)
+    #: when the campaign ran with ``--profile``.  Deliberately *not*
+    #: serialized into ``to_dict()``: it is persisted as its own
+    #: ``<id>.profile.json`` artifact, so manifests and journal records
+    #: stay byte-identical with and without profiling (same discipline
+    #: as ``RunManifest.salvaged``).
+    profile: dict[str, Any] | None = field(default=None, compare=False, repr=False)
 
     @classmethod
     def from_result(
@@ -468,6 +475,15 @@ class RunStore:
     def result_path(self, run_id: str, experiment_id: str) -> Path:
         return self.run_dir(run_id) / f"{experiment_id}.json"
 
+    def artifact_path(self, run_id: str, name: str) -> Path:
+        """A named non-result artifact, e.g. ``table3.profile.json``.
+
+        Artifact stems carry a suffix (``<id>.profile``), so
+        :meth:`result_files` never mistakes them for result files: their
+        stem cannot equal the ``experiment_id`` field inside.
+        """
+        return self.run_dir(run_id) / f"{name}.json"
+
     @staticmethod
     def generate_run_id() -> str:
         """Timestamp + pid: sortable, unique per process launch."""
@@ -564,6 +580,29 @@ class RunStore:
             record.to_dict(),
         )
         self.save(manifest)
+
+    def record_artifact(
+        self, manifest: RunManifest, name: str, payload: dict[str, Any]
+    ) -> str:
+        """Persist one named artifact and journal its digest.
+
+        File first, journal second — the inverse of the record/flush
+        discipline, because the journal only holds the artifact's
+        *digest*: a crash between the two leaves a valid artifact that
+        merely lacks its audit line (``repro-doctor`` reports it as
+        informational and ``--repair`` re-journals it).  Returns the
+        sha256 of the published bytes.
+        """
+        self._ensure_journal(manifest)
+        digest = atomic_write_json(
+            self.artifact_path(manifest.run_id, name), payload
+        )
+        append_entry(
+            self.journal_path(manifest.run_id),
+            "artifact",
+            {"name": name, "sha256": digest},
+        )
+        return digest
 
     # ------------------------------------------------------------------
     # Loading (and salvaging)

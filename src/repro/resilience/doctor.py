@@ -62,6 +62,8 @@ CODES: dict[str, str] = {
     "D013": "manifest record has no result file",
     "D014": "stale supervisor heartbeat files",
     "D015": "nothing survives to rebuild the run from",
+    "D016": "journaled artifact missing or digest mismatch",
+    "D017": "artifact file published but never journaled",
 }
 
 SEVERITIES = ("error", "warning", "info")
@@ -355,6 +357,84 @@ def _debris_findings(
         )
 
 
+def _artifact_files(store: RunStore, run_id: str) -> dict[str, Path]:
+    """Non-result artifacts on disk, keyed by journal name (file stem).
+
+    Today the only artifact kind is the locality profile
+    (``<id>.profile.json``); the suffixed stem is what keeps these out
+    of :meth:`RunStore.result_files`.
+    """
+    run_dir = store.run_dir(run_id)
+    if not run_dir.is_dir():
+        return {}
+    return {
+        p.name[: -len(".json")]: p
+        for p in sorted(run_dir.glob("*.profile.json"))
+    }
+
+
+def _artifact_findings(
+    store: RunStore, run_id: str, findings: list[Finding]
+) -> None:
+    """Audit journaled artifact digests against the files on disk.
+
+    ``record_artifact`` writes the file first and journals its digest
+    second, so the two failure shapes are asymmetric: a journaled name
+    with no (or mismatched) file lost data (D016, warning), while a
+    file with no journal line is merely un-audited — the crash landed
+    between the two steps (D017, info; ``--repair`` journals it).
+    """
+    journal_path = store.journal_path(run_id)
+    journaled: dict[str, str] = {}
+    if journal_path.exists():
+        try:
+            journaled = read_journal(journal_path).artifacts
+        except CheckpointError:
+            journaled = {}
+    files = _artifact_files(store, run_id)
+    for name in sorted(set(journaled) - set(files)):
+        findings.append(
+            Finding(
+                "D016",
+                "warning",
+                run_id,
+                f"journaled artifact {name}.json is missing from disk; "
+                "repair drops its journal line",
+                context={"name": name},
+            )
+        )
+    for name, path in files.items():
+        if name not in journaled:
+            findings.append(
+                Finding(
+                    "D017",
+                    "info",
+                    run_id,
+                    f"artifact {name}.json was published but never "
+                    "journaled (crash between write and journal append); "
+                    "repair journals its digest",
+                    context={"name": name},
+                )
+            )
+            continue
+        try:
+            data = path.read_bytes()
+        except OSError:
+            continue
+        if file_checksum(data) != journaled[name]:
+            findings.append(
+                Finding(
+                    "D016",
+                    "warning",
+                    run_id,
+                    f"artifact {name}.json does not match its journaled "
+                    "digest (silent corruption?); repair re-journals the "
+                    "surviving bytes if they still parse",
+                    context={"name": name},
+                )
+            )
+
+
 def audit_run(store: RunStore, run_id: str) -> list[Finding]:
     """Every problem the doctor can see in one run directory."""
     findings: list[Finding] = []
@@ -367,6 +447,7 @@ def audit_run(store: RunStore, run_id: str) -> list[Finding]:
             manifest_bytes = None
     _journal_findings(store, run_id, manifest, manifest_bytes, findings)
     _debris_findings(store, run_id, manifest, findings)
+    _artifact_findings(store, run_id, findings)
     return findings
 
 
@@ -446,6 +527,24 @@ def repair_run(store: RunStore, run_id: str) -> list[str]:
         record = manifest.records.get(experiment_id)
         if record is not None:
             entries.append(("record", record.to_dict()))
+    # Re-journal surviving artifacts (``<id>.profile.json``): intact
+    # files get a fresh digest line — covering both the never-journaled
+    # crash window and a journal lost wholesale — while unparseable
+    # ones are swept, since an artifact that does not parse serves no
+    # reader and would fail its digest audit forever.
+    for name, path in sorted(_artifact_files(store, run_id).items()):
+        try:
+            data = path.read_bytes()
+            json.loads(data.decode("utf-8"))
+        except OSError:
+            continue
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            path.unlink(missing_ok=True)
+            actions.append(f"removed corrupt artifact {name}.json")
+            continue
+        entries.append(
+            ("artifact", {"name": name, "sha256": file_checksum(data)})
+        )
     rewrite(store.journal_path(run_id), entries)
     actions.append(f"rebuilt journal with {len(entries)} entries")
     store.save(manifest)

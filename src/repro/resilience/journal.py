@@ -28,6 +28,13 @@ Entry kinds
 ``flush``
     ``{"sha256": <digest of manifest.json bytes>}`` appended after each
     successful manifest publish.
+``artifact``
+    ``{"name": <file stem>, "sha256": <digest of the artifact bytes>}``
+    appended after a non-result artifact (e.g. an experiment's
+    ``<id>.profile.json``) is published, so the doctor can audit it.
+    Journal v1 readers older than this kind degrade gracefully: the
+    line fails their kind check and is skipped as a bad line, while
+    plan/record/flush replay is unaffected.
 
 Replay (:func:`read_journal`) is deliberately forgiving: lines that
 fail to parse or whose checksum does not match are reported, not
@@ -52,7 +59,7 @@ JOURNAL_NAME = "records.jsonl"
 #: Bumped when the line format changes; recorded in every plan entry.
 JOURNAL_VERSION = 1
 
-ENTRY_KINDS = ("plan", "record", "flush")
+ENTRY_KINDS = ("plan", "record", "flush", "artifact")
 
 
 def _canonical(payload: dict[str, Any]) -> str:
@@ -161,6 +168,16 @@ class JournalReplay:
             if kind == "record" and "experiment_id" in payload:
                 records[payload["experiment_id"]] = payload
         return records
+
+    @property
+    def artifacts(self) -> dict[str, str]:
+        """Journaled artifact digests by name (last entry per name wins,
+        matching the re-journal a retried experiment performs)."""
+        artifacts: dict[str, str] = {}
+        for kind, payload in self.entries:
+            if kind == "artifact" and "name" in payload:
+                artifacts[payload["name"]] = payload.get("sha256", "")
+        return artifacts
 
     @property
     def last_flush_digest(self) -> str | None:

@@ -148,6 +148,7 @@ def _execute_experiment(task: dict[str, Any]) -> dict[str, Any]:
         timeout_s=task["timeout_s"],
         retry=task["retry"],
         save=False,
+        profile=task["profile"],
     )
     obs = Telemetry() if task["telemetry"] else DISABLED
     if task["verify"] is None:
@@ -194,6 +195,9 @@ def _execute_experiment(task: dict[str, Any]) -> dict[str, Any]:
     return {
         "experiment_id": experiment_id,
         "record": record.to_dict() if record is not None else None,
+        # The profile payload rides beside the record dict, mirroring how
+        # the store persists it beside (not inside) the result file.
+        "profile": record.profile if record is not None else None,
         "messages": reporter.messages,
         "events": events,
         "metrics": metrics,
@@ -316,6 +320,7 @@ def run_parallel(
             "retry": config.retry,
             "verify": config.verify,
             "telemetry": obs.enabled,
+            "profile": config.profile,
             "faults": faults,
             "runner": runner,
         }
@@ -450,6 +455,7 @@ def run_parallel(
                 store.save(manifest)
             return
         record = ExperimentRecord.from_dict(result["record"])
+        record.profile = result.get("profile")
         _graft_events(obs, experiment_id, config.quick, record, result["events"])
         if result["metrics"]:
             obs.metrics.merge_payload(result["metrics"])

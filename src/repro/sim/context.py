@@ -37,6 +37,11 @@ class SimContext:
     #: reports into.  The shared disabled singleton by default, so the
     #: un-instrumented path costs one attribute test.
     obs: Telemetry = DISABLED
+    #: Optional :class:`repro.obs.profile.LocalityProfiler`, propagated
+    #: to every thread package created through this context so dispatch
+    #: and bin sweeps report their (fork site, bin) scopes.  ``None``
+    #: (profiling off) keeps the hooks at one attribute test.
+    profiler: object | None = None
 
     def allocate_array(
         self,
@@ -142,6 +147,8 @@ class SimContext:
             oracle = SchedulerOracle(machine=self.machine.name)
             oracle.obs = self.obs
             package.attach_oracle(oracle)
+        if self.profiler is not None:
+            package.profiler = self.profiler
         self.packages.append(package)
         return package
 

@@ -8,6 +8,7 @@ from repro.machine.spec import MachineSpec
 from repro.machine.timing import TimingInputs, TimingModel
 from repro.mem.allocator import AddressSpace
 from repro.obs.config import resolve_telemetry
+from repro.obs.profile import current_collector
 from repro.obs.telemetry import Telemetry
 from repro.resilience.errors import ReproError, SimulationError
 from repro.resilience.faults import fault_point
@@ -112,6 +113,19 @@ class Simulator:
 
                 sampler = CacheSampler(obs, program=program_name)
                 hierarchy.observer = sampler
+            profiler = None
+            collector = current_collector()
+            if collector is not None:
+                from repro.obs.profile import LocalityProfiler
+
+                profiler = LocalityProfiler(
+                    program=program_name,
+                    machine=self.machine.name,
+                    space=space,
+                    obs=obs,
+                )
+                hierarchy.profiler = profiler
+                context.profiler = profiler
             if code_footprint:
                 hierarchy.charge_code_footprint(code_footprint)
             if obs.enabled:
@@ -142,6 +156,9 @@ class Simulator:
                     thread_faults.extend(report())
             if sampler is not None:
                 sampler.sample(hierarchy)  # flush the tail interval
+            if profiler is not None:
+                profiler.finish(hierarchy)  # flush the tail timeline sample
+                collector.add(profiler)
             stats = hierarchy.snapshot()
             time = self.timing.estimate(
                 TimingInputs(

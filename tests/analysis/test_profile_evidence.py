@@ -1,0 +1,244 @@
+"""Measured RL003/RL005 evidence from profile artifacts.
+
+Synthetic profile payloads drive :mod:`repro.analysis.profile_evidence`
+through its thresholds: the dispatch-volume gate, the single-bin RL003
+observation, the L2-thrash RL005 rate (strictly above 50% of a bin's
+L1 misses, and only for bins with enough misses to argue about), and
+the ``repro-lint --profiles`` wiring including its error exit.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.analysis.diagnostics import Severity
+from repro.analysis.profile_evidence import (
+    EVIDENCE_MIN_DISPATCH_REFS,
+    THRASH_MIN_L1_MISSES,
+    bin_miss_stats,
+    entry_evidence,
+    load_run_evidence,
+    payload_evidence,
+)
+from repro.obs.profile import NO_BIN, PROFILE_SCHEMA_VERSION
+
+
+def make_context(site, bin_key, refs=10_000, l1=1000, l2=100):
+    return {
+        "site": site,
+        "bin": bin_key,
+        "refs": refs,
+        "writes": 0,
+        "l1_misses": l1,
+        "l2_misses": l2,
+        "l1_compulsory": l1,
+        "l1_capacity": 0,
+        "l1_conflict": 0,
+    }
+
+
+def make_entry(contexts, program="prog_threaded", machine="R8000/64"):
+    dispatch = sum(c["refs"] for c in contexts if c["site"] != "(main)")
+    refs = sum(c["refs"] for c in contexts)
+    return {
+        "program": program,
+        "machine": machine,
+        "seq": 0,
+        "totals": {
+            "refs": refs,
+            "writes": 0,
+            "l1_misses": sum(c["l1_misses"] for c in contexts),
+            "l2_misses": sum(c["l2_misses"] for c in contexts),
+            "batches": 64,
+            "attributed_refs": refs,
+            "attributed_fraction": 1.0,
+            "dispatch_refs": dispatch,
+            "binned_refs": sum(
+                c["refs"] for c in contexts if c["bin"] != NO_BIN
+            ),
+        },
+        "contexts": contexts,
+        "objects": [],
+        "timeline": [],
+    }
+
+
+def make_payload(experiment_id, entries):
+    return {
+        "schema": PROFILE_SCHEMA_VERSION,
+        "experiment_id": experiment_id,
+        "entries": entries,
+    }
+
+
+class TestBinMissStats:
+    def test_sums_across_fork_sites_and_skips_the_pseudo_bin(self):
+        entry = make_entry(
+            [
+                make_context("(main)", NO_BIN, refs=500, l1=50, l2=5),
+                make_context("site_a", "bin:0", refs=1000, l1=100, l2=10),
+                make_context("site_b", "bin:0", refs=2000, l1=200, l2=20),
+                make_context("site_a", "bin:1", refs=4000, l1=400, l2=40),
+            ]
+        )
+        assert bin_miss_stats(entry) == {
+            "bin:0": [3000, 300, 30],
+            "bin:1": [4000, 400, 40],
+        }
+
+
+class TestRL003Evidence:
+    def test_single_bin_schedule_is_reported_as_info(self):
+        entry = make_entry(
+            [make_context("worker", "bin:0", refs=8192, l1=500, l2=50)]
+        )
+        diagnostics = entry_evidence("t6", entry)
+        assert [d.code for d in diagnostics] == ["RL003"]
+        finding = diagnostics[0]
+        assert finding.severity == Severity.INFO
+        assert finding.program == "t6:prog_threaded"
+        assert "measured on R8000/64" in finding.message
+        assert finding.context["bin"] == "bin:0"
+        assert finding.context["binned_refs"] == 8192
+
+    def test_two_bins_no_rl003(self):
+        entry = make_entry(
+            [
+                make_context("worker", "bin:0", refs=8192, l1=500, l2=50),
+                make_context("worker", "bin:1", refs=8192, l1=500, l2=50),
+            ]
+        )
+        assert [d.code for d in entry_evidence("t6", entry)] == []
+
+
+class TestRL005Evidence:
+    def thrash_entry(self, l2=600):
+        return make_entry(
+            [
+                make_context("worker", "bin:0", refs=8192, l1=1000, l2=l2),
+                make_context("worker", "bin:1", refs=8192, l1=1000, l2=100),
+            ]
+        )
+
+    def test_l2_thrash_is_reported_with_the_worst_bin(self):
+        diagnostics = entry_evidence("t6", self.thrash_entry())
+        assert [d.code for d in diagnostics] == ["RL005"]
+        finding = diagnostics[0]
+        assert finding.severity == Severity.INFO
+        assert finding.context["bin"] == "bin:0"
+        assert finding.context["l1_misses"] == 1000
+        assert finding.context["l2_misses"] == 600
+        assert finding.context["thrashing_bins"] == 1
+
+    def test_exactly_half_is_not_thrash(self):
+        # The rate must strictly exceed 50% of the bin's L1 misses.
+        assert entry_evidence("t6", self.thrash_entry(l2=500)) == []
+
+    def test_low_miss_bins_are_too_small_to_judge(self):
+        entry = make_entry(
+            [
+                make_context(
+                    "worker",
+                    "bin:0",
+                    refs=8192,
+                    l1=THRASH_MIN_L1_MISSES - 1,
+                    l2=THRASH_MIN_L1_MISSES - 1,  # 100% local rate, tiny
+                ),
+                make_context("worker", "bin:1", refs=8192, l1=1000, l2=100),
+            ]
+        )
+        assert entry_evidence("t6", entry) == []
+
+
+class TestDispatchGate:
+    def test_small_entries_yield_no_evidence(self):
+        entry = make_entry(
+            [
+                make_context(
+                    "worker",
+                    "bin:0",
+                    refs=EVIDENCE_MIN_DISPATCH_REFS - 1,
+                    l1=1000,
+                    l2=900,
+                )
+            ]
+        )
+        assert entry_evidence("t6", entry) == []
+
+    def test_serial_programs_yield_no_evidence(self):
+        entry = make_entry(
+            [make_context("(main)", NO_BIN, refs=100_000, l1=5000, l2=4000)],
+            program="prog_serial",
+        )
+        assert entry_evidence("t6", entry) == []
+
+
+class TestPayloadAndRun:
+    def test_payload_evidence_walks_every_entry(self):
+        payload = make_payload(
+            "t6",
+            [
+                make_entry(
+                    [make_context("worker", "bin:0", refs=8192)],
+                    program="a",
+                ),
+                make_entry(
+                    [make_context("worker", "bin:1", refs=8192)],
+                    program="b",
+                ),
+            ],
+        )
+        diagnostics = payload_evidence(payload)
+        assert [d.program for d in diagnostics] == ["t6:a", "t6:b"]
+
+    def test_payload_evidence_checks_the_schema(self):
+        payload = make_payload("t6", [])
+        payload["schema"] = PROFILE_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="unsupported profile schema"):
+            payload_evidence(payload)
+
+    def test_load_run_evidence_reads_artifacts(self, tmp_path):
+        payload = make_payload(
+            "t6", [make_entry([make_context("worker", "bin:0", refs=8192)])]
+        )
+        (tmp_path / "t6.profile.json").write_text(
+            json.dumps(payload) + "\n"
+        )
+        diagnostics = load_run_evidence(tmp_path)
+        assert [d.code for d in diagnostics] == ["RL003"]
+
+
+class TestLintCliWiring:
+    def clean_script(self, tmp_path):
+        script = tmp_path / "clean.py"
+        script.write_text(
+            "def proc(a, b):\n"
+            "    return a + b\n"
+            "\n"
+            "def build(package):\n"
+            "    package.th_fork(proc, 1, 2, 8)\n"
+        )
+        return script
+
+    def test_profiles_evidence_reaches_the_report(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        payload = make_payload(
+            "t6", [make_entry([make_context("worker", "bin:0", refs=8192)])]
+        )
+        (run_dir / "t6.profile.json").write_text(json.dumps(payload) + "\n")
+        script = self.clean_script(tmp_path)
+        # Info evidence never fails the gate: still exit 0.
+        assert lint_main([str(script), "--profiles", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "RL003" in out
+        assert "measured on R8000/64" in out
+
+    def test_corrupt_profile_is_a_usage_error(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "t6.profile.json").write_text("{not json")
+        script = self.clean_script(tmp_path)
+        assert lint_main([str(script), "--profiles", str(run_dir)]) == 2
+        assert "--profiles" in capsys.readouterr().err

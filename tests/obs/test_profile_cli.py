@@ -1,0 +1,278 @@
+"""``repro-profile``: rendering, diff significance, and versus mode.
+
+Driven by synthetic ``*.profile.json`` artifacts written straight into
+tmp run directories — the CLI reads artifacts only, so no simulation is
+needed to pin its behaviour: section rendering, the two-threshold
+significance rule, diff exit codes (0 none / 1 some / 2 error), and the
+hinted-vs-unhinted ``versus`` view.
+"""
+
+import json
+
+from repro.obs.profile import PROFILE_SCHEMA_VERSION
+from repro.obs.profile_cli import (
+    ABS_FLOOR,
+    REL_THRESHOLD,
+    diff_payloads,
+    main,
+    significant,
+)
+
+
+def make_context(site, bin_key, refs=1000, l1=100, l2=50):
+    return {
+        "site": site,
+        "bin": bin_key,
+        "refs": refs,
+        "writes": refs // 4,
+        "l1_misses": l1,
+        "l2_misses": l2,
+        "l1_compulsory": l1 // 2,
+        "l1_capacity": l1 // 4,
+        "l1_conflict": l1 - l1 // 2 - l1 // 4,
+    }
+
+
+def make_entry(program, machine, contexts, seq=0, objects=None, timeline=None):
+    refs = sum(c["refs"] for c in contexts)
+    dispatch = sum(c["refs"] for c in contexts if c["site"] != "(main)")
+    binned = sum(c["refs"] for c in contexts if c["bin"] != "-")
+    return {
+        "program": program,
+        "machine": machine,
+        "seq": seq,
+        "totals": {
+            "refs": refs,
+            "writes": sum(c["writes"] for c in contexts),
+            "l1_misses": sum(c["l1_misses"] for c in contexts),
+            "l2_misses": sum(c["l2_misses"] for c in contexts),
+            "batches": 512,
+            "attributed_refs": refs,
+            "attributed_fraction": 1.0,
+            "dispatch_refs": dispatch,
+            "binned_refs": binned,
+        },
+        "contexts": contexts,
+        "objects": objects or [],
+        "timeline": timeline or [],
+    }
+
+
+def make_payload(experiment_id, entries):
+    return {
+        "schema": PROFILE_SCHEMA_VERSION,
+        "experiment_id": experiment_id,
+        "entries": entries,
+    }
+
+
+def default_payload(experiment_id="t1", l2=5000):
+    contexts = [
+        make_context("(main)", "-", refs=200, l1=20, l2=10),
+        make_context("worker", "bin:0", refs=4000, l1=400, l2=l2),
+        make_context("worker", "bin:1", refs=4000, l1=380, l2=140),
+    ]
+    objects = [
+        {"object": "A", "refs": 5000, "l1_misses": 500, "l2_misses": 100},
+        {"object": "th_group", "refs": 3200, "l1_misses": 300, "l2_misses": 60},
+    ]
+    timeline = [
+        {
+            "batch": 256,
+            "refs": 4100,
+            "l1": {"miss_rate": 0.1, "occupancy": {"A": 0.5}},
+            "l2": {"miss_rate": 0.02, "occupancy": {"A": 0.25, "B": 0.125}},
+        },
+        {
+            "batch": 512,
+            "refs": 8200,
+            "l1": {"miss_rate": 0.09, "occupancy": {"A": 0.75}},
+            "l2": {"miss_rate": 0.3, "occupancy": {"A": 0.5}},
+        },
+    ]
+    entry = make_entry(
+        "prog_threaded", "R8000/64", contexts, objects=objects, timeline=timeline
+    )
+    return make_payload(experiment_id, [entry])
+
+
+def write_run(tmp_path, name, payloads):
+    run_dir = tmp_path / name
+    run_dir.mkdir()
+    for payload in payloads:
+        path = run_dir / f"{payload['experiment_id']}.profile.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return run_dir
+
+
+class TestShow:
+    def test_renders_every_section(self, tmp_path, capsys):
+        run_dir = write_run(tmp_path, "r1", [default_payload()])
+        assert main([str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Profile t1" in out  # summary
+        assert "(fork site, bin)" in out  # heatmap
+        assert "top 8 contexts" in out
+        assert "top 8 objects" in out
+        assert "th_group" in out
+
+    def test_timeline_section_digest(self, tmp_path, capsys):
+        run_dir = write_run(tmp_path, "r1", [default_payload()])
+        assert main([str(run_dir), "--section", "timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "2 timeline sample(s)" in out
+        assert "first" in out and "peak" in out and "last" in out
+        # The peak sample is the one with the highest L2 miss rate —
+        # batch 512 here, whose rates and top occupant are digested.
+        assert "l1 miss 9.0%" in out
+        assert "l2 miss 30.0%" in out
+        assert "[A 75%]" in out
+
+    def test_single_context_entry_skips_heatmap(self, tmp_path, capsys):
+        payload = make_payload(
+            "t1", [make_entry("prog_serial", "R8000/64",
+                              [make_context("(main)", "-")])]
+        )
+        run_dir = write_run(tmp_path, "r1", [payload])
+        assert main([str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Profile t1" in out
+        assert "(fork site, bin)" not in out
+
+    def test_unknown_experiment_fails_loudly(self, tmp_path, capsys):
+        run_dir = write_run(tmp_path, "r1", [default_payload()])
+        assert main([str(run_dir), "nope"]) == 2
+        assert "no profile artifact for nope" in capsys.readouterr().err
+
+    def test_unprofiled_run_dir_is_an_error(self, tmp_path, capsys):
+        run_dir = tmp_path / "empty"
+        run_dir.mkdir()
+        assert main([str(run_dir)]) == 2
+        assert "--profile" in capsys.readouterr().err
+
+    def test_newer_schema_is_refused(self, tmp_path, capsys):
+        payload = default_payload()
+        payload["schema"] = PROFILE_SCHEMA_VERSION + 1
+        run_dir = write_run(tmp_path, "r1", [payload])
+        assert main([str(run_dir)]) == 2
+        assert "unsupported profile schema" in capsys.readouterr().err
+
+
+class TestSignificance:
+    def test_needs_both_thresholds(self):
+        # Clears the absolute floor but not 2% of before.
+        assert not significant(65, 10_000, ABS_FLOOR, REL_THRESHOLD)
+        # Clears 2% but not the absolute floor.
+        assert not significant(60, 100, ABS_FLOOR, REL_THRESHOLD)
+        # Clears both.
+        assert significant(65, 100, ABS_FLOOR, REL_THRESHOLD)
+
+    def test_symmetric_in_sign(self):
+        assert significant(-65, 100, ABS_FLOOR, REL_THRESHOLD)
+
+    def test_small_base_guarded_by_floor(self):
+        # base 0: relative change is infinite, but 64 misses is noise.
+        assert not significant(64, 0, ABS_FLOOR, REL_THRESHOLD)
+        assert significant(65, 0, ABS_FLOOR, REL_THRESHOLD)
+
+
+class TestDiff:
+    def test_identical_runs_report_zero_deltas(self, tmp_path, capsys):
+        run_a = write_run(tmp_path, "a", [default_payload()])
+        run_b = write_run(tmp_path, "b", [default_payload()])
+        assert main(["diff", str(run_a), str(run_b)]) == 0
+        assert "no significant l2 deltas" in capsys.readouterr().out
+
+    def test_real_shift_is_reported_and_exits_1(self, tmp_path, capsys):
+        run_a = write_run(tmp_path, "a", [default_payload(l2=5000)])
+        run_b = write_run(tmp_path, "b", [default_payload(l2=3000)])
+        assert main(["diff", str(run_a), str(run_b)]) == 1
+        out = capsys.readouterr().out
+        assert "significant l2 deltas" in out
+        assert "-2000" in out
+        assert "bin:0" in out
+
+    def test_sub_threshold_shift_is_noise(self, tmp_path, capsys):
+        run_a = write_run(tmp_path, "a", [default_payload(l2=5000)])
+        run_b = write_run(tmp_path, "b", [default_payload(l2=5060)])
+        assert main(["diff", str(run_a), str(run_b)]) == 0
+
+    def test_entry_only_in_one_run_is_noted(self, tmp_path, capsys):
+        payload_b = default_payload()
+        payload_b["entries"].append(
+            make_entry("prog_extra", "R8000/64", [make_context("(main)", "-")])
+        )
+        run_a = write_run(tmp_path, "a", [default_payload()])
+        run_b = write_run(tmp_path, "b", [payload_b])
+        assert main(["diff", str(run_a), str(run_b)]) == 1
+        assert "only in B" in capsys.readouterr().out
+
+    def test_disjoint_runs_are_an_error(self, tmp_path, capsys):
+        run_a = write_run(tmp_path, "a", [default_payload("t1")])
+        run_b = write_run(tmp_path, "b", [default_payload("t2")])
+        assert main(["diff", str(run_a), str(run_b)]) == 2
+        assert "share no profiled experiments" in capsys.readouterr().err
+
+    def test_diff_payloads_matches_contexts_by_site_and_bin(self):
+        a = default_payload(l2=5000)
+        b = default_payload(l2=3000)
+        deltas = diff_payloads(
+            a, b, "l2_misses", ABS_FLOOR, REL_THRESHOLD
+        )
+        assert [(d["site"], d["bin"], d["delta"]) for d in deltas] == [
+            ("worker", "bin:0", -2000)
+        ]
+
+
+class TestVersus:
+    def build_run(self, tmp_path):
+        hinted = make_entry(
+            "prog_hinted",
+            "R8000/64",
+            [make_context("worker", "bin:0", refs=4000, l1=300, l2=80)],
+            objects=[
+                {"object": "u", "refs": 4000, "l1_misses": 300, "l2_misses": 80}
+            ],
+        )
+        unhinted = make_entry(
+            "prog_unhinted",
+            "R8000/64",
+            [make_context("worker", "bin:0", refs=4000, l1=600, l2=400)],
+            seq=1,
+            objects=[
+                {"object": "u", "refs": 4000, "l1_misses": 600, "l2_misses": 400}
+            ],
+        )
+        return write_run(
+            tmp_path, "r1", [make_payload("t1", [hinted, unhinted])]
+        )
+
+    def test_side_by_side_totals_and_objects(self, tmp_path, capsys):
+        run_dir = self.build_run(tmp_path)
+        code = main(
+            ["versus", str(run_dir), "t1", "prog_hinted", "prog_unhinted"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "t1 @ R8000/64" in out
+        assert "+320" in out  # L2 misses 80 -> 400
+        assert "L2 misses by object segment" in out
+
+    def test_unknown_program_lists_recorded_entries(self, tmp_path, capsys):
+        run_dir = self.build_run(tmp_path)
+        code = main(["versus", str(run_dir), "t1", "prog_hinted", "nope"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "recorded entries" in err
+        assert "prog_unhinted @ R8000/64" in err
+
+
+class TestDispatch:
+    def test_bare_invocation_is_show(self, tmp_path, capsys):
+        run_dir = write_run(tmp_path, "r1", [default_payload()])
+        assert main([str(run_dir), "--section", "summary"]) == 0
+        assert "Profile t1" in capsys.readouterr().out
+
+    def test_missing_run_dir(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent")]) == 2
+        assert "not a directory" in capsys.readouterr().err

@@ -1,0 +1,137 @@
+"""Profile artifacts through the durable run store, journal, and doctor.
+
+Profiles ride the same durability discipline as result files: written
+atomically, journaled by digest (``artifact`` entries), audited by
+repro-doctor (D016 missing/corrupt, D017 unjournaled), and restored or
+re-journaled by ``--repair``.  The campaign driver writes one
+``<experiment>.profile.json`` per experiment when ``--profile`` is on,
+identically from the serial and ``--jobs`` paths.
+"""
+
+import io
+import json
+
+from repro.exp.base import ExperimentResult
+from repro.resilience.campaign import EXIT_OK, CampaignConfig, run_campaign
+from repro.resilience.checkpoint import RunStore
+from repro.resilience.doctor import audit_run, repair_run
+from repro.resilience.journal import file_checksum, read_journal
+from repro.util.tables import TextTable
+
+
+def fake_runner(experiment_id, quick=False):
+    table = TextTable(["metric", "value"], title=f"Table for {experiment_id}")
+    table.add_row(["misses", 12345])
+    result = ExperimentResult(experiment_id, f"Table for {experiment_id}", table)
+    result.check("shape holds", True, "measured detail")
+    return result
+
+
+def run(config, runner=fake_runner):
+    out, err = io.StringIO(), io.StringIO()
+    code = run_campaign(config, out=out, err=err, runner=runner)
+    return code, out.getvalue(), err.getvalue()
+
+
+def profiled_run(tmp_path, run_id="r1", ids=("a",)):
+    config = CampaignConfig(
+        ids=list(ids), runs_dir=str(tmp_path), run_id=run_id, profile=True
+    )
+    code, out, _ = run(config)
+    assert code == EXIT_OK
+    return RunStore(tmp_path)
+
+
+class TestArtifactPersistence:
+    def test_profile_artifact_written_beside_result(self, tmp_path):
+        store = profiled_run(tmp_path)
+        path = tmp_path / "r1" / "a.profile.json"
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["experiment_id"] == "a"
+        assert payload["schema"] == 1
+
+    def test_profile_artifact_journaled_by_digest(self, tmp_path):
+        store = profiled_run(tmp_path)
+        replay = read_journal(store.journal_path("r1"))
+        path = tmp_path / "r1" / "a.profile.json"
+        assert replay.artifacts == {
+            "a.profile": file_checksum(path.read_bytes())
+        }
+
+    def test_profile_is_not_a_result_file(self, tmp_path):
+        # The `<id>.profile` stem never collides with result payloads,
+        # so resume and salvage keep treating results as the source of
+        # truth and profiles as companions.
+        store = profiled_run(tmp_path)
+        assert set(store.result_files("r1")) == {"a"}
+
+    def test_no_profile_flag_no_artifact(self, tmp_path):
+        config = CampaignConfig(
+            ids=["a"], runs_dir=str(tmp_path), run_id="r1"
+        )
+        code, _, _ = run(config)
+        assert code == EXIT_OK
+        assert not list((tmp_path / "r1").glob("*.profile.json"))
+
+
+class TestDoctor:
+    def test_profiled_run_audits_clean(self, tmp_path):
+        store = profiled_run(tmp_path)
+        assert audit_run(store, "r1") == []
+
+    def test_missing_artifact_is_d016_and_repairable(self, tmp_path):
+        store = profiled_run(tmp_path)
+        (tmp_path / "r1" / "a.profile.json").unlink()
+        findings = audit_run(store, "r1")
+        assert [f.code for f in findings] == ["D016"]
+        assert findings[0].severity == "warning"
+        repair_run(store, "r1")
+        assert audit_run(store, "r1") == []
+        # Repair dropped the dangling journal line rather than invent
+        # a file it cannot reconstruct.
+        assert read_journal(store.journal_path("r1")).artifacts == {}
+
+    def test_corrupt_artifact_is_d016(self, tmp_path):
+        store = profiled_run(tmp_path)
+        path = tmp_path / "r1" / "a.profile.json"
+        path.write_text(path.read_text() + " ")  # digest mismatch
+        findings = audit_run(store, "r1")
+        assert [f.code for f in findings] == ["D016"]
+
+    def test_unjournaled_artifact_is_d017_info_and_repairable(self, tmp_path):
+        store = profiled_run(tmp_path)
+        extra = tmp_path / "r1" / "extra.profile.json"
+        extra.write_text(json.dumps({"schema": 1, "entries": []}) + "\n")
+        findings = audit_run(store, "r1")
+        assert [f.code for f in findings] == ["D017"]
+        assert findings[0].severity == "info"
+        repair_run(store, "r1")
+        assert audit_run(store, "r1") == []
+        journaled = read_journal(store.journal_path("r1")).artifacts
+        assert set(journaled) == {"a.profile", "extra.profile"}
+
+
+class TestSerialParallelIdentity:
+    def test_merged_profiles_byte_identical_to_serial(self, tmp_path):
+        # Real experiments: the parallel path collects profiles in the
+        # workers and persists them from the parent, and the payload is
+        # deterministic, so the artifacts must match byte for byte.
+        ids = ["table5", "table9"]
+        for run_id, jobs in (("serial", 1), ("par", 2)):
+            config = CampaignConfig(
+                ids=list(ids),
+                quick=True,
+                runs_dir=str(tmp_path),
+                run_id=run_id,
+                profile=True,
+                jobs=jobs,
+            )
+            out, err = io.StringIO(), io.StringIO()
+            code = run_campaign(config, out=out, err=err)
+            assert code == EXIT_OK, err.getvalue()
+        for experiment_id in ids:
+            name = f"{experiment_id}.profile.json"
+            serial = (tmp_path / "serial" / name).read_bytes()
+            parallel = (tmp_path / "par" / name).read_bytes()
+            assert serial == parallel, name
