@@ -30,6 +30,18 @@ the parallel campaign must finish at least ``CAMPAIGN_SPEEDUP_MIN``
 times faster; with two or three CPUs any speedup at all is still owed
 (``CAMPAIGN_SPEEDUP_MIN_SMALL``); only a single-CPU machine — where the
 workers purely time-share — records the ratio without enforcing it.
+The benchmark forces the pool (``force_parallel``) so the regression it
+measures is the real pool cost; ``auto_degraded`` records whether a
+production run on this host would have taken the serial loop instead.
+
+**Stored-trace replay.**  The table-3 stream is written to a
+content-addressed :class:`repro.trace.store.TraceStore` and replayed
+end to end (:meth:`Simulator.replay`, memory-mapped read, vectorized
+direct-mapped kernel).  Replay must beat live regeneration by
+``REPLAY_SPEEDUP_MIN`` with byte-identical statistics, and must not
+regress more than 20% against the committed replay speedup.  The
+per-stage split (generation vs. kernel vs. replay) is recorded so the
+trajectory shows *where* simulation time goes.
 
 Timing discipline: min-of-N wall clock (noise only ever adds time).
 """
@@ -39,7 +51,9 @@ from __future__ import annotations
 import io
 import json
 import os
+import tempfile
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro.apps.matmul.config import MatmulConfig
@@ -48,8 +62,14 @@ from repro.cache.classify import ClassifyingCache
 from repro.cache.reference import ReferenceClassifyingCache
 from repro.machine import r8000
 from repro.obs.profile import LocalityProfiler
-from repro.resilience.campaign import EXIT_OK, CampaignConfig, run_campaign
+from repro.resilience.campaign import (
+    EXIT_OK,
+    CampaignConfig,
+    _effective_cpus,
+    run_campaign,
+)
 from repro.sim.engine import Simulator
+from repro.trace.store import TraceCapture, TraceStore, trace_key_for
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_FILE = REPO_ROOT / "BENCH_sim.json"
@@ -65,10 +85,15 @@ CAMPAIGN_SPEEDUP_MIN = 2.0
 #: Floor applied when the runner has more than one CPU but fewer than
 #: CAMPAIGN_JOBS: parallel dispatch must still beat serial outright.
 CAMPAIGN_SPEEDUP_MIN_SMALL = 1.1
+#: Replaying a stored trace end to end must beat regenerating it live
+#: by at least this factor (mmap read + vectorized kernel vs. the full
+#: program run).
+REPLAY_SPEEDUP_MIN = 5.0
 #: A run may not lose more than 20% of the committed kernel speedup.
 REGRESSION_FRACTION = 0.8
 
 KERNEL_REPEATS = 3
+REPLAY_REPEATS = 3
 #: Repeats for the informational profiler-on factor (min-of-N).
 PROFILING_REPEATS = 5
 CAMPAIGN_REPEATS = 2
@@ -134,11 +159,63 @@ def hierarchy_replay_seconds(batches, profiler_factory=None) -> float:
     return best
 
 
+def stored_replay_profile() -> dict:
+    """The stored-replay end of the stage profile.
+
+    ``live_s`` is a full :meth:`Simulator.run` (stream generation plus
+    cache kernel); ``replay_s`` is the complete stored path —
+    ``TraceStore.get`` (mmap read) plus :meth:`Simulator.replay` —
+    whose statistics must equal the live run's exactly.  The caller
+    splits ``live_s`` into generation and kernel shares using its
+    ``access_data`` replay of the same stream.
+    """
+    machine = r8000()
+    config = MatmulConfig(n=TRACE_N)
+    simulator = Simulator(machine, verify=False)
+    with tempfile.TemporaryDirectory() as scratch:
+        store = TraceStore(Path(scratch) / "traces")
+        capture = TraceCapture()
+        live = simulator.run(threaded(config), capture=capture)
+        key = trace_key_for(threaded(config), config, machine, 4096)
+        assert store.put(key, capture, live, machine, 4096) is not None
+
+        live_s = float("inf")
+        for _ in range(REPLAY_REPEATS):
+            started = time.perf_counter()
+            rerun = simulator.run(threaded(config))
+            live_s = min(live_s, time.perf_counter() - started)
+        assert rerun.stats == live.stats
+
+        replay_s = float("inf")
+        for _ in range(REPLAY_REPEATS):
+            started = time.perf_counter()
+            stored = store.get(key)
+            replayed = simulator.replay(stored)
+            replay_s = min(replay_s, time.perf_counter() - started)
+        assert replayed.stats == live.stats
+        assert replayed.time == live.time
+        assert replace(replayed.sched, seq=0) == replace(live.sched, seq=0)
+    return {
+        "trace": f"table3 threaded matmul (n={TRACE_N}), stored end to end",
+        "repeats": REPLAY_REPEATS,
+        "live_s": live_s,
+        "replay_s": replay_s,
+        "speedup": live_s / replay_s,
+    }
+
+
 def campaign_seconds(jobs: int) -> float:
     best = float("inf")
     for _ in range(CAMPAIGN_REPEATS):
+        # force_parallel keeps the pool even on a 1-CPU host: the point
+        # of the parallel measurement is the pool's true cost, which is
+        # exactly what the auto-degrade gate exists to avoid.
         config = CampaignConfig(
-            ids=list(CAMPAIGN_IDS), quick=True, save=False, jobs=jobs
+            ids=list(CAMPAIGN_IDS),
+            quick=True,
+            save=False,
+            jobs=jobs,
+            force_parallel=True,
         )
         out, err = io.StringIO(), io.StringIO()
         started = time.perf_counter()
@@ -149,11 +226,11 @@ def campaign_seconds(jobs: int) -> float:
     return best
 
 
-def committed_kernel_speedup() -> float | None:
+def committed_speedup(section: str) -> float | None:
     if not RESULT_FILE.exists():
         return None
     try:
-        return json.loads(RESULT_FILE.read_text())["kernel"]["speedup"]
+        return json.loads(RESULT_FILE.read_text())[section]["speedup"]
     except (json.JSONDecodeError, KeyError):
         return None
 
@@ -165,7 +242,8 @@ def test_kernel_and_campaign_throughput():
     optimized_s = replay_seconds(ClassifyingCache, batches)
     reference_s = replay_seconds(ReferenceClassifyingCache, batches)
     kernel_speedup = reference_s / optimized_s
-    baseline_speedup = committed_kernel_speedup()
+    baseline_speedup = committed_speedup("kernel")
+    baseline_replay = committed_speedup("replay")
 
     # Structural profiling-off guarantee: a fresh hierarchy binds the
     # uninstrumented class method; attaching a profiler installs the
@@ -196,10 +274,16 @@ def test_kernel_and_campaign_throughput():
     )
     on_factor = profiler_on_s / off_s
 
+    replay_profile = stored_replay_profile()
+    replay_speedup = replay_profile["speedup"]
+
     serial_s = campaign_seconds(jobs=1)
     parallel_s = campaign_seconds(jobs=CAMPAIGN_JOBS)
     campaign_speedup = serial_s / parallel_s
     cpu_count = os.cpu_count() or 1
+    # Whether a production (unforced) --jobs run on this host would
+    # have taken the serial loop instead of the measured pool.
+    auto_degraded = _effective_cpus() <= 1
     if cpu_count >= CAMPAIGN_JOBS:
         campaign_floor = CAMPAIGN_SPEEDUP_MIN
     elif cpu_count > 1:
@@ -232,18 +316,38 @@ def test_kernel_and_campaign_throughput():
             ),
             "on_slowdown_factor": round(on_factor, 2),
         },
+        "replay": {
+            "trace": replay_profile["trace"],
+            "repeats": replay_profile["repeats"],
+            "live_s": round(replay_profile["live_s"], 4),
+            "replay_s": round(replay_profile["replay_s"], 4),
+            "speedup": round(replay_speedup, 2),
+            "stages": {
+                # Where one live simulation's time goes: producing the
+                # reference stream vs. the cache kernel consuming it —
+                # and what the stored path costs instead.
+                "generation_s": round(
+                    max(replay_profile["live_s"] - off_s, 0.0), 4
+                ),
+                "kernel_s": round(off_s, 4),
+                "replay_s": round(replay_profile["replay_s"], 4),
+            },
+        },
         "campaign": {
             "ids": list(CAMPAIGN_IDS),
             "quick": True,
             "jobs": CAMPAIGN_JOBS,
             "repeats": CAMPAIGN_REPEATS,
             "cpu_count": cpu_count,
+            "forced_parallel": True,
+            "auto_degraded": auto_degraded,
             "serial_s": round(serial_s, 2),
             "parallel_s": round(parallel_s, 2),
             "speedup": round(campaign_speedup, 2),
         },
         "floors": {
             "kernel_speedup_min": KERNEL_SPEEDUP_MIN,
+            "replay_speedup_min": REPLAY_SPEEDUP_MIN,
             "profiling_off_budget_pct": 100 * PROFILING_OFF_BUDGET,
             "campaign_speedup_min": CAMPAIGN_SPEEDUP_MIN,
             "campaign_speedup_min_small": CAMPAIGN_SPEEDUP_MIN_SMALL,
@@ -268,6 +372,16 @@ def test_kernel_and_campaign_throughput():
         assert kernel_speedup >= floor, (
             f"kernel speedup regressed: {kernel_speedup:.2f}x vs committed "
             f"{baseline_speedup:.2f}x (floor {floor:.2f}x)"
+        )
+    assert replay_speedup >= REPLAY_SPEEDUP_MIN, (
+        f"stored-trace replay only {replay_speedup:.2f}x faster than live "
+        f"regeneration (floor {REPLAY_SPEEDUP_MIN}x)"
+    )
+    if baseline_replay is not None:
+        floor = REGRESSION_FRACTION * baseline_replay
+        assert replay_speedup >= floor, (
+            f"replay speedup regressed: {replay_speedup:.2f}x vs committed "
+            f"{baseline_replay:.2f}x (floor {floor:.2f}x)"
         )
     if campaign_floor is not None:
         assert campaign_speedup >= campaign_floor, (

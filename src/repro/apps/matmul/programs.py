@@ -21,6 +21,7 @@ import numpy as np
 from repro.apps.matmul.config import MatmulConfig
 from repro.mem.arrays import ArrayHandle
 from repro.sim.context import SimContext
+from repro.trace.blocks import SegmentSweep
 
 #: Instructions per multiply-add, from the paper's inner-loop disassembly.
 INSTR_PER_MADD_UNTILED = 5.0
@@ -66,15 +67,23 @@ def interchanged(cfg: MatmulConfig):
         inner_instr = int(INSTR_PER_MADD_UNTILED * n) + LOOP_OVERHEAD
         for j in range(n):
             c_col = hc.column(j)
-            for k in range(n):
-                # B[k,j] is loop-invariant in the inner loop: one load.
-                recorder.record(hb.element(k, j))
-                # Inner loop over i: load A[i,k], load C[i,j], store C[i,j].
-                recorder.record_interleaved(
-                    [ha.column(k), c_col, c_col], writes=n
-                )
-                recorder.count_instructions(inner_instr)
-                c[:, j] += a[:, k] * b[k, j]
+            # The whole k loop as one grid: per trip, B[k,j] is
+            # loop-invariant in the inner loop (one load), then the inner
+            # loop over i loads A[i,k], loads C[i,j] and stores C[i,j].
+            recorder.record_grid(
+                [
+                    [SegmentSweep(hb.element(0, j), step=hb.row_stride)],
+                    [
+                        SegmentSweep(ha.column(0), step=ha.col_stride),
+                        SegmentSweep(c_col),
+                        SegmentSweep(c_col),
+                    ],
+                ],
+                outer=n,
+                writes=n * n,
+            )
+            recorder.count_instructions(inner_instr * n)
+            c[:, j] = a @ b[:, j]
         return {"C": c, "A": a, "B": b}
 
     program.__name__ = "matmul_interchanged"
@@ -93,13 +102,22 @@ def transposed(cfg: MatmulConfig):
         inner_instr = int(INSTR_PER_MADD_TRANSPOSED * n) + LOOP_OVERHEAD
         for i in range(n):
             a_col = ha.column(i)
-            for j in range(n):
-                # Dot product reads two sequential vectors; C[i,j] stays in
-                # a register and is stored once when the loop finishes.
-                recorder.record_interleaved([a_col, hb.column(j)])
-                recorder.record(hc.element(i, j), writes=1)
-                recorder.count_instructions(inner_instr)
-                c[i, j] = at[:, i] @ b[:, j]
+            # The whole j loop as one grid: each dot product reads two
+            # sequential vectors; C[i,j] stays in a register and is
+            # stored once when the inner loop finishes.
+            recorder.record_grid(
+                [
+                    [
+                        SegmentSweep(a_col),
+                        SegmentSweep(hb.column(0), step=hb.col_stride),
+                    ],
+                    [SegmentSweep(hc.element(i, 0), step=hc.col_stride)],
+                ],
+                outer=n,
+                writes=n,
+            )
+            recorder.count_instructions(inner_instr * n)
+            c[i, :] = at[:, i] @ b
         _trace_transpose(ctx, ha, n)
         return {"C": c, "A": a, "B": b}
 

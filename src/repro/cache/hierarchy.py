@@ -80,6 +80,7 @@ class CacheHierarchy:
         self._oracle = None
         self._observer = None
         self._profiler = None
+        self._tap = None
 
     # ------------------------------------------------------------------
     # Sidecars
@@ -98,6 +99,7 @@ class CacheHierarchy:
             self._oracle is not None
             or self._observer is not None
             or self._profiler is not None
+            or self._tap is not None
         ):
             self.access_data = self._access_data_instrumented
         else:
@@ -139,6 +141,19 @@ class CacheHierarchy:
     @profiler.setter
     def profiler(self, value) -> None:
         self._profiler = value
+        self._rebind_access_data()
+
+    @property
+    def tap(self):
+        """Optional trace tap (:class:`repro.trace.store.TraceCapture`)
+        with an ``on_access(lines, counts, writes)`` method, fed every
+        data batch verbatim — the capture point for the content-addressed
+        trace store.  Same sidecar contract: ``None`` means off."""
+        return self._tap
+
+    @tap.setter
+    def tap(self, value) -> None:
+        self._tap = value
         self._rebind_access_data()
 
     # ------------------------------------------------------------------
@@ -199,6 +214,8 @@ class CacheHierarchy:
         the two variants to the same statistics — so that attaching a
         sidecar changes *observation*, never *simulation*.
         """
+        if self._tap is not None:
+            self._tap.on_access(lines, counts, writes)
         total = sum(counts) if counts is not None else len(lines)
         if writes > total:
             raise ValueError(f"writes={writes} exceeds total references {total}")

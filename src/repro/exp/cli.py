@@ -139,7 +139,34 @@ def _build_parser() -> argparse.ArgumentParser:
             "serial run (default: %(default)s)"
         ),
     )
+    parser.add_argument(
+        "--force-parallel",
+        action="store_true",
+        help=(
+            "with --jobs: keep the worker pool even on a single-CPU host "
+            "(by default the campaign runs serially there, where a pool "
+            "only adds process overhead)"
+        ),
+    )
     durability = parser.add_argument_group("durability")
+    durability.add_argument(
+        "--trace-store",
+        default="traces",
+        metavar="DIR",
+        help=(
+            "content-addressed store of binary reference-stream traces; "
+            "simulations replay a stored stream when config, machine, and "
+            "code all match, instead of re-running the traced program "
+            "(default: %(default)s)"
+        ),
+    )
+    durability.add_argument(
+        "--no-trace-store",
+        dest="trace_store",
+        action="store_const",
+        const=None,
+        help="disable the trace store: always regenerate streams live",
+    )
     durability.add_argument(
         "--runs-dir",
         default="runs",
@@ -364,6 +391,8 @@ def main(argv: list[str] | None = None) -> int:
         telemetry=args.telemetry,
         profile=args.profile,
         jobs=args.jobs,
+        force_parallel=args.force_parallel,
+        trace_store=args.trace_store,
         max_failures=args.max_failures,
         max_worker_crashes=args.max_worker_crashes,
         stall_timeout_s=args.stall_timeout,

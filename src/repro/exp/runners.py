@@ -2,14 +2,20 @@
 
 from __future__ import annotations
 
+import logging
 from typing import Callable
 
 from repro.exp.base import ExperimentResult
 from repro.machine.spec import MachineSpec
+from repro.obs.profile import current_collector
 from repro.resilience.faults import fault_point
 from repro.sim.engine import Simulator
 from repro.sim.result import SimResult
+from repro.trace.store import TraceCapture, current_trace_store, trace_key_for
 from repro.util.tables import TextTable
+from repro.verify.config import resolve_verify
+
+log = logging.getLogger("repro.campaign")
 
 VersionFactory = Callable[[object], Callable]
 
@@ -19,18 +25,59 @@ def run_versions(
     config,
     machine: MachineSpec,
     verify: bool | None = None,
+    payload_versions: frozenset[str] | set[str] | tuple[str, ...] = (),
 ) -> dict[str, SimResult]:
     """Simulate every version of an application on one machine.
 
     ``verify`` arms the runtime-verification oracles for these runs;
     ``None`` (the default) defers to the process-wide switch, which
     ``repro-experiments --verify`` flips for a whole campaign.
+
+    When a campaign has installed a process-wide trace store
+    (``repro.trace.store.trace_store_scope``), each version's reference
+    stream is looked up by content address first: a hit replays the
+    stored stream through a fresh hierarchy (identical statistics, no
+    program re-run), a miss runs the program live with a capture tap
+    and stores the stream for next time.  The store is bypassed — the
+    program always runs live — for versions named in
+    ``payload_versions`` (their numeric payload is consumed downstream;
+    replay reproduces statistics, not payloads), when verification is
+    armed (the oracles audit *live* per-batch state), and when a
+    locality-profiling collector is active (attribution needs the live
+    fork-site context).
     """
     simulator = Simulator(machine, verify=verify)
+    store = current_trace_store()
+    use_store = (
+        store is not None
+        and not resolve_verify(verify, None)
+        and current_collector() is None
+    )
     results: dict[str, SimResult] = {}
     for name, factory in versions.items():
         fault_point("exp.version", program=name, machine=machine.name)
-        results[name] = simulator.run(factory(config))
+        program = factory(config)
+        if not use_store or name in payload_versions:
+            results[name] = simulator.run(program)
+            continue
+        key = trace_key_for(program, config, machine, 4096)
+        stored = store.get(key)
+        if stored is not None:
+            log.info(
+                "trace store: replaying %s/%s on %s (%.8s)",
+                key.app, name, machine.name, key.digest,
+            )
+            results[name] = simulator.replay(stored)
+            continue
+        capture = TraceCapture()
+        result = simulator.run(program, capture=capture)
+        digest = store.put(key, capture, result, machine, 4096)
+        if digest is not None:
+            log.info(
+                "trace store: stored %s/%s on %s (%.8s, %d entries)",
+                key.app, name, machine.name, digest, capture.total_lines,
+            )
+        results[name] = result
     return results
 
 
@@ -41,13 +88,20 @@ def perf_table(
     config,
     machines: list[MachineSpec],
     paper_seconds: dict[str, tuple[float, float]],
+    payload_versions: frozenset[str] | set[str] | tuple[str, ...] = (),
 ) -> tuple[ExperimentResult, dict[str, list[SimResult]]]:
     """Build a Table 2/4/6/8-style performance table.
 
     Rows are program versions; for each machine the modeled seconds
-    appear beside the paper's measured seconds.
+    appear beside the paper's measured seconds.  ``payload_versions``
+    names versions whose numeric payload the caller consumes — they
+    always run live instead of replaying from the trace store (see
+    :func:`run_versions`).
     """
-    per_machine = [run_versions(versions, config, m) for m in machines]
+    per_machine = [
+        run_versions(versions, config, m, payload_versions=payload_versions)
+        for m in machines
+    ]
     columns = [""]
     for machine in machines:
         columns += [f"{machine.name} model(s)", f"{machine.name.split('/')[0]} paper(s)"]

@@ -199,6 +199,16 @@ class CampaignReporter:
             "stay pending"
         )
 
+    def jobs_downgrade(self, requested: int, cpus: int) -> None:
+        """--jobs asked for a pool the host cannot overlap; running
+        serial instead (manifests are identical either way)."""
+        self.info(
+            f"--jobs {requested} requested but only {cpus} CPU(s) are "
+            "available; running serially (a pool cannot overlap compute "
+            "here and its process overhead would slow the campaign — "
+            "force the pool with --force-parallel)"
+        )
+
     # ------------------------------------------------------------------
     # Progress
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ exactly as in a serial run.
 
 from __future__ import annotations
 
+import os
 import signal
 import sys
 import threading
@@ -89,7 +90,21 @@ class CampaignConfig:
     #: in-process; N > 1 shards the remaining experiments across N
     #: workers via :mod:`repro.resilience.parallel`, with results merged
     #: back in plan order so manifests and summaries match serial runs.
+    #: On a host with a single effective CPU the pool cannot overlap any
+    #: compute and its process overhead makes the campaign *slower* than
+    #: serial, so ``jobs > 1`` auto-degrades to the serial loop there
+    #: (narrated by the reporter; manifests are identical either way).
     jobs: int = 1
+    #: Keep the worker pool even when the host has a single effective
+    #: CPU (suppresses the auto-degrade above).  The chaos/recovery
+    #: machinery is only exercised by a real pool, so supervision tests
+    #: and crash drills set this.
+    force_parallel: bool = False
+    #: Content-addressed trace store directory (``--trace-store``): every
+    #: simulation in the campaign first consults the store and replays a
+    #: stored reference stream when one matches; misses run live and
+    #: populate the store.  ``None`` disables the store entirely.
+    trace_store: str | None = None
     #: Campaign circuit breaker (``--max-failures``): stop dispatching
     #: once this many experiments ended not-passed this session; later
     #: experiments stay pending.  0 disables the breaker.
@@ -102,6 +117,21 @@ class CampaignConfig:
     #: stalled and SIGKILLed by the supervisor; 0 disables stall
     #: detection.  Only meaningful with --jobs.
     stall_timeout_s: float = 0.0
+
+
+def _effective_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware).
+
+    Module-level so tests on constrained hosts can patch it; the
+    auto-degrade decision in :func:`_run_campaign` is its only caller.
+    """
+    getter = getattr(os, "sched_getaffinity", None)
+    if getter is not None:
+        try:
+            return len(getter(0)) or 1
+        except OSError:
+            pass
+    return os.cpu_count() or 1
 
 
 @contextmanager
@@ -367,13 +397,30 @@ def _run_campaign(
         from repro.verify.config import verification
 
         verify_scope = verification(config.verify)
+    from repro.trace.store import open_trace_store, trace_store_scope
+
+    traces_scope = trace_store_scope(open_trace_store(config.trace_store))
     interrupted = False
     total = len(manifest.ids)
+    jobs = config.jobs
+    if jobs > 1 and not config.force_parallel:
+        cpus = _effective_cpus()
+        if cpus <= 1:
+            # A pool on one CPU cannot overlap compute; its process
+            # overhead makes the campaign strictly slower than serial
+            # (the benchmark records the regression).  Degrade silently
+            # in output terms: results and manifests are identical.
+            reporter.jobs_downgrade(jobs, cpus)
+            if obs.enabled:
+                obs.instant(
+                    "campaign.jobs_downgrade", requested=jobs, cpus=cpus
+                )
+            jobs = 1
     try:
-        with _sigint_raises(), verify_scope, telemetry_scope(obs):
+        with _sigint_raises(), verify_scope, telemetry_scope(obs), traces_scope:
             remaining = manifest.remaining()
             done_before = total - len(remaining)
-            if config.jobs > 1 and len(remaining) > 1:
+            if jobs > 1 and len(remaining) > 1:
                 from repro.resilience.parallel import run_parallel
 
                 interrupted = run_parallel(

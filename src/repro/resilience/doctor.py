@@ -64,7 +64,15 @@ CODES: dict[str, str] = {
     "D015": "nothing survives to rebuild the run from",
     "D016": "journaled artifact missing or digest mismatch",
     "D017": "artifact file published but never journaled",
+    "D018": "indexed trace object missing from the store",
+    "D019": "trace object corrupt (bad header or data checksum)",
+    "D020": "trace object present but never indexed",
+    "D021": "trace index line untrustworthy (corrupt or torn)",
 }
+
+#: Pseudo run id stamped on trace-store findings (they audit
+#: ``--trace-store``, not a run directory).
+TRACE_STORE_LABEL = "trace-store"
 
 SEVERITIES = ("error", "warning", "info")
 
@@ -451,6 +459,129 @@ def audit_run(store: RunStore, run_id: str) -> list[Finding]:
     return findings
 
 
+def audit_trace_store(root: Path) -> list[Finding]:
+    """Audit a ``--trace-store`` directory (``repro.trace.store``).
+
+    Three-way reconciliation between the checksummed ``index.jsonl``
+    and the content-addressed objects under ``objects/``: indexed
+    entries with no (or corrupt) object lost data; valid objects with
+    no index line are merely un-audited (the crash landed between the
+    object rename and the index append); untrustworthy index lines are
+    reported per line, exactly like run-journal damage.
+    """
+    findings: list[Finding] = []
+    index_path = root / "index.jsonl"
+    objects = sorted((root / "objects").glob("*/*.rtr"))
+    if not index_path.exists() and not objects:
+        return findings
+    indexed: dict[str, dict[str, Any]] = {}
+    if index_path.exists():
+        replay = read_journal(index_path)
+        for bad in replay.corrupt_lines:
+            findings.append(
+                Finding(
+                    "D021",
+                    "warning",
+                    TRACE_STORE_LABEL,
+                    f"index line {bad.lineno} untrustworthy ({bad.reason})",
+                    context={"lineno": bad.lineno, "reason": bad.reason},
+                )
+            )
+        if replay.torn_tail:
+            findings.append(
+                Finding(
+                    "D021",
+                    "info",
+                    TRACE_STORE_LABEL,
+                    "index ends in a torn line (interrupted append); the "
+                    "surviving entries replay cleanly",
+                )
+            )
+        indexed = replay.traces
+    on_disk = {path.stem: path for path in objects}
+    for digest in sorted(set(indexed) - set(on_disk)):
+        findings.append(
+            Finding(
+                "D018",
+                "warning",
+                TRACE_STORE_LABEL,
+                f"indexed trace object {digest[:12]}… is missing from "
+                "objects/; repair drops its index line (the trace "
+                "regenerates on the next campaign)",
+                context={"digest": digest},
+            )
+        )
+    from repro.trace.store import verify_object
+
+    for digest, path in on_disk.items():
+        try:
+            header = verify_object(path)
+            if header.get("digest") != digest:
+                raise CheckpointError(
+                    f"header digest does not match object name {digest[:12]}…",
+                    path=str(path),
+                )
+        except CheckpointError as exc:
+            findings.append(
+                Finding(
+                    "D019",
+                    "warning",
+                    TRACE_STORE_LABEL,
+                    f"trace object {path.name} is corrupt: {exc}; repair "
+                    "removes it (lookups already treat it as a miss)",
+                    context={"digest": digest},
+                )
+            )
+            continue
+        if digest not in indexed:
+            findings.append(
+                Finding(
+                    "D020",
+                    "info",
+                    TRACE_STORE_LABEL,
+                    f"trace object {path.name} was published but never "
+                    "indexed (crash between rename and index append); "
+                    "repair journals it",
+                    context={"digest": digest},
+                )
+            )
+    return findings
+
+
+def repair_trace_store(root: Path) -> list[str]:
+    """Rebuild a trace store to a clean, fully-indexed state.
+
+    Every object that passes the full integrity check keeps its place
+    and gets a fresh index line; corrupt objects are removed (the store
+    treats them as misses anyway, so this only sheds dead bytes).  The
+    index is rewritten wholesale with the same tmp-then-rename
+    discipline as run journals.
+    """
+    from repro.trace.store import index_payload, verify_object
+
+    actions: list[str] = []
+    entries: list[tuple[str, dict[str, Any]]] = []
+    for path in sorted((root / "objects").glob("*/*.rtr")):
+        try:
+            header = verify_object(path)
+            if header.get("digest") != path.stem:
+                raise CheckpointError(
+                    "header digest does not match object name",
+                    path=str(path),
+                )
+        except CheckpointError:
+            path.unlink(missing_ok=True)
+            actions.append(f"removed corrupt trace object {path.name}")
+            continue
+        entries.append(("trace", index_payload(header, path)))
+    for tmp in sorted(root.glob("**/*.tmp")):
+        tmp.unlink(missing_ok=True)
+        actions.append(f"removed orphaned tmp file {tmp.name}")
+    rewrite(root / "index.jsonl", entries)
+    actions.append(f"rebuilt trace index with {len(entries)} object(s)")
+    return actions
+
+
 def discover_runs(root: Path) -> list[str]:
     """Run directories under ``root``: anything holding store artifacts."""
     if not root.is_dir():
@@ -580,6 +711,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="runs root to audit (default: %(default)s)",
     )
     parser.add_argument(
+        "--trace-store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "also audit a content-addressed trace store (index vs. "
+            "objects, full data checksums); --repair removes corrupt "
+            "objects and rebuilds the index from the survivors"
+        ),
+    )
+    parser.add_argument(
         "--repair",
         action="store_true",
         help=(
@@ -640,7 +781,7 @@ def main(argv: list[str] | None = None) -> int:
     store = RunStore(args.runs_dir)
     root = Path(args.runs_dir)
     run_ids = list(args.run_ids) or discover_runs(root)
-    if not run_ids:
+    if not run_ids and not args.trace_store:
         print(f"doctor: no runs found under {root}")
         return 0
 
@@ -656,6 +797,16 @@ def main(argv: list[str] | None = None) -> int:
                 repaired[run_id] = repair_run(store, run_id)
             except (StoreCorruptionError, CheckpointError) as exc:
                 failed_repairs[run_id] = str(exc)
+    if args.trace_store:
+        trace_findings = audit_trace_store(Path(args.trace_store))
+        all_findings.extend(trace_findings)
+        if args.repair and any(f.repairable for f in trace_findings):
+            try:
+                repaired[TRACE_STORE_LABEL] = repair_trace_store(
+                    Path(args.trace_store)
+                )
+            except (StoreCorruptionError, CheckpointError) as exc:
+                failed_repairs[TRACE_STORE_LABEL] = str(exc)
 
     _emit_findings(all_findings)
 
@@ -693,8 +844,11 @@ def main(argv: list[str] | None = None) -> int:
     counts = {s: 0 for s in SEVERITIES}
     for finding in all_findings:
         counts[finding.severity] += 1
+    audited = f"{len(run_ids)} run(s)"
+    if args.trace_store:
+        audited += " + trace store"
     summary = (
-        f"doctor: {len(run_ids)} run(s) audited — "
+        f"doctor: {audited} audited — "
         f"{counts['error']} error(s), {counts['warning']} warning(s), "
         f"{counts['info']} note(s)"
         + (f"; {len(repaired)} run(s) repaired" if repaired else "")

@@ -35,6 +35,12 @@ Entry kinds
     Journal v1 readers older than this kind degrade gracefully: the
     line fails their kind check and is skipped as a bad line, while
     plan/record/flush replay is unaffected.
+``trace``
+    One stored trace object's index entry (key fields, content digest,
+    file sha256, stream sizes), appended to the trace store's
+    ``index.jsonl`` after the object file is published (see
+    ``repro.trace.store``).  Same forgiving-degradation story as
+    ``artifact`` for older readers.
 
 Replay (:func:`read_journal`) is deliberately forgiving: lines that
 fail to parse or whose checksum does not match are reported, not
@@ -59,7 +65,7 @@ JOURNAL_NAME = "records.jsonl"
 #: Bumped when the line format changes; recorded in every plan entry.
 JOURNAL_VERSION = 1
 
-ENTRY_KINDS = ("plan", "record", "flush", "artifact")
+ENTRY_KINDS = ("plan", "record", "flush", "artifact", "trace")
 
 
 def _canonical(payload: dict[str, Any]) -> str:
@@ -178,6 +184,16 @@ class JournalReplay:
             if kind == "artifact" and "name" in payload:
                 artifacts[payload["name"]] = payload.get("sha256", "")
         return artifacts
+
+    @property
+    def traces(self) -> dict[str, dict[str, Any]]:
+        """Journaled trace-store index entries by content digest (last
+        entry per digest wins — a re-stored object re-journals)."""
+        traces: dict[str, dict[str, Any]] = {}
+        for kind, payload in self.entries:
+            if kind == "trace" and "digest" in payload:
+                traces[payload["digest"]] = payload
+        return traces
 
     @property
     def last_flush_digest(self) -> str | None:

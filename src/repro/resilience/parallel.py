@@ -157,6 +157,12 @@ def _execute_experiment(task: dict[str, Any]) -> dict[str, Any]:
         from repro.verify.config import verification
 
         verify_scope = verification(task["verify"])
+    from repro.trace.store import open_trace_store, trace_store_scope
+
+    # Workers share the parent's store directory: object writes are
+    # atomic-and-idempotent and index lines collapse by digest on
+    # replay, so concurrent populate races are benign (see TraceStore).
+    traces_scope = trace_store_scope(open_trace_store(task.get("trace_store")))
 
     on_beat = None
     if obs.enabled:
@@ -177,7 +183,7 @@ def _execute_experiment(task: dict[str, Any]) -> dict[str, Any]:
         fault_point("worker.stall", experiment_id=experiment_id)
         fault_point("worker.crash", experiment_id=experiment_id)
         try:
-            with verify_scope, telemetry_scope(obs):
+            with verify_scope, telemetry_scope(obs), traces_scope:
                 record = _run_one(config, experiment_id, task["runner"], reporter, obs)
         except KeyboardInterrupt:
             interrupted = True
@@ -321,6 +327,7 @@ def run_parallel(
             "verify": config.verify,
             "telemetry": obs.enabled,
             "profile": config.profile,
+            "trace_store": config.trace_store,
             "faults": faults,
             "runner": runner,
         }

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.machine.spec import MachineSpec
 from repro.machine.timing import TimingInputs, TimingModel
 from repro.mem.allocator import AddressSpace
@@ -18,6 +20,31 @@ from repro.trace.recorder import TraceRecorder
 from repro.verify.config import resolve_verify
 
 TracedProgram = Callable[[SimContext], Any]
+
+#: Replay chunk size: stored batches are coalesced until at least this
+#: many run-length entries accumulate, then fed as one kernel batch.
+REPLAY_CHUNK_LINES = 1 << 16
+
+
+def _chunk_batches(ends) -> list[int]:
+    """Batch-index cut points whose chunks hold >= REPLAY_CHUNK_LINES
+    entries each (except the last).  Returned values are exclusive batch
+    indices; ``ends[cut - 1]`` is the chunk's end position."""
+    total_batches = len(ends)
+    if total_batches == 0:
+        return []
+    total_lines = int(ends[-1])
+    targets = np.arange(
+        REPLAY_CHUNK_LINES,
+        total_lines + REPLAY_CHUNK_LINES,
+        REPLAY_CHUNK_LINES,
+        dtype=np.int64,
+    )
+    cuts = np.unique(np.searchsorted(ends, targets, side="left") + 1)
+    cuts = cuts[cuts <= total_batches].tolist()
+    if not cuts or cuts[-1] != total_batches:
+        cuts.append(total_batches)
+    return cuts
 
 
 class Simulator:
@@ -61,6 +88,7 @@ class Simulator:
         l2_page_mapper=None,
         verify: bool | None = None,
         telemetry: Telemetry | None = None,
+        capture=None,
     ) -> SimResult:
         """Simulate ``program`` and return its result.
 
@@ -72,9 +100,17 @@ class Simulator:
         behind a virtual-to-physical page table (repro.mem.paging).
         ``verify`` overrides the simulator-level and process-wide
         verification switches for this one run; ``telemetry`` does the
-        same for the observability handle.
+        same for the observability handle.  ``capture`` optionally
+        attaches a :class:`repro.trace.store.TraceCapture` tap recording
+        every data batch for the content-addressed trace store (mutually
+        exclusive with ``l2_page_mapper``: replay rebuilds the hierarchy
+        without a page table, so a mapped run must not be stored).
         """
         program_name = name or getattr(program, "__name__", "program")
+        if capture is not None and l2_page_mapper is not None:
+            raise ValueError(
+                "trace capture does not support an L2 page mapper"
+            )
         verify_run = resolve_verify(verify, self.verify)
         obs = resolve_telemetry(telemetry, self.telemetry)
         fault_point("sim.run", machine=self.machine.name, program=program_name)
@@ -87,6 +123,8 @@ class Simulator:
             bus.begin("sim.setup")
         try:
             hierarchy = self.machine.build_hierarchy(l2_page_mapper)
+            if capture is not None:
+                hierarchy.tap = capture
             recorder = TraceRecorder(hierarchy)
             # Stagger allocations by a few L2 lines so equal-sized arrays do
             # not alias the same sets exactly (a scaled-cache artifact; real
@@ -201,5 +239,140 @@ class Simulator:
             time=time,
             payload=payload,
             thread_faults=thread_faults,
+            verified=verify_run,
+        )
+
+    def replay(
+        self,
+        stored,
+        verify: bool | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> SimResult:
+        """Replay a stored trace (:class:`repro.trace.store.StoredTrace`)
+        instead of re-running the traced program.
+
+        The stored stream is the *complete* record of the run's data
+        side — every ``access_data`` batch verbatim, boundaries included
+        — so feeding it back through a fresh hierarchy reproduces the
+        cache statistics bit for bit.  Instruction fetches only bump
+        order-independent counters, so the stored totals are charged in
+        one call; forks, dispatches and the final scheduling
+        distribution come from the header, which is everything the
+        timing model and :class:`SimResult` need.  ``payload`` is
+        ``None``: replay reproduces *statistics*, not the program's
+        numeric output.
+        """
+        program_name = stored.program
+        if stored.machine != self.machine.name:
+            raise ValueError(
+                f"stored trace is for machine {stored.machine!r}, "
+                f"not {self.machine.name!r}"
+            )
+        if stored.header["line_bits"] != self.machine.l1d.line_bits:
+            raise ValueError(
+                "stored trace L1D line size does not match this machine"
+            )
+        verify_run = resolve_verify(verify, self.verify)
+        obs = resolve_telemetry(telemetry, self.telemetry)
+        fault_point("sim.run", machine=self.machine.name, program=program_name)
+        bus = obs.bus
+        base_depth = bus.depth()
+        if obs.enabled:
+            bus.begin(
+                "sim.replay", machine=self.machine.name, program=program_name
+            )
+        try:
+            hierarchy = self.machine.build_hierarchy()
+            if verify_run:
+                from repro.verify.cache_oracle import CacheOracle
+
+                hierarchy.oracle = CacheOracle(
+                    machine=self.machine.name, program=program_name
+                )
+                hierarchy.oracle.obs = obs
+            sampler = None
+            if obs.enabled:
+                from repro.obs.sampler import CacheSampler
+
+                sampler = CacheSampler(obs, program=program_name)
+                hierarchy.observer = sampler
+            if stored.header["code_footprint"]:
+                hierarchy.charge_code_footprint(
+                    stored.header["code_footprint"]
+                )
+            from repro.trace.replay import (
+                fast_replay_supported,
+                replay_stream,
+            )
+
+            if fast_replay_supported(hierarchy, stored):
+                # Vectorized path: direct-mapped L1D, no sidecars — the
+                # whole stream as a handful of numpy passes plus the
+                # ordinary L2 kernel over the (much smaller) miss
+                # stream.  Byte-identical to the dict kernel.
+                replay_stream(hierarchy, stored)
+            else:
+                access = hierarchy.access_data
+                lines, counts = stored.lines, stored.counts
+                ends, writes = stored.batch_ends, stored.batch_writes
+                # Merging adjacent batches preserves every statistic —
+                # the expanded reference sequence is unchanged, and the
+                # kernel, L2 forwarding, and read/write bookkeeping
+                # depend only on that sequence — so replay coalesces
+                # the (often tiny) recorded batches into large
+                # contiguous chunks, amortizing per-batch overhead.
+                # The memory-mapped views are sliced per chunk and
+                # handed to the dict-based kernel as lists (its fastest
+                # input form); the file itself is read zero-copy
+                # through the page cache.
+                cuts = _chunk_batches(ends)
+                cum_writes = np.concatenate(
+                    ([0], np.cumsum(writes, dtype=np.int64))
+                )
+                start = prev = 0
+                for cut in cuts:
+                    end = int(ends[cut - 1])
+                    access(
+                        lines[start:end].tolist(),
+                        counts[start:end].tolist(),
+                        int(cum_writes[cut] - cum_writes[prev]),
+                    )
+                    start, prev = end, cut
+            hierarchy.fetch_instructions(
+                stored.header["app_instructions"]
+                + stored.header["thread_instructions"]
+            )
+            if verify_run and hierarchy.oracle is not None:
+                with bus.span("verify.final_check"):
+                    hierarchy.oracle.final_check(hierarchy)
+            if sampler is not None:
+                sampler.sample(hierarchy)
+            stats = hierarchy.snapshot()
+            time = self.timing.estimate(
+                TimingInputs(
+                    instructions=stored.header["app_instructions"],
+                    l1_misses=stats.l1.misses,
+                    l2_misses=stats.l2.misses,
+                    forks=stored.header["forks"],
+                    thread_runs=stored.header["dispatches"],
+                )
+            )
+        finally:
+            bus.unwind(base_depth)
+        if obs.enabled:
+            obs.metrics.counter("sim.replays").inc()
+            obs.metrics.histogram("sim.modeled_seconds").observe(time.total)
+        return SimResult(
+            program=program_name,
+            machine=self.machine.name,
+            stats=stats,
+            app_instructions=stored.header["app_instructions"],
+            thread_instructions=stored.header["thread_instructions"],
+            forks=stored.header["forks"],
+            dispatches=stored.header["dispatches"],
+            sched=stored.sched_stats(),
+            time=time,
+            payload=None,
+            thread_faults=[],
             verified=verify_run,
         )

@@ -10,12 +10,20 @@ them straight into a :class:`~repro.cache.hierarchy.CacheHierarchy`
 (streaming: no trace is ever materialised in full).
 """
 
+from repro.trace.blocks import SegmentSweep, grid_to_lines
 from repro.trace.costmodel import ThreadCostModel, DEFAULT_THREAD_COSTS
-from repro.trace.recorder import TraceRecorder, segment_to_lines
+from repro.trace.recorder import (
+    TraceRecorder,
+    segment_to_lines,
+    validate_segment,
+)
 
 __all__ = [
     "TraceRecorder",
     "segment_to_lines",
+    "validate_segment",
+    "SegmentSweep",
+    "grid_to_lines",
     "ThreadCostModel",
     "DEFAULT_THREAD_COSTS",
 ]

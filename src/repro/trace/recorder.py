@@ -17,6 +17,41 @@ from repro.cache.hierarchy import CacheHierarchy
 from repro.mem.arrays import RefSegment
 
 
+def validate_segment(segment: RefSegment, line_bits: int) -> None:
+    """Reject segments whose elements could straddle an L1 line.
+
+    An element fits entirely inside one line exactly when three
+    conditions hold: the element size divides the line size, the base
+    address is element-aligned, and every stride step lands on an
+    element-aligned address (stride a multiple of the element size).
+    Violating any one of them produces at least one element whose bytes
+    span two lines — which the single-line-per-element conversion below
+    would silently under-charge — so all three are enforced here.  E.g.
+    ``element_size=12`` at base 24 with 32-byte lines puts bytes 24..35
+    across the 0/32 boundary.
+    """
+    line_size = 1 << line_bits
+    if segment.element_size > line_size:
+        raise ValueError(
+            f"element size {segment.element_size} exceeds line size {line_size}"
+        )
+    if line_size % segment.element_size:
+        raise ValueError(
+            f"element size {segment.element_size} does not divide line size "
+            f"{line_size}: elements may straddle lines"
+        )
+    if segment.base % segment.element_size:
+        raise ValueError(
+            f"segment base 0x{segment.base:x} not aligned to element size "
+            f"{segment.element_size}"
+        )
+    if segment.stride % segment.element_size:
+        raise ValueError(
+            f"segment stride {segment.stride} not a multiple of element size "
+            f"{segment.element_size}: elements may straddle lines"
+        )
+
+
 def segment_to_lines(
     segment: RefSegment, line_bits: int
 ) -> tuple[list[int], list[int]]:
@@ -24,21 +59,12 @@ def segment_to_lines(
 
     Returns ``(lines, counts)`` where ``lines`` has no two consecutive
     equal entries and ``counts[i]`` is the number of element references
-    entry ``i`` stands for.  Elements must not straddle lines (guaranteed
-    when the element size divides the line size and the base address is
-    element-aligned, which holds for all the paper's double-precision
-    data); this is validated.
+    entry ``i`` stands for.  Elements must not straddle lines — the
+    element size must divide the line size, and the base and stride must
+    be element-aligned (which holds for all the paper's double-precision
+    data); this is validated (see :func:`validate_segment`).
     """
-    line_size = 1 << line_bits
-    if segment.element_size > line_size:
-        raise ValueError(
-            f"element size {segment.element_size} exceeds line size {line_size}"
-        )
-    if segment.base % segment.element_size:
-        raise ValueError(
-            f"segment base 0x{segment.base:x} not aligned to element size "
-            f"{segment.element_size}"
-        )
+    validate_segment(segment, line_bits)
     if segment.stride == 0 or segment.count == 1:
         return [segment.base >> line_bits], [segment.count]
     if segment.count <= 16:
@@ -79,7 +105,9 @@ def interleave_segments(
 
     Models a loop body that references one element of each segment per
     iteration (e.g. ``C[i,j] += A[i,k] * B[k,j]`` touches three arrays per
-    iteration).  All segments must have equal ``count``.
+    iteration).  All segments must have equal ``count`` and satisfy the
+    same no-straddle alignment preconditions as :func:`segment_to_lines`
+    (see :func:`validate_segment`).
     """
     if not segments:
         return [], []
@@ -90,6 +118,7 @@ def interleave_segments(
                 "interleaved segments must have equal counts; got "
                 f"{[s.count for s in segments]}"
             )
+        validate_segment(segment, line_bits)
     columns = [
         segment.base
         + segment.stride * np.arange(segment.count, dtype=np.int64)
@@ -122,6 +151,17 @@ class TraceRecorder:
         """Record several segments walked in lock-step (see
         :func:`interleave_segments`)."""
         lines, counts = interleave_segments(segments, self._line_bits)
+        self.hierarchy.access_data(lines, counts, writes=writes)
+
+    def record_grid(self, groups, outer: int, writes: int = 0) -> None:
+        """Record ``outer`` iterations of a grid of
+        :class:`~repro.trace.blocks.SegmentSweep` groups as one batch —
+        the vectorized form of an outer loop around
+        :meth:`record`/:meth:`record_interleaved` calls (see
+        :func:`repro.trace.blocks.grid_to_lines`)."""
+        from repro.trace.blocks import grid_to_lines
+
+        lines, counts = grid_to_lines(groups, outer, self._line_bits)
         self.hierarchy.access_data(lines, counts, writes=writes)
 
     def record_lines(

@@ -1,0 +1,183 @@
+"""repro-doctor on the content-addressed trace store (D018-D021)."""
+
+import json
+
+import pytest
+
+from repro.machine.presets import r8000
+from repro.resilience.doctor import (
+    TRACE_STORE_LABEL,
+    audit_trace_store,
+    main,
+    repair_trace_store,
+)
+from repro.sim.engine import Simulator
+from repro.trace.store import TraceCapture, TraceStore, trace_key_for
+
+
+def tiny_program(context):
+    context.recorder.record_lines([0, 1, 2, 3, 2, 1])
+    context.recorder.count_instructions(10)
+    return None
+
+
+def another_program(context):
+    context.recorder.record_lines([7, 8, 9])
+    context.recorder.count_instructions(5)
+    return None
+
+
+def populate(root, programs=(tiny_program, another_program)):
+    machine = r8000(64)
+    store = TraceStore(root)
+    simulator = Simulator(machine, verify=False)
+    digests = []
+    for program in programs:
+        capture = TraceCapture()
+        result = simulator.run(program, capture=capture)
+        key = trace_key_for(program, None, machine, 4096)
+        digests.append(store.put(key, capture, result, machine, 4096))
+    assert all(digests)
+    return store, digests
+
+
+def codes(findings):
+    return sorted(f.code for f in findings)
+
+
+class TestAudit:
+    def test_healthy_store_is_clean(self, tmp_path):
+        root = tmp_path / "traces"
+        populate(root)
+        assert audit_trace_store(root) == []
+
+    def test_absent_store_is_clean(self, tmp_path):
+        assert audit_trace_store(tmp_path / "nowhere") == []
+
+    def test_missing_object_is_d018(self, tmp_path):
+        root = tmp_path / "traces"
+        store, digests = populate(root)
+        store.object_path(digests[0]).unlink()
+        findings = audit_trace_store(root)
+        assert codes(findings) == ["D018"]
+        assert findings[0].run_id == TRACE_STORE_LABEL
+        assert findings[0].severity == "warning"
+
+    def test_corrupt_object_is_d019(self, tmp_path):
+        root = tmp_path / "traces"
+        store, digests = populate(root)
+        path = store.object_path(digests[0])
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert codes(audit_trace_store(root)) == ["D019"]
+
+    def test_unindexed_object_is_d020(self, tmp_path):
+        root = tmp_path / "traces"
+        populate(root)
+        # Simulate a crash between the object rename and the index
+        # append: drop the whole index.
+        (root / "index.jsonl").unlink()
+        findings = audit_trace_store(root)
+        assert codes(findings) == ["D020", "D020"]
+        assert all(f.severity == "info" for f in findings)
+
+    def test_garbage_index_line_is_d021(self, tmp_path):
+        root = tmp_path / "traces"
+        populate(root)
+        with (root / "index.jsonl").open("a") as fh:
+            fh.write('{"not": "a checksummed line"}\n')
+        findings = audit_trace_store(root)
+        assert "D021" in codes(findings)
+
+
+class TestRepair:
+    def test_repair_restores_clean_audit(self, tmp_path):
+        root = tmp_path / "traces"
+        store, digests = populate(root)
+        # Inflict all four damage classes at once.
+        store.object_path(digests[0]).unlink()  # D018
+        path = store.object_path(digests[1])
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))  # D019
+        with (root / "index.jsonl").open("a") as fh:
+            fh.write("garbage\n")  # D021
+        (root / "objects" / "zz").mkdir(parents=True, exist_ok=True)
+        (root / "objects" / "zz" / "orphan.tmp").write_bytes(b"partial")
+        assert audit_trace_store(root)
+
+        actions = repair_trace_store(root)
+        assert any("removed corrupt trace object" in a for a in actions)
+        assert any("orphaned tmp" in a for a in actions)
+        assert any("rebuilt trace index" in a for a in actions)
+        assert audit_trace_store(root) == []
+
+    def test_repair_keeps_valid_objects_replayable(self, tmp_path):
+        root = tmp_path / "traces"
+        machine = r8000(64)
+        store, digests = populate(root)
+        (root / "index.jsonl").unlink()
+        repair_trace_store(root)
+        fresh = TraceStore(root)
+        key = trace_key_for(tiny_program, None, machine, 4096)
+        stored = fresh.get(key)
+        assert stored is not None
+        assert fresh.indexed().keys() == set(digests)
+        replayed = Simulator(machine, verify=False).replay(stored)
+        live = Simulator(machine, verify=False).run(tiny_program)
+        assert replayed.stats == live.stats
+
+
+class TestDoctorCli:
+    def test_cli_audits_and_repairs(self, tmp_path, capsys):
+        root = tmp_path / "traces"
+        store, digests = populate(root)
+        store.object_path(digests[0]).unlink()
+
+        code = main(
+            ["--runs-dir", str(tmp_path / "runs"), "--trace-store", str(root)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # warnings only, no errors
+        assert "D018" in out
+        assert "trace store" in out
+
+        code = main(
+            [
+                "--runs-dir",
+                str(tmp_path / "runs"),
+                "--trace-store",
+                str(root),
+                "--repair",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rebuilt trace index" in out
+
+        code = main(
+            ["--runs-dir", str(tmp_path / "runs"), "--trace-store", str(root)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 error(s), 0 warning(s), 0 note(s)" in out
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        root = tmp_path / "traces"
+        populate(root)
+        (root / "index.jsonl").unlink()
+        code = main(
+            [
+                "--runs-dir",
+                str(tmp_path / "runs"),
+                "--trace-store",
+                str(root),
+                "--format",
+                "json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["healthy"] is False
+        assert {f["code"] for f in payload["findings"]} == {"D020"}

@@ -66,6 +66,59 @@ class TestSegmentToLines:
         with pytest.raises(ValueError, match="not aligned"):
             segment_to_lines(seg, 5)
 
+    def test_non_dividing_element_size_rejected(self):
+        # The straddle regression: a 12-byte element at base 24 spans
+        # bytes 24..35 of a 32-byte-line space — its first line touch is
+        # line 0 but bytes 32..35 live on line 1, which base-only line
+        # math silently drops.  Such element sizes must be rejected.
+        seg = RefSegment(base=24, stride=12, count=4, element_size=12)
+        with pytest.raises(ValueError, match="does not divide"):
+            segment_to_lines(seg, 5)
+
+    def test_non_dividing_element_size_rejected_any_base(self):
+        # Even an aligned base only defers the straddle to a later
+        # element (element 2 of a 12-byte walk starts at byte 24), so
+        # the element size is rejected regardless of base.
+        seg = RefSegment(base=0, stride=12, count=4, element_size=12)
+        with pytest.raises(ValueError, match="does not divide"):
+            segment_to_lines(seg, 5)
+
+    def test_interleave_rejects_non_dividing_element_size(self):
+        good = RefSegment(base=0, stride=8, count=4, element_size=8)
+        bad = RefSegment(base=24, stride=12, count=4, element_size=12)
+        with pytest.raises(ValueError, match="does not divide"):
+            interleave_segments([good, bad], 5)
+
+    def test_misaligned_stride_rejected(self):
+        seg = RefSegment(base=0, stride=12, count=4, element_size=8)
+        with pytest.raises(ValueError, match="stride"):
+            segment_to_lines(seg, 5)
+
+    @settings(max_examples=120)
+    @given(
+        element_size=st.sampled_from([1, 2, 4, 8, 16, 32]),
+        base_elements=st.integers(0, 500),
+        stride_elements=st.integers(-32, 32),
+        count=st.integers(1, 200),
+        line_bits=st.sampled_from([5, 7]),
+    )
+    def test_property_element_sizes_match_brute_force(
+        self, element_size, base_elements, stride_elements, count, line_bits
+    ):
+        # Every power-of-two element size that fits a line divides it,
+        # so these all pass validation; the line stream must then match
+        # naive per-element expansion exactly, including zero and
+        # negative strides.
+        seg = RefSegment(
+            base=65536 + base_elements * element_size,
+            stride=stride_elements * element_size,
+            count=count,
+            element_size=element_size,
+        )
+        assert segment_to_lines(seg, line_bits) == brute_force_lines(
+            seg, line_bits
+        )
+
     @settings(max_examples=120)
     @given(
         base_elements=st.integers(0, 1000),
