@@ -25,7 +25,12 @@ from repro.analysis.diagnostics import (
     has_errors,
     make_diagnostic,
 )
-from repro.analysis.engine import LintReport, lint_target, run_lint
+from repro.analysis.engine import (
+    LintReport,
+    analyze_capture,
+    lint_target,
+    run_lint,
+)
 from repro.analysis.targets import (
     LintTarget,
     all_experiment_targets,
@@ -44,6 +49,7 @@ __all__ = [
     "LintTarget",
     "Severity",
     "all_experiment_targets",
+    "analyze_capture",
     "app_targets",
     "experiment_targets",
     "file_targets",

@@ -105,12 +105,23 @@ class FootSeg:
 @dataclass(frozen=True)
 class CaptureProblem:
     """A structured problem observed while replaying forks (bad hint
-    vectors, bad 'after' edges) — converted to a diagnostic later."""
+    vectors, bad 'after' edges) — converted to a diagnostic later.
+
+    ``run`` and ``ordinal`` name the fork the problem was observed at
+    (the batch being accumulated and the thread's position within it),
+    and ``hints`` preserves the *original* hint vector when capture had
+    to replace it to continue (RL006 re-forks unhinted) — the optimizer
+    needs the defective vector the program actually passed, which the
+    fork record no longer shows.
+    """
 
     code: str
     message: str
     file: str | None
     line: int | None
+    run: int | None = None
+    ordinal: int | None = None
+    hints: tuple[int, int, int] | None = None
 
 
 @dataclass
@@ -346,7 +357,15 @@ class CaptureThreadPackage(ThreadPackage):
             # Invalid hint vector (negative, or a gap): RL006.  Re-fork
             # unhinted so capture can continue past the first defect.
             self.capture.problems.append(
-                CaptureProblem("RL006", str(exc), file, line)
+                CaptureProblem(
+                    "RL006",
+                    str(exc),
+                    file,
+                    line,
+                    run=len(self.capture.runs),
+                    ordinal=len(self._pending_records),
+                    hints=hints,
+                )
             )
             hints = (0, 0, 0)
             bin_, _group, _index = self._fork_impl(func, arg1, arg2, 0, 0, 0)
@@ -428,7 +447,14 @@ class DependentCaptureThreadPackage(CaptureThreadPackage):
             else:
                 file, line = _call_site()
                 self.capture.problems.append(
-                    CaptureProblem("RC002", problem, file, line)
+                    CaptureProblem(
+                        "RC002",
+                        problem,
+                        file,
+                        line,
+                        run=len(self.capture.runs),
+                        ordinal=thread_id,
+                    )
                 )
         return self._capture_fork(
             func, arg1, arg2, hint1, hint2, hint3, after=tuple(valid)

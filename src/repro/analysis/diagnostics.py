@@ -105,6 +105,16 @@ CODES: dict[str, CodeInfo] = {
             "hash_size should grow).",
         ),
         CodeInfo(
+            "RL008",
+            Severity.INFO,
+            "duplicate values in a hint vector",
+            "Each hint dimension should name a distinct region the "
+            "thread touches; repeating one address wastes a dimension "
+            "and files the thread in a diagonal block that threads "
+            "hinting the same region once never share, splitting "
+            "intended bin-mates.",
+        ),
+        CodeInfo(
             "RC001",
             Severity.ERROR,
             "conflicting threads not ordered by 'after' edges",
@@ -130,6 +140,15 @@ CODES: dict[str, CodeInfo] = {
             "the uniprocessor this is harmless; under the SMP extension "
             "those bins may run on different processors and the line "
             "ping-pongs between their caches.",
+        ),
+        CodeInfo(
+            "RC004",
+            Severity.INFO,
+            "transitively redundant 'after' edge",
+            "An edge already implied by the remaining edges cannot "
+            "change the schedule (its target always completes before "
+            "the implying predecessor does); it only adds fork-time "
+            "work and obscures the real dependence structure.",
         ),
         CodeInfo(
             "RP001",
@@ -186,9 +205,19 @@ class Diagnostic:
 
     @property
     def location(self) -> str:
-        """``file:line`` when known, else an empty string."""
+        """``file:line`` when both are known.
+
+        Capture-derived findings sometimes recover a line but no file
+        (a proc defined interactively, a synthesized fork site); those
+        render as ``<capture>:line`` so the text report, the JSON
+        report, and the event-bus payload all agree on one string
+        instead of the text renderer dropping the line the JSON still
+        carried.  Empty only when neither part is known.
+        """
         if self.file is None:
-            return ""
+            if self.line is None:
+                return ""
+            return f"<capture>:{self.line}"
         if self.line is None:
             return self.file
         return f"{self.file}:{self.line}"
@@ -207,6 +236,9 @@ class Diagnostic:
             "severity": str(self.severity),
             "message": self.message,
             "title": CODES[self.code].title,
+            # The same rendered location the text report prints, so
+            # consumers of either format see one spelling.
+            "location": self.location,
         }
         if self.program:
             payload["program"] = self.program

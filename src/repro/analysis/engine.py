@@ -43,12 +43,33 @@ class LintReport:
 
 
 def _sort_key(diagnostic: Diagnostic):
+    # Every field that reaches the rendered reports participates, so
+    # two diagnostics never compare equal on the key while differing in
+    # the output: JSON reports and CI diffs are stable across runs.
     return (
         diagnostic.program,
         diagnostic.file or "",
         diagnostic.line or 0,
         diagnostic.code,
+        int(diagnostic.severity),
+        diagnostic.message,
     )
+
+
+def analyze_capture(capture, program: str) -> list[Diagnostic]:
+    """Every capture-based analyzer over one already-captured program.
+
+    Shared by :func:`lint_target` and the optimizer pipeline, which
+    needs the diagnostics and the capture they came from to describe
+    the *same* execution.
+    """
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(problem_diagnostics(capture, program))
+    diagnostics.extend(analyze_locality(capture, program))
+    diagnostics.extend(analyze_races(capture, program))
+    diagnostics.extend(analyze_captured_procs(capture, program))
+    diagnostics.sort(key=_sort_key)
+    return diagnostics
 
 
 def lint_target(target: LintTarget) -> list[Diagnostic]:
@@ -58,12 +79,7 @@ def lint_target(target: LintTarget) -> list[Diagnostic]:
         return analyze_file(target.path, program=target.name)
     assert target.program is not None and target.machine is not None
     capture = run_capture(target.program, target.machine)
-    diagnostics: list[Diagnostic] = []
-    diagnostics.extend(problem_diagnostics(capture, target.name))
-    diagnostics.extend(analyze_locality(capture, target.name))
-    diagnostics.extend(analyze_races(capture, target.name))
-    diagnostics.extend(analyze_captured_procs(capture, target.name))
-    return diagnostics
+    return analyze_capture(capture, target.name)
 
 
 def run_lint(targets: list[LintTarget]) -> LintReport:

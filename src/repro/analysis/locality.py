@@ -30,6 +30,34 @@ FOOTPRINT_WARN_FACTOR = 3.0
 MAX_HEALTHY_CHAIN = 4
 
 
+def address_like_records(records, space) -> bool:
+    """Whether a package's hints behave like memory addresses.
+
+    True when most non-zero hints resolve to a real allocation.
+    Packages hinted on a synthetic plane (the paper's N-body uses
+    scaled spatial coordinates) resolve rarely — only by accident when
+    the plane overlaps the heap — and are exempt: small or repeated
+    hint values are the point there.  Shared between the RL002/RL008
+    analyzers and the optimizer passes keyed to them, so both sides
+    agree on which packages the address rules apply to.
+    """
+    nonzero = 0
+    resolved = 0
+    for record in records:
+        for hint in record.hints:
+            if hint:
+                nonzero += 1
+                if space.owner_of(hint) is not None:
+                    resolved += 1
+    return nonzero > 0 and resolved >= nonzero / 2
+
+
+def has_duplicate_hints(hints: tuple[int, int, int]) -> bool:
+    """Whether a vector names the same non-zero value twice (RL008)."""
+    used = [hint for hint in hints if hint]
+    return len(used) != len(set(used))
+
+
 def problem_diagnostics(
     capture: CaptureResult, program: str
 ) -> list[Diagnostic]:
@@ -98,21 +126,8 @@ def _analyze_package(
         )
 
     # -- RL002: index-like hints among address hints --------------------
-    # A package is "address-hinted" when most hints resolve to a real
-    # allocation.  Packages hinted on a synthetic plane (the paper's
-    # N-body uses scaled spatial coordinates) resolve rarely — only by
-    # accident when the plane overlaps the heap — and are exempt: small
-    # hint values are the point there.
     base = capture.space.base
-    nonzero = 0
-    resolved = 0
-    for record in records:
-        for hint in record.hints:
-            if hint:
-                nonzero += 1
-                if capture.space.owner_of(hint) is not None:
-                    resolved += 1
-    address_like = nonzero > 0 and resolved >= nonzero / 2
+    address_like = address_like_records(records, capture.space)
     if address_like:
         suspect = [
             record
@@ -134,6 +149,29 @@ def _analyze_package(
                     file=first.file,
                     line=first.line,
                     suspect=len(suspect),
+                    threads=len(records),
+                )
+            )
+
+    # -- RL008: duplicate values inside one hint vector -----------------
+    if address_like:
+        duplicated = [
+            record for record in records if has_duplicate_hints(record.hints)
+        ]
+        if duplicated:
+            first = duplicated[0]
+            diagnostics.append(
+                make_diagnostic(
+                    "RL008",
+                    f"{label}: {len(duplicated)} of {len(records)} threads "
+                    f"repeat a hint value inside one vector; the duplicate "
+                    f"dimension files them in diagonal blocks that threads "
+                    f"hinting the same region once never share — drop the "
+                    f"repeated value",
+                    program=program,
+                    file=first.file,
+                    line=first.line,
+                    duplicated=len(duplicated),
                     threads=len(records),
                 )
             )

@@ -106,8 +106,38 @@ def _ancestor_bitsets(records: list[ForkRecord]) -> list[int]:
     return bits
 
 
+def redundant_after_edges(records) -> list[tuple[int, int, int]]:
+    """Transitively redundant 'after' edges, as (thread, dropped
+    predecessor, witness predecessor) triples.
+
+    An edge ``i -> p`` is redundant when ``p`` is reachable from a
+    *different* direct predecessor ``q`` of ``i``; dropping every such
+    edge is the DAG's unique transitive reduction.  The work-list
+    schedule is unchanged: ``q`` transitively depends on ``p``, so ``p``
+    can never be the last predecessor of ``i`` to complete, and the
+    moment ``i`` becomes ready — the only thing edges feed into — stays
+    exactly where it was.  ``records`` is anything with ``after`` (fork
+    records or optimizer IR forks).
+    """
+    bits = _ancestor_bitsets(records)
+    redundant: list[tuple[int, int, int]] = []
+    for i, record in enumerate(records):
+        for predecessor in record.after:
+            witness = next(
+                (
+                    q
+                    for q in record.after
+                    if q != predecessor and (bits[q] >> predecessor) & 1
+                ),
+                None,
+            )
+            if witness is not None:
+                redundant.append((i, predecessor, witness))
+    return redundant
+
+
 def analyze_races(capture: CaptureResult, program: str) -> list[Diagnostic]:
-    """Run RC001/RC003 over every captured package."""
+    """Run RC001/RC003/RC004 over every captured package."""
     diagnostics: list[Diagnostic] = []
     for index, package in enumerate(capture.packages):
         label = f"package {index}" if len(capture.packages) > 1 else "package"
@@ -115,6 +145,9 @@ def analyze_races(capture: CaptureResult, program: str) -> list[Diagnostic]:
             if package.kind == "dependent":
                 diagnostics.extend(
                     _find_unordered_conflicts(run, label, program)
+                )
+                diagnostics.extend(
+                    _find_redundant_edges(run, label, program)
                 )
             else:
                 diagnostics.extend(
@@ -187,6 +220,35 @@ def _find_unordered_conflicts(
             context=dict(last.context, suppressed=conflicts - MAX_RACE_REPORTS),
         )
     return diagnostics
+
+
+def _find_redundant_edges(
+    run: CapturedRun, label: str, program: str
+) -> list[Diagnostic]:
+    """RC004: 'after' edges implied by the rest of the DAG (one
+    aggregate advisory per run; the optimizer recomputes the full set)."""
+    records = run.records
+    redundant = redundant_after_edges(records)
+    if not redundant:
+        return []
+    thread, predecessor, witness = redundant[0]
+    first = records[thread]
+    total = sum(len(record.after) for record in records)
+    return [
+        make_diagnostic(
+            "RC004",
+            f"{label} run {run.index}: {len(redundant)} of {total} "
+            f"'after' edge(s) are transitively implied by the remaining "
+            f"edges (e.g. thread {thread} -> {predecessor}, already "
+            f"ordered through thread {witness}); the schedule is "
+            f"identical without them",
+            program=program,
+            file=first.file,
+            line=first.line,
+            redundant=len(redundant),
+            edges=total,
+        )
+    ]
 
 
 def _find_cross_bin_write_sharing(

@@ -7,6 +7,11 @@ import json
 from repro.analysis.diagnostics import CODES, Diagnostic
 from repro.analysis.engine import LintReport
 
+#: Version of the ``repro-lint --json`` document layout.  Bumped when a
+#: key is renamed or its meaning changes — never for additions — so CI
+#: consumers can pin what they parse.
+LINT_SCHEMA_VERSION = 1
+
 
 def render_text(report: LintReport) -> str:
     """The human-readable report: one line per finding plus a summary."""
@@ -24,6 +29,7 @@ def render_text(report: LintReport) -> str:
 def render_json(report: LintReport) -> str:
     """Machine-readable report (stable keys, one JSON document)."""
     payload = {
+        "schema": LINT_SCHEMA_VERSION,
         "targets": report.targets,
         "diagnostics": [d.to_dict() for d in report.diagnostics],
         "failures": report.failures,

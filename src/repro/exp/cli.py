@@ -72,6 +72,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help=(
+            "preflight the selected experiments' thread programs through "
+            "the optimizer (repro-opt) and narrate every available "
+            "semantics-preserving rewrite; the campaign still runs the "
+            "programs as registered — apply rewrites with repro-opt"
+        ),
+    )
+    parser.add_argument(
         "--verify",
         dest="verify",
         action="store_true",
@@ -330,6 +340,65 @@ def _lint_gate(ids: list[str], quick: bool, verbosity: int) -> int:
     return 0
 
 
+def _optimize_gate(ids: list[str], quick: bool, verbosity: int) -> int:
+    """Preflight ``ids`` through the optimizer before the campaign runs.
+
+    An *advisor*, not a gate on findings: every available
+    semantics-preserving rewrite is narrated (plans at normal verbosity,
+    per-rewrite detail at --verbose), but the campaign proceeds — it
+    runs the programs as registered, and applying rewrites is
+    ``repro-opt``'s job.  Only an optimizer failure (a program whose
+    capture diverges from itself, a plan that cannot be applied) aborts,
+    since that same nondeterminism would poison the campaign's results.
+    """
+    from repro.analysis import resolve_targets
+    from repro.obs.progress import CampaignReporter
+    from repro.opt import optimize_program
+    from repro.resilience.errors import ReproError
+
+    targets = [
+        target
+        for target in resolve_targets(ids, quick=quick)
+        if target.kind == "program"
+    ]
+    failures = 0
+    changed = 0
+    rewrites = 0
+    with CampaignReporter(sys.stdout, sys.stderr, verbosity=verbosity) as reporter:
+        for target in targets:
+            try:
+                result = optimize_program(
+                    target.program, target.machine, name=target.name
+                )
+            except ReproError as exc:
+                failures += 1
+                reporter.error(f"{target.name}: optimizer failed: {exc}")
+                continue
+            if not result.changed:
+                continue
+            changed += 1
+            rewrites += len(result.plan.rewrites)
+            reporter.info(
+                f"{target.name}: {len(result.plan.rewrites)} "
+                f"semantics-preserving rewrite(s) available "
+                f"({', '.join(result.plan.passes_applied())})"
+            )
+            for rewrite in result.plan.rewrites:
+                reporter.detail(f"  {rewrite.render()}")
+        reporter.always(
+            f"optimizer preflight: {len(targets)} program(s), "
+            f"{changed} with available rewrites ({rewrites} total)"
+            + (f", {failures} FAILED" if failures else "")
+        )
+        if failures:
+            reporter.error(
+                "repro-experiments: optimizer preflight failed; not "
+                "starting the campaign (rerun with repro-opt for details)"
+            )
+            return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -369,6 +438,15 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.lint:
         gate = _lint_gate(
+            ids,
+            quick=args.quick,
+            verbosity=1 if args.verbose else (-1 if args.quiet else 0),
+        )
+        if gate != 0:
+            return gate
+
+    if args.optimize:
+        gate = _optimize_gate(
             ids,
             quick=args.quick,
             verbosity=1 if args.verbose else (-1 if args.quiet else 0),

@@ -1,0 +1,125 @@
+"""The differential gate: prove a rewrite preserved semantics.
+
+Two simulations under the runtime-verification oracles:
+
+1. **Unhinted-identical** — strip the hints from both programs
+   (:func:`~repro.opt.apply.strip_hints`) and simulate.  With hints out
+   of the picture the optimizer's only remaining levers (hint vectors,
+   block size) are gone from the schedule, so both twins must produce
+   *byte-identical* cache statistics, fork counts, and dispatch counts.
+   The one optimizer lever that survives stripping — pruned 'after'
+   edges — is exactly the one with a structural identity proof
+   (readiness is driven by the last-completing predecessor, which a
+   transitively-implied one can never be), and this check exercises it
+   for real.
+2. **Hinted-no-worse** — simulate both programs as written.  The
+   optimized program's L2 misses must not exceed the original's:
+   optimizations are allowed to help or be neutral, never to hurt the
+   metric the paper optimizes.  A program whose original raises at fork
+   time (RL006) has no hinted baseline; the repaired program running
+   clean *is* the improvement, and the check passes with a note.
+
+Both runs arm ``verify=True``, so the cache and scheduler oracles audit
+every access batch and dispatch along the way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.machine.spec import MachineSpec
+from repro.opt.apply import strip_hints
+from repro.resilience.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.result import SimResult
+from repro.verify.differential import CheckOutcome
+
+
+def _stats_triple(result: SimResult) -> tuple:
+    return (
+        tuple(sorted(result.cache_table_column().items())),
+        result.forks,
+        result.dispatches,
+    )
+
+
+def _first_difference(original: SimResult, optimized: SimResult) -> str:
+    before = dict(original.cache_table_column())
+    before["forks"] = original.forks
+    before["dispatches"] = original.dispatches
+    after = dict(optimized.cache_table_column())
+    after["forks"] = optimized.forks
+    after["dispatches"] = optimized.dispatches
+    for key in before:
+        if before[key] != after[key]:
+            return f"{key}: {before[key]} != {after[key]}"
+    return "statistics differ"
+
+
+def differential_check(
+    original: Callable,
+    optimized: Callable,
+    machine: MachineSpec,
+    name: str = "program",
+) -> list[CheckOutcome]:
+    """Run both gates; return one :class:`CheckOutcome` per gate."""
+    simulator = Simulator(machine, verify=True)
+    outcomes: list[CheckOutcome] = []
+
+    # -- gate 1: unhinted twins are identical ---------------------------
+    base = simulator.run(strip_hints(original), name=f"{name}:unhinted")
+    rewritten = simulator.run(
+        strip_hints(optimized), name=f"{name}:unhinted-opt"
+    )
+    if _stats_triple(base) == _stats_triple(rewritten):
+        outcomes.append(
+            CheckOutcome(
+                f"{name}: unhinted-identical",
+                True,
+                f"{base.forks} forks, {base.dispatches} dispatches, "
+                f"L2 {base.l2_misses} — byte-identical",
+            )
+        )
+    else:
+        outcomes.append(
+            CheckOutcome(
+                f"{name}: unhinted-identical",
+                False,
+                _first_difference(base, rewritten),
+            )
+        )
+
+    # -- gate 2: hinted run is no worse ---------------------------------
+    try:
+        hinted_base = simulator.run(original, name=f"{name}:hinted")
+    except SimulationError as exc:
+        hinted_opt = simulator.run(optimized, name=f"{name}:hinted-opt")
+        outcomes.append(
+            CheckOutcome(
+                f"{name}: hinted-no-worse",
+                True,
+                f"original raises at runtime ({exc.message}); repaired "
+                f"program runs clean with L2 {hinted_opt.l2_misses}",
+            )
+        )
+        return outcomes
+    hinted_opt = simulator.run(optimized, name=f"{name}:hinted-opt")
+    if hinted_opt.l2_misses <= hinted_base.l2_misses:
+        saved = hinted_base.l2_misses - hinted_opt.l2_misses
+        detail = (
+            f"L2 {hinted_base.l2_misses} -> {hinted_opt.l2_misses} "
+            f"({'-' if saved else '±'}{saved})"
+        )
+        outcomes.append(
+            CheckOutcome(f"{name}: hinted-no-worse", True, detail)
+        )
+    else:
+        outcomes.append(
+            CheckOutcome(
+                f"{name}: hinted-no-worse",
+                False,
+                f"L2 misses regressed {hinted_base.l2_misses} -> "
+                f"{hinted_opt.l2_misses}",
+            )
+        )
+    return outcomes

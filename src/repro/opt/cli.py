@@ -1,0 +1,295 @@
+"""Command-line entry point: ``repro-opt [targets...] [options]``.
+
+Optimizes registered thread programs: captures each target, keys the
+pass pipeline to its lint diagnostics, prints the rewrite plan, and —
+with ``--check`` — proves each rewrite semantics-preserving with the
+differential gate (identical trace statistics unhinted, no-worse L2
+misses hinted, oracles armed).
+
+Targets are the same experiment ids and ``app[:version]`` specs
+``repro-lint`` takes.  ``.py`` files differ: where the linter AST-lints
+a file cold, the optimizer needs a runnable program, so a file target
+must expose a ``PROGRAM(ctx)`` callable (and may expose ``MACHINE``);
+directories are walked for such modules.  That is exactly the seeded
+defect corpus's shape, so ``repro-opt tests/analysis/corpus`` optimizes
+the whole corpus.
+
+Exit status: 0 clean (plans printed, checks passed), 1 when a
+differential check failed or a plan could not be applied, 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.targets import LintTarget, resolve_targets
+from repro.machine.presets import DEFAULT_SCALE, r8000
+from repro.opt.apply import OptimizationError
+from repro.opt.passes import PASSES
+from repro.opt.pipeline import optimize_program
+from repro.opt.plan import PLAN_SCHEMA_VERSION
+from repro.resilience.errors import ConfigError, ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-opt",
+        description=(
+            "Semantics-preserving optimizer for thread programs: lifts "
+            "each program's captured fork structure into an IR, repairs "
+            "what repro-lint flags (hint canonicalization, index-hint "
+            "recovery, bin rebalancing, redundant-edge pruning), and "
+            "reports every rewrite as an auditable plan."
+        ),
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        metavar="TARGET",
+        help=(
+            "experiment ids, applications (app or app:version), and/or "
+            ".py files or directories exposing PROGRAM(ctx) (default: "
+            "every registered experiment)"
+        ),
+    )
+    parser.add_argument(
+        "--passes",
+        default=None,
+        metavar="ID[,ID...]",
+        help=(
+            "run only these passes (comma-separated ids; see "
+            "--list-passes); they still run in pipeline order"
+        ),
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="optimize the full-size workloads instead of the quick ones",
+    )
+    parser.add_argument(
+        "--profiles",
+        default=None,
+        metavar="RUN_DIR",
+        help=(
+            "cite measured locality evidence from a profiled run's "
+            "*.profile.json artifacts in rebalancing notes (evidence "
+            "never gates a rewrite)"
+        ),
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "prove each non-empty plan semantics-preserving: identical "
+            "trace statistics under the unhinted scheduler, no-worse L2 "
+            "misses under the hinted one, verification oracles armed"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="print the pass pipeline and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="print only changed programs and the summary (text format)",
+    )
+    return parser
+
+
+def render_passes() -> str:
+    lines = ["pass pipeline (fixed order):"]
+    for pipeline_pass in PASSES:
+        codes = "/".join(pipeline_pass.codes)
+        doc = (pipeline_pass.__doc__ or "").strip().splitlines()[0]
+        lines.append(f"  {pipeline_pass.pass_id:<28} {codes:<12} {doc}")
+    return "\n".join(lines)
+
+
+def _load_program_file(path: str) -> LintTarget | None:
+    """A program target from a ``.py`` module exposing ``PROGRAM``."""
+    stem = Path(path).stem
+    spec = importlib.util.spec_from_file_location(f"opt_{stem}", path)
+    if spec is None or spec.loader is None:
+        raise ConfigError(f"cannot load {path!r}", field="target")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    program = getattr(module, "PROGRAM", None)
+    if program is None:
+        return None
+    machine = getattr(module, "MACHINE", None) or r8000(DEFAULT_SCALE)
+    return LintTarget(
+        name=stem, kind="program", program=program, machine=machine
+    )
+
+
+def _program_targets(
+    requested: list[str], quick: bool
+) -> list[LintTarget]:
+    """Resolve CLI targets to *program* targets.
+
+    File/directory targets are loaded as modules (the optimizer runs
+    programs; it cannot rewrite a file it can only parse): a directory
+    contributes every ``.py`` module exposing ``PROGRAM`` and silently
+    skips the rest, while an explicitly named file must expose one.
+    Everything else resolves exactly as ``repro-lint``.
+    """
+    targets: list[LintTarget] = []
+    for argument in requested:
+        if os.path.isdir(argument):
+            for entry in sorted(os.listdir(argument)):
+                if not entry.endswith(".py"):
+                    continue
+                loaded = _load_program_file(os.path.join(argument, entry))
+                if loaded is not None:
+                    targets.append(loaded)
+            continue
+        for target in resolve_targets([argument], quick=quick):
+            if target.kind == "program":
+                targets.append(target)
+                continue
+            loaded = _load_program_file(target.path)
+            if loaded is None:
+                raise ConfigError(
+                    f"{target.path!r} has no PROGRAM(ctx) callable; "
+                    f"repro-opt optimizes runnable programs (repro-lint "
+                    f"AST-lints bare files)",
+                    field="target",
+                )
+            targets.append(loaded)
+    if not requested:
+        targets.extend(
+            target
+            for target in resolve_targets([], quick=quick)
+            if target.kind == "program"
+        )
+    return targets
+
+
+def _load_profile_evidence(run_dir: str) -> dict[str, Any]:
+    """Profile entries keyed by program name (both the bare version
+    name and the ``experiment:version`` form resolve)."""
+    evidence: dict[str, Any] = {}
+    for path in sorted(Path(run_dir).glob("*.profile.json")):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        experiment_id = payload.get("experiment_id", "")
+        for entry in payload.get("entries", []):
+            program = entry.get("program")
+            if not program:
+                continue
+            evidence[program] = entry
+            if experiment_id:
+                evidence[f"{experiment_id}:{program}"] = entry
+    if not evidence:
+        raise ConfigError(
+            f"no *.profile.json artifacts under {run_dir!r}",
+            field="profiles",
+        )
+    return evidence
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_passes:
+        print(render_passes())
+        return 0
+    passes = None
+    if args.passes is not None:
+        passes = [name.strip() for name in args.passes.split(",") if name.strip()]
+    try:
+        targets = _program_targets(args.targets, quick=not args.full)
+        evidence = (
+            _load_profile_evidence(args.profiles)
+            if args.profiles is not None
+            else None
+        )
+    except (ConfigError, OSError, ValueError) as exc:
+        parser.error(str(exc))
+    failures = 0
+    changed = 0
+    payloads: list[dict[str, Any]] = []
+    lines: list[str] = []
+    for target in targets:
+        try:
+            result = optimize_program(
+                target.program,
+                target.machine,
+                name=target.name,
+                passes=passes,
+                evidence=evidence,
+            )
+        except (OptimizationError, ReproError) as exc:
+            failures += 1
+            lines.append(f"{target.name}: ERROR {exc}")
+            payloads.append({"program": target.name, "error": str(exc)})
+            continue
+        checks = []
+        if args.check and result.changed:
+            from repro.opt.check import differential_check
+
+            checks = differential_check(
+                result.original,
+                result.program,
+                target.machine,
+                name=target.name,
+            )
+            failures += sum(1 for outcome in checks if not outcome.passed)
+        if result.changed:
+            changed += 1
+        payload = result.plan.to_dict()
+        if checks:
+            payload["checks"] = [
+                {
+                    "name": outcome.name,
+                    "passed": outcome.passed,
+                    "detail": outcome.detail,
+                }
+                for outcome in checks
+            ]
+        payloads.append(payload)
+        if not args.quiet or result.changed or checks:
+            lines.append(result.plan.render_text())
+            lines.extend(f"  {outcome}" for outcome in checks)
+    summary = (
+        f"{len(targets)} program(s): {changed} optimized, "
+        f"{len(targets) - changed} already clean"
+        + (f", {failures} FAILURE(S)" if failures else "")
+    )
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "schema": PLAN_SCHEMA_VERSION,
+                    "programs": payloads,
+                    "summary": summary,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        lines.append(summary)
+        print("\n".join(lines))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

@@ -1,0 +1,668 @@
+"""The pass pipeline: each pass repairs exactly one lint family.
+
+Every pass is keyed to diagnostic codes and only runs when the lint of
+the captured program raised one of them — the optimizer never rewrites
+what the linter would not flag, so an already-clean program always gets
+an empty plan.  Within a triggered pass the rewrite condition is
+recomputed from the IR using the *same* helpers and thresholds the
+analyzers use (:mod:`repro.analysis.locality`,
+:mod:`repro.analysis.races`), so the two sides cannot drift: a fork is
+rewritten iff the analyzer would complain about it.
+
+The pipeline order is fixed (:data:`repro.opt.plan.PASS_ORDER`):
+canonicalization first (later passes assume well-formed vectors), hint
+repairs before bin rebalancing (rebalancing projects bins from the
+*rewritten* hints), edge pruning last (it is independent of hints).
+
+Semantics arguments, pass by pass:
+
+- ``canonicalize-hints`` — hints only select a bin; any valid vector is
+  semantically legal (Section 3.1: "hints... do not affect the
+  correctness of the program, only the performance").  Replacing an
+  *invalid* vector (RL006) with its canonical compaction turns a
+  runtime ``ValueError`` into the fork the author meant.
+- ``drop-index-hints`` / ``rebalance-bins`` — same argument: hint and
+  block-size changes move threads between bins, never change what a
+  thread computes.  The differential check still verifies the trace
+  statistics are identical under the unhinted scheduler.
+- ``prune-redundant-after-edges`` — a transitively redundant edge's
+  predecessor can never be the last to complete (its witness
+  transitively depends on it), so the moment each thread becomes ready
+  — the only thing edges feed — is unchanged, and with it the entire
+  activation sequence.  See
+  :func:`repro.analysis.races.redundant_after_edges`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.capture import CaptureResult
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.locality import (
+    COLLAPSE_MIN_THREADS,
+    FOOTPRINT_WARN_FACTOR,
+    MAX_HEALTHY_CHAIN,
+    SKEW_MAX_SHARE,
+    SKEW_MIN_THREADS,
+    address_like_records,
+    has_duplicate_hints,
+)
+from repro.analysis.races import redundant_after_edges
+from repro.core.hints import HintVector
+from repro.core.scheduler import LocalityScheduler
+from repro.opt.ir import ForkIR, PackageIR, ProgramIR, RunIR
+from repro.opt.plan import Rewrite, RewritePlan
+from repro.resilience.errors import ConfigWarning
+
+Hints = tuple[int, int, int]
+
+
+@dataclass
+class PassContext:
+    """Everything a pass may consult besides the IR itself."""
+
+    capture: CaptureResult
+    diagnostics: list[Diagnostic]
+    #: Optional profile evidence (parsed ``.profile.json`` payloads);
+    #: corroborates rebalancing notes, never gates a rewrite.
+    evidence: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def codes(self) -> set[str]:
+        return {diagnostic.code for diagnostic in self.diagnostics}
+
+
+class Pass:
+    """Base pass: a pass id, the codes that trigger it, and a rewrite."""
+
+    pass_id: str = ""
+    codes: tuple[str, ...] = ()
+
+    def triggered(self, context: PassContext) -> bool:
+        return bool(set(self.codes) & context.codes)
+
+    def run(
+        self, ir: ProgramIR, context: PassContext, plan: RewritePlan
+    ) -> None:
+        raise NotImplementedError
+
+
+def canonical_hints(hints: tuple[int, ...]) -> Hints:
+    """The canonical form of a hint vector: positive values only,
+    duplicates dropped (first occurrence wins), compacted left, padded
+    to three.  Idempotent by construction."""
+    used: list[int] = []
+    for hint in hints:
+        if hint > 0 and hint not in used:
+            used.append(hint)
+    used = used[:3]
+    while len(used) < 3:
+        used.append(0)
+    return (used[0], used[1], used[2])
+
+
+def _quiet_scheduler(
+    block_size: int, hash_size: int, fold: bool
+) -> LocalityScheduler:
+    """A projection scheduler; non-power-of-two block sizes already
+    warned once at capture, re-warning during projection is noise."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConfigWarning)
+        return LocalityScheduler(block_size, hash_size, fold=fold)
+
+
+class CanonicalizeHints(Pass):
+    """RL006/RL008: make every hint vector well-formed and minimal."""
+
+    pass_id = "canonicalize-hints"
+    codes = ("RL006", "RL008")
+
+    def run(
+        self, ir: ProgramIR, context: PassContext, plan: RewritePlan
+    ) -> None:
+        for package, records in _packages_with_records(ir, context):
+            self._repair_invalid(package, plan, ir)
+            if "RL008" in context.codes and address_like_records(
+                records, context.capture.space
+            ):
+                self._dedupe(package, plan, ir)
+
+    def _repair_invalid(
+        self, package: PackageIR, plan: RewritePlan, ir: ProgramIR
+    ) -> None:
+        """RL006: capture replaced the defective vector with (0,0,0) and
+        recorded the original on the problem; plan the repair the author
+        meant — the canonical compaction of what they passed."""
+        remaining = []
+        for problem in package.problems:
+            if problem.code != "RL006" or problem.hints is None:
+                remaining.append(problem)
+                continue
+            fork = _fork_at(package, problem.run, problem.ordinal)
+            if fork is None:
+                remaining.append(problem)
+                continue
+            repaired = canonical_hints(problem.hints)
+            plan.rewrites.append(
+                Rewrite(
+                    pass_id=self.pass_id,
+                    code="RL006",
+                    package=package.index,
+                    kind="hints",
+                    site=fork.site,
+                    before=problem.hints,
+                    after=repaired,
+                    note="invalid vector raised at fork time; capture "
+                    "replayed it unhinted",
+                    run=fork.run,
+                    fork=fork.index,
+                    ordinal=fork.ordinal,
+                )
+            )
+            fork.hints = repaired
+        package.problems = remaining
+
+    def _dedupe(
+        self, package: PackageIR, plan: RewritePlan, ir: ProgramIR
+    ) -> None:
+        for fork in package.forks:
+            if not has_duplicate_hints(fork.hints):
+                continue
+            repaired = canonical_hints(fork.hints)
+            if repaired == fork.hints:
+                continue
+            plan.rewrites.append(
+                Rewrite(
+                    pass_id=self.pass_id,
+                    code="RL008",
+                    package=package.index,
+                    kind="hints",
+                    site=fork.site,
+                    before=fork.hints,
+                    after=repaired,
+                    note="duplicate hint value files the thread in a "
+                    "diagonal block no once-hinted thread shares",
+                    run=fork.run,
+                    fork=fork.index,
+                    ordinal=fork.ordinal,
+                )
+            )
+            fork.hints = repaired
+
+
+class DropIndexHints(Pass):
+    """RL002: indices passed where addresses were meant.
+
+    The index value is unrecoverable as an address, so the pass keeps
+    the vector's real addresses, falls back to the thread's recorded
+    footprint (the addresses it *actually* touched), and otherwise
+    leaves the thread honestly unhinted — an RL001 the author can see,
+    instead of a hint that hashes garbage.
+    """
+
+    pass_id = "drop-index-hints"
+    codes = ("RL002",)
+
+    def run(
+        self, ir: ProgramIR, context: PassContext, plan: RewritePlan
+    ) -> None:
+        base = context.capture.space.base
+        for package, records in _packages_with_records(ir, context):
+            if not address_like_records(records, context.capture.space):
+                continue
+            for fork in package.forks:
+                if not any(0 < hint < base for hint in fork.hints):
+                    continue
+                kept = [hint for hint in fork.hints if hint >= base]
+                if kept:
+                    note = "kept the vector's real addresses"
+                else:
+                    kept = _footprint_hints(fork)
+                    note = (
+                        "rehinted from the thread's recorded footprint"
+                        if kept
+                        else "no address to recover; left unhinted "
+                        "(RL001) rather than hash an index"
+                    )
+                repaired = canonical_hints(tuple(kept))
+                if repaired == fork.hints:
+                    continue
+                plan.rewrites.append(
+                    Rewrite(
+                        pass_id=self.pass_id,
+                        code="RL002",
+                        package=package.index,
+                        kind="hints",
+                        site=fork.site,
+                        before=fork.hints,
+                        after=repaired,
+                        note=note,
+                        run=fork.run,
+                        fork=fork.index,
+                        ordinal=fork.ordinal,
+                    )
+                )
+                fork.hints = repaired
+
+
+def _footprint_hints(fork: ForkIR) -> list[int]:
+    """Up to three distinct segment bases from the fork's footprint, in
+    recording order (the first segment is usually the primary array)."""
+    bases: list[int] = []
+    for segment in fork.footprint:
+        if segment.lo > 0 and segment.lo not in bases:
+            bases.append(segment.lo)
+        if len(bases) == 3:
+            break
+    return bases
+
+
+@dataclass
+class _RunShape:
+    """Projected bin structure of one run under a candidate geometry."""
+
+    counts: dict[tuple, int]
+    all_hinted: bool
+    total: int
+
+    @property
+    def collapsed(self) -> bool:
+        return (
+            len(self.counts) == 1
+            and self.all_hinted
+            and self.total >= COLLAPSE_MIN_THREADS
+        )
+
+    @property
+    def skewed(self) -> bool:
+        if not (
+            len(self.counts) >= 2
+            and self.total >= SKEW_MIN_THREADS
+            and self.all_hinted
+        ):
+            return False
+        return max(self.counts.values()) / self.total > SKEW_MAX_SHARE
+
+    @property
+    def healthy(self) -> bool:
+        return not (self.collapsed or self.skewed)
+
+
+class RebalanceBins(Pass):
+    """RL003/RL004: collapsed or skewed bins.
+
+    Two strategies, tried in order:
+
+    1. *Resize* — a smaller power-of-two block size splits the hinted
+       region into more bins.  Candidates descend from the current
+       block size to the L1 line size; the first one under which every
+       run of the package projects healthy (no collapse, no skew, hash
+       chains within :data:`MAX_HEALTHY_CHAIN`, no warn-level bin
+       footprint) wins, keeping bins as large — as cache-friendly — as
+       the defect allows.
+    2. *Spread* — when the hints are identical no block size can split
+       them.  The dominant bin's threads are rehinted: from their own
+       recorded footprints when those land in distinct blocks, else
+       round-robin across the smallest number of adjacent blocks that
+       clears the skew threshold.
+    """
+
+    pass_id = "rebalance-bins"
+    codes = ("RL003", "RL004")
+
+    def run(
+        self, ir: ProgramIR, context: PassContext, plan: RewritePlan
+    ) -> None:
+        for package, _records in _packages_with_records(ir, context):
+            current = _quiet_scheduler(
+                package.block_size, package.hash_size, package.fold_symmetric
+            )
+            offending = [
+                run
+                for run in package.runs
+                if run.forks and not _project_run(run, current).healthy
+            ]
+            if not offending:
+                continue
+            evidence_note = _evidence_note(ir.program, context)
+            block_size = self._find_block_size(package, ir)
+            if block_size is not None:
+                note = (
+                    "splits the hinted span into balanced bins; largest "
+                    "power of two that clears collapse/skew/chain/"
+                    "footprint projections"
+                )
+                if evidence_note:
+                    note += f"; {evidence_note}"
+                plan.rewrites.append(
+                    Rewrite(
+                        pass_id=self.pass_id,
+                        code="RL003" if any(
+                            _project_run(run, current).collapsed
+                            for run in offending
+                        ) else "RL004",
+                        package=package.index,
+                        kind="block_size",
+                        site=f"package {package.index}",
+                        before=package.block_size,
+                        after=block_size,
+                        note=note,
+                    )
+                )
+                package.block_size = block_size
+                continue
+            for run in offending:
+                self._spread_run(package, run, plan, evidence_note)
+
+    # -- strategy 1: resize ---------------------------------------------
+    def _find_block_size(
+        self, package: PackageIR, ir: ProgramIR
+    ) -> int | None:
+        floor = max(ir.l1d_line_size, 1)
+        candidate = 1 << (package.block_size - 1).bit_length()
+        if candidate >= package.block_size:
+            candidate >>= 1
+        while candidate >= floor:
+            if self._projects_healthy(package, candidate, ir):
+                return candidate
+            candidate >>= 1
+        return None
+
+    def _projects_healthy(
+        self, package: PackageIR, block_size: int, ir: ProgramIR
+    ) -> bool:
+        scheduler = _quiet_scheduler(
+            block_size, package.hash_size, package.fold_symmetric
+        )
+        for run in package.runs:
+            if not run.forks:
+                continue
+            shape = _project_run(run, scheduler)
+            if not shape.healthy:
+                return False
+            if _max_chain(run, scheduler) > MAX_HEALTHY_CHAIN:
+                return False
+            if _worst_bin_bytes(run, scheduler, ir) > (
+                FOOTPRINT_WARN_FACTOR * ir.l2_size
+            ):
+                return False
+        return True
+
+    # -- strategy 2: spread ---------------------------------------------
+    def _spread_run(
+        self,
+        package: PackageIR,
+        run: RunIR,
+        plan: RewritePlan,
+        evidence_note: str,
+    ) -> None:
+        scheduler = _quiet_scheduler(
+            package.block_size, package.hash_size, package.fold_symmetric
+        )
+        shape = _project_run(run, scheduler)
+        dominant = max(shape.counts, key=lambda key: shape.counts[key])
+        members = [
+            fork
+            for fork in run.forks
+            if scheduler.block_of(HintVector(*fork.hints)) == dominant
+        ]
+        rehints = self._footprint_rehints(members, run, scheduler)
+        note = "rehinted each thread at its own recorded footprint"
+        if rehints is None:
+            rehints = self._round_robin_rehints(
+                members, run, package.block_size, scheduler
+            )
+            note = (
+                "identical hints cannot be split by any block size; "
+                "spread round-robin over adjacent blocks"
+            )
+        if rehints is None:
+            plan.notes.append(
+                f"package {package.index} run {run.index}: bin skew "
+                f"could not be cleared by resizing or spreading; left "
+                f"unchanged"
+            )
+            return
+        if evidence_note:
+            note += f"; {evidence_note}"
+        for fork, repaired in rehints:
+            plan.rewrites.append(
+                Rewrite(
+                    pass_id=self.pass_id,
+                    code="RL003" if shape.collapsed else "RL004",
+                    package=package.index,
+                    kind="hints",
+                    site=fork.site,
+                    before=fork.hints,
+                    after=repaired,
+                    note=note,
+                    run=fork.run,
+                    fork=fork.index,
+                    ordinal=fork.ordinal,
+                )
+            )
+            fork.hints = repaired
+
+    def _footprint_rehints(
+        self,
+        members: list[ForkIR],
+        run: RunIR,
+        scheduler: LocalityScheduler,
+    ) -> list[tuple[ForkIR, Hints]] | None:
+        """Rehint dominant-bin members at their own footprints — the
+        most honest repair, available only when every member recorded
+        one and the footprints actually separate."""
+        proposal: list[tuple[ForkIR, Hints]] = []
+        for fork in members:
+            bases = _footprint_hints(fork)
+            if not bases:
+                return None
+            proposal.append((fork, canonical_hints(tuple(bases))))
+        if self._clears(run, proposal, scheduler):
+            return [(f, h) for f, h in proposal if h != f.hints]
+        return None
+
+    def _round_robin_rehints(
+        self,
+        members: list[ForkIR],
+        run: RunIR,
+        block_size: int,
+        scheduler: LocalityScheduler,
+    ) -> list[tuple[ForkIR, Hints]] | None:
+        for ways in range(2, len(members) + 1):
+            proposal = [
+                (
+                    fork,
+                    (
+                        fork.hints[0] + (position % ways) * block_size,
+                        fork.hints[1],
+                        fork.hints[2],
+                    ),
+                )
+                for position, fork in enumerate(members)
+            ]
+            if self._clears(run, proposal, scheduler):
+                return [(f, h) for f, h in proposal if h != f.hints]
+        return None
+
+    @staticmethod
+    def _clears(
+        run: RunIR,
+        proposal: list[tuple[ForkIR, Hints]],
+        scheduler: LocalityScheduler,
+    ) -> bool:
+        replaced = {id(fork): hints for fork, hints in proposal}
+        counts: dict[tuple, int] = {}
+        for fork in run.forks:
+            hints = replaced.get(id(fork), fork.hints)
+            block = scheduler.block_of(HintVector(*hints))
+            counts[block] = counts.get(block, 0) + 1
+        if len(counts) < 2:
+            return False
+        total = sum(counts.values())
+        if total >= SKEW_MIN_THREADS:
+            if max(counts.values()) / total > SKEW_MAX_SHARE:
+                return False
+        slots: dict[tuple, set[tuple]] = {}
+        for block in counts:
+            slots.setdefault(scheduler.slot_of(block), set()).add(block)
+        return max(len(blocks) for blocks in slots.values()) <= (
+            MAX_HEALTHY_CHAIN
+        )
+
+
+class PruneRedundantAfterEdges(Pass):
+    """RC004: drop 'after' edges the rest of the DAG already implies.
+
+    The result is the DAG's unique transitive reduction.  Readiness is
+    driven by the *last* predecessor to complete, and a redundant
+    edge's target can never be last (its witness transitively depends
+    on it), so the activation sequence — and with it every trace
+    statistic — is provably identical.
+    """
+
+    pass_id = "prune-redundant-after-edges"
+    codes = ("RC004",)
+
+    def run(
+        self, ir: ProgramIR, context: PassContext, plan: RewritePlan
+    ) -> None:
+        for package in ir.packages:
+            if package.kind != "dependent":
+                continue
+            for run in package.runs:
+                redundant = redundant_after_edges(run.forks)
+                if not redundant:
+                    continue
+                dropped: dict[int, set[int]] = {}
+                witnesses: dict[int, int] = {}
+                for thread, predecessor, witness in redundant:
+                    dropped.setdefault(thread, set()).add(predecessor)
+                    witnesses.setdefault(thread, witness)
+                for thread, gone in sorted(dropped.items()):
+                    fork = run.forks[thread]
+                    reduced = tuple(
+                        predecessor
+                        for predecessor in fork.after
+                        if predecessor not in gone
+                    )
+                    plan.rewrites.append(
+                        Rewrite(
+                            pass_id=self.pass_id,
+                            code="RC004",
+                            package=package.index,
+                            kind="after",
+                            site=fork.site,
+                            before=fork.after,
+                            after=reduced,
+                            note=f"already ordered through thread "
+                            f"{witnesses[thread]}; readiness is driven "
+                            f"by the last predecessor, which a "
+                            f"transitively-implied one can never be",
+                            run=fork.run,
+                            fork=fork.index,
+                            ordinal=fork.ordinal,
+                        )
+                    )
+                    fork.after = reduced
+
+
+# ---------------------------------------------------------------------
+# shared projection helpers
+# ---------------------------------------------------------------------
+def _packages_with_records(ir: ProgramIR, context: PassContext):
+    """(PackageIR, capture records) pairs, skipping empty packages."""
+    for package in ir.packages:
+        records = context.capture.packages[package.index].all_records
+        if records:
+            yield package, records
+
+
+def _fork_at(
+    package: PackageIR, run: int | None, ordinal: int | None
+) -> ForkIR | None:
+    if run is None or ordinal is None:
+        return None
+    if not 0 <= run < len(package.runs):
+        return None
+    forks = package.runs[run].forks
+    if not 0 <= ordinal < len(forks):
+        return None
+    return forks[ordinal]
+
+
+def _project_run(run: RunIR, scheduler: LocalityScheduler) -> _RunShape:
+    counts: dict[tuple, int] = {}
+    all_hinted = True
+    for fork in run.forks:
+        if not fork.hinted:
+            all_hinted = False
+        block = scheduler.block_of(HintVector(*fork.hints))
+        counts[block] = counts.get(block, 0) + 1
+    return _RunShape(counts=counts, all_hinted=all_hinted, total=len(run.forks))
+
+
+def _max_chain(run: RunIR, scheduler: LocalityScheduler) -> int:
+    slots: dict[tuple, set[tuple]] = {}
+    for fork in run.forks:
+        block = scheduler.block_of(HintVector(*fork.hints))
+        slots.setdefault(scheduler.slot_of(block), set()).add(block)
+    if not slots:
+        return 0
+    return max(len(blocks) for blocks in slots.values())
+
+
+def _worst_bin_bytes(
+    run: RunIR, scheduler: LocalityScheduler, ir: ProgramIR
+) -> int:
+    line_size = ir.l1d_line_size
+    line_bits = line_size.bit_length() - 1
+    per_bin: dict[tuple, set[int]] = {}
+    for fork in run.forks:
+        block = scheduler.block_of(HintVector(*fork.hints))
+        lines = per_bin.setdefault(block, set())
+        for segment in fork.footprint:
+            lines.update(segment.lines(line_bits))
+    if not per_bin:
+        return 0
+    return max(len(lines) for lines in per_bin.values()) * line_size
+
+
+def _evidence_note(program: str, context: PassContext) -> str:
+    """Cite profile evidence for the rebalance, when the caller loaded
+    any (``repro-opt --profiles``).  Evidence corroborates; the rewrite
+    condition itself always comes from the captured structure."""
+    payload = context.evidence.get(program)
+    if payload is None and len(context.evidence) == 1:
+        payload = next(iter(context.evidence.values()))
+    if isinstance(payload, list) and payload:
+        payload = payload[-1]
+    if not isinstance(payload, dict):
+        return ""
+    contexts = payload.get("contexts")
+    if not isinstance(contexts, list) or not contexts:
+        return ""
+    binned = [
+        entry
+        for entry in contexts
+        if isinstance(entry, dict) and entry.get("l2_misses")
+    ]
+    if not binned:
+        return ""
+    worst = max(binned, key=lambda entry: entry.get("l2_misses", 0))
+    return (
+        f"profile evidence: bin {worst.get('bin')} pays "
+        f"{worst.get('l2_misses')} L2 misses at site {worst.get('site')}"
+    )
+
+
+#: The pipeline, in the only order that is correct (see module docstring).
+PASSES: tuple[Pass, ...] = (
+    CanonicalizeHints(),
+    DropIndexHints(),
+    RebalanceBins(),
+    PruneRedundantAfterEdges(),
+)

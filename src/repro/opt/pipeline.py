@@ -1,0 +1,109 @@
+"""The optimizer pipeline: capture → lint → lift → passes → apply.
+
+:func:`optimize_program` is the one call sites use.  It runs the same
+capture execution and analyzers the linter uses (so the passes are keyed
+to exactly the diagnostics ``repro-lint`` would print), lifts the IR,
+runs the pass pipeline in its fixed order, and applies the resulting
+plan back to the program.  The returned :class:`OptimizeResult` carries
+both programs, the rewritten IR, and the plan — everything the CLI, the
+campaign preflight, and the differential gate need.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.analysis.capture import run_capture
+from repro.analysis.engine import analyze_capture
+from repro.machine.spec import MachineSpec
+from repro.opt.apply import apply_plan
+from repro.opt.ir import ProgramIR, lift
+from repro.opt.passes import PASSES, Pass, PassContext
+from repro.opt.plan import RewritePlan
+from repro.resilience.errors import ConfigError
+
+
+def resolve_passes(names: Sequence[str] | None) -> tuple[Pass, ...]:
+    """The pass objects for ``names``, in pipeline order regardless of
+    the order given (the pipeline order is the only correct one)."""
+    if names is None:
+        return PASSES
+    known = {p.pass_id: p for p in PASSES}
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise ConfigError(
+            f"unknown pass(es): {', '.join(unknown)}; "
+            f"available: {', '.join(known)}",
+            field="passes",
+        )
+    wanted = set(names)
+    return tuple(p for p in PASSES if p.pass_id in wanted)
+
+
+class OptimizeResult:
+    """Everything one optimization produced."""
+
+    def __init__(
+        self,
+        name: str,
+        machine: MachineSpec,
+        original: Callable,
+        program: Callable,
+        ir: ProgramIR,
+        plan: RewritePlan,
+        diagnostics: list,
+    ) -> None:
+        self.name = name
+        self.machine = machine
+        #: The program as registered.
+        self.original = original
+        #: The program with the plan applied (``original`` if empty).
+        self.program = program
+        #: The rewritten IR (what the optimized program should capture as).
+        self.ir = ir
+        self.plan = plan
+        #: The lint of the *original* program the passes were keyed to.
+        self.diagnostics = diagnostics
+
+    @property
+    def changed(self) -> bool:
+        return not self.plan.empty
+
+
+def optimize_program(
+    program: Callable,
+    machine: MachineSpec,
+    name: str = "program",
+    passes: Sequence[str] | None = None,
+    evidence: dict[str, Any] | None = None,
+) -> OptimizeResult:
+    """Capture, lint, and optimize ``program`` for ``machine``.
+
+    ``passes`` optionally restricts the pipeline to a subset of pass
+    ids (always run in pipeline order).  ``evidence`` optionally maps
+    program names to parsed ``.profile.json`` payloads; it enriches
+    rebalancing notes and never gates a rewrite.
+    """
+    capture = run_capture(program, machine)
+    diagnostics = analyze_capture(capture, name)
+    ir = lift(capture, name)
+    context = PassContext(
+        capture=capture,
+        diagnostics=diagnostics,
+        evidence=evidence or {},
+    )
+    plan = RewritePlan(program=name)
+    for pipeline_pass in resolve_passes(passes):
+        if pipeline_pass.triggered(context):
+            pipeline_pass.run(ir, context, plan)
+    plan.sort()
+    optimized = apply_plan(program, plan)
+    return OptimizeResult(
+        name=name,
+        machine=machine,
+        original=program,
+        program=optimized,
+        ir=ir,
+        plan=plan,
+        diagnostics=diagnostics,
+    )

@@ -1,0 +1,147 @@
+"""Rewrite plans: every optimization as auditable data.
+
+A pass never silently mutates a program.  Each change it makes to the
+IR is mirrored by a :class:`Rewrite` carrying the pass that made it,
+the diagnostic code that justifies it, the site it applies to, and the
+before/after values.  The plan is what ``repro-opt`` prints, what the
+apply machinery replays (verifying each ``before`` against what the
+program actually does), and what the ``--optimize`` campaign preflight
+narrates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+PLAN_SCHEMA_VERSION = 1
+
+#: Pipeline order; also the tiebreak for rewrites at the same fork, so
+#: chained rewrites (canonicalize then rebalance the same vector) replay
+#: in the order the passes produced them.
+PASS_ORDER = (
+    "canonicalize-hints",
+    "drop-index-hints",
+    "rebalance-bins",
+    "prune-redundant-after-edges",
+)
+
+
+@dataclass(frozen=True)
+class Rewrite:
+    """One planned change.
+
+    ``kind`` says which coordinate of the program changes:
+
+    - ``"hints"`` — the fork's hint vector (``before``/``after`` are
+      3-tuples);
+    - ``"after"`` — the fork's dependency edge list (tuples of ids);
+    - ``"block_size"`` — the package's block dimension size (ints).
+
+    ``package`` is the creation-order package index; ``fork`` is the
+    package-wide fork index (``None`` for package-level rewrites).
+    """
+
+    pass_id: str
+    code: str
+    package: int
+    kind: str
+    site: str
+    before: Any
+    after: Any
+    note: str = ""
+    run: int | None = None
+    fork: int | None = None
+    ordinal: int | None = None
+
+    def to_dict(self) -> dict:
+        payload: dict[str, Any] = {
+            "pass": self.pass_id,
+            "code": self.code,
+            "package": self.package,
+            "kind": self.kind,
+            "site": self.site,
+            "before": list(self.before)
+            if isinstance(self.before, tuple)
+            else self.before,
+            "after": list(self.after)
+            if isinstance(self.after, tuple)
+            else self.after,
+        }
+        if self.run is not None:
+            payload["run"] = self.run
+        if self.fork is not None:
+            payload["fork"] = self.fork
+        if self.ordinal is not None:
+            payload["ordinal"] = self.ordinal
+        if self.note:
+            payload["note"] = self.note
+        return payload
+
+    def render(self) -> str:
+        where = f"package {self.package}"
+        if self.fork is not None:
+            where += f" fork {self.fork}"
+        value = f"{self.before!r} -> {self.after!r}"
+        text = (
+            f"[{self.pass_id}] {self.code} {where} ({self.site}): "
+            f"{self.kind} {value}"
+        )
+        if self.note:
+            text += f" — {self.note}"
+        return text
+
+
+def _sort_key(rewrite: Rewrite) -> tuple:
+    try:
+        order = PASS_ORDER.index(rewrite.pass_id)
+    except ValueError:
+        order = len(PASS_ORDER)
+    return (
+        rewrite.package,
+        rewrite.fork if rewrite.fork is not None else -1,
+        order,
+    )
+
+
+@dataclass
+class RewritePlan:
+    """Every rewrite the pipeline proposed for one program."""
+
+    program: str
+    rewrites: list[Rewrite] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.rewrites
+
+    def sort(self) -> None:
+        """Deterministic order: package, fork, then pass order (so
+        chained rewrites at one fork replay in pipeline order)."""
+        self.rewrites.sort(key=_sort_key)
+
+    def passes_applied(self) -> list[str]:
+        seen: list[str] = []
+        for rewrite in self.rewrites:
+            if rewrite.pass_id not in seen:
+                seen.append(rewrite.pass_id)
+        return seen
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": PLAN_SCHEMA_VERSION,
+            "program": self.program,
+            "rewrites": [rewrite.to_dict() for rewrite in self.rewrites],
+            "notes": list(self.notes),
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        lines = [f"{self.program}: {len(self.rewrites)} rewrite(s)"]
+        lines.extend(f"  {rewrite.render()}" for rewrite in self.rewrites)
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Seeded defect: an 'after' edge the rest of the DAG already implies
+(RC004, advisory).
+
+Thread c waits on both a and b, but b itself waits on a — so the c -> a
+edge can never matter: b always completes after a, and c becomes ready
+exactly when b finishes either way.
+"""
+
+KIND = "program"
+EXPECTED = ["RC004"]
+
+FIXED_BY = "prune-redundant-after-edges"
+RESIDUAL = []
+
+
+def PROGRAM(ctx):
+    handle = ctx.allocate_array("data", (64,))
+    package = ctx.make_dependent_thread_package()
+
+    def proc(a, b):
+        pass
+
+    a = package.th_fork(proc, 0, None, handle.base)
+    b = package.th_fork(proc, 1, None, handle.base, after=[a])
+    package.th_fork(proc, 2, None, handle.base, after=[a, b])  # BUG: a is implied
+    package.th_run(0)

@@ -8,6 +8,11 @@ buy nothing.
 KIND = "program"
 EXPECTED = ["RL003"]
 
+# Optimizer contract (see tests/opt): the hints are distinct, so a
+# smaller power-of-two block size splits the bin.
+FIXED_BY = "rebalance-bins"
+RESIDUAL = []
+
 
 def PROGRAM(ctx):
     handle = ctx.allocate_array("grid", (64, 64))

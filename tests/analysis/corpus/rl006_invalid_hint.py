@@ -8,6 +8,12 @@ interface violation is reported as an error.
 KIND = "program"
 EXPECTED = ["RL006"]
 
+# Optimizer contract (see tests/opt): the negative hint carries no
+# usable address and the proc records nothing, so the repaired thread
+# runs honestly unhinted (RL001).
+FIXED_BY = "canonicalize-hints"
+RESIDUAL = ["RL001"]
+
 
 def PROGRAM(ctx):
     package = ctx.make_thread_package()

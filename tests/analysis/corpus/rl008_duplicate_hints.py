@@ -1,0 +1,32 @@
+"""Seeded defect: the same address passed twice in one hint vector
+(RL008, advisory).
+
+Each thread names its column's address in *both* hint dimensions, so
+the scheduler files it in a diagonal block (b, b, 0) instead of the
+one-dimensional block (b, 0, 0) that a thread hinting the column once
+would share.
+"""
+
+KIND = "program"
+EXPECTED = ["RL008"]
+
+# Optimizer contract (see tests/opt): the pass that must silence the
+# seeded code(s), and the codes the honestly-rewritten program is still
+# allowed to raise afterwards.
+FIXED_BY = "canonicalize-hints"
+RESIDUAL = []
+
+
+def PROGRAM(ctx):
+    # Tall columns: each column's span exceeds one scheduling block, so
+    # deduplicated hints still spread over distinct bins.
+    handle = ctx.allocate_array("grid", (4096, 12))
+    package = ctx.make_thread_package()
+
+    def proc(a, b):
+        pass
+
+    for j in range(12):
+        address = handle.addr(0, j)
+        package.th_fork(proc, j, None, address, address)  # BUG: repeated
+    package.th_run(0)

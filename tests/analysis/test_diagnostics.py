@@ -17,7 +17,8 @@ def test_code_table_is_stable():
     """Codes are a public contract (CI gates and docs key on them)."""
     assert set(CODES) == {
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
-        "RC001", "RC002", "RC003",
+        "RL008",
+        "RC001", "RC002", "RC003", "RC004",
         "RP001", "RP002", "RP003",
     }
 
@@ -61,6 +62,37 @@ def test_render_and_location():
     assert "RP002" in rendered
     assert "error" in rendered
     assert "[demo]" in rendered
+
+
+def test_location_with_line_but_no_file():
+    """Regression: capture-derived findings that recover a line but no
+    file used to render an empty location in the text report while the
+    JSON report still carried the line — the two disagreed.  Both now
+    show ``<capture>:line``."""
+    diagnostic = make_diagnostic("RL001", "unhinted", program="p", line=12)
+    assert diagnostic.location == "<capture>:12"
+    assert diagnostic.render().startswith("<capture>:12: ")
+    payload = diagnostic.to_dict()
+    assert payload["location"] == "<capture>:12"
+    assert payload["line"] == 12
+    assert "file" not in payload
+
+
+def test_location_is_shared_between_renderers():
+    """text render(), to_dict(), and the event-bus payload all derive
+    from one property, whatever combination of file/line is known."""
+    cases = [
+        (None, None, ""),
+        ("a.py", None, "a.py"),
+        ("a.py", 7, "a.py:7"),
+        (None, 7, "<capture>:7"),
+    ]
+    for file, line, expected in cases:
+        diagnostic = make_diagnostic(
+            "RL001", "m", program="p", file=file, line=line
+        )
+        assert diagnostic.location == expected
+        assert diagnostic.to_dict()["location"] == expected
 
 
 def test_to_dict_round_trips_context():

@@ -1,0 +1,40 @@
+"""Shared fixtures for the optimizer suite.
+
+The seeded-defect corpus doubles as the optimizer's test corpus: each
+program-kind module optionally declares ``FIXED_BY`` (the pass that
+must repair its seeded code) and ``RESIDUAL`` (codes honestly left
+behind).  The loaders here mirror tests/analysis/test_corpus.py.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.machine.presets import DEFAULT_SCALE, r8000
+
+CORPUS_DIR = pathlib.Path(__file__).parent.parent / "analysis" / "corpus"
+
+
+def load_corpus(stem: str):
+    path = CORPUS_DIR / f"{stem}.py"
+    spec = importlib.util.spec_from_file_location(f"opt_corpus_{stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def corpus_programs() -> list[str]:
+    """Stems of every program-kind corpus module."""
+    stems = []
+    for path in sorted(CORPUS_DIR.glob("*.py")):
+        if load_corpus(path.stem).KIND == "program":
+            stems.append(path.stem)
+    return stems
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return r8000(DEFAULT_SCALE)

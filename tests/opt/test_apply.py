@@ -1,0 +1,188 @@
+"""Apply-by-replay: before-verification, substitution, staleness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.capture import run_capture
+from repro.core.scheduler import default_block_size
+from repro.opt import OptimizationError, apply_plan, strip_hints
+from repro.opt.plan import Rewrite, RewritePlan
+
+
+def _small_program(ctx):
+    handle = ctx.allocate_array("data", (64,))
+    package = ctx.make_thread_package()
+
+    def proc(a, b):
+        pass
+
+    package.th_fork(proc, 0, None, handle.base)
+    package.th_fork(proc, 1, None, handle.base + 8)
+    package.th_run(0)
+
+
+def _dependent_program(ctx):
+    handle = ctx.allocate_array("data", (64,))
+    package = ctx.make_dependent_thread_package()
+
+    def proc(a, b):
+        pass
+
+    a = package.th_fork(proc, 0, None, handle.base)
+    b = package.th_fork(proc, 1, None, handle.base, after=[a])
+    package.th_fork(proc, 2, None, handle.base, after=[a, b])
+    package.th_run(0)
+
+
+def _hints_of(capture):
+    return [r.hints for p in capture.packages for run in p.runs for r in run.records]
+
+
+def _rewrite(**overrides):
+    payload = dict(
+        pass_id="canonicalize-hints",
+        code="RL008",
+        package=0,
+        kind="hints",
+        site="test",
+        before=(0, 0, 0),
+        after=(0, 0, 0),
+        fork=0,
+    )
+    payload.update(overrides)
+    return Rewrite(**payload)
+
+
+class TestStripHints:
+    def test_strips_every_vector_preserving_structure(self, machine):
+        original = run_capture(_small_program, machine)
+        stripped = run_capture(strip_hints(_small_program), machine)
+        assert _hints_of(stripped) == [(0, 0, 0), (0, 0, 0)]
+        assert len(_hints_of(original)) == len(_hints_of(stripped))
+        assert any(any(h) for h in _hints_of(original))
+
+    def test_swallows_invalid_vectors(self, machine):
+        def defective(ctx):
+            package = ctx.make_thread_package()
+
+            def proc(a, b):
+                pass
+
+            package.th_fork(proc, 0, None, -42)
+            package.th_run(0)
+
+        stripped = run_capture(strip_hints(defective), machine)
+        assert _hints_of(stripped) == [(0, 0, 0)]
+        # The strip happens before the package sees the vector, so no
+        # RL006 problem is recorded either.
+        assert not stripped.packages[0].problems
+
+
+class TestApplyPlan:
+    def test_empty_plan_returns_the_original(self):
+        plan = RewritePlan(program="p")
+        assert apply_plan(_small_program, plan) is _small_program
+
+    def test_hints_rewrite_lands_at_its_fork(self, machine):
+        before = _hints_of(run_capture(_small_program, machine))
+        plan = RewritePlan(
+            program="p",
+            rewrites=[
+                _rewrite(fork=1, before=before[1], after=(4096, 0, 0))
+            ],
+        )
+        after = _hints_of(run_capture(apply_plan(_small_program, plan), machine))
+        assert after == [before[0], (4096, 0, 0)]
+
+    def test_chained_rewrites_replay_in_order(self, machine):
+        before = _hints_of(run_capture(_small_program, machine))
+        plan = RewritePlan(
+            program="p",
+            rewrites=[
+                _rewrite(fork=0, before=before[0], after=(100, 0, 0)),
+                _rewrite(fork=0, before=(100, 0, 0), after=(200, 0, 0)),
+            ],
+        )
+        after = _hints_of(run_capture(apply_plan(_small_program, plan), machine))
+        assert after[0] == (200, 0, 0)
+
+    def test_after_edge_rewrite(self, machine):
+        plan = RewritePlan(
+            program="p",
+            rewrites=[
+                _rewrite(
+                    pass_id="prune-redundant-after-edges",
+                    code="RC004",
+                    kind="after",
+                    fork=2,
+                    before=(0, 1),
+                    after=(1,),
+                )
+            ],
+        )
+        capture = run_capture(apply_plan(_dependent_program, plan), machine)
+        records = capture.packages[0].runs[0].records
+        assert records[2].after == (1,)
+        assert not capture.packages[0].problems
+
+    def test_block_size_rewrite_verifies_the_default(self, machine):
+        expected = default_block_size(machine.l2.size, 2)
+        plan = RewritePlan(
+            program="p",
+            rewrites=[
+                _rewrite(
+                    pass_id="rebalance-bins",
+                    code="RL003",
+                    kind="block_size",
+                    fork=None,
+                    before=expected,
+                    after=1024,
+                )
+            ],
+        )
+        capture = run_capture(apply_plan(_small_program, plan), machine)
+        assert capture.packages[0].block_size == 1024
+
+
+class TestStalePlans:
+    def test_mismatched_hints_before_raises(self, machine):
+        plan = RewritePlan(
+            program="p",
+            rewrites=[_rewrite(fork=0, before=(12345, 0, 0), after=(0, 0, 0))],
+        )
+        with pytest.raises(OptimizationError, match="stale"):
+            run_capture(apply_plan(_small_program, plan), machine)
+
+    def test_mismatched_after_edges_raise(self, machine):
+        plan = RewritePlan(
+            program="p",
+            rewrites=[
+                _rewrite(kind="after", fork=2, before=(0,), after=())
+            ],
+        )
+        with pytest.raises(OptimizationError, match="stale"):
+            run_capture(apply_plan(_dependent_program, plan), machine)
+
+    def test_mismatched_block_size_raises(self, machine):
+        plan = RewritePlan(
+            program="p",
+            rewrites=[
+                _rewrite(kind="block_size", fork=None, before=1, after=2)
+            ],
+        )
+        with pytest.raises(OptimizationError, match="stale"):
+            run_capture(apply_plan(_small_program, plan), machine)
+
+    def test_unreached_rewrite_raises(self, machine):
+        plan = RewritePlan(
+            program="p",
+            rewrites=[_rewrite(fork=99, before=(0, 0, 0), after=(1, 0, 0))],
+        )
+        with pytest.raises(OptimizationError, match="never reached"):
+            run_capture(apply_plan(_small_program, plan), machine)
+
+    def test_unknown_rewrite_kind_raises(self, machine):
+        plan = RewritePlan(program="p", rewrites=[_rewrite(kind="color")])
+        with pytest.raises(OptimizationError, match="unknown rewrite kind"):
+            run_capture(apply_plan(_small_program, plan), machine)

@@ -1,0 +1,102 @@
+"""CLI surfaces: repro-opt and the repro-experiments --optimize gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.exp.cli as exp_cli
+import repro.opt.cli as opt_cli
+from repro.opt.plan import PASS_ORDER, PLAN_SCHEMA_VERSION
+
+from tests.opt.conftest import CORPUS_DIR
+
+
+class TestReproOpt:
+    def test_list_passes(self, capsys):
+        assert opt_cli.main(["--list-passes"]) == 0
+        out = capsys.readouterr().out
+        for pass_id in PASS_ORDER:
+            assert pass_id in out
+
+    def test_corpus_directory_target(self, capsys):
+        assert opt_cli.main([str(CORPUS_DIR)]) == 0
+        out = capsys.readouterr().out
+        # 12 program modules; the RP files (KIND="file") are skipped.
+        assert "12 program(s): 6 optimized, 6 already clean" in out
+
+    def test_single_program_plan_text(self, capsys):
+        corpus = str(CORPUS_DIR / "rl006_invalid_hint.py")
+        assert opt_cli.main([corpus]) == 0
+        out = capsys.readouterr().out
+        assert "canonicalize-hints" in out
+        assert "(-42, 0, 0) -> (0, 0, 0)" in out
+
+    def test_json_format(self, capsys):
+        corpus = str(CORPUS_DIR / "rl006_invalid_hint.py")
+        assert opt_cli.main(["--format", "json", corpus]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == PLAN_SCHEMA_VERSION
+        (program,) = payload["programs"]
+        assert program["program"] == "rl006_invalid_hint"
+        (rewrite,) = program["rewrites"]
+        assert rewrite["pass"] == "canonicalize-hints"
+        assert rewrite["code"] == "RL006"
+        assert rewrite["before"] == [-42, 0, 0]
+        assert rewrite["after"] == [0, 0, 0]
+
+    def test_check_reports_both_gates(self, capsys):
+        corpus = str(CORPUS_DIR / "rc004_redundant_edges.py")
+        assert opt_cli.main([corpus, "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        assert "unhinted-identical" in out
+        assert "hinted-no-worse" in out
+
+    def test_quiet_skips_clean_programs(self, capsys):
+        corpus = str(CORPUS_DIR / "rl001_unhinted.py")
+        assert opt_cli.main(["-q", corpus]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out.splitlines() == ["1 program(s): 0 optimized, 1 already clean"]
+
+    def test_pass_subset(self, capsys):
+        corpus = str(CORPUS_DIR / "rl008_duplicate_hints.py")
+        assert opt_cli.main(["--passes", "drop-index-hints", corpus]) == 0
+        out = capsys.readouterr().out
+        assert "0 optimized" in out
+
+    def test_unknown_pass_is_a_failure(self, capsys):
+        corpus = str(CORPUS_DIR / "rl001_unhinted.py")
+        assert opt_cli.main(["--passes", "nope", corpus]) == 1
+        out = capsys.readouterr().out
+        assert "unknown pass" in out
+        assert "FAILURE" in out
+
+    def test_file_without_program_is_usage_error(self):
+        corpus = str(CORPUS_DIR / "rp001_nondeterminism.py")
+        with pytest.raises(SystemExit) as excinfo:
+            opt_cli.main([corpus])
+        assert excinfo.value.code == 2
+
+    def test_unknown_target_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            opt_cli.main(["definitely_not_a_target"])
+        assert excinfo.value.code == 2
+
+
+class TestExperimentsOptimizeGate:
+    def test_preflight_narrates_and_campaign_proceeds(self, capsys, tmp_path):
+        code = exp_cli.main(
+            [
+                "table6",
+                "--quick",
+                "--no-save",
+                "--optimize",
+                "--runs-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimizer preflight" in out

@@ -1,0 +1,105 @@
+"""The IR: lifting captures, canonical rendering, addressability."""
+
+from __future__ import annotations
+
+from repro.analysis.capture import run_capture
+from repro.opt.ir import IR_SCHEMA_VERSION, ForkIR, lift
+
+from tests.opt.conftest import load_corpus
+
+
+def _two_run_program(ctx):
+    handle = ctx.allocate_array("data", (64,))
+    package = ctx.make_thread_package()
+
+    def proc(a, b):
+        pass
+
+    package.th_fork(proc, 0, None, handle.base)
+    package.th_fork(proc, 1, None, handle.base + 8)
+    package.th_run(0)
+    package.th_fork(proc, 2, None, handle.base + 16)
+    package.th_run(0)
+
+
+class TestLift:
+    def test_tree_shape_and_package_wide_indices(self, machine):
+        capture = run_capture(_two_run_program, machine)
+        ir = lift(capture, "two_run")
+        assert ir.program == "two_run"
+        assert ir.machine == capture.machine.name
+        assert len(ir.packages) == 1
+        package = ir.packages[0]
+        assert package.kind == "independent"
+        assert [len(run.forks) for run in package.runs] == [2, 1]
+        # Fork indices count package-wide; ordinals restart per run.
+        assert [f.index for f in package.forks] == [0, 1, 2]
+        assert [f.ordinal for f in package.forks] == [0, 1, 0]
+        assert all(f.func_name == "proc" for f in package.forks)
+        assert all(f.hinted for f in package.forks)
+        assert all(f.after == () for f in package.forks)
+
+    def test_sites_point_at_the_fork_calls(self, machine):
+        capture = run_capture(_two_run_program, machine)
+        ir = lift(capture, "two_run")
+        for fork in ir.packages[0].forks:
+            assert fork.site.startswith(__file__)
+            assert fork.site != fork.file  # line number attached
+
+    def test_rl006_problem_preserves_the_defective_vector(self, machine):
+        module = load_corpus("rl006_invalid_hint")
+        ir = lift(run_capture(module.PROGRAM, machine), "rl006")
+        problems = ir.packages[0].problems
+        assert [p.code for p in problems] == ["RL006"]
+        assert problems[0].hints == (-42, 0, 0)
+        # Capture replayed the fork unhinted.
+        assert ir.packages[0].forks[0].hints == (0, 0, 0)
+
+
+class TestRender:
+    def test_render_is_deterministic_across_captures(self, machine):
+        first = lift(run_capture(_two_run_program, machine), "p")
+        second = lift(run_capture(_two_run_program, machine), "p")
+        assert first.render() == second.render()
+
+    def test_render_excludes_capture_metadata(self, machine):
+        ir = lift(run_capture(_two_run_program, machine), "p")
+        rendered = ir.render()
+        # Call sites and footprints are capture metadata, not program
+        # structure — the re-captured optimized program reports the
+        # apply wrapper's sites, so they must not break idempotence.
+        assert "file" not in rendered
+        assert "line" not in rendered
+        assert "footprint" not in rendered
+        assert f'"schema":{IR_SCHEMA_VERSION}' in rendered
+
+    def test_to_dict_carries_semantics_bearing_fields(self, machine):
+        ir = lift(run_capture(_two_run_program, machine), "p")
+        payload = ir.to_dict()
+        assert payload["schema"] == IR_SCHEMA_VERSION
+        package = payload["packages"][0]
+        assert package["kind"] == "independent"
+        assert package["block_size"] == ir.packages[0].block_size
+        forks = [f for run in package["runs"] for f in run["forks"]]
+        assert len(forks) == 3
+        assert all(set(f) == {"hints", "after"} for f in forks)
+
+
+class TestForkIR:
+    def test_site_fallbacks(self):
+        fork = ForkIR(
+            index=0, run=0, ordinal=0, hints=(0, 0, 0), after=(),
+            file=None, line=7, func_name="proc",
+        )
+        assert fork.site == "<capture>:7"
+        fork.line = None
+        assert fork.site == "<capture>"
+
+    def test_hinted_is_any_nonzero_component(self):
+        unhinted = ForkIR(
+            index=0, run=0, ordinal=0, hints=(0, 0, 0), after=(),
+            file=None, line=None, func_name="proc",
+        )
+        assert not unhinted.hinted
+        unhinted.hints = (0, 4096, 0)
+        assert unhinted.hinted

@@ -1,0 +1,140 @@
+"""Individual passes: gating, the rewrites they plan, hint hygiene."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import lint_program
+from repro.opt import PASSES, optimize_program
+from repro.opt.passes import canonical_hints
+from repro.opt.plan import PASS_ORDER
+
+from tests.opt.conftest import load_corpus
+
+
+class TestCanonicalHints:
+    def test_drops_nonpositive_and_compacts(self):
+        assert canonical_hints((-42, 0, 0)) == (0, 0, 0)
+        assert canonical_hints((0, 4096, 0)) == (4096, 0, 0)
+
+    def test_dedupes_keeping_first_occurrence(self):
+        assert canonical_hints((4096, 4096, 0)) == (4096, 0, 0)
+        assert canonical_hints((4096, 8192, 4096)) == (4096, 8192, 0)
+
+    def test_idempotent(self):
+        for vector in [(-1, 5, 5), (7, 7, 7), (0, 0, 0), (1, 2, 3)]:
+            once = canonical_hints(vector)
+            assert canonical_hints(once) == once
+
+
+class TestGating:
+    def test_pipeline_order_is_the_registry_order(self):
+        assert tuple(p.pass_id for p in PASSES) == PASS_ORDER
+
+    def test_pass_without_its_diagnostic_plans_nothing(self, machine):
+        # rl003 raises RL003 only; drop-index-hints keys on RL002.
+        module = load_corpus("rl003_one_bin")
+        result = optimize_program(
+            module.PROGRAM, machine, passes=["drop-index-hints"]
+        )
+        assert result.plan.empty
+        assert result.program is module.PROGRAM
+
+    def test_clean_program_gets_zero_rewrites(self, machine):
+        def program(ctx):
+            handle = ctx.allocate_array("data", (1024,))
+            package = ctx.make_thread_package()
+
+            def proc(a, b):
+                pass
+
+            block = package.scheduler.block_size
+            for i in range(4):
+                package.th_fork(proc, i, None, handle.base + i * block)
+            package.th_run(0)
+
+        result = optimize_program(program, machine, name="clean")
+        assert result.plan.empty
+        assert result.program is program
+
+
+class TestCanonicalizeHintsPass:
+    def test_rl006_repairs_the_rejected_vector(self, machine):
+        module = load_corpus("rl006_invalid_hint")
+        result = optimize_program(module.PROGRAM, machine, name="rl006")
+        assert len(result.plan.rewrites) == 1
+        rewrite = result.plan.rewrites[0]
+        assert rewrite.pass_id == "canonicalize-hints"
+        assert rewrite.code == "RL006"
+        assert rewrite.kind == "hints"
+        assert rewrite.before == (-42, 0, 0)
+        assert rewrite.after == (0, 0, 0)
+        # The repaired IR no longer carries the RL006 problem.
+        assert not result.ir.packages[0].problems
+
+    def test_rl008_dedupes_every_duplicated_vector(self, machine):
+        module = load_corpus("rl008_duplicate_hints")
+        result = optimize_program(module.PROGRAM, machine, name="rl008")
+        assert result.changed
+        for rewrite in result.plan.rewrites:
+            assert rewrite.code == "RL008"
+            assert rewrite.kind == "hints"
+            assert rewrite.after == canonical_hints(rewrite.before)
+            assert rewrite.before != rewrite.after
+
+
+class TestDropIndexHintsPass:
+    def test_rl002_drops_loop_counter_hints(self, machine):
+        module = load_corpus("rl002_index_hint")
+        result = optimize_program(module.PROGRAM, machine, name="rl002")
+        assert result.changed
+        for rewrite in result.plan.rewrites:
+            assert rewrite.pass_id == "drop-index-hints"
+            assert rewrite.code == "RL002"
+            assert rewrite.kind == "hints"
+
+
+class TestRebalanceBinsPass:
+    def test_rl003_resizes_to_a_smaller_power_of_two(self, machine):
+        module = load_corpus("rl003_one_bin")
+        result = optimize_program(module.PROGRAM, machine, name="rl003")
+        assert len(result.plan.rewrites) == 1
+        rewrite = result.plan.rewrites[0]
+        assert rewrite.pass_id == "rebalance-bins"
+        assert rewrite.kind == "block_size"
+        assert rewrite.fork is None
+        assert rewrite.after < rewrite.before
+        assert rewrite.after & (rewrite.after - 1) == 0  # power of two
+        assert result.ir.packages[0].block_size == rewrite.after
+
+    def test_rl004_spreads_the_hot_bin(self, machine):
+        module = load_corpus("rl004_skewed_bins")
+        result = optimize_program(module.PROGRAM, machine, name="rl004")
+        assert result.changed
+        # Identical hints cannot be split by any block size, so the
+        # pass rehints — never resizes — and touches only the hot bin.
+        assert all(r.kind == "hints" for r in result.plan.rewrites)
+        assert all(r.code == "RL004" for r in result.plan.rewrites)
+
+    @pytest.mark.parametrize("stem", ["rl003_one_bin", "rl004_skewed_bins"])
+    def test_rebalanced_program_lints_clean_of_its_code(self, stem, machine):
+        module = load_corpus(stem)
+        result = optimize_program(module.PROGRAM, machine, name=stem)
+        codes = {
+            d.code
+            for d in lint_program(result.program, machine, name=stem)
+        }
+        assert not codes & set(module.EXPECTED)
+
+
+class TestPruneRedundantAfterEdgesPass:
+    def test_rc004_drops_the_implied_edge(self, machine):
+        module = load_corpus("rc004_redundant_edges")
+        result = optimize_program(module.PROGRAM, machine, name="rc004")
+        assert len(result.plan.rewrites) == 1
+        rewrite = result.plan.rewrites[0]
+        assert rewrite.pass_id == "prune-redundant-after-edges"
+        assert rewrite.code == "RC004"
+        assert rewrite.kind == "after"
+        assert rewrite.before == (0, 1)
+        assert rewrite.after == (1,)
